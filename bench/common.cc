@@ -1,0 +1,50 @@
+#include "common.hh"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+namespace scif::bench {
+
+const core::PipelineResult &
+pipeline()
+{
+    static const core::PipelineResult result = core::runPipeline();
+    return result;
+}
+
+void
+printHeader(const std::string &title, const std::string &paper_ref)
+{
+    std::printf("\n================================================="
+                "=============\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("reproduces: %s\n", paper_ref.c_str());
+    std::printf("==================================================="
+                "===========\n\n");
+}
+
+int
+benchMain(int argc, char **argv, void (*experiment)())
+{
+    experiment();
+
+    // Run the registered micro-benchmarks with a short default
+    // budget unless the caller overrides it.
+    std::vector<char *> args(argv, argv + argc);
+    std::string minTime = "--benchmark_min_time=0.05";
+    bool hasMinTime = false;
+    for (int i = 1; i < argc; ++i)
+        hasMinTime |= std::string(argv[i]).find(
+                          "--benchmark_min_time") == 0;
+    if (!hasMinTime)
+        args.push_back(minTime.data());
+
+    int benchArgc = int(args.size());
+    benchmark::Initialize(&benchArgc, args.data());
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}
+
+} // namespace scif::bench

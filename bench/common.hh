@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Shared infrastructure for the evaluation benches: each binary
+ * regenerates one table or figure of the paper. The pipeline runs
+ * once per process and is shared by the table printer and by the
+ * google-benchmark micro-benchmarks registered alongside it.
+ */
+
+#ifndef SCIFINDER_BENCH_COMMON_HH
+#define SCIFINDER_BENCH_COMMON_HH
+
+#include <string>
+
+#include "core/scifinder.hh"
+#include "support/table.hh"
+
+namespace scif::bench {
+
+/** The full pipeline, run once per process. */
+const core::PipelineResult &pipeline();
+
+/** Print the bench banner with the paper reference. */
+void printHeader(const std::string &title,
+                 const std::string &paper_ref);
+
+/**
+ * Standard bench main body: print the experiment (the callback),
+ * then run the registered google-benchmark micro-benchmarks.
+ */
+int benchMain(int argc, char **argv, void (*experiment)());
+
+} // namespace scif::bench
+
+/** Define the bench entry point around an experiment function. */
+#define SCIF_BENCH_MAIN(experiment)                                          \
+    int main(int argc, char **argv)                                          \
+    {                                                                        \
+        return ::scif::bench::benchMain(argc, argv, experiment);             \
+    }
+
+#endif // SCIFINDER_BENCH_COMMON_HH

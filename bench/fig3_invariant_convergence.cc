@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Figure 3: unique invariants generated from executing programs.
+ *
+ * Programs are added cumulatively in the paper's x-axis order
+ * (vmlinux, basicmath, parser, ..., vpr, misc); at each step we
+ * report how many invariants are unmodified, newly added, and
+ * deleted relative to the previous step, and whether the set has
+ * converged by the end ("after adding the twolf benchmark, no new
+ * invariants are generated or removed" at the paper's scale).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "invgen/invgen.hh"
+#include "workloads/workloads.hh"
+
+namespace scif {
+namespace {
+
+/** Figure 3's x-axis: 13 named programs plus the "misc" bundle. */
+const std::vector<std::vector<std::string>> steps = {
+    {"vmlinux"}, {"basicmath"}, {"parser"}, {"mesa"},
+    {"ammp"},    {"mcf"},       {"instru"}, {"gzip"},
+    {"crafty"},  {"bzip"},      {"quake"},  {"twolf"},
+    {"vpr"},     {"pi", "bitcount", "fft", "helloworld"},
+};
+
+void
+experiment()
+{
+    bench::printHeader("Figure 3: invariant-set convergence",
+                       "Zhang et al., ASPLOS'17, Figure 3");
+
+    std::vector<trace::TraceBuffer> traces;
+    std::vector<const trace::TraceBuffer *> ptrs;
+
+    TextTable table({"programs", "invariants", "unmodified", "new",
+                     "deleted"});
+    std::set<std::string> previous;
+    for (size_t step = 0; step < steps.size(); ++step) {
+        std::string label;
+        for (const auto &name : steps[step]) {
+            traces.push_back(
+                workloads::run(workloads::byName(name)));
+            label = steps[step].size() > 1 ? "misc" : name;
+        }
+        ptrs.clear();
+        for (const auto &t : traces)
+            ptrs.push_back(&t);
+
+        invgen::InvariantSet set = invgen::generate(ptrs);
+        std::set<std::string> current = set.keys();
+
+        size_t unmodified = 0, added = 0, deleted = 0;
+        for (const auto &key : current)
+            previous.count(key) ? ++unmodified : ++added;
+        for (const auto &key : previous)
+            deleted += current.count(key) == 0;
+
+        table.addRow({label, std::to_string(current.size()),
+                      std::to_string(unmodified),
+                      std::to_string(added),
+                      std::to_string(deleted)});
+        previous = std::move(current);
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Paper shape: adding programs first grows the set,\n"
+                "then it stabilizes (new/deleted shrink toward the\n"
+                "tail as the instruction mix saturates).\n");
+}
+
+/** Micro-benchmark: invariant generation over one workload trace. */
+void
+generationThroughput(benchmark::State &state)
+{
+    trace::TraceBuffer trace =
+        workloads::run(workloads::byName("basicmath"));
+    for (auto _ : state) {
+        invgen::InvariantSet set = invgen::generate(trace);
+        benchmark::DoNotOptimize(set.size());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(trace.size()));
+}
+BENCHMARK(generationThroughput)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace scif
+
+SCIF_BENCH_MAIN(scif::experiment)

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Figure 4: PCA of the labeled invariants restricted to the features
+ * the elastic net selected, projected to two dimensions. The paper's
+ * claim: "invariants cluster adequately according to class label",
+ * i.e. the selected features separate SCI from non-SCI. We print an
+ * ASCII scatter of the projection plus the class centroids and a
+ * separation statistic.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "ml/pca.hh"
+
+namespace scif {
+namespace {
+
+void
+experiment()
+{
+    bench::printHeader("Figure 4: PCA of labeled invariants",
+                       "Zhang et al., ASPLOS'17, Figure 4");
+
+    const auto &r = bench::pipeline();
+    const auto &fx = r.inference.features;
+    auto selected = r.inference.model.nonZeroFeatures();
+    std::printf("PCA over %zu selected features on %zu labeled "
+                "invariants (paper: 24 features, 102 invariants).\n\n",
+                selected.size(),
+                r.database.sciIndices().size() +
+                    r.database.nonSciIndices().size());
+
+    // Assemble the restricted feature matrix, SCI rows first.
+    std::vector<size_t> rows = r.database.sciIndices();
+    size_t numSci = rows.size();
+    for (size_t idx : r.database.nonSciIndices())
+        rows.push_back(idx);
+
+    ml::Matrix X(rows.size(), selected.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+        auto full = fx.extract(r.model.all()[rows[i]]);
+        for (size_t c = 0; c < selected.size(); ++c)
+            X.at(i, c) = full[selected[c]];
+    }
+
+    ml::PcaResult pca = ml::pca(X, 2);
+
+    // Class centroids and spread on the projection.
+    double cx[2] = {0, 0}, cy[2] = {0, 0};
+    for (size_t i = 0; i < rows.size(); ++i) {
+        int cls = i < numSci ? 0 : 1;
+        cx[cls] += pca.projected.at(i, 0);
+        cy[cls] += pca.projected.at(i, 1);
+    }
+    size_t counts[2] = {numSci, rows.size() - numSci};
+    for (int c = 0; c < 2; ++c) {
+        cx[c] /= double(counts[c]);
+        cy[c] /= double(counts[c]);
+    }
+    double spread[2] = {0, 0};
+    for (size_t i = 0; i < rows.size(); ++i) {
+        int cls = i < numSci ? 0 : 1;
+        double dx = pca.projected.at(i, 0) - cx[cls];
+        double dy = pca.projected.at(i, 1) - cy[cls];
+        spread[cls] += std::sqrt(dx * dx + dy * dy);
+    }
+    for (int c = 0; c < 2; ++c)
+        spread[c] /= double(counts[c]);
+    double separation = std::hypot(cx[0] - cx[1], cy[0] - cy[1]);
+
+    // ASCII scatter, SC = '#', non-SC = 'o', both = '*'.
+    constexpr int W = 64, H = 20;
+    double minX = 1e9, maxX = -1e9, minY = 1e9, maxY = -1e9;
+    for (size_t i = 0; i < rows.size(); ++i) {
+        minX = std::min(minX, pca.projected.at(i, 0));
+        maxX = std::max(maxX, pca.projected.at(i, 0));
+        minY = std::min(minY, pca.projected.at(i, 1));
+        maxY = std::max(maxY, pca.projected.at(i, 1));
+    }
+    std::vector<std::string> grid(H, std::string(W, ' '));
+    for (size_t i = 0; i < rows.size(); ++i) {
+        int gx = int((pca.projected.at(i, 0) - minX) /
+                     (maxX - minX + 1e-12) * (W - 1));
+        int gy = int((pca.projected.at(i, 1) - minY) /
+                     (maxY - minY + 1e-12) * (H - 1));
+        char mark = i < numSci ? '#' : 'o';
+        char &cell = grid[H - 1 - gy][gx];
+        cell = (cell == ' ' || cell == mark) ? mark : '*';
+    }
+    std::printf("PC2 ^   ('#' = SCI, 'o' = non-SCI, '*' = both)\n");
+    for (const auto &line : grid)
+        std::printf("    | %s\n", line.c_str());
+    std::printf("    +%s> PC1\n\n", std::string(W, '-').c_str());
+
+    std::printf("Explained variance: PC1 %.2f, PC2 %.2f\n",
+                pca.eigenvalues[0], pca.eigenvalues[1]);
+    std::printf("Centroids: SCI (%.2f, %.2f)  non-SCI (%.2f, %.2f)\n",
+                cx[0], cy[0], cx[1], cy[1]);
+    std::printf("Centroid separation %.2f vs mean in-class spread "
+                "%.2f -> classes %s.\n",
+                separation, (spread[0] + spread[1]) / 2,
+                separation > (spread[0] + spread[1]) / 2
+                    ? "cluster by label (paper's Figure 4 shape)"
+                    : "overlap");
+}
+
+/** Micro-benchmark: the PCA itself. */
+void
+pcaCompute(benchmark::State &state)
+{
+    const auto &r = bench::pipeline();
+    const auto &fx = r.inference.features;
+    auto selected = r.inference.model.nonZeroFeatures();
+    std::vector<size_t> rows = r.database.sciIndices();
+    for (size_t idx : r.database.nonSciIndices())
+        rows.push_back(idx);
+    ml::Matrix X(rows.size(), selected.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+        auto full = fx.extract(r.model.all()[rows[i]]);
+        for (size_t c = 0; c < selected.size(); ++c)
+            X.at(i, c) = full[selected[c]];
+    }
+    for (auto _ : state) {
+        auto result = ml::pca(X, 2);
+        benchmark::DoNotOptimize(result.eigenvalues[0]);
+    }
+}
+BENCHMARK(pcaCompute)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace scif
+
+SCIF_BENCH_MAIN(scif::experiment)

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * §5.6: detecting unknown bugs. The final SCI (identified +
+ * inferred) are enforced as assertions and tested against the 14
+ * held-out bugs that played no role in identification or inference
+ * (our stand-in for the SPECS AMD-errata reproductions). The paper
+ * detects 12 of 14 (5 via identified SCI, 7 via inferred SCI).
+ *
+ * The selection-bias repeat: 14 bugs are drawn at random from the 28
+ * ISA-visible bugs for identification/inference and the remaining 14
+ * are the test set (the paper misses only b6 in this experiment).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "monitor/assertion.hh"
+#include "support/random.hh"
+
+namespace scif {
+namespace {
+
+void
+experiment()
+{
+    bench::printHeader("Section 5.6: detecting unknown bugs",
+                       "Zhang et al., ASPLOS'17, §5.6");
+
+    const auto &r = bench::pipeline();
+    auto identAsserts =
+        monitor::synthesize(r.model, r.database.sciIndices());
+    auto inferAsserts =
+        monitor::synthesize(r.model, r.inference.inferredSci);
+
+    TextTable table({"Bug", "By identified", "By inferred",
+                     "Detected", "Synopsis"});
+    int detected = 0, viaIdent = 0, viaInfer = 0;
+    for (const auto *bug : bugs::heldOut()) {
+        bool dI = core::detectsDynamically(identAsserts, *bug);
+        bool dN = dI ? false
+                     : core::detectsDynamically(inferAsserts, *bug);
+        bool d = dI || dN;
+        detected += d;
+        viaIdent += dI;
+        viaInfer += dN;
+        table.addRow({bug->id, dI ? "X" : "", dN ? "X" : "",
+                      d ? "yes" : "no",
+                      bug->synopsis.substr(0, 44)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Detected: %d / 14 (paper: 12/14; ours misses the "
+                "two microarchitecturally invisible bugs h13/h14).\n",
+                detected);
+    std::printf("Split: %d by identified SCI, %d by inferred SCI "
+                "(paper: 5 and 7).\n\n",
+                viaIdent, viaInfer);
+
+    // ---- the random-split repeat (selection-bias control) ----
+    std::printf("Random-split repeat: 14 of the 28 ISA-visible bugs "
+                "drawn for identification+inference,\nthe other 14 "
+                "held out for testing (paper: only b6 undetected).\n");
+
+    std::vector<std::string> visible;
+    for (const auto &bug : bugs::all()) {
+        if (bug.id != "b2" && bug.id != "h13" && bug.id != "h14")
+            visible.push_back(bug.id);
+    }
+    Rng rng(20170412); // the conference date as the draw seed
+    auto perm = rng.permutation(visible.size());
+
+    core::PipelineConfig config;
+    for (size_t i = 0; i < 14; ++i)
+        config.bugIds.push_back(visible[perm[i]]);
+    std::sort(config.bugIds.begin(), config.bugIds.end());
+
+    core::PipelineResult repeat = core::runPipeline(config);
+    auto repeatAsserts =
+        monitor::synthesize(repeat.model, repeat.finalSci());
+
+    std::string trainList, missList;
+    int repeatDetected = 0, tested = 0;
+    for (size_t i = 14; i < visible.size(); ++i) {
+        const auto &bug = bugs::byId(visible[perm[i]]);
+        bool d = core::detectsDynamically(repeatAsserts, bug);
+        ++tested;
+        repeatDetected += d;
+        if (!d) {
+            if (!missList.empty())
+                missList += " ";
+            missList += bug.id;
+        }
+    }
+    for (const auto &id : config.bugIds) {
+        if (!trainList.empty())
+            trainList += " ";
+        trainList += id;
+    }
+    std::printf("  identification set: %s\n", trainList.c_str());
+    std::printf("  detected %d / %d of the test set%s%s\n",
+                repeatDetected, tested,
+                missList.empty() ? "" : "; missed: ",
+                missList.c_str());
+}
+
+/** Micro-benchmark: one dynamic detection run under the monitor. */
+void
+monitoredExecution(benchmark::State &state)
+{
+    const auto &r = bench::pipeline();
+    auto assertions =
+        monitor::synthesize(r.model, r.database.sciIndices());
+    const auto &bug = bugs::byId("h7");
+    for (auto _ : state) {
+        bool d = core::detectsDynamically(assertions, bug);
+        benchmark::DoNotOptimize(d);
+    }
+}
+BENCHMARK(monitoredExecution)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace scif
+
+SCIF_BENCH_MAIN(scif::experiment)

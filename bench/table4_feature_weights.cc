@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Table 4: features with non-zero coefficients in the elastic-net
+ * model. Features with negative weight are associated with
+ * security-critical invariants (the model predicts the probability
+ * of being NON-security-critical); positive weights mark the
+ * non-critical side. The paper finds 24 of 158 features non-zero,
+ * with GPR0 / PC / SF / WBPC / orig(NPC) / CONST / == on the
+ * security-critical side.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "support/strings.hh"
+
+namespace scif {
+namespace {
+
+void
+experiment()
+{
+    bench::printHeader("Table 4: selected model features",
+                       "Zhang et al., ASPLOS'17, Table 4");
+
+    const auto &r = bench::pipeline();
+    const auto &model = r.inference.model;
+    const auto &names = r.inference.features.names();
+
+    struct Entry
+    {
+        std::string name;
+        double weight;
+    };
+    std::vector<Entry> positive, negative;
+    for (size_t j : model.nonZeroFeatures()) {
+        if (model.beta[j] > 0)
+            positive.push_back({names[j], model.beta[j]});
+        else
+            negative.push_back({names[j], model.beta[j]});
+    }
+    auto byMagnitude = [](const Entry &a, const Entry &b) {
+        return std::fabs(a.weight) > std::fabs(b.weight);
+    };
+    std::sort(positive.begin(), positive.end(), byMagnitude);
+    std::sort(negative.begin(), negative.end(), byMagnitude);
+
+    std::printf("Non-zero coefficients: %zu of %zu features "
+                "(paper: 24 of 158); lambda = %.4f (paper: 0.08), "
+                "alpha = 0.5, 3-fold CV.\n\n",
+                model.nonZeroFeatures().size(), names.size(),
+                model.lambda);
+
+    TextTable table({"Weight", "Feature", "Coefficient"});
+    for (const auto &e : negative) {
+        table.addRow({"Negative (security-critical)", e.name,
+                      format("%+.3f", e.weight)});
+    }
+    table.addSeparator();
+    for (const auto &e : positive) {
+        table.addRow({"Positive (non-security-critical)", e.name,
+                      format("%+.3f", e.weight)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    // The paper's qualitative sign structure.
+    auto weightOf = [&](const std::string &name) {
+        for (size_t j = 0; j < names.size(); ++j) {
+            if (names[j] == name)
+                return model.beta[j];
+        }
+        return 0.0;
+    };
+    std::printf("Sign checks vs paper Table 4: GPR0 %.3f (<=0), "
+                "PC %.3f (<=0), CONST %.3f (<=0), '==' %.3f (<=0), "
+                "'!=' %.3f (>=0)\n",
+                weightOf("GPR0"), weightOf("PC"), weightOf("CONST"),
+                weightOf("=="), weightOf("!="));
+    std::printf("Held-out accuracy: %.0f%% (paper: 90%%).\n",
+                100.0 * r.inference.testAccuracy);
+}
+
+/** Micro-benchmark: feature extraction over the model. */
+void
+featureExtraction(benchmark::State &state)
+{
+    const auto &r = bench::pipeline();
+    const auto &fx = r.inference.features;
+    for (auto _ : state) {
+        size_t acc = 0;
+        for (size_t i = 0; i < 1000 && i < r.model.size(); ++i) {
+            auto x = fx.extract(r.model.all()[i]);
+            acc += size_t(x[0]);
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(featureExtraction)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace scif
+
+SCIF_BENCH_MAIN(scif::experiment)

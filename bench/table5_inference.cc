@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Table 5: SCI inference results — unlabeled invariants classified,
+ * invariants the model recommends as SCI, the expert's clear false
+ * positives among them, and the number of security properties the
+ * surviving inferred SCI condense into.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "sci/infer.hh"
+
+namespace scif {
+namespace {
+
+void
+experiment()
+{
+    bench::printHeader("Table 5: SCI inference",
+                       "Zhang et al., ASPLOS'17, Table 5");
+
+    const auto &r = bench::pipeline();
+    const auto &inf = r.inference;
+
+    size_t labeled = inf.labeledSci + inf.labeledNonSci;
+    size_t unlabeled = r.model.size() - labeled;
+    auto groups =
+        sci::groupIntoProperties(r.model, inf.inferredSci);
+
+    TextTable table({"Invariants", "Inferred SCI", "FP",
+                     "Security Properties"});
+    table.addRow({std::to_string(unlabeled),
+                  std::to_string(inf.recommended.size()),
+                  std::to_string(inf.clearFalsePositives.size()),
+                  std::to_string(groups.size())});
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("Paper: 88,199 unlabeled -> 3,146 recommended, 852 "
+                "clear FPs, 33 properties.\n");
+    std::printf("Labels: %zu SCI + %zu non-SCI (paper: 54 + 48); "
+                "70/30 split, alpha = 0.5, 3-fold CV;\n"
+                "held-out accuracy %.0f%% (paper: 90%%).\n",
+                inf.labeledSci, inf.labeledNonSci,
+                100.0 * inf.testAccuracy);
+
+    // A sample of the largest inferred property groups.
+    std::vector<std::pair<size_t, std::string>> bySize;
+    for (const auto &[key, members] : groups)
+        bySize.push_back({members.size(), key});
+    std::sort(bySize.rbegin(), bySize.rend());
+    std::printf("\nLargest inferred property groups:\n");
+    for (size_t i = 0; i < bySize.size() && i < 10; ++i) {
+        std::printf("  %4zu instances  %s\n", bySize[i].first,
+                    bySize[i].second.c_str());
+    }
+}
+
+/** Micro-benchmark: classifying unlabeled invariants. */
+void
+classifyInvariants(benchmark::State &state)
+{
+    const auto &r = bench::pipeline();
+    const auto &inf = r.inference;
+    for (auto _ : state) {
+        double acc = 0;
+        for (size_t i = 0; i < 2000 && i < r.model.size(); ++i) {
+            auto x = inf.features.extract(r.model.all()[i]);
+            acc += inf.model.predict(x);
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(classifyInvariants)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace scif
+
+SCIF_BENCH_MAIN(scif::experiment)

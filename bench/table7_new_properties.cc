@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Table 7: the three new security properties SCIFinder contributes
+ * beyond SPECS and Security-Checker — the control-flow-flag
+ * correctness witness (p28, from the compare bugs b6/b7), the
+ * address/data calculation property (p29, from b3/b10), and the
+ * link-address stability property (p30, from inference).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <set>
+
+#include "bench/common.hh"
+#include "sci/properties.hh"
+
+namespace scif {
+namespace {
+
+void
+experiment()
+{
+    bench::printHeader("Table 7: new security properties",
+                       "Zhang et al., ASPLOS'17, Table 7");
+
+    const auto &r = bench::pipeline();
+
+    TextTable table({"No.", "Class", "From Ident.", "From Infer.",
+                     "Description"});
+    for (const auto &p : sci::catalog()) {
+        if (p.origin != "new")
+            continue;
+
+        std::set<std::string> bugs;
+        bool inferred = false;
+        std::string example;
+        for (size_t idx : r.database.sciIndices()) {
+            const auto &inv = r.model.all()[idx];
+            if (p.matches && p.matches(inv)) {
+                for (const auto &bug : r.database.provenance(idx))
+                    bugs.insert(bug);
+                if (example.empty())
+                    example = inv.str();
+            }
+        }
+        for (size_t idx : r.inference.inferredSci) {
+            const auto &inv = r.model.all()[idx];
+            if (p.matches && p.matches(inv)) {
+                inferred = true;
+                if (example.empty())
+                    example = inv.str();
+            }
+        }
+
+        std::string identCell;
+        for (const auto &bug : bugs) {
+            if (!identCell.empty())
+                identCell += " ";
+            identCell += bug;
+        }
+        table.addRow({p.id, std::string(propClassName(p.cls)),
+                      identCell, inferred ? "X" : "",
+                      p.description.substr(0, 44)});
+        if (!example.empty())
+            table.addRow({"", "", "", "", "  e.g. " + example});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Paper: p28 identified from b6 and b7, p29 from b3 "
+                "and b10, p30 from the inference step.\n");
+}
+
+/** Micro-benchmark: matcher evaluation for the new properties. */
+void
+newPropertyMatchers(benchmark::State &state)
+{
+    const auto &r = bench::pipeline();
+    const auto &p28 = sci::propertyById("p28");
+    for (auto _ : state) {
+        size_t hits = 0;
+        for (size_t i = 0; i < 4000 && i < r.model.size(); ++i)
+            hits += p28.matches(r.model.all()[i]);
+        benchmark::DoNotOptimize(hits);
+    }
+}
+BENCHMARK(newPropertyMatchers)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace scif
+
+SCIF_BENCH_MAIN(scif::experiment)

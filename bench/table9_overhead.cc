@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Table 9: hardware overhead of the deployed assertions on the
+ * OR1200 system-on-chip baseline (10073 LUTs, 3.24 W, 19.1 ns).
+ * "Initial SCI" are the assertions distilled from the identification
+ * step (the paper deploys 14); "Final SCI" add the inference step's
+ * assertions (the paper deploys 33). The shape: a few percent of
+ * logic, a fraction of a percent of power, no delay.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "monitor/overhead.hh"
+#include "support/strings.hh"
+
+namespace scif {
+namespace {
+
+void
+experiment()
+{
+    bench::printHeader("Table 9: hardware overhead",
+                       "Zhang et al., ASPLOS'17, Table 9");
+
+    const auto &r = bench::pipeline();
+    auto initial = core::deployedAssertions(r, r.identifiedSci());
+    auto final_set = core::deployedAssertions(r, r.finalSci());
+
+    monitor::Baseline baseline;
+    auto ohInitial = monitor::estimateOverhead(initial);
+    auto ohFinal = monitor::estimateOverhead(final_set);
+
+    TextTable table({"", "Baseline", "Initial SCI", "Final SCI"});
+    table.addRow({"Assertions", "-",
+                  std::to_string(initial.size()),
+                  std::to_string(final_set.size())});
+    table.addRow({"Logic", format("%.0f LUTs", baseline.luts),
+                  format("+%zu LUTs (%.2f%%)", ohInitial.luts,
+                         ohInitial.logicPct),
+                  format("+%zu LUTs (%.2f%%)", ohFinal.luts,
+                         ohFinal.logicPct)});
+    table.addRow({"Power", format("%.2f W", baseline.powerWatts),
+                  format("%.2f%%", ohInitial.powerPct),
+                  format("%.2f%%", ohFinal.powerPct)});
+    table.addRow({"Delay", format("%.1f ns", baseline.delayNs),
+                  format("%.0f%%", ohInitial.delayPct),
+                  format("%.0f%%", ohFinal.delayPct)});
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("Paper: 14 initial assertions at 1.6%% logic / "
+                "0.13%% power; 33 final at 4.4%% / 0.31%%; 0%% "
+                "delay in both.\n\n");
+
+    std::printf("Deployed assertions (initial set):\n");
+    for (const auto &a : initial) {
+        std::printf("  %-4s %-7s %3zu points  %s\n", a.name.c_str(),
+                    std::string(monitor::templateName(a.kind)).c_str(),
+                    a.pointCount(),
+                    a.representative.exprKey().c_str());
+    }
+}
+
+/** Micro-benchmark: monitor evaluation cost per record. */
+void
+monitorEvaluation(benchmark::State &state)
+{
+    const auto &r = bench::pipeline();
+    auto assertions = core::deployedAssertions(r, r.finalSci());
+    monitor::AssertionMonitor mon(assertions);
+    trace::TraceBuffer trace =
+        workloads::run(workloads::byName("twolf"));
+    for (auto _ : state) {
+        mon.clearFirings();
+        for (const auto &rec : trace.records())
+            mon.record(rec);
+        benchmark::DoNotOptimize(mon.anyFired());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(trace.size()));
+}
+BENCHMARK(monitorEvaluation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace scif
+
+SCIF_BENCH_MAIN(scif::experiment)

@@ -1,0 +1,601 @@
+#include "assembler.hh"
+
+#include <cctype>
+#include <optional>
+
+#include "isa/arch.hh"
+#include "isa/insn.hh"
+#include "support/bits.hh"
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace scif::assembler {
+
+using isa::DecodedInsn;
+using isa::Format;
+using isa::InsnInfo;
+
+namespace {
+
+/** A parsed source statement awaiting pass-2 resolution. */
+struct Statement
+{
+    enum class Kind { Insn, Word, Space } kind = Kind::Insn;
+    int line = 0;
+    uint32_t address = 0;
+    const InsnInfo *insn = nullptr;   ///< for Kind::Insn
+    std::vector<std::string> operands;
+    std::string wordExpr;             ///< for Kind::Word
+    uint32_t spaceBytes = 0;          ///< for Kind::Space
+};
+
+/** Assembly context shared between the two passes. */
+class Context
+{
+  public:
+    explicit Context(std::string_view source) : source_(source) {}
+
+    Result run();
+
+  private:
+    void passOne();
+    void passTwo();
+    void parseLine(std::string_view line, int line_no);
+    void error(int line_no, const std::string &msg);
+
+    /** Strip a trailing comment (';' or '#'). */
+    static std::string stripComment(std::string_view line);
+
+    std::optional<uint8_t> parseReg(const std::string &tok, int line_no);
+
+    /**
+     * Evaluate an operand expression: integer literal, symbol, SPR
+     * name, hi(expr)/lo(expr), with +/- chains.
+     */
+    std::optional<int64_t> evalExpr(const std::string &expr, int line_no);
+    std::optional<int64_t> evalTerm(const std::string &term, int line_no);
+
+    void encodeStatement(const Statement &st);
+
+    std::string_view source_;
+    Result result_;
+    std::vector<Statement> statements_;
+    uint32_t loc_ = 0x100;
+    bool entrySet_ = false;
+};
+
+std::string
+Context::stripComment(std::string_view line)
+{
+    size_t pos = line.size();
+    for (size_t i = 0; i < line.size(); ++i) {
+        if (line[i] == ';' || line[i] == '#') {
+            pos = i;
+            break;
+        }
+    }
+    return trim(line.substr(0, pos));
+}
+
+void
+Context::error(int line_no, const std::string &msg)
+{
+    result_.errors.push_back(format("line %d: %s", line_no, msg.c_str()));
+}
+
+std::optional<uint8_t>
+Context::parseReg(const std::string &tok, int line_no)
+{
+    std::string t = toLower(trim(tok));
+    if (t.size() < 2 || t[0] != 'r') {
+        error(line_no, "expected register, got '" + tok + "'");
+        return std::nullopt;
+    }
+    auto num = parseInt(t.substr(1));
+    if (!num || *num < 0 || *num >= int64_t(isa::numGprs)) {
+        error(line_no, "bad register '" + tok + "'");
+        return std::nullopt;
+    }
+    return uint8_t(*num);
+}
+
+std::optional<int64_t>
+Context::evalTerm(const std::string &term, int line_no)
+{
+    std::string t = trim(term);
+    if (t.empty()) {
+        error(line_no, "empty expression term");
+        return std::nullopt;
+    }
+
+    // hi(expr) / lo(expr)
+    std::string lower = toLower(t);
+    for (const char *fn : {"hi", "lo"}) {
+        std::string prefix = std::string(fn) + "(";
+        if (startsWith(lower, prefix) && t.back() == ')') {
+            auto inner =
+                evalExpr(t.substr(prefix.size(),
+                                  t.size() - prefix.size() - 1),
+                         line_no);
+            if (!inner)
+                return std::nullopt;
+            uint32_t v = uint32_t(*inner);
+            return fn[0] == 'h' ? int64_t(v >> 16) : int64_t(v & 0xffff);
+        }
+    }
+
+    if (auto num = parseInt(t))
+        return *num;
+
+    // Label or .equ symbol.
+    auto it = result_.program.symbols.find(t);
+    if (it != result_.program.symbols.end())
+        return int64_t(it->second);
+
+    // Architectural SPR names (upper case convention).
+    static const std::map<std::string, uint16_t> sprNames = {
+        {"VR", isa::spr::VR},       {"UPR", isa::spr::UPR},
+        {"NPC", isa::spr::NPC},     {"SR", isa::spr::SR},
+        {"PPC", isa::spr::PPC},     {"EPCR0", isa::spr::EPCR0},
+        {"EEAR0", isa::spr::EEAR0}, {"ESR0", isa::spr::ESR0},
+        {"MACLO", isa::spr::MACLO}, {"MACHI", isa::spr::MACHI},
+        {"PICMR", isa::spr::PICMR}, {"PICSR", isa::spr::PICSR},
+        {"TTMR", isa::spr::TTMR},   {"TTCR", isa::spr::TTCR},
+    };
+    auto sit = sprNames.find(t);
+    if (sit != sprNames.end())
+        return int64_t(sit->second);
+
+    error(line_no, "undefined symbol '" + t + "'");
+    return std::nullopt;
+}
+
+std::optional<int64_t>
+Context::evalExpr(const std::string &expr, int line_no)
+{
+    // Split on top-level '+' / '-' (respecting parentheses).
+    std::string e = trim(expr);
+    int depth = 0;
+    std::vector<std::pair<char, std::string>> terms;
+    char pending = '+';
+    std::string cur;
+    for (size_t i = 0; i < e.size(); ++i) {
+        char c = e[i];
+        if (c == '(')
+            ++depth;
+        else if (c == ')')
+            --depth;
+        if (depth == 0 && (c == '+' || c == '-') && !cur.empty()) {
+            terms.emplace_back(pending, cur);
+            pending = c;
+            cur.clear();
+            continue;
+        }
+        cur += c;
+    }
+    if (cur.empty()) {
+        error(line_no, "malformed expression '" + e + "'");
+        return std::nullopt;
+    }
+    terms.emplace_back(pending, cur);
+
+    int64_t value = 0;
+    for (const auto &[sign, term] : terms) {
+        auto v = evalTerm(term, line_no);
+        if (!v)
+            return std::nullopt;
+        value += sign == '+' ? *v : -*v;
+    }
+    return value;
+}
+
+void
+Context::parseLine(std::string_view raw_line, int line_no)
+{
+    std::string line = stripComment(raw_line);
+    if (line.empty())
+        return;
+
+    // Labels (possibly several on one line).
+    for (;;) {
+        size_t colon = line.find(':');
+        if (colon == std::string::npos)
+            break;
+        std::string label = trim(line.substr(0, colon));
+        // Only treat as a label if the prefix is a lone identifier.
+        bool ident = !label.empty();
+        for (char c : label)
+            ident = ident && (std::isalnum(uint8_t(c)) || c == '_' ||
+                              c == '.');
+        if (!ident || label.find(' ') != std::string::npos)
+            break;
+        if (result_.program.symbols.count(label)) {
+            error(line_no, "duplicate label '" + label + "'");
+        } else {
+            result_.program.symbols[label] = loc_;
+        }
+        line = trim(line.substr(colon + 1));
+        if (line.empty())
+            return;
+    }
+
+    // Directives.
+    if (line[0] == '.') {
+        auto parts = splitWhitespace(line);
+        std::string dir = toLower(parts[0]);
+        std::string rest =
+            trim(line.substr(parts[0].size()));
+        if (dir == ".org") {
+            auto v = evalExpr(rest, line_no);
+            if (v)
+                loc_ = uint32_t(*v);
+        } else if (dir == ".entry") {
+            auto v = evalExpr(rest, line_no);
+            if (v) {
+                result_.program.entry = uint32_t(*v);
+                entrySet_ = true;
+            }
+        } else if (dir == ".equ") {
+            auto fields = split(rest, ',');
+            if (fields.size() != 2) {
+                error(line_no, ".equ needs 'name, value'");
+                return;
+            }
+            auto v = evalExpr(fields[1], line_no);
+            if (v)
+                result_.program.symbols[trim(fields[0])] = uint32_t(*v);
+        } else if (dir == ".word") {
+            Statement st;
+            st.kind = Statement::Kind::Word;
+            st.line = line_no;
+            st.address = loc_;
+            st.wordExpr = rest;
+            statements_.push_back(st);
+            loc_ += 4;
+        } else if (dir == ".space") {
+            auto v = evalExpr(rest, line_no);
+            if (!v || *v < 0) {
+                error(line_no, "bad .space size");
+                return;
+            }
+            loc_ += uint32_t(*v);
+            loc_ = (loc_ + 3) & ~3u;
+        } else {
+            error(line_no, "unknown directive '" + dir + "'");
+        }
+        return;
+    }
+
+    // Instruction.
+    auto parts = splitWhitespace(line);
+    std::string mnem = toLower(parts[0]);
+    const InsnInfo *ii = isa::infoByName(mnem);
+    if (!ii) {
+        error(line_no, "unknown mnemonic '" + mnem + "'");
+        return;
+    }
+    Statement st;
+    st.kind = Statement::Kind::Insn;
+    st.line = line_no;
+    st.address = loc_;
+    st.insn = ii;
+    std::string rest = trim(line.substr(parts[0].size()));
+    if (!rest.empty()) {
+        // Split on commas outside parentheses.
+        int depth = 0;
+        std::string cur;
+        for (char c : rest) {
+            if (c == '(')
+                ++depth;
+            else if (c == ')')
+                --depth;
+            if (c == ',' && depth == 0) {
+                st.operands.push_back(trim(cur));
+                cur.clear();
+            } else {
+                cur += c;
+            }
+        }
+        st.operands.push_back(trim(cur));
+    }
+    statements_.push_back(st);
+    loc_ += 4;
+}
+
+void
+Context::passOne()
+{
+    int line_no = 0;
+    for (const auto &line : split(source_, '\n')) {
+        ++line_no;
+        parseLine(line, line_no);
+    }
+}
+
+void
+Context::encodeStatement(const Statement &st)
+{
+    if (st.kind == Statement::Kind::Word) {
+        auto v = evalExpr(st.wordExpr, st.line);
+        if (v)
+            result_.program.words[st.address] = uint32_t(*v);
+        return;
+    }
+    if (st.kind == Statement::Kind::Space)
+        return;
+
+    const InsnInfo &ii = *st.insn;
+    DecodedInsn insn;
+    insn.mnemonic = ii.mnemonic;
+
+    auto need = [&](size_t n) {
+        if (st.operands.size() != n) {
+            error(st.line, format("%s expects %zu operands, got %zu",
+                                  ii.name, n, st.operands.size()));
+            return false;
+        }
+        return true;
+    };
+    // Evaluate an immediate and check it fits the instruction's
+    // encodable range (16-bit signed or unsigned, 6-bit shift count,
+    // signed 26-bit word offset for jumps).
+    auto immOf = [&](const std::string &tok) -> std::optional<int32_t> {
+        auto v = evalExpr(tok, st.line);
+        if (!v)
+            return std::nullopt;
+        int64_t lo, hi;
+        if (ii.format == Format::RRL) {
+            lo = 0;
+            hi = 63;
+        } else if (ii.format == Format::J) {
+            lo = -(1ll << 25);
+            hi = (1ll << 25) - 1;
+        } else if (ii.signedImm) {
+            lo = -0x8000;
+            hi = 0x7fff;
+        } else {
+            lo = 0;
+            hi = 0xffff;
+        }
+        if (*v < lo || *v > hi) {
+            error(st.line,
+                  format("immediate %lld out of range [%lld, %lld] "
+                         "for %s",
+                         (long long)*v, (long long)lo, (long long)hi,
+                         ii.name));
+            return std::nullopt;
+        }
+        return int32_t(*v);
+    };
+    auto regOf = [&](const std::string &tok) {
+        return parseReg(tok, st.line);
+    };
+    // "imm(rA)" address operand used by loads and stores.
+    auto memOperand = [&](const std::string &tok)
+        -> std::optional<std::pair<int32_t, uint8_t>> {
+        size_t open = tok.rfind('(');
+        if (open == std::string::npos || tok.back() != ')') {
+            error(st.line, "expected imm(rA), got '" + tok + "'");
+            return std::nullopt;
+        }
+        auto off = immOf(trim(tok.substr(0, open)));
+        auto base =
+            regOf(tok.substr(open + 1, tok.size() - open - 2));
+        if (!off || !base)
+            return std::nullopt;
+        return std::make_pair(*off, *base);
+    };
+
+    switch (ii.format) {
+      case Format::J: {
+        if (!need(1))
+            return;
+        // Numeric operand = word offset; symbol = label target.
+        auto v = evalExpr(st.operands[0], st.line);
+        if (!v)
+            return;
+        bool is_label =
+            result_.program.symbols.count(trim(st.operands[0])) > 0;
+        int64_t offset =
+            is_label ? (*v - int64_t(st.address)) / 4 : *v;
+        insn.imm = int32_t(offset);
+        break;
+      }
+      case Format::JR: {
+        if (!need(1))
+            return;
+        auto rb = regOf(st.operands[0]);
+        if (!rb)
+            return;
+        insn.rb = *rb;
+        break;
+      }
+      case Format::RRR: {
+        if (!need(3))
+            return;
+        auto rd = regOf(st.operands[0]);
+        auto ra = regOf(st.operands[1]);
+        auto rb = regOf(st.operands[2]);
+        if (!rd || !ra || !rb)
+            return;
+        insn.rd = *rd;
+        insn.ra = *ra;
+        insn.rb = *rb;
+        break;
+      }
+      case Format::RRDA: {
+        if (!need(2))
+            return;
+        auto rd = regOf(st.operands[0]);
+        auto ra = regOf(st.operands[1]);
+        if (!rd || !ra)
+            return;
+        insn.rd = *rd;
+        insn.ra = *ra;
+        break;
+      }
+      case Format::RRAB: {
+        if (!need(2))
+            return;
+        auto ra = regOf(st.operands[0]);
+        auto rb = regOf(st.operands[1]);
+        if (!ra || !rb)
+            return;
+        insn.ra = *ra;
+        insn.rb = *rb;
+        break;
+      }
+      case Format::RRI:
+      case Format::RRL: {
+        if (!need(3))
+            return;
+        auto rd = regOf(st.operands[0]);
+        auto ra = regOf(st.operands[1]);
+        auto imm = immOf(st.operands[2]);
+        if (!rd || !ra || !imm)
+            return;
+        insn.rd = *rd;
+        insn.ra = *ra;
+        insn.imm = *imm;
+        break;
+      }
+      case Format::RIA: {
+        if (!need(2))
+            return;
+        auto ra = regOf(st.operands[0]);
+        auto imm = immOf(st.operands[1]);
+        if (!ra || !imm)
+            return;
+        insn.ra = *ra;
+        insn.imm = *imm;
+        break;
+      }
+      case Format::RI: {
+        if (!need(2))
+            return;
+        auto rd = regOf(st.operands[0]);
+        auto imm = immOf(st.operands[1]);
+        if (!rd || !imm)
+            return;
+        insn.rd = *rd;
+        insn.imm = *imm;
+        break;
+      }
+      case Format::RD: {
+        if (!need(1))
+            return;
+        auto rd = regOf(st.operands[0]);
+        if (!rd)
+            return;
+        insn.rd = *rd;
+        break;
+      }
+      case Format::LOAD: {
+        if (!need(2))
+            return;
+        auto rd = regOf(st.operands[0]);
+        auto mem = memOperand(st.operands[1]);
+        if (!rd || !mem)
+            return;
+        insn.rd = *rd;
+        insn.imm = mem->first;
+        insn.ra = mem->second;
+        break;
+      }
+      case Format::STORE: {
+        if (!need(2))
+            return;
+        auto mem = memOperand(st.operands[0]);
+        auto rb = regOf(st.operands[1]);
+        if (!mem || !rb)
+            return;
+        insn.imm = mem->first;
+        insn.ra = mem->second;
+        insn.rb = *rb;
+        break;
+      }
+      case Format::MTSPR: {
+        if (!need(3))
+            return;
+        auto ra = regOf(st.operands[0]);
+        auto rb = regOf(st.operands[1]);
+        auto imm = immOf(st.operands[2]);
+        if (!ra || !rb || !imm)
+            return;
+        insn.ra = *ra;
+        insn.rb = *rb;
+        insn.imm = *imm;
+        break;
+      }
+      case Format::K16: {
+        if (st.operands.empty()) {
+            insn.imm = 0;
+        } else {
+            if (!need(1))
+                return;
+            auto imm = immOf(st.operands[0]);
+            if (!imm)
+                return;
+            insn.imm = *imm;
+        }
+        break;
+      }
+      case Format::NONE: {
+        if (!need(0))
+            return;
+        break;
+      }
+    }
+
+    result_.program.words[st.address] = isa::encode(insn);
+}
+
+void
+Context::passTwo()
+{
+    for (const auto &st : statements_)
+        encodeStatement(st);
+}
+
+Result
+Context::run()
+{
+    result_.program.entry = 0x100;
+    passOne();
+    if (result_.errors.empty())
+        passTwo();
+    result_.ok = result_.errors.empty();
+    return std::move(result_);
+}
+
+} // namespace
+
+uint32_t
+Program::symbol(const std::string &name) const
+{
+    auto it = symbols.find(name);
+    if (it == symbols.end())
+        panic("undefined symbol '%s'", name.c_str());
+    return it->second;
+}
+
+Result
+assemble(std::string_view source)
+{
+    Context ctx(source);
+    return ctx.run();
+}
+
+Program
+assembleOrDie(std::string_view source)
+{
+    Result r = assemble(source);
+    if (!r.ok) {
+        for (const auto &e : r.errors)
+            warn("asm: %s", e.c_str());
+        panic("assembly failed with %zu errors", r.errors.size());
+    }
+    return std::move(r.program);
+}
+
+} // namespace scif::assembler

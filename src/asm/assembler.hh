@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Two-pass assembler for the OpenRISC 1000 basic instruction set.
+ *
+ * Supports the full implemented mnemonic set, labels, the directives
+ * .org / .word / .space / .equ, hi()/lo() operators for address
+ * materialization, and symbolic SPR names in immediate positions.
+ * Workload programs and bug trigger programs are written against this
+ * assembler.
+ *
+ * Syntax example:
+ * @code
+ *     .equ  STACK, 0x8000
+ *     .org  0x100            ; reset vector
+ *         l.movhi r1, hi(STACK)
+ *         l.ori   r1, r1, lo(STACK)
+ *     loop:
+ *         l.addi  r2, r2, 1
+ *         l.sfeqi r2, 10
+ *         l.bnf   loop        ; label branch target
+ *         l.nop   0           ; delay slot
+ * @endcode
+ */
+
+#ifndef SCIFINDER_ASM_ASSEMBLER_HH
+#define SCIFINDER_ASM_ASSEMBLER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scif::assembler {
+
+/**
+ * An assembled program: a sparse word-addressed memory image plus the
+ * symbol table. Addresses are byte addresses, word aligned.
+ */
+struct Program
+{
+    /** Memory image: word address (byte-aligned to 4) -> word value. */
+    std::map<uint32_t, uint32_t> words;
+
+    /** Label and .equ symbol values. */
+    std::map<std::string, uint32_t> symbols;
+
+    /** Entry point (the reset vector unless overridden). */
+    uint32_t entry = 0x100;
+
+    /** @return value of a symbol; aborts if undefined. */
+    uint32_t symbol(const std::string &name) const;
+};
+
+/** Result of an assembly run. */
+struct Result
+{
+    bool ok = false;
+    Program program;
+    /** One "line N: message" entry per diagnosed error. */
+    std::vector<std::string> errors;
+};
+
+/**
+ * Assemble OR1K assembly source text.
+ *
+ * @param source full program text.
+ * @return assembled program or the collected error diagnostics.
+ */
+Result assemble(std::string_view source);
+
+/**
+ * Assemble and abort on any error (for programmatically generated
+ * sources that must be well formed).
+ */
+Program assembleOrDie(std::string_view source);
+
+} // namespace scif::assembler
+
+#endif // SCIFINDER_ASM_ASSEMBLER_HH

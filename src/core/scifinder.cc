@@ -1,0 +1,173 @@
+#include "scifinder.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "support/logging.hh"
+
+namespace scif::core {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    auto end = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(end - start).count();
+}
+
+} // namespace
+
+std::vector<size_t>
+PipelineResult::finalSci() const
+{
+    std::vector<size_t> out = database.sciIndices();
+    out.insert(out.end(), inference.inferredSci.begin(),
+               inference.inferredSci.end());
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+PipelineResult
+runPipeline(const PipelineConfig &config)
+{
+    PipelineResult result;
+    using clock = std::chrono::steady_clock;
+
+    // ---- phase 1a: trace generation ----
+    auto t0 = clock::now();
+    std::vector<trace::TraceBuffer> traces;
+    if (config.workloadNames.empty()) {
+        for (const auto &w : workloads::all())
+            traces.push_back(workloads::run(w));
+    } else {
+        for (const auto &name : config.workloadNames)
+            traces.push_back(workloads::run(workloads::byName(name)));
+    }
+    for (const auto &t : traces) {
+        result.traceRecords += t.size();
+        result.traceBytes += t.size() * sizeof(trace::Record);
+    }
+    result.timing.traceGeneration = secondsSince(t0);
+
+    // ---- phase 1b: invariant generation ----
+    t0 = clock::now();
+    std::vector<const trace::TraceBuffer *> ptrs;
+    for (const auto &t : traces)
+        ptrs.push_back(&t);
+    result.model = invgen::generate(ptrs, config.generation);
+    result.rawInvariants = result.model.size();
+    result.rawVariables = result.model.variableCount();
+    result.timing.invariantGeneration = secondsSince(t0);
+
+    // ---- phase 2: optimization ----
+    t0 = clock::now();
+    result.optimizationStats = opt::optimize(result.model);
+    result.timing.optimization = secondsSince(t0);
+
+    // ---- phase 3: identification (with the simulated expert) ----
+    t0 = clock::now();
+    auto validation =
+        workloads::validationCorpus(config.validationPrograms);
+    result.validationViolations =
+        sci::corpusViolations(result.model, validation);
+
+    std::vector<const bugs::Bug *> bugList;
+    if (config.bugIds.empty()) {
+        bugList = bugs::table1();
+    } else {
+        for (const auto &id : config.bugIds)
+            bugList.push_back(&bugs::byId(id));
+    }
+    for (const bugs::Bug *bug : bugList) {
+        result.database.addResult(sci::identify(
+            result.model, *bug, result.validationViolations));
+    }
+    result.timing.identification = secondsSince(t0);
+
+    // ---- phase 4: inference ----
+    if (config.runInference) {
+        t0 = clock::now();
+        result.inference =
+            sci::infer(result.model, result.database,
+                       result.validationViolations, config.inference);
+        result.timing.inference = secondsSince(t0);
+    }
+    return result;
+}
+
+std::vector<monitor::Assertion>
+deployedAssertions(const PipelineResult &result,
+                   const std::vector<size_t> &sci)
+{
+    // Bucket the SCI by the catalog property they represent; SCI
+    // representing no recognizable security property stay undeployed
+    // (the expert's production-use judgment, §3.5).
+    std::map<std::string, std::vector<size_t>> byProperty;
+    for (size_t idx : sci) {
+        for (const auto &pid :
+             sci::matchProperties(result.model.all()[idx])) {
+            byProperty[pid].push_back(idx);
+        }
+    }
+
+    std::vector<monitor::Assertion> deployed;
+    for (const auto &[pid, members] : byProperty) {
+        // One assertion per property: synthesize over the members
+        // and merge into a single checker whose representative is
+        // the most instantiated expression.
+        auto parts = monitor::synthesize(result.model, members);
+        monitor::Assertion merged;
+        size_t best = 0;
+        for (const auto &p : parts) {
+            if (p.members.size() > best) {
+                best = p.members.size();
+                merged.representative = p.representative;
+                merged.kind = p.kind;
+            }
+            merged.members.insert(merged.members.end(),
+                                  p.members.begin(), p.members.end());
+        }
+        merged.name = pid;
+        deployed.push_back(std::move(merged));
+    }
+    return deployed;
+}
+
+namespace {
+
+/** Distinct assertions that fire when running @p bug's trigger. */
+std::set<size_t>
+firingsOn(const std::vector<monitor::Assertion> &assertions,
+          const bugs::Bug &bug, bool buggy)
+{
+    monitor::AssertionMonitor mon(assertions);
+    cpu::CpuConfig config = bug.config;
+    if (buggy)
+        config.mutations.add(bug.mutation);
+    cpu::Cpu cpu(config);
+    cpu.loadProgram(assembler::assembleOrDie(bug.trigger));
+    cpu.run(&mon);
+    auto fired = mon.firedAssertions();
+    return std::set<size_t>(fired.begin(), fired.end());
+}
+
+} // namespace
+
+bool
+detectsDynamically(const std::vector<monitor::Assertion> &assertions,
+                   const bugs::Bug &bug)
+{
+    std::set<size_t> buggy = firingsOn(assertions, bug, true);
+    if (buggy.empty())
+        return false;
+    std::set<size_t> clean = firingsOn(assertions, bug, false);
+    for (size_t a : buggy) {
+        if (!clean.count(a))
+            return true;
+    }
+    return false;
+}
+
+} // namespace scif::core

@@ -1,0 +1,85 @@
+#include "memory.hh"
+
+#include "support/logging.hh"
+
+namespace scif::cpu {
+
+using isa::Exception;
+
+Memory::Memory(uint32_t bytes, uint32_t user_base)
+    : ram_(bytes, 0), userBase_(user_base)
+{
+    SCIF_ASSERT(bytes % 4 == 0);
+}
+
+void
+Memory::clear()
+{
+    std::fill(ram_.begin(), ram_.end(), 0);
+}
+
+Exception
+Memory::check(uint32_t addr, unsigned size, bool supervisor,
+              bool fetch) const
+{
+    if (addr % size != 0)
+        return Exception::Alignment;
+    if (addr + size > ram_.size() || addr + size < addr)
+        return Exception::BusError;
+    if (!supervisor && addr < userBase_) {
+        return fetch ? Exception::InsnPageFault
+                     : Exception::DataPageFault;
+    }
+    return Exception::None;
+}
+
+MemResult
+Memory::load(uint32_t addr, unsigned size, bool supervisor,
+             bool fetch) const
+{
+    MemResult res;
+    res.fault = check(addr, size, supervisor, fetch);
+    if (!res.ok())
+        return res;
+    uint32_t v = 0;
+    for (unsigned i = 0; i < size; ++i)
+        v = (v << 8) | ram_[addr + i]; // big endian
+    res.value = v;
+    return res;
+}
+
+MemResult
+Memory::store(uint32_t addr, unsigned size, uint32_t value,
+              bool supervisor)
+{
+    MemResult res;
+    res.fault = check(addr, size, supervisor, false);
+    if (!res.ok())
+        return res;
+    for (unsigned i = 0; i < size; ++i) {
+        ram_[addr + i] =
+            uint8_t(value >> (8 * (size - 1 - i))); // big endian
+    }
+    return res;
+}
+
+uint32_t
+Memory::debugReadWord(uint32_t addr) const
+{
+    if (addr + 4 > ram_.size() || addr % 4 != 0)
+        return 0;
+    MemResult r = load(addr, 4, true);
+    return r.value;
+}
+
+void
+Memory::debugWriteWord(uint32_t addr, uint32_t value)
+{
+    if (addr + 4 > ram_.size() || addr % 4 != 0) {
+        warn("debugWriteWord: 0x%08x out of range, ignored", addr);
+        return;
+    }
+    store(addr, 4, value, true);
+}
+
+} // namespace scif::cpu

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The memory subsystem of the simulated system-on-chip: a flat
+ * big-endian RAM with a supervisor-only low region, faulting accesses
+ * reported as OpenRISC exceptions (bus error for unmapped addresses,
+ * page faults for protection violations, alignment for misaligned
+ * accesses).
+ */
+
+#ifndef SCIFINDER_CPU_MEMORY_HH
+#define SCIFINDER_CPU_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/arch.hh"
+
+namespace scif::cpu {
+
+/** Result of a memory access attempt. */
+struct MemResult
+{
+    isa::Exception fault = isa::Exception::None;
+    uint32_t value = 0; ///< loaded data (loads only)
+
+    bool ok() const { return fault == isa::Exception::None; }
+};
+
+/**
+ * Flat physical memory with a simple protection model: addresses
+ * below the user base are accessible in supervisor mode only.
+ */
+class Memory
+{
+  public:
+    /**
+     * @param bytes RAM size (word aligned).
+     * @param user_base first address accessible from user mode.
+     */
+    explicit Memory(uint32_t bytes = 1 << 20, uint32_t user_base = 0x2000);
+
+    /** Zero all of RAM. */
+    void clear();
+
+    /**
+     * Load @p size bytes (1, 2 or 4) from @p addr.
+     *
+     * @param addr byte address.
+     * @param size access width.
+     * @param supervisor current privilege.
+     * @param fetch true for instruction fetches (affects the fault
+     *              type reported for protection violations).
+     */
+    MemResult load(uint32_t addr, unsigned size, bool supervisor,
+                   bool fetch = false) const;
+
+    /** Store @p size bytes to @p addr. */
+    MemResult store(uint32_t addr, unsigned size, uint32_t value,
+                    bool supervisor);
+
+    /**
+     * Debug access: read a word bypassing protection and faults
+     * (returns 0 when unmapped). Used by program loading and tests.
+     */
+    uint32_t debugReadWord(uint32_t addr) const;
+
+    /** Debug access: write a word bypassing protection. */
+    void debugWriteWord(uint32_t addr, uint32_t value);
+
+    uint32_t size() const { return uint32_t(ram_.size()); }
+    uint32_t userBase() const { return userBase_; }
+
+  private:
+    /** Check mapping, alignment, and protection. */
+    isa::Exception check(uint32_t addr, unsigned size, bool supervisor,
+                         bool fetch) const;
+
+    std::vector<uint8_t> ram_;
+    uint32_t userBase_;
+};
+
+} // namespace scif::cpu
+
+#endif // SCIFINDER_CPU_MEMORY_HH

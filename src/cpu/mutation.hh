@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Behavioural mutations: the hook points through which the bug
+ * registry (src/bugs) injects the reproduced processor errata into
+ * the simulator. Each mutation corresponds to one erratum's
+ * architectural symptom; the mapping from published bug to mutation
+ * lives in bugs/registry.cc.
+ */
+
+#ifndef SCIFINDER_CPU_MUTATION_HH
+#define SCIFINDER_CPU_MUTATION_HH
+
+#include <bitset>
+#include <cstdint>
+#include <initializer_list>
+
+namespace scif::cpu {
+
+/** One injectable defect. Names follow the bug ids of Table 1 (b*)
+ *  and the held-out set of §5.6 (h*). */
+enum class Mutation : uint8_t {
+    // --- Table 1 security errata ---
+    B1_SysDelaySlotEpcr,    ///< l.sys in delay slot: EPCR points at the
+                            ///< branch, so l.rfe re-runs it forever
+    B2_MacrcAfterMacStall,  ///< l.macrc straight after l.mac wedges the
+                            ///< pipeline (no ISA-visible state change)
+    B3_ExtwWrong,           ///< l.extws/l.extwz produce a wrong value
+    B4_DsxNotImplemented,   ///< SR[DSX] never set on delay-slot traps
+    B5_RangeEpcrWrong,      ///< EPCR on range exception off by 4
+    B6_UnsignedCmpMsb,      ///< unsigned compares wrong when operand
+                            ///< MSBs differ (fall back to signed)
+    B7_SfltuWrong,          ///< l.sfltu/l.sfltui compute signed less-than
+    B8_RoriVector,          ///< l.rori logic error corrupts the next
+                            ///< exception vector computation
+    B9_IllegalEpcrWrong,    ///< EPCR on illegal-instruction exception
+                            ///< points at the next instruction
+    B10_Gpr0Writable,       ///< GPR0 can be assigned
+    B11_FetchAfterLsuStall, ///< wrong instruction word fetched right
+                            ///< after a load/store (LSU stall)
+    B12_MtsprDropped,       ///< l.mtspr to some SPRs acts as l.nop
+    B13_JalLargeDispLr,     ///< call return address wrong for large
+                            ///< displacements (LR corrupted)
+    B14_ByteStoreCorrupt,   ///< byte/half store writes corrupted data
+    B15_TrapEpcrWrong,      ///< wrong PC stored on trap exception
+                            ///< (paper: FPU trap; we have no FPU)
+    B16_LoadExtendWrong,    ///< sign/zero extension swapped in the LSU
+    B17_StoreForwardClobber,///< load data overwritten by data of a
+                            ///< subsequent store (forwarding bug)
+
+    // --- held-out bugs for §5.6 (AMD-errata-style classes) ---
+    H1_IntrEpcrOff,         ///< EPCR on external interrupt off by 4
+    H2_MovhiClearsFlag,     ///< l.movhi spuriously clears SR[F]
+    H3_StoreAddrBit,        ///< word store drops address bit 2 for
+                            ///< negative offsets
+    H4_JalrLrWrong,         ///< l.jalr writes LR = PC instead of PC+8
+    H5_MfsprEsrAlias,       ///< l.mfspr from ESR0 returns SR instead
+    H6_RfeDropsFo,          ///< l.rfe restores SR with the fixed-one
+                            ///< bit cleared
+    H7_RfeKeepsSm,          ///< l.rfe leaves SR[SM] set (privilege
+                            ///< fails to de-escalate)
+    H8_LoadRotated,         ///< loaded word byte-rotated for addresses
+                            ///< with bit 6 set
+    H9_SfgesEqWrong,        ///< l.sfges result inverted when the
+                            ///< operands are equal
+    H10_SysEpcrSelf,        ///< l.sys stores EPCR = PC of the l.sys
+                            ///< instead of the next instruction
+    H11_CompareClobbersReg, ///< stuck write-enable: set-flag compares
+                            ///< also write GPR[cond-code field]
+    H12_AlignSuppressed,    ///< misaligned halfword loads silently
+                            ///< truncate the address instead of
+                            ///< raising an alignment exception
+    H13_PrefetchStall,      ///< prefetch-buffer wedge; microarchitectural
+                            ///< only, no ISA-visible change
+    H14_StoreMerge,         ///< adjacent stores merge in the store
+                            ///< buffer; final memory state identical,
+                            ///< invisible at the ISA level
+
+    NumMutations
+};
+
+/** Number of defined mutations. */
+constexpr size_t numMutations = size_t(Mutation::NumMutations);
+
+/** A set of active mutations (a "buggy processor" configuration). */
+class MutationSet
+{
+  public:
+    MutationSet() = default;
+
+    MutationSet(std::initializer_list<Mutation> ms)
+    {
+        for (Mutation m : ms)
+            add(m);
+    }
+
+    void add(Mutation m) { bits_.set(size_t(m)); }
+    void remove(Mutation m) { bits_.reset(size_t(m)); }
+    bool has(Mutation m) const { return bits_.test(size_t(m)); }
+    bool empty() const { return bits_.none(); }
+
+  private:
+    std::bitset<numMutations> bits_;
+};
+
+} // namespace scif::cpu
+
+#endif // SCIFINDER_CPU_MUTATION_HH

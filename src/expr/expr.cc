@@ -1,0 +1,508 @@
+#include "expr.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace scif::expr {
+
+std::string_view
+cmpOpName(CmpOp op)
+{
+    switch (op) {
+      case CmpOp::Eq: return "==";
+      case CmpOp::Ne: return "!=";
+      case CmpOp::Lt: return "<";
+      case CmpOp::Le: return "<=";
+      case CmpOp::Gt: return ">";
+      case CmpOp::Ge: return ">=";
+      case CmpOp::In: return "in";
+    }
+    return "?";
+}
+
+std::string_view
+op2Name(Op2 op)
+{
+    switch (op) {
+      case Op2::None: return "";
+      case Op2::And: return "and";
+      case Op2::Or: return "or";
+      case Op2::Add: return "+";
+      case Op2::Sub: return "-";
+    }
+    return "?";
+}
+
+Operand
+Operand::imm(uint32_t value)
+{
+    Operand o;
+    o.isConst = true;
+    o.constVal = value;
+    return o;
+}
+
+Operand
+Operand::var(uint16_t var, bool orig)
+{
+    Operand o;
+    o.a = VarRef{var, orig};
+    return o;
+}
+
+Operand
+Operand::varPlus(uint16_t var, bool orig, uint32_t add)
+{
+    Operand o = Operand::var(var, orig);
+    o.addImm = add;
+    return o;
+}
+
+Operand
+Operand::pair(VarRef a, Op2 op, VarRef b)
+{
+    Operand o;
+    o.a = a;
+    o.op2 = op;
+    o.b = b;
+    return o;
+}
+
+uint32_t
+Operand::eval(const trace::Record &rec) const
+{
+    if (isConst)
+        return constVal;
+
+    auto read = [&rec](const VarRef &v) {
+        return v.orig ? rec.pre[v.var] : rec.post[v.var];
+    };
+
+    uint32_t value = read(a);
+    switch (op2) {
+      case Op2::None: break;
+      case Op2::And: value &= read(b); break;
+      case Op2::Or: value |= read(b); break;
+      case Op2::Add: value += read(b); break;
+      case Op2::Sub: value -= read(b); break;
+    }
+    if (negate)
+        value = ~value;
+    value *= mulImm;
+    if (modImm != 0)
+        value %= modImm;
+    value += addImm;
+    return value;
+}
+
+bool
+Operand::mentions(uint16_t var) const
+{
+    if (isConst)
+        return false;
+    return a.var == var || (op2 != Op2::None && b.var == var);
+}
+
+std::vector<VarRef>
+Operand::vars() const
+{
+    if (isConst)
+        return {};
+    if (op2 == Op2::None)
+        return {a};
+    return {a, b};
+}
+
+bool
+Operand::isBareVar() const
+{
+    return !isConst && op2 == Op2::None && !negate && mulImm == 1 &&
+           modImm == 0 && addImm == 0;
+}
+
+namespace {
+
+std::string
+varRefStr(const VarRef &v)
+{
+    std::string name(trace::varName(v.var));
+    return v.orig ? "orig(" + name + ")" : name;
+}
+
+} // namespace
+
+std::string
+Operand::str() const
+{
+    if (isConst) {
+        return constVal < 10 ? format("%u", constVal)
+                             : format("0x%x", constVal);
+    }
+
+    std::string out = varRefStr(a);
+    bool compound = false;
+    if (op2 != Op2::None) {
+        out = "(" + out + " " + std::string(op2Name(op2)) + " " +
+              varRefStr(b) + ")";
+        compound = true;
+    }
+    if (negate) {
+        out = "not " + out;
+        compound = true;
+    }
+    if (mulImm != 1) {
+        if (compound)
+            out = "(" + out + ")";
+        out += format(" * %u", mulImm);
+        compound = true;
+    }
+    if (modImm != 0) {
+        if (compound && mulImm == 1)
+            out = "(" + out + ")";
+        out += format(" mod %u", modImm);
+    }
+    if (addImm != 0) {
+        int32_t s = int32_t(addImm);
+        if (s < 0 && s > -4096)
+            out += format(" - %d", -s);
+        else
+            out += addImm < 10 ? format(" + %u", addImm)
+                               : format(" + 0x%x", addImm);
+    }
+    return out;
+}
+
+bool
+Invariant::exprHolds(const trace::Record &rec) const
+{
+    uint32_t l = lhs.eval(rec);
+    if (op == CmpOp::In) {
+        return std::binary_search(set.begin(), set.end(), l);
+    }
+    uint32_t r = rhs.eval(rec);
+    switch (op) {
+      case CmpOp::Eq: return l == r;
+      case CmpOp::Ne: return l != r;
+      case CmpOp::Lt: return l < r;
+      case CmpOp::Le: return l <= r;
+      case CmpOp::Gt: return l > r;
+      case CmpOp::Ge: return l >= r;
+      case CmpOp::In: break;
+    }
+    return false;
+}
+
+bool
+Invariant::holds(const trace::Record &rec) const
+{
+    if (rec.point.id() != point.id())
+        return true;
+    return exprHolds(rec);
+}
+
+namespace {
+
+/** Stable ordering key for one operand. */
+std::string
+operandKey(const Operand &o)
+{
+    if (o.isConst)
+        return format("K%08x", o.constVal);
+    return o.str();
+}
+
+} // namespace
+
+void
+Invariant::canonicalize()
+{
+    if (op == CmpOp::In) {
+        std::sort(set.begin(), set.end());
+        set.erase(std::unique(set.begin(), set.end()), set.end());
+    }
+
+    // Order commutative two-variable terms.
+    for (Operand *o : {&lhs, &rhs}) {
+        if (!o->isConst &&
+            (o->op2 == Op2::And || o->op2 == Op2::Or ||
+             o->op2 == Op2::Add) &&
+            o->b < o->a) {
+            std::swap(o->a, o->b);
+        }
+    }
+
+    // Convert < and <= into > and >= with swapped sides.
+    if (op == CmpOp::Lt || op == CmpOp::Le) {
+        std::swap(lhs, rhs);
+        op = op == CmpOp::Lt ? CmpOp::Gt : CmpOp::Ge;
+    }
+
+    // Symmetric operators order their sides; put constants on the
+    // right for readability.
+    if (op == CmpOp::Eq || op == CmpOp::Ne) {
+        bool swap = false;
+        if (lhs.isConst != rhs.isConst)
+            swap = lhs.isConst;
+        else
+            swap = operandKey(rhs) < operandKey(lhs);
+        if (swap)
+            std::swap(lhs, rhs);
+    }
+}
+
+std::string
+Invariant::exprKey() const
+{
+    Invariant c = *this;
+    c.canonicalize();
+    if (c.op == CmpOp::In) {
+        std::string out = c.lhs.str() + " in {";
+        for (size_t i = 0; i < c.set.size(); ++i) {
+            if (i)
+                out += ", ";
+            out += format("0x%x", c.set[i]);
+        }
+        return out + "}";
+    }
+    return c.lhs.str() + " " + std::string(cmpOpName(c.op)) + " " +
+           c.rhs.str();
+}
+
+std::string
+Invariant::key() const
+{
+    return point.name() + " -> " + exprKey();
+}
+
+std::string
+Invariant::str() const
+{
+    if (op == CmpOp::In) {
+        std::string out =
+            point.name() + " -> " + lhs.str() + " in {";
+        for (size_t i = 0; i < set.size(); ++i) {
+            if (i)
+                out += ", ";
+            out += format("0x%x", set[i]);
+        }
+        return out + "}";
+    }
+    return point.name() + " -> " + lhs.str() + " " +
+           std::string(cmpOpName(op)) + " " + rhs.str();
+}
+
+// ---- parsing ----
+
+namespace {
+
+/** Minimal recursive-descent parser over the str() syntax. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    Invariant
+    parse()
+    {
+        Invariant inv;
+        size_t arrow = text_.find(" -> ");
+        if (arrow == std::string::npos)
+            panic("invariant missing '->': %s", text_.c_str());
+        inv.point = trace::Point::parse(trim(text_.substr(0, arrow)));
+        rest_ = trim(text_.substr(arrow + 4));
+
+        inv.lhs = parseOperand();
+        std::string opTok = nextToken();
+        if (opTok == "in") {
+            inv.op = CmpOp::In;
+            parseSet(inv.set);
+            return inv;
+        }
+        inv.op = parseCmp(opTok);
+        inv.rhs = parseOperand();
+        return inv;
+    }
+
+  private:
+    static CmpOp
+    parseCmp(const std::string &tok)
+    {
+        if (tok == "==") return CmpOp::Eq;
+        if (tok == "!=") return CmpOp::Ne;
+        if (tok == "<") return CmpOp::Lt;
+        if (tok == "<=") return CmpOp::Le;
+        if (tok == ">") return CmpOp::Gt;
+        if (tok == ">=") return CmpOp::Ge;
+        panic("bad comparison operator '%s'", tok.c_str());
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < rest_.size() && rest_[pos_] == ' ')
+            ++pos_;
+    }
+
+    std::string
+    nextToken()
+    {
+        skipSpace();
+        size_t start = pos_;
+        while (pos_ < rest_.size() && rest_[pos_] != ' ' &&
+               rest_[pos_] != '(' && rest_[pos_] != ')' &&
+               rest_[pos_] != '{' && rest_[pos_] != '}' &&
+               rest_[pos_] != ',') {
+            ++pos_;
+        }
+        if (start == pos_ && pos_ < rest_.size())
+            return std::string(1, rest_[pos_++]); // single delimiter
+        return rest_.substr(start, pos_ - start);
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        return pos_ < rest_.size() ? rest_[pos_] : '\0';
+    }
+
+    VarRef
+    parseVarRef(const std::string &tok)
+    {
+        if (tok == "orig") {
+            if (peek() != '(')
+                panic("orig needs parentheses");
+            ++pos_;
+            std::string name = nextToken();
+            if (peek() != ')')
+                panic("orig missing ')'");
+            ++pos_;
+            uint16_t v = trace::varByName(name);
+            if (v >= trace::numVars)
+                panic("unknown variable '%s'", name.c_str());
+            return VarRef{v, true};
+        }
+        uint16_t v = trace::varByName(tok);
+        if (v >= trace::numVars)
+            panic("unknown variable '%s'", tok.c_str());
+        return VarRef{v, false};
+    }
+
+    Operand
+    parseOperand()
+    {
+        Operand o;
+        skipSpace();
+
+        bool negate = false;
+        if (rest_.compare(pos_, 4, "not ") == 0) {
+            negate = true;
+            pos_ += 4;
+            skipSpace();
+        }
+
+        if (peek() == '(') {
+            // "(a op2 b)"
+            ++pos_;
+            o.a = parseVarRef(nextToken());
+            std::string op2 = nextToken();
+            if (op2 == "and")
+                o.op2 = Op2::And;
+            else if (op2 == "or")
+                o.op2 = Op2::Or;
+            else if (op2 == "+")
+                o.op2 = Op2::Add;
+            else if (op2 == "-")
+                o.op2 = Op2::Sub;
+            else
+                panic("bad op2 '%s'", op2.c_str());
+            o.b = parseVarRef(nextToken());
+            if (peek() != ')')
+                panic("missing ')'");
+            ++pos_;
+        } else {
+            std::string tok = nextToken();
+            if (auto v = parseInt(tok)) {
+                o.isConst = true;
+                o.constVal = uint32_t(*v);
+                return o;
+            }
+            o.a = parseVarRef(tok);
+        }
+        o.negate = negate;
+
+        // Optional suffixes: "* k", "mod k", "+ k" / "- k".
+        for (;;) {
+            skipSpace();
+            size_t save = pos_;
+            std::string tok = nextToken();
+            if (tok == "*") {
+                auto v = parseInt(nextToken());
+                if (!v)
+                    panic("bad multiplier");
+                o.mulImm = uint32_t(*v);
+            } else if (tok == "mod") {
+                auto v = parseInt(nextToken());
+                if (!v)
+                    panic("bad modulus");
+                o.modImm = uint32_t(*v);
+            } else if (tok == "+" || tok == "-") {
+                // Distinguish "+ const" suffix from the comparison
+                // that follows: only a constant continues the term.
+                size_t save2 = pos_;
+                auto v = parseInt(nextToken());
+                if (!v) {
+                    pos_ = save2;
+                    pos_ = save;
+                    break;
+                }
+                o.addImm =
+                    tok == "+" ? uint32_t(*v) : uint32_t(-*v);
+            } else {
+                pos_ = save;
+                break;
+            }
+        }
+        return o;
+    }
+
+    void
+    parseSet(std::vector<uint32_t> &out)
+    {
+        if (peek() != '{')
+            panic("'in' needs a set");
+        ++pos_;
+        for (;;) {
+            skipSpace();
+            if (peek() == '}') {
+                ++pos_;
+                break;
+            }
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            auto v = parseInt(nextToken());
+            if (!v)
+                panic("bad set element");
+            out.push_back(uint32_t(*v));
+        }
+        std::sort(out.begin(), out.end());
+    }
+
+    std::string text_;
+    std::string rest_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+Invariant
+Invariant::parse(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+} // namespace scif::expr

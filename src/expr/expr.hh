@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The invariant expression IR shared by the generator, the optimizer,
+ * the violation checker, and the assertion translator.
+ *
+ * An invariant has the paper's form (Fig. 2)
+ *
+ *     risingEdge(INSN) -> EXPR
+ *
+ * where EXPR compares two operands (==, !=, <, <=, >, >=) or tests
+ * set membership (OPER in {imm, ...}). An operand is an immediate or
+ * a variable term: a base variable (optionally orig()), optionally
+ * combined with a second variable (and/or/+/-), optionally negated,
+ * scaled, reduced mod an immediate, and offset by an immediate — the
+ * grammar's derived-variable forms plus the Daikon-style linear
+ * offset (y = a*x + b) that the paper's own example invariants use
+ * (e.g. NPC = 0xC04, LR = PC + 8).
+ */
+
+#ifndef SCIFINDER_EXPR_EXPR_HH
+#define SCIFINDER_EXPR_EXPR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/record.hh"
+#include "trace/schema.hh"
+
+namespace scif::expr {
+
+/** Comparison operators (OP1 of the grammar, plus set membership). */
+enum class CmpOp : uint8_t { Eq, Ne, Lt, Le, Gt, Ge, In };
+
+/** Variable combination operators (OP2 of the grammar). */
+enum class Op2 : uint8_t { None, And, Or, Add, Sub };
+
+/** @return the printable spelling ("==", "and", ...). */
+std::string_view cmpOpName(CmpOp op);
+std::string_view op2Name(Op2 op);
+
+/** A reference to a schema variable, pre ("orig") or post state. */
+struct VarRef
+{
+    uint16_t var = 0;
+    bool orig = false;
+
+    bool operator==(const VarRef &) const = default;
+    bool operator<(const VarRef &o) const
+    {
+        return var != o.var ? var < o.var : orig < o.orig;
+    }
+};
+
+/**
+ * One side of a comparison: an immediate, or a variable term
+ *
+ *     (not? (a [op2 b])) * mulImm [mod modImm] + addImm
+ *
+ * with all arithmetic modulo 2^32 and comparisons unsigned.
+ */
+struct Operand
+{
+    bool isConst = false;
+    uint32_t constVal = 0;
+
+    VarRef a;
+    Op2 op2 = Op2::None;
+    VarRef b;
+    bool negate = false;   ///< bitwise not of the combined value
+    uint32_t mulImm = 1;   ///< scale (1 = none)
+    uint32_t modImm = 0;   ///< modulus (0 = none)
+    uint32_t addImm = 0;   ///< final offset (0 = none)
+
+    /** Build an immediate operand. */
+    static Operand imm(uint32_t value);
+
+    /** Build a bare variable operand. */
+    static Operand var(uint16_t var, bool orig = false);
+
+    /** Build var + constant. */
+    static Operand varPlus(uint16_t var, bool orig, uint32_t add);
+
+    /** Build a combined two-variable operand. */
+    static Operand pair(VarRef a, Op2 op, VarRef b);
+
+    /** Evaluate against a trace record. */
+    uint32_t eval(const trace::Record &rec) const;
+
+    /** @return true if the operand mentions variable @p var. */
+    bool mentions(uint16_t var) const;
+
+    /** @return all variable references (0, 1 or 2). */
+    std::vector<VarRef> vars() const;
+
+    /** @return true if this is a bare single variable (no mods). */
+    bool isBareVar() const;
+
+    /** Printable form ("orig(ESR0)", "PC + 8", "(OPA - OPB)"). */
+    std::string str() const;
+
+    bool operator==(const Operand &) const = default;
+};
+
+/** A complete invariant: program point -> comparison. */
+struct Invariant
+{
+    trace::Point point;
+    CmpOp op = CmpOp::Eq;
+    Operand lhs;
+    Operand rhs;                 ///< unused when op == In
+    std::vector<uint32_t> set;   ///< sorted, for op == In
+
+    /** @return true if the record satisfies the invariant. Records at
+     *  other program points vacuously satisfy it. */
+    bool holds(const trace::Record &rec) const;
+
+    /** @return true if the expression holds on this record's values
+     *  regardless of the record's program point. */
+    bool exprHolds(const trace::Record &rec) const;
+
+    /**
+     * Rewrite into canonical form: <, <= become >, >= with swapped
+     * sides; symmetric operators order their sides; commutative
+     * two-variable terms order their variables; In-sets are sorted.
+     */
+    void canonicalize();
+
+    /**
+     * Canonical identity key: "point -> expr" of the canonicalized
+     * invariant. Two invariants are the same iff keys are equal.
+     */
+    std::string key() const;
+
+    /** Expression-only canonical key (no program point). */
+    std::string exprKey() const;
+
+    /** Printable form, e.g. "l.rfe -> SR == orig(ESR0)". */
+    std::string str() const;
+
+    /** Parse the str() form back; aborts on malformed input. */
+    static Invariant parse(const std::string &text);
+};
+
+} // namespace scif::expr
+
+#endif // SCIFINDER_EXPR_EXPR_HH

@@ -1,0 +1,621 @@
+#include "invgen.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <unordered_set>
+
+#include "support/logging.hh"
+
+namespace scif::invgen {
+
+using expr::CmpOp;
+using expr::Invariant;
+using expr::Op2;
+using expr::Operand;
+using expr::VarRef;
+using trace::Record;
+
+bool
+InvariantSet::add(Invariant inv)
+{
+    inv.canonicalize();
+    std::string key = inv.key();
+    if (keyIndex_.count(key))
+        return false;
+    size_t idx = invs_.size();
+    keyIndex_[key] = idx;
+    pointIndex_[inv.point.id()].push_back(idx);
+    invs_.push_back(std::move(inv));
+    return true;
+}
+
+const std::vector<size_t> &
+InvariantSet::atPoint(uint16_t pointId) const
+{
+    static const std::vector<size_t> empty;
+    auto it = pointIndex_.find(pointId);
+    return it == pointIndex_.end() ? empty : it->second;
+}
+
+std::set<std::string>
+InvariantSet::keys() const
+{
+    std::set<std::string> out;
+    for (const auto &[key, idx] : keyIndex_)
+        out.insert(key);
+    return out;
+}
+
+size_t
+InvariantSet::variableCount() const
+{
+    size_t count = 0;
+    for (const auto &inv : invs_) {
+        count += inv.lhs.vars().size();
+        if (inv.op != CmpOp::In)
+            count += inv.rhs.vars().size();
+    }
+    return count;
+}
+
+void
+InvariantSet::assign(std::vector<expr::Invariant> invs)
+{
+    invs_.clear();
+    keyIndex_.clear();
+    pointIndex_.clear();
+    for (auto &inv : invs)
+        add(std::move(inv));
+}
+
+void
+InvariantSet::saveText(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open '%s' for writing", path.c_str());
+    for (const auto &inv : invs_)
+        out << inv.str() << "\n";
+    if (!out)
+        fatal("write to '%s' failed", path.c_str());
+}
+
+InvariantSet
+InvariantSet::loadText(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open invariant file '%s'", path.c_str());
+    InvariantSet set;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        set.add(expr::Invariant::parse(line));
+    }
+    return set;
+}
+
+namespace {
+
+/** A slot is one column of the record matrix: (variable, pre/post). */
+struct Slot
+{
+    uint16_t var;
+    bool orig;
+
+    VarRef ref() const { return VarRef{var, orig}; }
+};
+
+/** Read a slot's value from a record. */
+inline uint32_t
+slotValue(const Record &rec, const Slot &s)
+{
+    return s.orig ? rec.pre[s.var] : rec.post[s.var];
+}
+
+/** Pairwise relation evidence. */
+struct PairState
+{
+    uint16_t i, j;
+    bool sawLt = false, sawEq = false, sawGt = false;
+
+    bool dead() const { return sawLt && sawEq && sawGt; }
+};
+
+/** Linear candidate x_i == a * x_j + b. */
+struct LinearState
+{
+    uint16_t i, j;
+    uint32_t scale;
+    uint32_t offset;
+    bool alive = true;
+};
+
+/** Ternary candidate x_i == x_j (+|-) x_k. */
+struct TripleState
+{
+    Slot v, w, u;
+    bool sub;
+    bool alive = true;
+};
+
+/** Per-slot accumulation at one program point. */
+struct SlotStats
+{
+    uint64_t n = 0;
+    uint32_t first = 0;
+    uint32_t min = 0;
+    uint32_t max = 0;
+    bool constant = true;
+    std::vector<uint32_t> distinct; // capped
+    std::vector<uint32_t> modResidue;
+    std::vector<bool> modAlive;
+};
+
+/**
+ * The justification test: an invariant is emitted only if the chance
+ * of it holding coincidentally in n samples is below 1 - confidence.
+ * The per-sample chance is modelled from the slot's observed global
+ * value cardinality (Daikon's "justified" notion, simplified).
+ */
+bool
+justified(double per_sample_chance, uint64_t n, double confidence)
+{
+    if (n == 0)
+        return false;
+    double p = std::pow(per_sample_chance, double(n - 1));
+    return p <= 1.0 - confidence;
+}
+
+class Generator
+{
+  public:
+    Generator(const std::vector<const trace::TraceBuffer *> &traces,
+              const Config &config)
+        : traces_(traces), config_(config)
+    {
+        buildSlots();
+    }
+
+    InvariantSet
+    run(GenStats *stats)
+    {
+        groupByPoint();
+        computeGlobalCardinality();
+
+        InvariantSet out;
+        for (const auto &[pointId, recs] : byPoint_) {
+            if (recs.size() < config_.minSamples)
+                continue;
+            processPoint(trace::Point::fromId(pointId), recs, out);
+        }
+        if (stats) {
+            stats->records = totalRecords_;
+            stats->points = byPoint_.size();
+            stats->candidatesTried = candidates_;
+        }
+        return out;
+    }
+
+  private:
+    void
+    buildSlots()
+    {
+        for (uint16_t v = 0; v < trace::numVars; ++v) {
+            if (config_.disabledVars.count(v))
+                continue;
+            slots_.push_back(Slot{v, true});
+            slots_.push_back(Slot{v, false});
+        }
+    }
+
+    void
+    groupByPoint()
+    {
+        for (const auto *buf : traces_) {
+            for (const auto &rec : buf->records()) {
+                byPoint_[rec.point.id()].push_back(&rec);
+                ++totalRecords_;
+            }
+        }
+    }
+
+    void
+    computeGlobalCardinality()
+    {
+        constexpr size_t cap = 64;
+        cardinality_.assign(slots_.size(), 0);
+        globalMin_.assign(slots_.size(), 0xffffffffu);
+        globalMax_.assign(slots_.size(), 0);
+        std::vector<std::unordered_set<uint32_t>> seen(slots_.size());
+        for (const auto *buf : traces_) {
+            for (const auto &rec : buf->records()) {
+                for (size_t s = 0; s < slots_.size(); ++s) {
+                    uint32_t v = slotValue(rec, slots_[s]);
+                    globalMin_[s] = std::min(globalMin_[s], v);
+                    globalMax_[s] = std::max(globalMax_[s], v);
+                    auto &set = seen[s];
+                    if (set.size() >= cap)
+                        continue;
+                    set.insert(v);
+                }
+            }
+        }
+        for (size_t s = 0; s < slots_.size(); ++s) {
+            size_t distinct = std::max<size_t>(seen[s].size(), 1);
+            if (distinct < cap) {
+                cardinality_[s] = distinct;
+            } else {
+                // The distinct-value tracker saturated: estimate the
+                // value cardinality from the observed span (Daikon's
+                // value-tracker heuristic). Wide variables get a huge
+                // cardinality, so "never equal" observations carry no
+                // statistical weight.
+                uint64_t span =
+                    uint64_t(globalMax_[s]) - globalMin_[s] + 1;
+                cardinality_[s] = size_t(
+                    std::min<uint64_t>(span, 0xffffffffull));
+            }
+        }
+    }
+
+    /** Chance of two values colliding, from global cardinalities. */
+    double
+    eqChance(size_t i, size_t j) const
+    {
+        size_t v = std::min(cardinality_[i], cardinality_[j]);
+        return 1.0 / double(std::max<size_t>(v, 2));
+    }
+
+    /** Per-sample chance that two values merely happen to differ. */
+    double
+    neChance(size_t i, size_t j) const
+    {
+        return 1.0 - eqChance(i, j);
+    }
+
+    void
+    processPoint(trace::Point point,
+                 const std::vector<const Record *> &recs,
+                 InvariantSet &out)
+    {
+        size_t ns = slots_.size();
+        uint64_t n = recs.size();
+
+        // --- per-slot statistics ---
+        std::vector<SlotStats> stats(ns);
+        std::vector<uint32_t> vals(ns);
+        for (size_t s = 0; s < ns; ++s) {
+            auto &st = stats[s];
+            st.first = slotValue(*recs[0], slots_[s]);
+            st.min = st.max = st.first;
+            st.modResidue.resize(config_.moduli.size());
+            st.modAlive.assign(config_.moduli.size(), true);
+            for (size_t m = 0; m < config_.moduli.size(); ++m)
+                st.modResidue[m] = st.first % config_.moduli[m];
+        }
+
+        for (const Record *rec : recs) {
+            for (size_t s = 0; s < ns; ++s) {
+                uint32_t v = slotValue(*rec, slots_[s]);
+                vals[s] = v;
+                auto &st = stats[s];
+                ++st.n;
+                st.min = std::min(st.min, v);
+                st.max = std::max(st.max, v);
+                if (v != st.first)
+                    st.constant = false;
+                if (st.distinct.size() <= config_.maxOneOf &&
+                    std::find(st.distinct.begin(), st.distinct.end(),
+                              v) == st.distinct.end()) {
+                    st.distinct.push_back(v);
+                }
+                for (size_t m = 0; m < config_.moduli.size(); ++m) {
+                    if (st.modAlive[m] &&
+                        v % config_.moduli[m] != st.modResidue[m]) {
+                        st.modAlive[m] = false;
+                    }
+                }
+            }
+        }
+
+        // --- unary invariants ---
+        for (size_t s = 0; s < ns; ++s) {
+            const auto &st = stats[s];
+            const Slot &slot = slots_[s];
+            ++candidates_;
+            if (st.constant &&
+                justified(1.0 / double(std::max<size_t>(
+                                    cardinality_[s], 2)),
+                          n, config_.confidence)) {
+                Invariant inv;
+                inv.point = point;
+                inv.op = CmpOp::Eq;
+                inv.lhs = Operand::var(slot.var, slot.orig);
+                inv.rhs = Operand::imm(st.first);
+                out.add(inv);
+            } else if (!st.constant &&
+                       st.distinct.size() <= config_.maxOneOf &&
+                       n >= config_.minSamples * st.distinct.size() &&
+                       justified(double(st.distinct.size()) /
+                                     double(std::max<size_t>(
+                                         cardinality_[s],
+                                         st.distinct.size() + 1)),
+                                 n, config_.confidence)) {
+                Invariant inv;
+                inv.point = point;
+                inv.op = CmpOp::In;
+                inv.lhs = Operand::var(slot.var, slot.orig);
+                inv.set = st.distinct;
+                out.add(inv);
+            }
+
+            // Modular residue: only for non-constant slots (constant
+            // slots' residues are deducible).
+            if (!st.constant) {
+                for (size_t m = 0; m < config_.moduli.size(); ++m) {
+                    ++candidates_;
+                    if (!st.modAlive[m])
+                        continue;
+                    uint32_t mod = config_.moduli[m];
+                    if (!justified(1.0 / double(mod), n,
+                                   config_.confidence)) {
+                        continue;
+                    }
+                    Invariant inv;
+                    inv.point = point;
+                    inv.op = CmpOp::Eq;
+                    inv.lhs = Operand::var(slot.var, slot.orig);
+                    inv.lhs.modImm = mod;
+                    inv.rhs = Operand::imm(st.modResidue[m]);
+                    out.add(inv);
+                }
+            }
+        }
+
+        // --- pairwise relations and linear candidates ---
+        // Pairs where both slots are constant are deducible from the
+        // unary invariants and skipped.
+        std::vector<PairState> pairs;
+        std::vector<LinearState> linears;
+        pairs.reserve(ns * (ns - 1) / 2);
+        for (size_t i = 0; i < ns; ++i) {
+            for (size_t j = i + 1; j < ns; ++j) {
+                if (stats[i].constant && stats[j].constant)
+                    continue;
+                pairs.push_back(
+                    PairState{uint16_t(i), uint16_t(j), false, false,
+                              false});
+            }
+        }
+
+        // Seed linear candidates from the first record.
+        for (size_t i = 0; i < ns; ++i) {
+            if (stats[i].constant)
+                continue;
+            for (size_t j = 0; j < ns; ++j) {
+                if (i == j || stats[j].constant)
+                    continue;
+                uint32_t vi = slotValue(*recs[0], slots_[i]);
+                uint32_t vj = slotValue(*recs[0], slots_[j]);
+                for (uint32_t a : config_.linearScales) {
+                    uint32_t b = vi - a * vj;
+                    if (a == 1 && b == 0)
+                        continue; // plain equality handles this
+                    linears.push_back(
+                        LinearState{uint16_t(i), uint16_t(j), a, b,
+                                    true});
+                }
+            }
+        }
+
+        for (const Record *rec : recs) {
+            for (size_t s = 0; s < ns; ++s)
+                vals[s] = slotValue(*rec, slots_[s]);
+
+            size_t alive = 0;
+            for (auto &p : pairs) {
+                uint32_t l = vals[p.i], r = vals[p.j];
+                if (l < r)
+                    p.sawLt = true;
+                else if (l == r)
+                    p.sawEq = true;
+                else
+                    p.sawGt = true;
+                if (!p.dead())
+                    pairs[alive++] = p;
+            }
+            // Note: dead pairs carry no invariant; drop them.
+            pairs.resize(alive);
+
+            alive = 0;
+            for (auto &lin : linears) {
+                if (vals[lin.i] != lin.scale * vals[lin.j] + lin.offset)
+                    continue;
+                linears[alive++] = lin;
+            }
+            linears.resize(alive);
+        }
+
+        auto slotOperand = [&](uint16_t s) {
+            return Operand::var(slots_[s].var, slots_[s].orig);
+        };
+
+        // Ordering relations between variables whose observed ranges
+        // at this point never interleave are implied by the ranges
+        // themselves and carry no relational information; Daikon
+        // suppresses them and so do we.
+        auto rangesInterleave = [&stats](uint16_t i, uint16_t j) {
+            return stats[i].max >= stats[j].min &&
+                   stats[j].max >= stats[i].min;
+        };
+
+        for (const auto &p : pairs) {
+            ++candidates_;
+            Invariant inv;
+            inv.point = point;
+            inv.lhs = slotOperand(p.i);
+            inv.rhs = slotOperand(p.j);
+            if (p.sawEq && !p.sawLt && !p.sawGt) {
+                if (!justified(eqChance(p.i, p.j), n,
+                               config_.confidence)) {
+                    continue;
+                }
+                inv.op = CmpOp::Eq;
+            } else if (!p.sawEq && n >= config_.neMinSamples) {
+                // "Never equal" is only surprising when collisions
+                // would be expected from the value cardinalities.
+                if (!justified(neChance(p.i, p.j), n + 1,
+                               config_.confidence) ||
+                    !rangesInterleave(p.i, p.j)) {
+                    continue;
+                }
+                if (p.sawLt && !p.sawGt)
+                    inv.op = CmpOp::Lt;
+                else if (p.sawGt && !p.sawLt)
+                    inv.op = CmpOp::Gt;
+                else
+                    inv.op = CmpOp::Ne;
+            } else if (p.sawEq && p.sawLt && !p.sawGt) {
+                if (!justified(0.5, n + 1, config_.confidence) ||
+                    !rangesInterleave(p.i, p.j)) {
+                    continue;
+                }
+                inv.op = CmpOp::Le;
+            } else if (p.sawEq && p.sawGt && !p.sawLt) {
+                if (!justified(0.5, n + 1, config_.confidence) ||
+                    !rangesInterleave(p.i, p.j)) {
+                    continue;
+                }
+                inv.op = CmpOp::Ge;
+            } else {
+                continue;
+            }
+            out.add(inv);
+        }
+
+        for (const auto &lin : linears) {
+            ++candidates_;
+            if (!justified(eqChance(lin.i, lin.j), n,
+                           config_.confidence)) {
+                continue;
+            }
+            Invariant inv;
+            inv.point = point;
+            inv.op = CmpOp::Eq;
+            inv.lhs = slotOperand(lin.i);
+            inv.rhs = slotOperand(lin.j);
+            inv.rhs.mulImm = lin.scale;
+            inv.rhs.addImm = lin.offset;
+            out.add(inv);
+        }
+
+        // --- targeted ternary sums ---
+        processTriples(point, recs, stats, out);
+    }
+
+    void
+    processTriples(trace::Point point,
+                   const std::vector<const Record *> &recs,
+                   const std::vector<SlotStats> &stats,
+                   InvariantSet &out)
+    {
+        using trace::VarId;
+        struct TripleSpec
+        {
+            Slot v, w, u;
+        };
+        static const TripleSpec specs[] = {
+            {{VarId::MEMADDR, false}, {VarId::OPA, true},
+             {VarId::IMM, false}},
+            {{VarId::OPDEST, false}, {VarId::OPA, true},
+             {VarId::OPB, true}},
+            {{VarId::OPDEST, false}, {VarId::OPA, true},
+             {VarId::IMM, false}},
+            {{VarId::EPCR0, false}, {VarId::PC, false},
+             {VarId::IMM, false}},
+        };
+
+        auto slotIndex = [&](const Slot &s) -> int {
+            for (size_t i = 0; i < slots_.size(); ++i) {
+                if (slots_[i].var == s.var && slots_[i].orig == s.orig)
+                    return int(i);
+            }
+            return -1;
+        };
+
+        uint64_t n = recs.size();
+        for (const auto &spec : specs) {
+            int iv = slotIndex(spec.v);
+            int iw = slotIndex(spec.w);
+            int iu = slotIndex(spec.u);
+            if (iv < 0 || iw < 0 || iu < 0)
+                continue;
+            // All-constant triples are deducible.
+            if (stats[iv].constant &&
+                (stats[iw].constant || stats[iu].constant)) {
+                continue;
+            }
+            for (bool sub : {false, true}) {
+                ++candidates_;
+                bool alive = true;
+                for (const Record *rec : recs) {
+                    uint32_t v = slotValue(*rec, spec.v);
+                    uint32_t w = slotValue(*rec, spec.w);
+                    uint32_t u = slotValue(*rec, spec.u);
+                    uint32_t expect = sub ? w - u : w + u;
+                    if (v != expect) {
+                        alive = false;
+                        break;
+                    }
+                }
+                if (!alive ||
+                    !justified(eqChance(size_t(iv), size_t(iw)), n,
+                               config_.confidence)) {
+                    continue;
+                }
+                Invariant inv;
+                inv.point = point;
+                inv.op = CmpOp::Eq;
+                inv.lhs = Operand::var(spec.v.var, spec.v.orig);
+                inv.rhs = Operand::pair(spec.w.ref(),
+                                        sub ? Op2::Sub : Op2::Add,
+                                        spec.u.ref());
+                out.add(inv);
+            }
+        }
+    }
+
+    const std::vector<const trace::TraceBuffer *> &traces_;
+    const Config &config_;
+
+    std::vector<Slot> slots_;
+    std::vector<size_t> cardinality_;
+    std::vector<uint32_t> globalMin_;
+    std::vector<uint32_t> globalMax_;
+    std::map<uint16_t, std::vector<const Record *>> byPoint_;
+    uint64_t totalRecords_ = 0;
+    uint64_t candidates_ = 0;
+};
+
+} // namespace
+
+InvariantSet
+generate(const std::vector<const trace::TraceBuffer *> &traces,
+         const Config &config, GenStats *stats)
+{
+    Generator gen(traces, config);
+    return gen.run(stats);
+}
+
+InvariantSet
+generate(const trace::TraceBuffer &trace, const Config &config,
+         GenStats *stats)
+{
+    std::vector<const trace::TraceBuffer *> traces = {&trace};
+    return generate(traces, config, stats);
+}
+
+} // namespace scif::invgen

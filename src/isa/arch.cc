@@ -1,0 +1,62 @@
+#include "arch.hh"
+
+#include "support/strings.hh"
+
+namespace scif::isa {
+
+namespace spr {
+
+std::string
+name(uint16_t addr)
+{
+    switch (addr) {
+      case VR: return "VR";
+      case UPR: return "UPR";
+      case NPC: return "NPC";
+      case SR: return "SR";
+      case PPC: return "PPC";
+      case EPCR0: return "EPCR0";
+      case EEAR0: return "EEAR0";
+      case ESR0: return "ESR0";
+      case MACLO: return "MACLO";
+      case MACHI: return "MACHI";
+      case PICMR: return "PICMR";
+      case PICSR: return "PICSR";
+      case TTMR: return "TTMR";
+      case TTCR: return "TTCR";
+      default: return format("spr_0x%04x", addr);
+    }
+}
+
+} // namespace spr
+
+uint32_t
+exceptionVector(Exception e)
+{
+    return uint32_t(e) * 0x100u;
+}
+
+std::string_view
+exceptionName(Exception e)
+{
+    switch (e) {
+      case Exception::None: return "none";
+      case Exception::Reset: return "reset";
+      case Exception::BusError: return "bus-error";
+      case Exception::DataPageFault: return "data-page-fault";
+      case Exception::InsnPageFault: return "insn-page-fault";
+      case Exception::Tick: return "tick";
+      case Exception::Alignment: return "alignment";
+      case Exception::Illegal: return "illegal-instruction";
+      case Exception::External: return "external-interrupt";
+      case Exception::DTlbMiss: return "dtlb-miss";
+      case Exception::ITlbMiss: return "itlb-miss";
+      case Exception::Range: return "range";
+      case Exception::Syscall: return "syscall";
+      case Exception::FloatingPoint: return "floating-point";
+      case Exception::Trap: return "trap";
+    }
+    return "unknown";
+}
+
+} // namespace scif::isa

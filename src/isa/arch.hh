@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Architectural constants of the OpenRISC 1000: special purpose
+ * register addresses, supervision register bits, and exception
+ * vectors. Shared by the simulator, the trace schema, and the
+ * security-property catalog.
+ */
+
+#ifndef SCIFINDER_ISA_ARCH_HH
+#define SCIFINDER_ISA_ARCH_HH
+
+#include <cstdint>
+#include <string>
+
+namespace scif::isa {
+
+/** Number of general purpose registers. */
+constexpr unsigned numGprs = 32;
+
+/** Link register index (written by l.jal / l.jalr). */
+constexpr unsigned linkReg = 9;
+
+/**
+ * Special purpose register addresses (group << 11 | index), per the
+ * OpenRISC 1000 architecture manual.
+ */
+namespace spr {
+
+constexpr uint16_t VR = 0x0000;      ///< version register
+constexpr uint16_t UPR = 0x0001;     ///< unit present register
+constexpr uint16_t NPC = 0x0010;     ///< next program counter
+constexpr uint16_t SR = 0x0011;      ///< supervision register
+constexpr uint16_t PPC = 0x0012;     ///< previous program counter
+constexpr uint16_t EPCR0 = 0x0020;   ///< exception PC register
+constexpr uint16_t EEAR0 = 0x0030;   ///< exception effective address
+constexpr uint16_t ESR0 = 0x0040;    ///< exception status register
+constexpr uint16_t MACLO = 0x2801;   ///< MAC accumulator, low word
+constexpr uint16_t MACHI = 0x2802;   ///< MAC accumulator, high word
+constexpr uint16_t PICMR = 0x4800;   ///< interrupt mask register
+constexpr uint16_t PICSR = 0x4802;   ///< interrupt status register
+constexpr uint16_t TTMR = 0x5000;    ///< tick timer mode register
+constexpr uint16_t TTCR = 0x5001;    ///< tick timer count register
+
+/** @return a printable name for an SPR address ("SR", "spr_0x123"). */
+std::string name(uint16_t addr);
+
+} // namespace spr
+
+/** Bit positions inside the supervision register (SR). */
+namespace sr {
+
+constexpr unsigned SM = 0;     ///< supervisor mode
+constexpr unsigned TEE = 1;    ///< tick timer exception enable
+constexpr unsigned IEE = 2;    ///< interrupt exception enable
+constexpr unsigned DCE = 3;    ///< data cache enable
+constexpr unsigned ICE = 4;    ///< instruction cache enable
+constexpr unsigned DME = 5;    ///< data MMU enable
+constexpr unsigned IME = 6;    ///< instruction MMU enable
+constexpr unsigned LEE = 7;    ///< little endian enable
+constexpr unsigned CE = 8;     ///< context id enable
+constexpr unsigned F = 9;      ///< conditional branch flag
+constexpr unsigned CY = 10;    ///< carry flag
+constexpr unsigned OV = 11;    ///< overflow flag
+constexpr unsigned OVE = 12;   ///< overflow exception enable
+constexpr unsigned DSX = 13;   ///< delay slot exception
+constexpr unsigned EPH = 14;   ///< exception prefix high
+constexpr unsigned FO = 15;    ///< fixed one (always reads 1)
+
+/** SR value after reset: supervisor mode, FO set. */
+constexpr uint32_t resetValue = (1u << FO) | (1u << SM);
+
+} // namespace sr
+
+/**
+ * Exception identifiers, ordered by vector address. The numeric value
+ * doubles as the priority used when multiple exceptions are pending
+ * (lower vector = higher priority, reset highest).
+ */
+enum class Exception : uint8_t {
+    None = 0,
+    Reset,          ///< 0x100
+    BusError,       ///< 0x200
+    DataPageFault,  ///< 0x300
+    InsnPageFault,  ///< 0x400
+    Tick,           ///< 0x500
+    Alignment,      ///< 0x600
+    Illegal,        ///< 0x700
+    External,       ///< 0x800
+    DTlbMiss,       ///< 0x900
+    ITlbMiss,       ///< 0xa00
+    Range,          ///< 0xb00
+    Syscall,        ///< 0xc00
+    FloatingPoint,  ///< 0xd00
+    Trap,           ///< 0xe00
+};
+
+/** @return the handler vector address for an exception. */
+uint32_t exceptionVector(Exception e);
+
+/** @return a printable exception name. */
+std::string_view exceptionName(Exception e);
+
+} // namespace scif::isa
+
+#endif // SCIFINDER_ISA_ARCH_HH

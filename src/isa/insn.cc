@@ -1,0 +1,370 @@
+#include "insn.hh"
+
+#include <array>
+#include <unordered_map>
+
+#include "support/bits.hh"
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace scif::isa {
+
+namespace {
+
+std::vector<InsnInfo>
+buildTable()
+{
+    std::vector<InsnInfo> table;
+#define X(name, str, fmt, match, kind, ds, wd, ra, rb, sf, rf, si)           \
+    table.push_back(InsnInfo{Mnemonic::name, str, fmt, match,                \
+                             InsnKind::kind, ds, wd, ra, rb, sf, rf, si});
+    SCIF_ISA_INSN_LIST(X)
+#undef X
+    return table;
+}
+
+const std::vector<InsnInfo> &
+table()
+{
+    static const std::vector<InsnInfo> t = buildTable();
+    return t;
+}
+
+const std::unordered_map<std::string_view, const InsnInfo *> &
+nameIndex()
+{
+    static const auto *index = [] {
+        auto *m =
+            new std::unordered_map<std::string_view, const InsnInfo *>();
+        for (const auto &ii : table())
+            (*m)[ii.name] = &ii;
+        return m;
+    }();
+    return *index;
+}
+
+/** Decode table bucketed by primary opcode for O(1) lookup. */
+const std::array<std::vector<const InsnInfo *>, 64> &
+opcodeBuckets()
+{
+    static const auto *buckets = [] {
+        auto *b = new std::array<std::vector<const InsnInfo *>, 64>();
+        for (const auto &ii : table())
+            (*b)[ii.match >> 26].push_back(&ii);
+        return b;
+    }();
+    return *buckets;
+}
+
+} // namespace
+
+const InsnInfo &
+info(Mnemonic m)
+{
+    SCIF_ASSERT(size_t(m) < numMnemonics);
+    return table()[size_t(m)];
+}
+
+const InsnInfo *
+infoByName(std::string_view name)
+{
+    auto it = nameIndex().find(name);
+    return it == nameIndex().end() ? nullptr : it->second;
+}
+
+const std::vector<InsnInfo> &
+allInsns()
+{
+    return table();
+}
+
+uint32_t
+formatMask(Format format)
+{
+    // Start from all bits fixed and clear the live operand fields.
+    uint32_t mask = 0xffffffffu;
+    auto clearField = [&mask](unsigned hi, unsigned lo) {
+        mask = insertBits(mask, hi, lo, 0);
+    };
+    switch (format) {
+      case Format::J:
+        clearField(25, 0);
+        break;
+      case Format::JR:
+        clearField(15, 11);
+        break;
+      case Format::RRR:
+        clearField(25, 21);
+        clearField(20, 16);
+        clearField(15, 11);
+        break;
+      case Format::RRDA:
+        clearField(25, 21);
+        clearField(20, 16);
+        break;
+      case Format::RRAB:
+        clearField(20, 16);
+        clearField(15, 11);
+        break;
+      case Format::RRI:
+      case Format::LOAD:
+        clearField(25, 21);
+        clearField(20, 16);
+        clearField(15, 0);
+        break;
+      case Format::RIA:
+        clearField(20, 16);
+        clearField(15, 0);
+        break;
+      case Format::RI:
+        clearField(25, 21);
+        clearField(15, 0);
+        break;
+      case Format::RD:
+        clearField(25, 21);
+        break;
+      case Format::RRL:
+        clearField(25, 21);
+        clearField(20, 16);
+        clearField(5, 0);
+        break;
+      case Format::STORE:
+      case Format::MTSPR:
+        clearField(25, 21);
+        clearField(20, 16);
+        clearField(15, 11);
+        clearField(10, 0);
+        break;
+      case Format::K16:
+        clearField(15, 0);
+        break;
+      case Format::NONE:
+        break;
+    }
+    return mask;
+}
+
+std::string_view
+kindName(InsnKind kind)
+{
+    switch (kind) {
+      case InsnKind::Arith: return "arith";
+      case InsnKind::Logic: return "logic";
+      case InsnKind::Shift: return "shift";
+      case InsnKind::Extend: return "extend";
+      case InsnKind::Compare: return "compare";
+      case InsnKind::MulDiv: return "muldiv";
+      case InsnKind::Mac: return "mac";
+      case InsnKind::Load: return "load";
+      case InsnKind::Store: return "store";
+      case InsnKind::Jump: return "jump";
+      case InsnKind::Branch: return "branch";
+      case InsnKind::System: return "system";
+      case InsnKind::SprMove: return "sprmove";
+    }
+    return "unknown";
+}
+
+std::optional<DecodedInsn>
+decode(uint32_t word)
+{
+    const auto &bucket = opcodeBuckets()[word >> 26];
+    const InsnInfo *found = nullptr;
+    for (const InsnInfo *ii : bucket) {
+        if ((word & formatMask(ii->format)) == ii->match) {
+            found = ii;
+            break;
+        }
+    }
+    if (!found)
+        return std::nullopt;
+
+    DecodedInsn insn;
+    insn.mnemonic = found->mnemonic;
+    insn.raw = word;
+
+    auto imm16 = [&](uint32_t v) {
+        return found->signedImm ? int32_t(signExtend(v, 16)) : int32_t(v);
+    };
+
+    switch (found->format) {
+      case Format::J:
+        insn.imm = int32_t(signExtend(bits(word, 25, 0), 26));
+        break;
+      case Format::JR:
+        insn.rb = uint8_t(bits(word, 15, 11));
+        break;
+      case Format::RRR:
+        insn.rd = uint8_t(bits(word, 25, 21));
+        insn.ra = uint8_t(bits(word, 20, 16));
+        insn.rb = uint8_t(bits(word, 15, 11));
+        break;
+      case Format::RRDA:
+        insn.rd = uint8_t(bits(word, 25, 21));
+        insn.ra = uint8_t(bits(word, 20, 16));
+        break;
+      case Format::RRAB:
+        insn.ra = uint8_t(bits(word, 20, 16));
+        insn.rb = uint8_t(bits(word, 15, 11));
+        break;
+      case Format::RRI:
+      case Format::LOAD:
+        insn.rd = uint8_t(bits(word, 25, 21));
+        insn.ra = uint8_t(bits(word, 20, 16));
+        insn.imm = imm16(bits(word, 15, 0));
+        break;
+      case Format::RIA:
+        insn.ra = uint8_t(bits(word, 20, 16));
+        insn.imm = imm16(bits(word, 15, 0));
+        break;
+      case Format::RI:
+        insn.rd = uint8_t(bits(word, 25, 21));
+        insn.imm = int32_t(bits(word, 15, 0));
+        break;
+      case Format::RD:
+        insn.rd = uint8_t(bits(word, 25, 21));
+        break;
+      case Format::RRL:
+        insn.rd = uint8_t(bits(word, 25, 21));
+        insn.ra = uint8_t(bits(word, 20, 16));
+        insn.imm = int32_t(bits(word, 5, 0));
+        break;
+      case Format::STORE:
+      case Format::MTSPR: {
+        insn.ra = uint8_t(bits(word, 20, 16));
+        insn.rb = uint8_t(bits(word, 15, 11));
+        uint32_t split = (bits(word, 25, 21) << 11) | bits(word, 10, 0);
+        insn.imm = imm16(split);
+        break;
+      }
+      case Format::K16:
+        insn.imm = int32_t(bits(word, 15, 0));
+        break;
+      case Format::NONE:
+        break;
+    }
+    return insn;
+}
+
+uint32_t
+encode(const DecodedInsn &insn)
+{
+    const InsnInfo &ii = info(insn.mnemonic);
+    uint32_t word = ii.match;
+    uint32_t uimm = uint32_t(insn.imm);
+
+    switch (ii.format) {
+      case Format::J:
+        word = insertBits(word, 25, 0, uimm);
+        break;
+      case Format::JR:
+        word = insertBits(word, 15, 11, insn.rb);
+        break;
+      case Format::RRR:
+        word = insertBits(word, 25, 21, insn.rd);
+        word = insertBits(word, 20, 16, insn.ra);
+        word = insertBits(word, 15, 11, insn.rb);
+        break;
+      case Format::RRDA:
+        word = insertBits(word, 25, 21, insn.rd);
+        word = insertBits(word, 20, 16, insn.ra);
+        break;
+      case Format::RRAB:
+        word = insertBits(word, 20, 16, insn.ra);
+        word = insertBits(word, 15, 11, insn.rb);
+        break;
+      case Format::RRI:
+      case Format::LOAD:
+        word = insertBits(word, 25, 21, insn.rd);
+        word = insertBits(word, 20, 16, insn.ra);
+        word = insertBits(word, 15, 0, uimm);
+        break;
+      case Format::RIA:
+        word = insertBits(word, 20, 16, insn.ra);
+        word = insertBits(word, 15, 0, uimm);
+        break;
+      case Format::RI:
+        word = insertBits(word, 25, 21, insn.rd);
+        word = insertBits(word, 15, 0, uimm);
+        break;
+      case Format::RD:
+        word = insertBits(word, 25, 21, insn.rd);
+        break;
+      case Format::RRL:
+        word = insertBits(word, 25, 21, insn.rd);
+        word = insertBits(word, 20, 16, insn.ra);
+        word = insertBits(word, 5, 0, uimm);
+        break;
+      case Format::STORE:
+      case Format::MTSPR:
+        word = insertBits(word, 20, 16, insn.ra);
+        word = insertBits(word, 15, 11, insn.rb);
+        word = insertBits(word, 25, 21, bits(uimm, 15, 11));
+        word = insertBits(word, 10, 0, bits(uimm, 10, 0));
+        break;
+      case Format::K16:
+        word = insertBits(word, 15, 0, uimm);
+        break;
+      case Format::NONE:
+        break;
+    }
+    return word;
+}
+
+std::string
+disassemble(const DecodedInsn &insn)
+{
+    const InsnInfo &ii = info(insn.mnemonic);
+    auto reg = [](uint8_t r) { return format("r%u", unsigned(r)); };
+
+    switch (ii.format) {
+      case Format::J:
+        return format("%s %d", ii.name, insn.imm);
+      case Format::JR:
+        return format("%s %s", ii.name, reg(insn.rb).c_str());
+      case Format::RRR:
+        return format("%s %s,%s,%s", ii.name, reg(insn.rd).c_str(),
+                      reg(insn.ra).c_str(), reg(insn.rb).c_str());
+      case Format::RRDA:
+        return format("%s %s,%s", ii.name, reg(insn.rd).c_str(),
+                      reg(insn.ra).c_str());
+      case Format::RRAB:
+        return format("%s %s,%s", ii.name, reg(insn.ra).c_str(),
+                      reg(insn.rb).c_str());
+      case Format::RRI:
+        return format("%s %s,%s,%d", ii.name, reg(insn.rd).c_str(),
+                      reg(insn.ra).c_str(), insn.imm);
+      case Format::RIA:
+        return format("%s %s,%d", ii.name, reg(insn.ra).c_str(), insn.imm);
+      case Format::RI:
+        return format("%s %s,%d", ii.name, reg(insn.rd).c_str(), insn.imm);
+      case Format::RD:
+        return format("%s %s", ii.name, reg(insn.rd).c_str());
+      case Format::RRL:
+        return format("%s %s,%s,%d", ii.name, reg(insn.rd).c_str(),
+                      reg(insn.ra).c_str(), insn.imm);
+      case Format::LOAD:
+        return format("%s %s,%d(%s)", ii.name, reg(insn.rd).c_str(),
+                      insn.imm, reg(insn.ra).c_str());
+      case Format::STORE:
+        return format("%s %d(%s),%s", ii.name, insn.imm,
+                      reg(insn.ra).c_str(), reg(insn.rb).c_str());
+      case Format::MTSPR:
+        return format("%s %s,%s,%d", ii.name, reg(insn.ra).c_str(),
+                      reg(insn.rb).c_str(), insn.imm);
+      case Format::K16:
+        return format("%s %d", ii.name, insn.imm);
+      case Format::NONE:
+        return ii.name;
+    }
+    return ii.name;
+}
+
+uint32_t
+jumpTarget(const DecodedInsn &insn, uint32_t pc)
+{
+    SCIF_ASSERT(info(insn.mnemonic).format == Format::J);
+    return pc + (uint32_t(insn.imm) << 2);
+}
+
+} // namespace scif::isa

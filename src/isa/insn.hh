@@ -1,0 +1,247 @@
+/**
+ * @file
+ * OpenRISC 1000 basic integer instruction set (ORBIS32) model.
+ *
+ * This header defines the instruction registry: every mnemonic of the
+ * basic set together with its binary encoding (match value + operand
+ * format), assembly syntax class, and semantic metadata used by the
+ * simulator and by the invariant engine (instruction class features).
+ *
+ * Encodings follow the OpenRISC 1000 architecture manual: the primary
+ * opcode lives in bits [31:26]; register fields are rD[25:21],
+ * rA[20:16], rB[15:11]; 16-bit immediates occupy [15:0]; stores and
+ * l.mtspr split their immediate across [25:21] and [10:0].
+ */
+
+#ifndef SCIFINDER_ISA_INSN_HH
+#define SCIFINDER_ISA_INSN_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scif::isa {
+
+/**
+ * Operand format of an instruction; determines which encoding fields
+ * are live and the assembly syntax.
+ */
+enum class Format {
+    J,      ///< 26-bit pc-relative target:        l.j    target
+    JR,     ///< register target:                  l.jr   rB
+    RRR,    ///< three registers:                  l.add  rD,rA,rB
+    RRDA,   ///< two registers (no rB):            l.extbs rD,rA
+    RRAB,   ///< two source registers:             l.sfeq rA,rB
+    RRI,    ///< reg-reg-imm16:                    l.addi rD,rA,I
+    RIA,    ///< source reg + imm16:               l.sfeqi rA,I
+    RI,     ///< dest reg + imm16:                 l.movhi rD,K
+    RD,     ///< dest reg only:                    l.macrc rD
+    RRL,    ///< reg-reg-shift-amount:             l.slli rD,rA,L
+    LOAD,   ///< load syntax:                      l.lwz  rD,I(rA)
+    STORE,  ///< store syntax (split imm):         l.sw   I(rA),rB
+    MTSPR,  ///< l.mtspr rA,rB,K (split imm)
+    K16,    ///< 16-bit constant only:             l.nop  K
+    NONE,   ///< no operands:                      l.rfe
+};
+
+/**
+ * Coarse semantic class of an instruction. Used as a feature by the
+ * SCI inference model and for workload coverage reporting.
+ */
+enum class InsnKind {
+    Arith,    ///< add/sub family
+    Logic,    ///< and/or/xor/cmov/ff1
+    Shift,    ///< shifts and rotates
+    Extend,   ///< sign/zero extensions
+    Compare,  ///< set-flag instructions
+    MulDiv,   ///< multiply and divide
+    Mac,      ///< multiply-accumulate family
+    Load,     ///< memory loads
+    Store,    ///< memory stores
+    Jump,     ///< unconditional jumps
+    Branch,   ///< conditional branches
+    System,   ///< l.sys/l.trap/l.rfe/l.nop
+    SprMove,  ///< l.mfspr/l.mtspr/l.movhi
+};
+
+/**
+ * The instruction list. Columns:
+ *   enum name, mnemonic string, Format, match word, InsnKind,
+ *   has delay slot, writes rD, reads rA, reads rB, sets SR[F],
+ *   reads SR[F], signed immediate.
+ *
+ * The match word holds every fixed bit of the encoding (primary and
+ * secondary opcodes); the mask is derived from the format's live
+ * fields, so (word & mask(format)) == match identifies the insn.
+ */
+// clang-format off
+#define SCIF_ISA_INSN_LIST(X)                                                         \
+    /*  enum     str         format         match       kind     ds  wD  rA  rB  sF  rF  sI */ \
+    X(L_J,      "l.j",      Format::J,     0x00000000u, Jump,    1,  0,  0,  0,  0,  0,  1)  \
+    X(L_JAL,    "l.jal",    Format::J,     0x04000000u, Jump,    1,  0,  0,  0,  0,  0,  1)  \
+    X(L_BNF,    "l.bnf",    Format::J,     0x0c000000u, Branch,  1,  0,  0,  0,  0,  1,  1)  \
+    X(L_BF,     "l.bf",     Format::J,     0x10000000u, Branch,  1,  0,  0,  0,  0,  1,  1)  \
+    X(L_NOP,    "l.nop",    Format::K16,   0x15000000u, System,  0,  0,  0,  0,  0,  0,  0)  \
+    X(L_MOVHI,  "l.movhi",  Format::RI,    0x18000000u, SprMove, 0,  1,  0,  0,  0,  0,  0)  \
+    X(L_MACRC,  "l.macrc",  Format::RD,    0x18010000u, Mac,     0,  1,  0,  0,  0,  0,  0)  \
+    X(L_SYS,    "l.sys",    Format::K16,   0x20000000u, System,  0,  0,  0,  0,  0,  0,  0)  \
+    X(L_TRAP,   "l.trap",   Format::K16,   0x21000000u, System,  0,  0,  0,  0,  0,  0,  0)  \
+    X(L_RFE,    "l.rfe",    Format::NONE,  0x24000000u, System,  0,  0,  0,  0,  0,  0,  0)  \
+    X(L_JR,     "l.jr",     Format::JR,    0x44000000u, Jump,    1,  0,  0,  1,  0,  0,  0)  \
+    X(L_JALR,   "l.jalr",   Format::JR,    0x48000000u, Jump,    1,  0,  0,  1,  0,  0,  0)  \
+    X(L_MACI,   "l.maci",   Format::RIA,   0x4c000000u, Mac,     0,  0,  1,  0,  0,  0,  1)  \
+    X(L_LWZ,    "l.lwz",    Format::LOAD,  0x84000000u, Load,    0,  1,  1,  0,  0,  0,  1)  \
+    X(L_LWS,    "l.lws",    Format::LOAD,  0x88000000u, Load,    0,  1,  1,  0,  0,  0,  1)  \
+    X(L_LBZ,    "l.lbz",    Format::LOAD,  0x8c000000u, Load,    0,  1,  1,  0,  0,  0,  1)  \
+    X(L_LBS,    "l.lbs",    Format::LOAD,  0x90000000u, Load,    0,  1,  1,  0,  0,  0,  1)  \
+    X(L_LHZ,    "l.lhz",    Format::LOAD,  0x94000000u, Load,    0,  1,  1,  0,  0,  0,  1)  \
+    X(L_LHS,    "l.lhs",    Format::LOAD,  0x98000000u, Load,    0,  1,  1,  0,  0,  0,  1)  \
+    X(L_ADDI,   "l.addi",   Format::RRI,   0x9c000000u, Arith,   0,  1,  1,  0,  0,  0,  1)  \
+    X(L_ADDIC,  "l.addic",  Format::RRI,   0xa0000000u, Arith,   0,  1,  1,  0,  0,  0,  1)  \
+    X(L_ANDI,   "l.andi",   Format::RRI,   0xa4000000u, Logic,   0,  1,  1,  0,  0,  0,  0)  \
+    X(L_ORI,    "l.ori",    Format::RRI,   0xa8000000u, Logic,   0,  1,  1,  0,  0,  0,  0)  \
+    X(L_XORI,   "l.xori",   Format::RRI,   0xac000000u, Logic,   0,  1,  1,  0,  0,  0,  1)  \
+    X(L_MULI,   "l.muli",   Format::RRI,   0xb0000000u, MulDiv,  0,  1,  1,  0,  0,  0,  1)  \
+    X(L_MFSPR,  "l.mfspr",  Format::RRI,   0xb4000000u, SprMove, 0,  1,  1,  0,  0,  0,  0)  \
+    X(L_SLLI,   "l.slli",   Format::RRL,   0xb8000000u, Shift,   0,  1,  1,  0,  0,  0,  0)  \
+    X(L_SRLI,   "l.srli",   Format::RRL,   0xb8000040u, Shift,   0,  1,  1,  0,  0,  0,  0)  \
+    X(L_SRAI,   "l.srai",   Format::RRL,   0xb8000080u, Shift,   0,  1,  1,  0,  0,  0,  0)  \
+    X(L_RORI,   "l.rori",   Format::RRL,   0xb80000c0u, Shift,   0,  1,  1,  0,  0,  0,  0)  \
+    X(L_SFEQI,  "l.sfeqi",  Format::RIA,   0xbc000000u, Compare, 0,  0,  1,  0,  1,  0,  1)  \
+    X(L_SFNEI,  "l.sfnei",  Format::RIA,   0xbc200000u, Compare, 0,  0,  1,  0,  1,  0,  1)  \
+    X(L_SFGTUI, "l.sfgtui", Format::RIA,   0xbc400000u, Compare, 0,  0,  1,  0,  1,  0,  1)  \
+    X(L_SFGEUI, "l.sfgeui", Format::RIA,   0xbc600000u, Compare, 0,  0,  1,  0,  1,  0,  1)  \
+    X(L_SFLTUI, "l.sfltui", Format::RIA,   0xbc800000u, Compare, 0,  0,  1,  0,  1,  0,  1)  \
+    X(L_SFLEUI, "l.sfleui", Format::RIA,   0xbca00000u, Compare, 0,  0,  1,  0,  1,  0,  1)  \
+    X(L_SFGTSI, "l.sfgtsi", Format::RIA,   0xbd400000u, Compare, 0,  0,  1,  0,  1,  0,  1)  \
+    X(L_SFGESI, "l.sfgesi", Format::RIA,   0xbd600000u, Compare, 0,  0,  1,  0,  1,  0,  1)  \
+    X(L_SFLTSI, "l.sfltsi", Format::RIA,   0xbd800000u, Compare, 0,  0,  1,  0,  1,  0,  1)  \
+    X(L_SFLESI, "l.sflesi", Format::RIA,   0xbda00000u, Compare, 0,  0,  1,  0,  1,  0,  1)  \
+    X(L_MTSPR,  "l.mtspr",  Format::MTSPR, 0xc0000000u, SprMove, 0,  0,  1,  1,  0,  0,  0)  \
+    X(L_MAC,    "l.mac",    Format::RRAB,  0xc4000001u, Mac,     0,  0,  1,  1,  0,  0,  0)  \
+    X(L_MSB,    "l.msb",    Format::RRAB,  0xc4000002u, Mac,     0,  0,  1,  1,  0,  0,  0)  \
+    X(L_SW,     "l.sw",     Format::STORE, 0xd4000000u, Store,   0,  0,  1,  1,  0,  0,  1)  \
+    X(L_SB,     "l.sb",     Format::STORE, 0xd8000000u, Store,   0,  0,  1,  1,  0,  0,  1)  \
+    X(L_SH,     "l.sh",     Format::STORE, 0xdc000000u, Store,   0,  0,  1,  1,  0,  0,  1)  \
+    X(L_ADD,    "l.add",    Format::RRR,   0xe0000000u, Arith,   0,  1,  1,  1,  0,  0,  0)  \
+    X(L_ADDC,   "l.addc",   Format::RRR,   0xe0000001u, Arith,   0,  1,  1,  1,  0,  0,  0)  \
+    X(L_SUB,    "l.sub",    Format::RRR,   0xe0000002u, Arith,   0,  1,  1,  1,  0,  0,  0)  \
+    X(L_AND,    "l.and",    Format::RRR,   0xe0000003u, Logic,   0,  1,  1,  1,  0,  0,  0)  \
+    X(L_OR,     "l.or",     Format::RRR,   0xe0000004u, Logic,   0,  1,  1,  1,  0,  0,  0)  \
+    X(L_XOR,    "l.xor",    Format::RRR,   0xe0000005u, Logic,   0,  1,  1,  1,  0,  0,  0)  \
+    X(L_MUL,    "l.mul",    Format::RRR,   0xe0000306u, MulDiv,  0,  1,  1,  1,  0,  0,  0)  \
+    X(L_SLL,    "l.sll",    Format::RRR,   0xe0000008u, Shift,   0,  1,  1,  1,  0,  0,  0)  \
+    X(L_SRL,    "l.srl",    Format::RRR,   0xe0000048u, Shift,   0,  1,  1,  1,  0,  0,  0)  \
+    X(L_SRA,    "l.sra",    Format::RRR,   0xe0000088u, Shift,   0,  1,  1,  1,  0,  0,  0)  \
+    X(L_ROR,    "l.ror",    Format::RRR,   0xe00000c8u, Shift,   0,  1,  1,  1,  0,  0,  0)  \
+    X(L_DIV,    "l.div",    Format::RRR,   0xe0000309u, MulDiv,  0,  1,  1,  1,  0,  0,  0)  \
+    X(L_DIVU,   "l.divu",   Format::RRR,   0xe000030au, MulDiv,  0,  1,  1,  1,  0,  0,  0)  \
+    X(L_MULU,   "l.mulu",   Format::RRR,   0xe000030bu, MulDiv,  0,  1,  1,  1,  0,  0,  0)  \
+    X(L_EXTHS,  "l.exths",  Format::RRDA,  0xe000000cu, Extend,  0,  1,  1,  0,  0,  0,  0)  \
+    X(L_EXTBS,  "l.extbs",  Format::RRDA,  0xe000004cu, Extend,  0,  1,  1,  0,  0,  0,  0)  \
+    X(L_EXTHZ,  "l.exthz",  Format::RRDA,  0xe000008cu, Extend,  0,  1,  1,  0,  0,  0,  0)  \
+    X(L_EXTBZ,  "l.extbz",  Format::RRDA,  0xe00000ccu, Extend,  0,  1,  1,  0,  0,  0,  0)  \
+    X(L_EXTWS,  "l.extws",  Format::RRDA,  0xe000000du, Extend,  0,  1,  1,  0,  0,  0,  0)  \
+    X(L_EXTWZ,  "l.extwz",  Format::RRDA,  0xe000004du, Extend,  0,  1,  1,  0,  0,  0,  0)  \
+    X(L_CMOV,   "l.cmov",   Format::RRR,   0xe000000eu, Logic,   0,  1,  1,  1,  0,  1,  0)  \
+    X(L_FF1,    "l.ff1",    Format::RRDA,  0xe000000fu, Logic,   0,  1,  1,  0,  0,  0,  0)  \
+    X(L_SFEQ,   "l.sfeq",   Format::RRAB,  0xe4000000u, Compare, 0,  0,  1,  1,  1,  0,  0)  \
+    X(L_SFNE,   "l.sfne",   Format::RRAB,  0xe4200000u, Compare, 0,  0,  1,  1,  1,  0,  0)  \
+    X(L_SFGTU,  "l.sfgtu",  Format::RRAB,  0xe4400000u, Compare, 0,  0,  1,  1,  1,  0,  0)  \
+    X(L_SFGEU,  "l.sfgeu",  Format::RRAB,  0xe4600000u, Compare, 0,  0,  1,  1,  1,  0,  0)  \
+    X(L_SFLTU,  "l.sfltu",  Format::RRAB,  0xe4800000u, Compare, 0,  0,  1,  1,  1,  0,  0)  \
+    X(L_SFLEU,  "l.sfleu",  Format::RRAB,  0xe4a00000u, Compare, 0,  0,  1,  1,  1,  0,  0)  \
+    X(L_SFGTS,  "l.sfgts",  Format::RRAB,  0xe5400000u, Compare, 0,  0,  1,  1,  1,  0,  0)  \
+    X(L_SFGES,  "l.sfges",  Format::RRAB,  0xe5600000u, Compare, 0,  0,  1,  1,  1,  0,  0)  \
+    X(L_SFLTS,  "l.sflts",  Format::RRAB,  0xe5800000u, Compare, 0,  0,  1,  1,  1,  0,  0)  \
+    X(L_SFLES,  "l.sfles",  Format::RRAB,  0xe5a00000u, Compare, 0,  0,  1,  1,  1,  0,  0)
+// clang-format on
+
+/** Mnemonic identifiers for every implemented instruction. */
+enum class Mnemonic : uint8_t {
+#define X(name, str, fmt, match, kind, ds, wd, ra, rb, sf, rf, si) name,
+    SCIF_ISA_INSN_LIST(X)
+#undef X
+        NumMnemonics
+};
+
+/** Number of implemented instructions. */
+constexpr size_t numMnemonics = size_t(Mnemonic::NumMnemonics);
+
+/** Static description of one instruction. */
+struct InsnInfo
+{
+    Mnemonic mnemonic;
+    const char *name;       ///< assembly mnemonic, e.g. "l.add"
+    Format format;          ///< operand format
+    uint32_t match;         ///< fixed encoding bits
+    InsnKind kind;          ///< semantic class
+    bool hasDelaySlot;      ///< jump/branch with one delay slot
+    bool writesRd;          ///< writes general purpose register rD
+    bool readsRa;           ///< reads rA
+    bool readsRb;           ///< reads rB
+    bool setsFlag;          ///< writes SR[F]
+    bool readsFlag;         ///< reads SR[F]
+    bool signedImm;         ///< immediate is sign extended
+};
+
+/** @return the info record for @p m. */
+const InsnInfo &info(Mnemonic m);
+
+/** @return the info record for mnemonic string, or nullptr. */
+const InsnInfo *infoByName(std::string_view name);
+
+/** @return all instruction records, ordered by Mnemonic value. */
+const std::vector<InsnInfo> &allInsns();
+
+/** @return the encoding mask (fixed bits) implied by a format. */
+uint32_t formatMask(Format format);
+
+/** @return a printable name for an instruction kind. */
+std::string_view kindName(InsnKind kind);
+
+/**
+ * A decoded instruction: the mnemonic plus extracted operand fields.
+ * The immediate is already sign or zero extended per the instruction.
+ */
+struct DecodedInsn
+{
+    Mnemonic mnemonic = Mnemonic::L_NOP;
+    uint32_t raw = 0;     ///< original instruction word
+    uint8_t rd = 0;       ///< destination register index
+    uint8_t ra = 0;       ///< source register A index
+    uint8_t rb = 0;       ///< source register B index
+    int32_t imm = 0;      ///< extended immediate / shift amount / K
+
+    /** Convenience: static info for the mnemonic. */
+    const InsnInfo &info() const { return isa::info(mnemonic); }
+};
+
+/**
+ * Decode an instruction word.
+ *
+ * @param word the 32-bit instruction.
+ * @return the decoded instruction, or nullopt for an illegal encoding.
+ */
+std::optional<DecodedInsn> decode(uint32_t word);
+
+/**
+ * Encode a decoded instruction back into its word. Field values
+ * outside their encodable range are truncated to the field width.
+ */
+uint32_t encode(const DecodedInsn &insn);
+
+/** Render a decoded instruction as assembly text. */
+std::string disassemble(const DecodedInsn &insn);
+
+/**
+ * @return the branch/jump target for a J-format instruction at @p pc.
+ * The 26-bit immediate is a signed word offset.
+ */
+uint32_t jumpTarget(const DecodedInsn &insn, uint32_t pc);
+
+} // namespace scif::isa
+
+#endif // SCIFINDER_ISA_INSN_HH

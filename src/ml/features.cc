@@ -1,0 +1,94 @@
+#include "features.hh"
+
+#include "support/logging.hh"
+#include "trace/schema.hh"
+
+namespace scif::ml {
+
+using expr::CmpOp;
+using expr::Invariant;
+using expr::Op2;
+using expr::Operand;
+
+namespace {
+
+/** Operator feature order; mirrors the grammar of Fig. 2. */
+const char *const opNames[] = {
+    "==", "!=", "<", "<=", ">", ">=", "in",
+    "and", "or", "+", "-", "not", "*", "mod",
+};
+constexpr size_t numOps = sizeof(opNames) / sizeof(opNames[0]);
+
+} // namespace
+
+FeatureExtractor::FeatureExtractor()
+{
+    // Post-state variable features, then orig() features.
+    for (uint16_t v = 0; v < trace::numVars; ++v)
+        names_.emplace_back(trace::varName(v));
+    for (uint16_t v = 0; v < trace::numVars; ++v)
+        names_.push_back("orig(" + std::string(trace::varName(v)) +
+                         ")");
+    opBase_ = names_.size();
+    for (const char *op : opNames)
+        names_.emplace_back(op);
+    constIdx_ = names_.size();
+    names_.emplace_back("CONST");
+}
+
+std::vector<double>
+FeatureExtractor::extract(const Invariant &inv) const
+{
+    std::vector<double> x(size(), 0.0);
+
+    auto markVar = [this, &x](const expr::VarRef &ref) {
+        size_t idx = ref.orig ? trace::numVars + ref.var : ref.var;
+        x[idx] = 1.0;
+    };
+    auto markOp = [this, &x](std::string_view name) {
+        for (size_t i = 0; i < numOps; ++i) {
+            if (opNames[i] == name) {
+                x[opBase_ + i] = 1.0;
+                return;
+            }
+        }
+        panic("unknown operator feature '%.*s'", int(name.size()),
+              name.data());
+    };
+
+    auto markOperand = [&](const Operand &o) {
+        if (o.isConst) {
+            x[constIdx_] = 1.0;
+            return;
+        }
+        markVar(o.a);
+        if (o.op2 != Op2::None) {
+            markVar(o.b);
+            markOp(expr::op2Name(o.op2));
+        }
+        if (o.negate)
+            markOp("not");
+        if (o.mulImm != 1) {
+            markOp("*");
+            x[constIdx_] = 1.0;
+        }
+        if (o.modImm != 0) {
+            markOp("mod");
+            x[constIdx_] = 1.0;
+        }
+        if (o.addImm != 0) {
+            markOp("+");
+            x[constIdx_] = 1.0;
+        }
+    };
+
+    markOp(expr::cmpOpName(inv.op));
+    markOperand(inv.lhs);
+    if (inv.op == CmpOp::In)
+        x[constIdx_] = 1.0;
+    else
+        markOperand(inv.rhs);
+    return x;
+}
+
+} // namespace scif::ml

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Invariant feature extraction for the inference model (paper §3.4).
+ *
+ * "The features are all the ISA-level variables such as general
+ * purpose registers, flags, and memory addresses, and also operators
+ * such as >, <, !=." Each invariant maps to a binary feature vector:
+ * one feature per variable in post state, one per variable in orig()
+ * state, one per comparison/combination operator, and one for the
+ * presence of an immediate constant (the paper's CONST feature).
+ */
+
+#ifndef SCIFINDER_ML_FEATURES_HH
+#define SCIFINDER_ML_FEATURES_HH
+
+#include <string>
+#include <vector>
+
+#include "expr/expr.hh"
+
+namespace scif::ml {
+
+/** Maps invariants into the fixed feature space. */
+class FeatureExtractor
+{
+  public:
+    FeatureExtractor();
+
+    /** Number of features P. */
+    size_t size() const { return names_.size(); }
+
+    /** Feature names, e.g. "GPR0", "orig(NPC)", "==", "CONST". */
+    const std::vector<std::string> &names() const { return names_; }
+
+    /** Extract the binary feature vector of one invariant. */
+    std::vector<double> extract(const expr::Invariant &inv) const;
+
+  private:
+    std::vector<std::string> names_;
+    size_t opBase_;    ///< index of the first operator feature
+    size_t constIdx_;  ///< index of the CONST feature
+};
+
+} // namespace scif::ml
+
+#endif // SCIFINDER_ML_FEATURES_HH

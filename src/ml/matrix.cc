@@ -1,0 +1,142 @@
+#include "matrix.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/logging.hh"
+
+namespace scif::ml {
+
+void
+Matrix::appendRow(const std::vector<double> &values)
+{
+    if (rows_ == 0 && cols_ == 0)
+        cols_ = values.size();
+    SCIF_ASSERT(values.size() == cols_);
+    data_.insert(data_.end(), values.begin(), values.end());
+    ++rows_;
+}
+
+Standardizer
+Standardizer::fit(const Matrix &X)
+{
+    Standardizer s;
+    size_t n = X.rows(), p = X.cols();
+    s.mean.assign(p, 0.0);
+    s.stddev.assign(p, 1.0);
+    if (n == 0)
+        return s;
+
+    for (size_t r = 0; r < n; ++r) {
+        for (size_t c = 0; c < p; ++c)
+            s.mean[c] += X.at(r, c);
+    }
+    for (size_t c = 0; c < p; ++c)
+        s.mean[c] /= double(n);
+
+    std::vector<double> var(p, 0.0);
+    for (size_t r = 0; r < n; ++r) {
+        for (size_t c = 0; c < p; ++c) {
+            double d = X.at(r, c) - s.mean[c];
+            var[c] += d * d;
+        }
+    }
+    for (size_t c = 0; c < p; ++c) {
+        double sd = std::sqrt(var[c] / double(n));
+        s.stddev[c] = sd > 1e-12 ? sd : 1.0;
+    }
+    return s;
+}
+
+Matrix
+Standardizer::apply(const Matrix &X) const
+{
+    Matrix out(X.rows(), X.cols());
+    for (size_t r = 0; r < X.rows(); ++r) {
+        for (size_t c = 0; c < X.cols(); ++c)
+            out.at(r, c) = (X.at(r, c) - mean[c]) / stddev[c];
+    }
+    return out;
+}
+
+void
+Standardizer::applyRow(std::vector<double> &row) const
+{
+    SCIF_ASSERT(row.size() == mean.size());
+    for (size_t c = 0; c < row.size(); ++c)
+        row[c] = (row[c] - mean[c]) / stddev[c];
+}
+
+void
+symmetricEigen(const Matrix &A, std::vector<double> &eigenvalues,
+               Matrix &eigenvectors)
+{
+    size_t n = A.rows();
+    SCIF_ASSERT(A.cols() == n);
+
+    // Working copy and accumulated rotations.
+    Matrix S = A;
+    Matrix V(n, n);
+    for (size_t i = 0; i < n; ++i)
+        V.at(i, i) = 1.0;
+
+    const int maxSweeps = 64;
+    for (int sweep = 0; sweep < maxSweeps; ++sweep) {
+        double off = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            for (size_t j = i + 1; j < n; ++j)
+                off += S.at(i, j) * S.at(i, j);
+        }
+        if (off < 1e-20)
+            break;
+
+        for (size_t p = 0; p < n; ++p) {
+            for (size_t q = p + 1; q < n; ++q) {
+                double apq = S.at(p, q);
+                if (std::fabs(apq) < 1e-18)
+                    continue;
+                double app = S.at(p, p), aqq = S.at(q, q);
+                double theta = (aqq - app) / (2.0 * apq);
+                double t = (theta >= 0 ? 1.0 : -1.0) /
+                           (std::fabs(theta) +
+                            std::sqrt(theta * theta + 1.0));
+                double c = 1.0 / std::sqrt(t * t + 1.0);
+                double s = t * c;
+
+                for (size_t k = 0; k < n; ++k) {
+                    double skp = S.at(k, p), skq = S.at(k, q);
+                    S.at(k, p) = c * skp - s * skq;
+                    S.at(k, q) = s * skp + c * skq;
+                }
+                for (size_t k = 0; k < n; ++k) {
+                    double spk = S.at(p, k), sqk = S.at(q, k);
+                    S.at(p, k) = c * spk - s * sqk;
+                    S.at(q, k) = s * spk + c * sqk;
+                }
+                for (size_t k = 0; k < n; ++k) {
+                    double vkp = V.at(k, p), vkq = V.at(k, q);
+                    V.at(k, p) = c * vkp - s * vkq;
+                    V.at(k, q) = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Sort by descending eigenvalue.
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&S](size_t a, size_t b) {
+        return S.at(a, a) > S.at(b, b);
+    });
+
+    eigenvalues.resize(n);
+    eigenvectors = Matrix(n, n);
+    for (size_t c = 0; c < n; ++c) {
+        eigenvalues[c] = S.at(order[c], order[c]);
+        for (size_t r = 0; r < n; ++r)
+            eigenvectors.at(r, c) = V.at(r, order[c]);
+    }
+}
+
+} // namespace scif::ml

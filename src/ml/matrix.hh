@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Minimal dense linear-algebra support for the inference engine:
+ * a row-major matrix, column standardization, and a symmetric
+ * eigensolver (cyclic Jacobi) for PCA.
+ */
+
+#ifndef SCIFINDER_ML_MATRIX_HH
+#define SCIFINDER_ML_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace scif::ml {
+
+/** Dense row-major matrix of doubles. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** Create a zero matrix of the given shape. */
+    Matrix(size_t rows, size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+    {
+    }
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+
+    double &at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+    double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+    /** Pointer to the start of row @p r. */
+    const double *row(size_t r) const { return &data_[r * cols_]; }
+    double *row(size_t r) { return &data_[r * cols_]; }
+
+    /** Append a row; its length must equal cols() (or set cols). */
+    void appendRow(const std::vector<double> &values);
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/** Column means and standard deviations for standardization. */
+struct Standardizer
+{
+    std::vector<double> mean;
+    std::vector<double> stddev; ///< zero-variance columns get 1
+
+    /** Fit to the columns of @p X. */
+    static Standardizer fit(const Matrix &X);
+
+    /** @return (x - mean) / stddev applied to a copy of @p X. */
+    Matrix apply(const Matrix &X) const;
+
+    /** Standardize a single row in place. */
+    void applyRow(std::vector<double> &row) const;
+};
+
+/**
+ * Eigendecomposition of a symmetric matrix by the cyclic Jacobi
+ * method.
+ *
+ * @param A symmetric matrix (only read).
+ * @param eigenvalues out: descending eigenvalues.
+ * @param eigenvectors out: one eigenvector per *column*, matching
+ *        the eigenvalue order.
+ */
+void symmetricEigen(const Matrix &A, std::vector<double> &eigenvalues,
+                    Matrix &eigenvectors);
+
+} // namespace scif::ml
+
+#endif // SCIFINDER_ML_MATRIX_HH

@@ -1,0 +1,71 @@
+#include "pca.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace scif::ml {
+
+PcaResult
+pca(const Matrix &X, size_t num_components)
+{
+    size_t n = X.rows(), p = X.cols();
+    SCIF_ASSERT(n > 1 && p > 0);
+    num_components = std::min(num_components, p);
+
+    PcaResult result;
+    result.mean.assign(p, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < p; ++j)
+            result.mean[j] += X.at(i, j);
+    }
+    for (size_t j = 0; j < p; ++j)
+        result.mean[j] /= double(n);
+
+    // Covariance matrix.
+    Matrix cov(p, p);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t a = 0; a < p; ++a) {
+            double da = X.at(i, a) - result.mean[a];
+            for (size_t b = a; b < p; ++b) {
+                double db = X.at(i, b) - result.mean[b];
+                cov.at(a, b) += da * db;
+            }
+        }
+    }
+    for (size_t a = 0; a < p; ++a) {
+        for (size_t b = a; b < p; ++b) {
+            double v = cov.at(a, b) / double(n - 1);
+            cov.at(a, b) = v;
+            cov.at(b, a) = v;
+        }
+    }
+
+    std::vector<double> eigenvalues;
+    Matrix eigenvectors;
+    symmetricEigen(cov, eigenvalues, eigenvectors);
+
+    result.eigenvalues.assign(eigenvalues.begin(),
+                              eigenvalues.begin() +
+                                  long(num_components));
+    result.components = Matrix(p, num_components);
+    for (size_t j = 0; j < p; ++j) {
+        for (size_t c = 0; c < num_components; ++c)
+            result.components.at(j, c) = eigenvectors.at(j, c);
+    }
+
+    result.projected = Matrix(n, num_components);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t c = 0; c < num_components; ++c) {
+            double dot = 0.0;
+            for (size_t j = 0; j < p; ++j) {
+                dot += (X.at(i, j) - result.mean[j]) *
+                       result.components.at(j, c);
+            }
+            result.projected.at(i, c) = dot;
+        }
+    }
+    return result;
+}
+
+} // namespace scif::ml

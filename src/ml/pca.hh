@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Principal component analysis (paper §5.3 / Figure 4): PCA over the
+ * invariants restricted to the features the elastic net selected,
+ * projecting the labeled invariants to two dimensions to show the
+ * SCI / non-SCI separation.
+ */
+
+#ifndef SCIFINDER_ML_PCA_HH
+#define SCIFINDER_ML_PCA_HH
+
+#include <vector>
+
+#include "ml/matrix.hh"
+
+namespace scif::ml {
+
+/** PCA output. */
+struct PcaResult
+{
+    /** One principal axis per column, descending variance. */
+    Matrix components;
+    /** Explained variance per component. */
+    std::vector<double> eigenvalues;
+    /** Input rows projected onto the components. */
+    Matrix projected;
+    /** Column means removed before projection. */
+    std::vector<double> mean;
+};
+
+/**
+ * Run PCA on the rows of @p X.
+ *
+ * @param X data matrix (rows = observations).
+ * @param num_components how many leading components to project onto.
+ */
+PcaResult pca(const Matrix &X, size_t num_components);
+
+} // namespace scif::ml
+
+#endif // SCIFINDER_ML_PCA_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Runtime assertions (paper §2, §4.2).
+ *
+ * SCI are translated into OVL-style assertion templates and enforced
+ * by a monitor that watches the processor's retirement stream — the
+ * SPECS-like dynamic verification the paper evaluates. Invariants
+ * with the same expression are synthesized into a single assertion
+ * enforced at the union of their program points (the paper's 54
+ * identified SCI become 14 assertions the same way).
+ *
+ * Template selection follows §4.2:
+ *  - next:   the expression references orig() state, so the checker
+ *            samples the instruction and tests one cycle later
+ *            against registered previous values;
+ *  - edge:   the expression is over post state and is tied to
+ *            specific instructions;
+ *  - always: the expression is over post state and holds at
+ *            (almost) every program point;
+ *  - delta:  bounded-update template, provided for completeness.
+ */
+
+#ifndef SCIFINDER_MONITOR_ASSERTION_HH
+#define SCIFINDER_MONITOR_ASSERTION_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "invgen/invgen.hh"
+#include "trace/record.hh"
+
+namespace scif::monitor {
+
+/** OVL assertion templates (§4.2). */
+enum class Template { Always, Edge, Next, Delta };
+
+/** @return printable template name. */
+std::string_view templateName(Template t);
+
+/** One synthesizable assertion. */
+struct Assertion
+{
+    std::string name;        ///< e.g. "a12_sr_restore"
+    Template kind;
+    /** The enforced expression (representative member). */
+    expr::Invariant representative;
+    /** Every (point, expression) instance folded into it. */
+    std::vector<expr::Invariant> members;
+
+    /** Number of distinct program points covered. */
+    size_t pointCount() const;
+};
+
+/**
+ * Synthesize assertions from invariants: members sharing an
+ * expression merge into one assertion over a point set.
+ *
+ * @param set the invariant model.
+ * @param indices the SCI to enforce.
+ */
+std::vector<Assertion> synthesize(const invgen::InvariantSet &set,
+                                  const std::vector<size_t> &indices);
+
+/** One assertion firing. */
+struct FiredEvent
+{
+    size_t assertion;       ///< index into assertions()
+    uint64_t recordIndex;   ///< retirement index
+    trace::Point point;     ///< where it fired
+};
+
+/**
+ * The execution monitor: attach as a trace sink and it evaluates
+ * every enforced assertion at each instruction boundary, recording
+ * firings (it does not halt the processor; what a system does on a
+ * firing is a design choice the paper leaves open).
+ */
+class AssertionMonitor : public trace::TraceSink
+{
+  public:
+    explicit AssertionMonitor(std::vector<Assertion> assertions);
+
+    void record(const trace::Record &rec) override;
+
+    const std::vector<Assertion> &assertions() const
+    {
+        return assertions_;
+    }
+    const std::vector<FiredEvent> &fired() const { return fired_; }
+    bool anyFired() const { return !fired_.empty(); }
+
+    /** Distinct assertions that fired at least once. */
+    std::vector<size_t> firedAssertions() const;
+
+    /** Forget recorded firings (assertions stay armed). */
+    void clearFirings();
+
+  private:
+    std::vector<Assertion> assertions_;
+    /** point id -> list of (assertion index, member index). */
+    std::map<uint16_t, std::vector<std::pair<size_t, size_t>>> index_;
+    std::vector<FiredEvent> fired_;
+};
+
+} // namespace scif::monitor
+
+#endif // SCIFINDER_MONITOR_ASSERTION_HH

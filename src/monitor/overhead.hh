@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Analytic hardware-cost model for synthesized assertions (paper
+ * Table 9).
+ *
+ * The paper synthesizes its assertions into the OR1200 on a Xilinx
+ * xupv5-lx110t and reports logic, power, and delay overhead against
+ * the published baseline (10073 LUTs, 3.24 W, 19.1 ns). We replace
+ * synthesis with a structural cost model: each assertion costs LUTs
+ * for its instruction-decode match, comparators, and arithmetic, and
+ * flip-flop pairs for the history registers `next`-template
+ * assertions need (§4.2: "we need to store the previous cycle value
+ * of ESR0"). Power scales with the added-logic fraction at a low
+ * activity factor (checkers toggle rarely), and the checkers sit off
+ * the critical path, so delay overhead is zero — the shape Table 9
+ * reports.
+ */
+
+#ifndef SCIFINDER_MONITOR_OVERHEAD_HH
+#define SCIFINDER_MONITOR_OVERHEAD_HH
+
+#include "monitor/assertion.hh"
+
+namespace scif::monitor {
+
+/** Published OR1200 SoC baseline (Table 9). */
+struct Baseline
+{
+    double luts = 10073;
+    double powerWatts = 3.24;
+    double delayNs = 19.1;
+};
+
+/** Estimated cost of an assertion set. */
+struct Overhead
+{
+    size_t assertions = 0;
+    size_t luts = 0;           ///< added logic
+    size_t historyRegs = 0;    ///< 32-bit previous-value registers
+    double logicPct = 0;       ///< added LUTs / baseline LUTs
+    double powerPct = 0;
+    double delayPct = 0;       ///< always 0: off the critical path
+};
+
+/** Estimate LUT cost of a single assertion. */
+size_t assertionLuts(const Assertion &assertion);
+
+/**
+ * Estimate the overhead of enforcing @p assertions on the baseline
+ * system.
+ */
+Overhead estimateOverhead(const std::vector<Assertion> &assertions,
+                          const Baseline &baseline = Baseline());
+
+} // namespace scif::monitor
+
+#endif // SCIFINDER_MONITOR_OVERHEAD_HH

@@ -1,0 +1,316 @@
+#include "passes.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "support/logging.hh"
+
+namespace scif::opt {
+
+using expr::CmpOp;
+using expr::Invariant;
+using expr::Op2;
+using expr::Operand;
+using expr::VarRef;
+
+namespace {
+
+size_t
+countVariables(const std::vector<Invariant> &invs)
+{
+    size_t count = 0;
+    for (const auto &inv : invs) {
+        count += inv.lhs.vars().size();
+        if (inv.op != CmpOp::In)
+            count += inv.rhs.vars().size();
+    }
+    return count;
+}
+
+/** True for the canonical "bare variable == constant" shape. */
+bool
+isConstFact(const Invariant &inv, VarRef &var, uint32_t &value)
+{
+    if (inv.op != CmpOp::Eq)
+        return false;
+    const Operand *v = nullptr, *c = nullptr;
+    if (inv.lhs.isBareVar() && inv.rhs.isConst) {
+        v = &inv.lhs;
+        c = &inv.rhs;
+    } else if (inv.rhs.isBareVar() && inv.lhs.isConst) {
+        v = &inv.rhs;
+        c = &inv.lhs;
+    } else {
+        return false;
+    }
+    var = v->a;
+    value = c->constVal;
+    return true;
+}
+
+/**
+ * Substitute known constants into one operand.
+ * @return true if the operand changed.
+ */
+bool
+substitute(Operand &o, const std::map<VarRef, uint32_t> &consts)
+{
+    if (o.isConst)
+        return false;
+
+    auto fold = [&o](uint32_t combined) {
+        uint32_t v = combined;
+        if (o.negate)
+            v = ~v;
+        v *= o.mulImm;
+        if (o.modImm != 0)
+            v %= o.modImm;
+        v += o.addImm;
+        o = Operand::imm(v);
+    };
+
+    if (o.op2 == Op2::None) {
+        auto it = consts.find(o.a);
+        if (it == consts.end())
+            return false;
+        fold(it->second);
+        return true;
+    }
+
+    auto ia = consts.find(o.a);
+    auto ib = consts.find(o.b);
+    bool hasA = ia != consts.end();
+    bool hasB = ib != consts.end();
+    if (hasA && hasB) {
+        uint32_t va = ia->second, vb = ib->second;
+        uint32_t combined = 0;
+        switch (o.op2) {
+          case Op2::And: combined = va & vb; break;
+          case Op2::Or: combined = va | vb; break;
+          case Op2::Add: combined = va + vb; break;
+          case Op2::Sub: combined = va - vb; break;
+          case Op2::None: break;
+        }
+        fold(combined);
+        return true;
+    }
+
+    // Partial fold: (x + c) and (x - c) collapse into the additive
+    // tail when no negate/mod stands in the way.
+    if (!o.negate && o.modImm == 0) {
+        if (o.op2 == Op2::Add && (hasA || hasB)) {
+            uint32_t c = hasA ? ia->second : ib->second;
+            VarRef keep = hasA ? o.b : o.a;
+            o.a = keep;
+            o.op2 = Op2::None;
+            o.addImm += c * o.mulImm;
+            return true;
+        }
+        if (o.op2 == Op2::Sub && hasB) {
+            uint32_t c = ib->second;
+            o.op2 = Op2::None;
+            o.addImm -= c * o.mulImm;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+PassStats
+constantPropagation(std::vector<Invariant> &invs)
+{
+    PassStats stats;
+    stats.invariantsBefore = invs.size();
+    stats.variablesBefore = countVariables(invs);
+
+    // Group invariant indices by program point.
+    std::map<uint16_t, std::vector<size_t>> byPoint;
+    for (size_t i = 0; i < invs.size(); ++i)
+        byPoint[invs[i].point.id()].push_back(i);
+
+    for (auto &[pointId, indices] : byPoint) {
+        // Collect the initial variable-value map.
+        std::map<VarRef, uint32_t> consts;
+        std::set<size_t> defining;
+        for (size_t i : indices) {
+            VarRef var;
+            uint32_t value;
+            if (isConstFact(invs[i], var, value)) {
+                consts.emplace(var, value);
+                defining.insert(i);
+            }
+        }
+
+        // Iterate the worklist until no new constants appear.
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (size_t i : indices) {
+                if (defining.count(i))
+                    continue;
+                Invariant &inv = invs[i];
+                bool touched = substitute(inv.lhs, consts);
+                if (inv.op != CmpOp::In)
+                    touched |= substitute(inv.rhs, consts);
+                if (!touched)
+                    continue;
+                // A substitution may expose a new constant fact.
+                VarRef var;
+                uint32_t value;
+                if (isConstFact(inv, var, value) &&
+                    !consts.count(var)) {
+                    consts.emplace(var, value);
+                    defining.insert(i);
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    stats.invariantsAfter = invs.size();
+    stats.variablesAfter = countVariables(invs);
+    return stats;
+}
+
+PassStats
+deducibleRemoval(std::vector<Invariant> &invs)
+{
+    PassStats stats;
+    stats.invariantsBefore = invs.size();
+    stats.variablesBefore = countVariables(invs);
+
+    for (auto &inv : invs)
+        inv.canonicalize();
+
+    // Bucket transitive relations by (point, operator).
+    std::map<std::pair<uint16_t, CmpOp>, std::vector<size_t>> buckets;
+    for (size_t i = 0; i < invs.size(); ++i) {
+        CmpOp op = invs[i].op;
+        if (op == CmpOp::Gt || op == CmpOp::Ge)
+            buckets[{invs[i].point.id(), op}].push_back(i);
+    }
+
+    std::set<size_t> removed;
+    for (const auto &[bucketKey, indices] : buckets) {
+        // Build the graph over canonical operand keys.
+        std::map<std::string, int> nodeIds;
+        auto nodeOf = [&nodeIds](const Operand &o) {
+            auto [it, fresh] =
+                nodeIds.emplace(o.str(), int(nodeIds.size()));
+            (void)fresh;
+            return it->second;
+        };
+        struct Edge
+        {
+            int from, to;
+            size_t inv;
+        };
+        std::vector<Edge> edges;
+        for (size_t i : indices)
+            edges.push_back(
+                {nodeOf(invs[i].lhs), nodeOf(invs[i].rhs), i});
+
+        size_t n = nodeIds.size();
+        std::vector<std::vector<int>> succ(n);
+        for (const auto &e : edges)
+            succ[e.from].push_back(e.to);
+
+        // Plain DFS reachability (from == to counts as reachable).
+        auto reaches = [&](int from, int to) {
+            std::vector<bool> visited(n, false);
+            std::vector<int> stack{from};
+            while (!stack.empty()) {
+                int u = stack.back();
+                stack.pop_back();
+                if (u == to)
+                    return true;
+                if (visited[u])
+                    continue;
+                visited[u] = true;
+                for (int v : succ[u])
+                    stack.push_back(v);
+            }
+            return false;
+        };
+
+        // An edge u -> v is deducible if some other successor of u
+        // reaches v, i.e. a path of length >= 2 exists.
+        for (const auto &e : edges) {
+            for (int w : succ[e.from]) {
+                if (w == e.to)
+                    continue;
+                if (reaches(w, e.to)) {
+                    removed.insert(e.inv);
+                    break;
+                }
+            }
+        }
+    }
+
+    if (!removed.empty()) {
+        std::vector<Invariant> kept;
+        kept.reserve(invs.size() - removed.size());
+        for (size_t i = 0; i < invs.size(); ++i) {
+            if (!removed.count(i))
+                kept.push_back(std::move(invs[i]));
+        }
+        invs = std::move(kept);
+    }
+
+    stats.invariantsAfter = invs.size();
+    stats.variablesAfter = countVariables(invs);
+    return stats;
+}
+
+PassStats
+equivalenceRemoval(std::vector<Invariant> &invs)
+{
+    PassStats stats;
+    stats.invariantsBefore = invs.size();
+    stats.variablesBefore = countVariables(invs);
+
+    std::set<std::string> seen;
+    std::vector<Invariant> kept;
+    kept.reserve(invs.size());
+    for (auto &inv : invs) {
+        inv.canonicalize();
+
+        // Tautologies exposed by constant propagation.
+        if (inv.op != CmpOp::In && inv.lhs.isConst &&
+            inv.rhs.isConst) {
+            trace::Record dummy{};
+            if (!inv.exprHolds(dummy)) {
+                panic("contradictory invariant after optimization: %s",
+                      inv.str().c_str());
+            }
+            continue;
+        }
+        if (inv.op == CmpOp::In && inv.lhs.isConst)
+            continue;
+
+        if (seen.insert(inv.key()).second)
+            kept.push_back(std::move(inv));
+    }
+    invs = std::move(kept);
+
+    stats.invariantsAfter = invs.size();
+    stats.variablesAfter = countVariables(invs);
+    return stats;
+}
+
+std::vector<PassStats>
+optimize(invgen::InvariantSet &set)
+{
+    std::vector<Invariant> invs = set.all();
+    std::vector<PassStats> stats;
+    stats.push_back(constantPropagation(invs));
+    stats.push_back(deducibleRemoval(invs));
+    stats.push_back(equivalenceRemoval(invs));
+    set.assign(std::move(invs));
+    return stats;
+}
+
+} // namespace scif::opt

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Invariant-set optimization passes (paper §3.2).
+ *
+ * Three passes run in the paper's order:
+ *
+ *  1. Constant propagation (CP): equality-to-constant invariants at a
+ *     point are substituted into that point's other invariants,
+ *     iterating until a fixed point; this shrinks the total variable
+ *     count without changing the number of invariants.
+ *  2. Deducible removal (DR): per point and per transitive operator
+ *     (>, >=), invariants are edges of a DAG over canonical operand
+ *     keys; the transitive reduction drops edges implied by others.
+ *  3. Equivalence removal (ER): invariants are canonicalized and
+ *     exact duplicates (plus tautologies exposed by CP) are dropped.
+ */
+
+#ifndef SCIFINDER_OPT_PASSES_HH
+#define SCIFINDER_OPT_PASSES_HH
+
+#include "invgen/invgen.hh"
+
+namespace scif::opt {
+
+/** Per-pass size accounting (the rows of Table 2). */
+struct PassStats
+{
+    size_t invariantsBefore = 0;
+    size_t invariantsAfter = 0;
+    size_t variablesBefore = 0;
+    size_t variablesAfter = 0;
+};
+
+/**
+ * Constant propagation: substitute x == c facts into sibling
+ * invariants at the same program point, iterating as new constants
+ * appear. Does not remove invariants.
+ */
+PassStats constantPropagation(std::vector<expr::Invariant> &invs);
+
+/**
+ * Deducible removal: transitive reduction of the >,>= relations per
+ * program point. Removes implied invariants.
+ */
+PassStats deducibleRemoval(std::vector<expr::Invariant> &invs);
+
+/**
+ * Equivalence removal: drop exact canonical duplicates and
+ * tautologies (constant-constant comparisons that are always true).
+ * Aborts if a constant-constant comparison is false — that would
+ * mean the set is self-contradictory.
+ */
+PassStats equivalenceRemoval(std::vector<expr::Invariant> &invs);
+
+/** Run all three passes in order; returns one stats entry per pass. */
+std::vector<PassStats> optimize(invgen::InvariantSet &set);
+
+} // namespace scif::opt
+
+#endif // SCIFINDER_OPT_PASSES_HH

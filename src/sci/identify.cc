@@ -1,0 +1,105 @@
+#include "identify.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace scif::sci {
+
+std::vector<size_t>
+findViolations(const invgen::InvariantSet &set,
+               const trace::TraceBuffer &trace)
+{
+    std::set<size_t> violated;
+    const auto &invs = set.all();
+    for (const auto &rec : trace.records()) {
+        for (size_t idx : set.atPoint(rec.point.id())) {
+            if (violated.count(idx))
+                continue;
+            if (!invs[idx].exprHolds(rec))
+                violated.insert(idx);
+        }
+    }
+    return std::vector<size_t>(violated.begin(), violated.end());
+}
+
+std::set<size_t>
+corpusViolations(const invgen::InvariantSet &set,
+                 const std::vector<trace::TraceBuffer> &corpus)
+{
+    std::set<size_t> out;
+    for (const auto &trace : corpus) {
+        for (size_t idx : findViolations(set, trace))
+            out.insert(idx);
+    }
+    return out;
+}
+
+IdentificationResult
+identify(const invgen::InvariantSet &set, const bugs::Bug &bug,
+         const std::set<size_t> &knownNonInvariant)
+{
+    trace::TraceBuffer buggy = bugs::runTrigger(bug, true);
+    trace::TraceBuffer clean = bugs::runTrigger(bug, false);
+
+    std::vector<size_t> buggyViolations = findViolations(set, buggy);
+    std::vector<size_t> cleanViolations = findViolations(set, clean);
+
+    IdentificationResult result;
+    result.bugId = bug.id;
+    result.notInvariant = std::move(cleanViolations);
+
+    std::vector<size_t> candidates;
+    std::set_difference(buggyViolations.begin(), buggyViolations.end(),
+                        result.notInvariant.begin(),
+                        result.notInvariant.end(),
+                        std::back_inserter(candidates));
+
+    for (size_t idx : candidates) {
+        if (knownNonInvariant.count(idx))
+            result.falsePositives.push_back(idx);
+        else
+            result.trueSci.push_back(idx);
+    }
+    return result;
+}
+
+void
+SciDatabase::addResult(const IdentificationResult &result)
+{
+    results_.push_back(result);
+    for (size_t idx : result.trueSci)
+        sci_[idx].push_back(result.bugId);
+    for (size_t idx : result.falsePositives)
+        falsePositives_.insert(idx);
+}
+
+std::vector<size_t>
+SciDatabase::sciIndices() const
+{
+    std::vector<size_t> out;
+    for (const auto &[idx, bugs] : sci_)
+        out.push_back(idx);
+    return out;
+}
+
+std::vector<size_t>
+SciDatabase::nonSciIndices() const
+{
+    std::vector<size_t> out;
+    for (size_t idx : falsePositives_) {
+        if (!sci_.count(idx))
+            out.push_back(idx);
+    }
+    return out;
+}
+
+const std::vector<std::string> &
+SciDatabase::provenance(size_t index) const
+{
+    static const std::vector<std::string> empty;
+    auto it = sci_.find(index);
+    return it == sci_.end() ? empty : it->second;
+}
+
+} // namespace scif::sci

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Security-critical invariant identification (paper §3.3, §5.2).
+ *
+ * For each reproduced bug the trigger program runs on the buggy and
+ * on the clean processor:
+ *
+ *  - invariants violated on the *clean* run are not true invariants
+ *    at all (generation artifacts); they are silently discarded;
+ *  - invariants violated on the buggy run only are candidate SCI;
+ *  - candidates are then validated the way the paper's human expert
+ *    validated them (§5.7: five hours of marking candidates that are
+ *    "clearly non-invariant as determined by the ISA"): a candidate
+ *    violated by any clean run of the held-out validation corpus is
+ *    not a real processor invariant and becomes a false positive —
+ *    Table 3's FP column; the survivors are the bug's true SCI.
+ */
+
+#ifndef SCIFINDER_SCI_IDENTIFY_HH
+#define SCIFINDER_SCI_IDENTIFY_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bugs/registry.hh"
+#include "invgen/invgen.hh"
+
+namespace scif::sci {
+
+/**
+ * Scan a trace for invariant violations.
+ *
+ * @param set the invariant model.
+ * @param trace the execution trace.
+ * @return indices (into set.all()) of every invariant violated by at
+ *         least one record, in ascending order.
+ */
+std::vector<size_t> findViolations(const invgen::InvariantSet &set,
+                                   const trace::TraceBuffer &trace);
+
+/**
+ * Union of violations across a corpus of clean traces — the automated
+ * stand-in for the expert's ISA knowledge.
+ */
+std::set<size_t>
+corpusViolations(const invgen::InvariantSet &set,
+                 const std::vector<trace::TraceBuffer> &corpus);
+
+/** Per-bug identification outcome (one row of Table 3). */
+struct IdentificationResult
+{
+    std::string bugId;
+    /** Violated on the buggy run only and validated: the true SCI. */
+    std::vector<size_t> trueSci;
+    /** Violated on the buggy run only but exposed as non-invariant
+     *  by the validation corpus: Table 3's FP column. */
+    std::vector<size_t> falsePositives;
+    /** Violated on the clean trigger run: generation artifacts,
+     *  discarded before validation. */
+    std::vector<size_t> notInvariant;
+
+    /** An enforced assertion would fire on this bug. */
+    bool detected() const { return !trueSci.empty(); }
+};
+
+/**
+ * Identify the SCI for one bug.
+ *
+ * @param set the optimized invariant model.
+ * @param bug the reproduced erratum and its trigger.
+ * @param knownNonInvariant invariants the validation corpus exposed
+ *        as non-invariant (see corpusViolations()).
+ */
+IdentificationResult identify(const invgen::InvariantSet &set,
+                              const bugs::Bug &bug,
+                              const std::set<size_t> &knownNonInvariant);
+
+/**
+ * The accumulated identification output: which invariants are SCI
+ * (and from which bugs), and which are labeled false positives — the
+ * labeled data the inference phase trains on (§5.3: SCI plus the
+ * unique false positives from the identification step).
+ */
+class SciDatabase
+{
+  public:
+    /** Fold one bug's identification result in. */
+    void addResult(const IdentificationResult &result);
+
+    /** @return indices of all identified SCI, ascending. */
+    std::vector<size_t> sciIndices() const;
+
+    /**
+     * @return indices of labeled non-SCI (identification false
+     * positives never identified as SCI by any bug), ascending.
+     */
+    std::vector<size_t> nonSciIndices() const;
+
+    /** @return bugs whose trigger identified invariant @p index. */
+    const std::vector<std::string> &provenance(size_t index) const;
+
+    /** @return true if the invariant is an identified SCI. */
+    bool isSci(size_t index) const { return sci_.count(index) != 0; }
+
+    /** @return per-bug results in insertion order. */
+    const std::vector<IdentificationResult> &results() const
+    {
+        return results_;
+    }
+
+  private:
+    std::vector<IdentificationResult> results_;
+    std::map<size_t, std::vector<std::string>> sci_;
+    std::set<size_t> falsePositives_;
+};
+
+} // namespace scif::sci
+
+#endif // SCIFINDER_SCI_IDENTIFY_HH

@@ -1,0 +1,130 @@
+#include "infer.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+#include "support/random.hh"
+
+namespace scif::sci {
+
+InferenceResult
+infer(const invgen::InvariantSet &set, const SciDatabase &db,
+      const std::set<size_t> &knownNonInvariant,
+      const InferConfig &config)
+{
+    InferenceResult result;
+
+    // Assemble the labeled data. y = 1 means NON-security-critical
+    // (the paper's convention).
+    std::vector<size_t> sci = db.sciIndices();
+    std::vector<size_t> nonSci = db.nonSciIndices();
+    result.labeledSci = sci.size();
+    result.labeledNonSci = nonSci.size();
+    SCIF_ASSERT(!sci.empty() && !nonSci.empty());
+
+    std::vector<size_t> labeled;
+    std::vector<int> labels;
+    for (size_t idx : sci) {
+        labeled.push_back(idx);
+        labels.push_back(0);
+    }
+    for (size_t idx : nonSci) {
+        labeled.push_back(idx);
+        labels.push_back(1);
+    }
+
+    // 70/30 split.
+    Rng rng(config.seed);
+    std::vector<size_t> perm = rng.permutation(labeled.size());
+    size_t trainCount =
+        size_t(double(labeled.size()) * config.trainFraction);
+
+    ml::Matrix Xtrain(trainCount, result.features.size());
+    std::vector<int> ytrain(trainCount);
+    for (size_t i = 0; i < trainCount; ++i) {
+        size_t k = perm[i];
+        auto x = result.features.extract(set.all()[labeled[k]]);
+        for (size_t j = 0; j < x.size(); ++j)
+            Xtrain.at(i, j) = x[j];
+        ytrain[i] = labels[k];
+    }
+
+    result.model = ml::fitElasticNet(Xtrain, ytrain, config.net);
+
+    // Held-out accuracy.
+    size_t correct = 0, total = 0;
+    for (size_t i = trainCount; i < labeled.size(); ++i) {
+        size_t k = perm[i];
+        auto x = result.features.extract(set.all()[labeled[k]]);
+        int predicted = result.model.predict(x) >= 0.5 ? 1 : 0;
+        correct += predicted == labels[k];
+        ++total;
+    }
+    result.testAccuracy =
+        total ? double(correct) / double(total) : 0.0;
+
+    // Classify every unlabeled invariant.
+    std::set<size_t> labeledSet(labeled.begin(), labeled.end());
+    for (size_t idx = 0; idx < set.size(); ++idx) {
+        if (labeledSet.count(idx))
+            continue;
+        auto x = result.features.extract(set.all()[idx]);
+        double pSci = 1.0 - result.model.predict(x);
+        if (pSci >= config.recommendThreshold)
+            result.recommended.push_back(idx);
+    }
+
+    // The expert pass: recommended invariants the validation corpus
+    // exposes as non-invariant are clear false positives.
+    for (size_t idx : result.recommended) {
+        if (knownNonInvariant.count(idx))
+            result.clearFalsePositives.push_back(idx);
+        else
+            result.inferredSci.push_back(idx);
+    }
+    return result;
+}
+
+std::map<std::string, std::vector<size_t>>
+groupIntoProperties(const invgen::InvariantSet &set,
+                    const std::vector<size_t> &indices)
+{
+    std::map<std::string, std::vector<size_t>> groups;
+    for (size_t idx : indices) {
+        const expr::Invariant &inv = set.all()[idx];
+        // Abstract the program point: keep only the exception
+        // qualifier so "l.add@range" and "l.addi@range" group, and
+        // "l.add" and "l.sub" group. Immediate values are abstracted
+        // to K so that e.g. the per-vector NPC constants form one
+        // property.
+        expr::Invariant shape = inv;
+        auto abstractConst = [](expr::Operand &o) {
+            if (o.isConst)
+                o.constVal = 0xabcdef;
+            o.addImm = o.addImm ? 1 : 0;
+            o.mulImm = o.mulImm != 1 ? 2 : 1;
+            o.modImm = o.modImm ? 2 : 0;
+        };
+        abstractConst(shape.lhs);
+        if (shape.op != expr::CmpOp::In)
+            abstractConst(shape.rhs);
+        else
+            shape.set = {0xabcdef};
+        std::string key = shape.exprKey();
+        // Render the sentinel constant as "K" for readability.
+        for (size_t pos; (pos = key.find("0xabcdef")) !=
+                         std::string::npos;) {
+            key.replace(pos, 8, "K");
+        }
+        if (inv.point.exception() != isa::Exception::None) {
+            key = "@" +
+                  std::string(isa::exceptionName(
+                      inv.point.exception())) +
+                  ": " + key;
+        }
+        groups[key].push_back(idx);
+    }
+    return groups;
+}
+
+} // namespace scif::sci

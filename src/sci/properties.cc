@@ -1,0 +1,434 @@
+#include "properties.hh"
+
+#include "support/logging.hh"
+#include "trace/schema.hh"
+
+namespace scif::sci {
+
+using expr::CmpOp;
+using expr::Invariant;
+using trace::VarId;
+
+std::string_view
+propClassName(PropClass cls)
+{
+    switch (cls) {
+      case PropClass::CF: return "CF";
+      case PropClass::XR: return "XR";
+      case PropClass::MA: return "MA";
+      case PropClass::IE: return "IE";
+      case PropClass::CR: return "CR";
+      case PropClass::RU: return "RU";
+      case PropClass::OffCore: return "off-core";
+    }
+    return "?";
+}
+
+namespace {
+
+using Matcher = std::function<bool(const Invariant &)>;
+
+bool
+mentions(const Invariant &inv, uint16_t var)
+{
+    if (inv.lhs.mentions(var))
+        return true;
+    return inv.op != CmpOp::In && inv.rhs.mentions(var);
+}
+
+bool
+mentionsAny(const Invariant &inv, std::initializer_list<uint16_t> vars)
+{
+    for (uint16_t v : vars) {
+        if (mentions(inv, v))
+            return true;
+    }
+    return false;
+}
+
+/** Point is qualified with a synchronous exception or an interrupt. */
+bool
+exceptional(const Invariant &inv)
+{
+    return inv.point.exception() != isa::Exception::None;
+}
+
+bool
+pointIs(const Invariant &inv, isa::Mnemonic m)
+{
+    return !inv.point.isInterrupt() && inv.point.mnemonic() == m;
+}
+
+bool
+pointKind(const Invariant &inv, isa::InsnKind kind)
+{
+    return !inv.point.isInterrupt() &&
+           isa::info(inv.point.mnemonic()).kind == kind;
+}
+
+/** Comparison of one bare variable against a constant. */
+bool
+varEqualsConst(const Invariant &inv, uint16_t var, uint32_t value)
+{
+    if (inv.op != CmpOp::Eq)
+        return false;
+    const auto &l = inv.lhs;
+    const auto &r = inv.rhs;
+    if (l.isBareVar() && l.a.var == var && !l.a.orig && r.isConst &&
+        r.constVal == value) {
+        return true;
+    }
+    if (r.isBareVar() && r.a.var == var && !r.a.orig && l.isConst &&
+        l.constVal == value) {
+        return true;
+    }
+    return false;
+}
+
+/** op between bare var A (post or orig per flags) and bare var B. */
+bool
+varsRelated(const Invariant &inv, CmpOp op, uint16_t varA,
+            uint16_t varB)
+{
+    if (inv.op != op || inv.op == CmpOp::In)
+        return false;
+    const auto &l = inv.lhs;
+    const auto &r = inv.rhs;
+    if (!l.isBareVar() || !r.isBareVar())
+        return false;
+    return (l.a.var == varA && r.a.var == varB) ||
+           (l.a.var == varB && r.a.var == varA);
+}
+
+/** NPC compared against an exception-vector constant. */
+bool
+vectoredControlFlow(const Invariant &inv)
+{
+    if (!exceptional(inv) || inv.op != CmpOp::Eq)
+        return false;
+    auto isVectorConst = [](const expr::Operand &o) {
+        return o.isConst && o.constVal >= 0x100 &&
+               o.constVal <= 0xe04 && (o.constVal & 0xff) <= 4;
+    };
+    auto isNextPc = [](const expr::Operand &o) {
+        return o.isBareVar() &&
+               (o.a.var == VarId::NPC || o.a.var == VarId::NNPC) &&
+               !o.a.orig;
+    };
+    return (isNextPc(inv.lhs) && isVectorConst(inv.rhs)) ||
+           (isNextPc(inv.rhs) && isVectorConst(inv.lhs));
+}
+
+std::vector<Property>
+buildCatalog()
+{
+    std::vector<Property> cat;
+    auto add = [&cat](const std::string &id, const std::string &desc,
+                      const std::string &origin, PropClass cls,
+                      Expressibility ex, Matcher m = nullptr) {
+        cat.push_back(Property{id, desc, origin, cls, ex, std::move(m)});
+    };
+
+    // ---------------- SPECS properties ----------------
+
+    add("p1", "Execution privilege matches page privilege", "SPECS",
+        PropClass::XR, Expressibility::Yes, [](const Invariant &inv) {
+            auto e = inv.point.exception();
+            return (e == isa::Exception::DataPageFault ||
+                    e == isa::Exception::InsnPageFault) &&
+                   mentions(inv, VarId::SM);
+        });
+
+    add("p2", "SPR equals GPR in register move instructions", "SPECS",
+        PropClass::RU, Expressibility::Yes, [](const Invariant &inv) {
+            return pointIs(inv, isa::Mnemonic::L_MTSPR) &&
+                   mentions(inv, VarId::SPRV) &&
+                   mentions(inv, VarId::OPB) && inv.op == CmpOp::Eq;
+        });
+
+    add("p3", "Updates to exception registers make sense", "SPECS",
+        PropClass::XR, Expressibility::Yes, [](const Invariant &inv) {
+            return exceptional(inv) && inv.op != CmpOp::In &&
+                   mentionsAny(inv, {VarId::EPCR0, VarId::ESR0,
+                                     VarId::EEAR0}) &&
+                   mentionsAny(inv, {VarId::PC, VarId::NPC, VarId::SR,
+                                     VarId::EEAR0});
+        });
+
+    add("p4", "Destination matches the target", "SPECS", PropClass::CR,
+        Expressibility::Yes, [](const Invariant &inv) {
+            if (inv.op != CmpOp::Eq || !mentions(inv, VarId::OPDEST))
+                return false;
+            // OPDEST tied to a named GPR: the write went where the
+            // instruction said.
+            for (const auto *o : {&inv.lhs, &inv.rhs}) {
+                if (o->isBareVar() && o->a.var < 32)
+                    return true;
+            }
+            return false;
+        });
+
+    add("p5", "Memory value in equals register value out", "SPECS",
+        PropClass::MA, Expressibility::Yes, [](const Invariant &inv) {
+            return pointKind(inv, isa::InsnKind::Store) &&
+                   (varEqualsConst(inv, VarId::MEMOK, 1) ||
+                    (mentions(inv, VarId::MEMBUS) &&
+                     mentions(inv, VarId::OPB)));
+        });
+
+    add("p6", "Register value in equals memory value out", "SPECS",
+        PropClass::MA, Expressibility::Yes, [](const Invariant &inv) {
+            return pointKind(inv, isa::InsnKind::Load) &&
+                   (varEqualsConst(inv, VarId::MEMOK, 1) ||
+                    varsRelated(inv, CmpOp::Eq, VarId::MEMBUS,
+                                VarId::DMEM) ||
+                    (mentions(inv, VarId::OPDEST) &&
+                     mentions(inv, VarId::MEMBUS)));
+        });
+
+    add("p7", "Memory address equals effective address", "SPECS",
+        PropClass::MA, Expressibility::Yes, [](const Invariant &inv) {
+            if (inv.op != CmpOp::Eq || !mentions(inv, VarId::MEMADDR))
+                return false;
+            // MEMADDR == orig(OPA) + IMM (either side), or == EA.
+            for (const auto *o : {&inv.lhs, &inv.rhs}) {
+                if (o->op2 == expr::Op2::Add &&
+                    mentions(inv, VarId::OPA) &&
+                    mentions(inv, VarId::IMM)) {
+                    return true;
+                }
+                if (o->isBareVar() && o->a.var == VarId::EA)
+                    return true;
+            }
+            return false;
+        });
+
+    add("p8", "Privilege escalates correctly", "SPECS", PropClass::XR,
+        Expressibility::Yes, [](const Invariant &inv) {
+            return exceptional(inv) &&
+                   varEqualsConst(inv, VarId::SM, 1);
+        });
+
+    add("p9", "Privilege deescalates correctly", "SPECS", PropClass::XR,
+        Expressibility::Yes, [](const Invariant &inv) {
+            if (!pointIs(inv, isa::Mnemonic::L_RFE))
+                return false;
+            return (mentions(inv, VarId::SR) &&
+                    mentions(inv, VarId::ESR0)) ||
+                   mentions(inv, VarId::SM);
+        });
+
+    add("p10", "Jumps update the PC correctly", "SPECS", PropClass::CF,
+        Expressibility::NotGenerated, [](const Invariant &inv) {
+            // Only representable once the effective-address derived
+            // variable (JEA) is enabled — the paper's §5.4 fix.
+            return mentions(inv, VarId::JEA) &&
+                   mentions(inv, VarId::NPC);
+        });
+
+    add("p11", "Jumps update the LR correctly", "SPECS", PropClass::CF,
+        Expressibility::Yes, [](const Invariant &inv) {
+            return (pointIs(inv, isa::Mnemonic::L_JAL) ||
+                    pointIs(inv, isa::Mnemonic::L_JALR)) &&
+                   mentions(inv, trace::gprVar(isa::linkReg)) &&
+                   mentions(inv, VarId::PC) && inv.op == CmpOp::Eq;
+        });
+
+    add("p12", "Instruction is in a valid format", "SPECS",
+        PropClass::IE, Expressibility::Yes, [](const Invariant &inv) {
+            return varsRelated(inv, CmpOp::Eq, VarId::INSN,
+                               VarId::IMEM);
+        });
+
+    add("p13", "Continuous control flow", "SPECS", PropClass::CF,
+        Expressibility::Yes, [](const Invariant &inv) {
+            if (vectoredControlFlow(inv))
+                return true;
+            // NPC == PC + 4 style sequencing invariants.
+            if (inv.op != CmpOp::Eq)
+                return false;
+            return mentions(inv, VarId::NPC) &&
+                   mentions(inv, VarId::PC) && !exceptional(inv);
+        });
+
+    add("p14", "Exception return updates state correctly", "SPECS",
+        PropClass::XR, Expressibility::Yes, [](const Invariant &inv) {
+            if (pointIs(inv, isa::Mnemonic::L_RFE)) {
+                return mentionsAny(inv, {VarId::SR, VarId::NPC,
+                                         VarId::EPCR0, VarId::ESR0});
+            }
+            // The state an l.rfe will consume, recorded at the
+            // exception itself.
+            return exceptional(inv) && mentions(inv, VarId::EPCR0) &&
+                   (inv.op == CmpOp::Eq || inv.op == CmpOp::Ne);
+        });
+
+    add("p15", "Reg. change implies that it is the instruction target",
+        "SPECS", PropClass::CR, Expressibility::Yes,
+        [](const Invariant &inv) {
+            // GPRk == orig(GPRk): registers the instruction does not
+            // name stay unchanged.
+            if (inv.op != CmpOp::Eq)
+                return false;
+            const auto &l = inv.lhs;
+            const auto &r = inv.rhs;
+            return l.isBareVar() && r.isBareVar() &&
+                   l.a.var == r.a.var && l.a.var < 32 &&
+                   l.a.orig != r.a.orig;
+        });
+
+    add("p16", "SR is not written to a GPR in user mode", "SPECS",
+        PropClass::RU, Expressibility::Yes, [](const Invariant &inv) {
+            return varsRelated(inv, CmpOp::Ne, VarId::SR,
+                               VarId::OPDEST);
+        });
+
+    add("p17", "Interrupt implies handled", "SPECS", PropClass::XR,
+        Expressibility::Yes, vectoredControlFlow);
+
+    add("p18", "Instr unchanged in pipeline", "SPECS", PropClass::IE,
+        Expressibility::Microarch);
+
+    // ---------------- Security-Checker properties ----------------
+
+    add("p19", "SPR modified only in supervisor mode",
+        "Security-Checker", PropClass::RU, Expressibility::Yes,
+        [](const Invariant &inv) {
+            return pointIs(inv, isa::Mnemonic::L_MTSPR) &&
+                   !exceptional(inv) &&
+                   (varEqualsConst(inv, VarId::SM, 1) ||
+                    mentions(inv, VarId::SM));
+        });
+
+    add("p20", "Enter supervisor mode is on reset or exception",
+        "Security-Checker", PropClass::XR, Expressibility::Yes,
+        [](const Invariant &inv) {
+            // SM unchanged at ordinary points...
+            if (!exceptional(inv) &&
+                !pointIs(inv, isa::Mnemonic::L_RFE)) {
+                const auto &l = inv.lhs;
+                const auto &r = inv.rhs;
+                if (inv.op == CmpOp::Eq && l.isBareVar() &&
+                    r.isBareVar() && l.a.var == VarId::SM &&
+                    r.a.var == VarId::SM && l.a.orig != r.a.orig) {
+                    return true;
+                }
+            }
+            // ...and set on exception entry.
+            return exceptional(inv) &&
+                   varEqualsConst(inv, VarId::SM, 1);
+        });
+
+    add("p21", "Exception handling implies exception mechanism "
+        "activated",
+        "Security-Checker", PropClass::XR, Expressibility::Yes,
+        [](const Invariant &inv) {
+            if (vectoredControlFlow(inv))
+                return true;
+            return exceptional(inv) && inv.op == CmpOp::Eq &&
+                   mentions(inv, VarId::ESR0) &&
+                   mentions(inv, VarId::SR);
+        });
+
+    add("p22", "Unspecified custom instructions are not allowed",
+        "Security-Checker", PropClass::IE,
+        Expressibility::NotGenerated);
+
+    add("p23", "Exception handler accessed only during exception, in "
+        "supvr mode, or on reset",
+        "Security-Checker", PropClass::XR, Expressibility::Yes,
+        vectoredControlFlow);
+
+    add("p24", "Page fault generated if MMU detects an access control "
+        "violation",
+        "Security-Checker", PropClass::MA, Expressibility::Microarch);
+
+    add("p25", "UART output changes on a write command from CPU",
+        "Security-Checker", PropClass::OffCore,
+        Expressibility::OffCore);
+
+    add("p26", "Only transmit cmd or initialization change Ethernet "
+        "data output",
+        "Security-Checker", PropClass::OffCore,
+        Expressibility::OffCore);
+
+    add("p27", "Debug Unit's value and ctrl regs only accessible from "
+        "supvr mode",
+        "Security-Checker", PropClass::OffCore,
+        Expressibility::OffCore);
+
+    // ---------------- new properties (Table 7) ----------------
+
+    add("p28", "Flags that influence control flow should be set "
+        "correctly",
+        "new", PropClass::CF, Expressibility::Yes,
+        [](const Invariant &inv) {
+            return pointKind(inv, isa::InsnKind::Compare) &&
+                   varEqualsConst(inv, VarId::FLAGOK, 1);
+        });
+
+    add("p29", "Calculation of memory address or memory data is "
+        "correct",
+        "new", PropClass::MA, Expressibility::Yes,
+        [](const Invariant &inv) {
+            // Word extensions are the identity (b3)...
+            if (pointKind(inv, isa::InsnKind::Extend) &&
+                inv.op == CmpOp::Eq && mentions(inv, VarId::OPDEST) &&
+                mentions(inv, VarId::OPA)) {
+                return true;
+            }
+            // ...and GPR0, the base of address arithmetic, is zero.
+            return varEqualsConst(inv, trace::gprVar(0), 0);
+        });
+
+    add("p30", "Link address is not modified during function call "
+        "execution",
+        "new", PropClass::CF, Expressibility::Yes,
+        [](const Invariant &inv) {
+            if (pointIs(inv, isa::Mnemonic::L_JAL) ||
+                pointIs(inv, isa::Mnemonic::L_JALR)) {
+                return false;
+            }
+            const auto &l = inv.lhs;
+            const auto &r = inv.rhs;
+            return inv.op == CmpOp::Eq && l.isBareVar() &&
+                   r.isBareVar() &&
+                   l.a.var == trace::gprVar(isa::linkReg) &&
+                   r.a.var == trace::gprVar(isa::linkReg) &&
+                   l.a.orig != r.a.orig;
+        });
+
+    return cat;
+}
+
+} // namespace
+
+const std::vector<Property> &
+catalog()
+{
+    static const std::vector<Property> cat = buildCatalog();
+    return cat;
+}
+
+const Property &
+propertyById(const std::string &id)
+{
+    for (const auto &p : catalog()) {
+        if (p.id == id)
+            return p;
+    }
+    panic("unknown property '%s'", id.c_str());
+}
+
+std::vector<std::string>
+matchProperties(const expr::Invariant &inv)
+{
+    std::vector<std::string> out;
+    for (const auto &p : catalog()) {
+        if (p.matches && p.matches(inv))
+            out.push_back(p.id);
+    }
+    return out;
+}
+
+} // namespace scif::sci

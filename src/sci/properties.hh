@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The security-property catalog (paper Tables 6 and 7).
+ *
+ * p1..p18 are SPECS's manually written properties, p19..p27 are
+ * Security-Checker's, and p28..p30 are the three new properties
+ * SCIFinder contributes. Each in-scope property carries a structural
+ * matcher deciding whether a given invariant *represents* it; the
+ * coverage evaluation (bench/table6) checks which catalog entries are
+ * represented by the identified and inferred SCI. A single SCI may
+ * represent several properties (the paper's PC = 0xC00 example covers
+ * p17, p21 and p23 at once).
+ */
+
+#ifndef SCIFINDER_SCI_PROPERTIES_HH
+#define SCIFINDER_SCI_PROPERTIES_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "expr/expr.hh"
+
+namespace scif::sci {
+
+/** Property class labels of §5.5. */
+enum class PropClass {
+    CF,       ///< control flow
+    XR,       ///< exception related
+    MA,       ///< memory access
+    IE,       ///< instruction execution
+    CR,       ///< correct results
+    RU,       ///< register update
+    OffCore,  ///< hardware outside the processor core
+};
+
+/** @return printable class name ("CF", "XR", ...). */
+std::string_view propClassName(PropClass cls);
+
+/** Why a property can or cannot be represented by our invariants. */
+enum class Expressibility {
+    Yes,           ///< matcher provided
+    NotGenerated,  ///< not in the generated invariant set (N)
+    Microarch,     ///< needs microarchitectural state (*)
+    OffCore,       ///< concerns hardware outside the core (box)
+};
+
+/** One catalog entry. */
+struct Property
+{
+    std::string id;           ///< "p1".."p30"
+    std::string description;  ///< Table 6/7 wording
+    std::string origin;       ///< "SPECS", "Security-Checker", "new"
+    PropClass cls;
+    Expressibility expressibility;
+
+    /** Structural matcher; unset unless expressibility is Yes. */
+    std::function<bool(const expr::Invariant &)> matches;
+};
+
+/** @return the full 30-property catalog. */
+const std::vector<Property> &catalog();
+
+/** @return catalog entry by id; aborts if unknown. */
+const Property &propertyById(const std::string &id);
+
+/**
+ * @return ids of all catalog properties represented by @p inv
+ * (empty if none).
+ */
+std::vector<std::string> matchProperties(const expr::Invariant &inv);
+
+} // namespace scif::sci
+
+#endif // SCIFINDER_SCI_PROPERTIES_HH

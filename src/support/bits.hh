@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the ISA model and the simulator.
+ */
+
+#ifndef SCIFINDER_SUPPORT_BITS_HH
+#define SCIFINDER_SUPPORT_BITS_HH
+
+#include <cstdint>
+
+#include "logging.hh"
+
+namespace scif {
+
+/**
+ * Extract the bit field [hi:lo] (inclusive, hi >= lo) from a word.
+ *
+ * @param value word to extract from.
+ * @param hi most significant bit of the field (0-31).
+ * @param lo least significant bit of the field (0-31).
+ * @return the field, right justified.
+ */
+constexpr uint32_t
+bits(uint32_t value, unsigned hi, unsigned lo)
+{
+    unsigned width = hi - lo + 1;
+    uint32_t mask = width >= 32 ? 0xffffffffu : ((1u << width) - 1);
+    return (value >> lo) & mask;
+}
+
+/** Extract a single bit as 0 or 1. */
+constexpr uint32_t
+bit(uint32_t value, unsigned pos)
+{
+    return (value >> pos) & 1u;
+}
+
+/**
+ * Insert a field into [hi:lo] of a word, returning the modified word.
+ * Bits of @p field above the field width are discarded.
+ */
+constexpr uint32_t
+insertBits(uint32_t value, unsigned hi, unsigned lo, uint32_t field)
+{
+    unsigned width = hi - lo + 1;
+    uint32_t mask = width >= 32 ? 0xffffffffu : ((1u << width) - 1);
+    return (value & ~(mask << lo)) | ((field & mask) << lo);
+}
+
+/** Set or clear a single bit, returning the modified word. */
+constexpr uint32_t
+setBit(uint32_t value, unsigned pos, bool on)
+{
+    return on ? (value | (1u << pos)) : (value & ~(1u << pos));
+}
+
+/**
+ * Sign extend the low @p width bits of @p value to 32 bits.
+ *
+ * @param value the word containing the field in its low bits.
+ * @param width number of significant low bits (1-32).
+ */
+constexpr uint32_t
+signExtend(uint32_t value, unsigned width)
+{
+    if (width >= 32)
+        return value;
+    uint32_t sign = 1u << (width - 1);
+    uint32_t mask = (1u << width) - 1;
+    value &= mask;
+    return (value ^ sign) - sign;
+}
+
+/** Zero extend the low @p width bits (mask the rest away). */
+constexpr uint32_t
+zeroExtend(uint32_t value, unsigned width)
+{
+    if (width >= 32)
+        return value;
+    return value & ((1u << width) - 1);
+}
+
+/** Rotate a 32-bit word right by @p amount (amount taken mod 32). */
+constexpr uint32_t
+rotateRight32(uint32_t value, unsigned amount)
+{
+    amount &= 31;
+    if (amount == 0)
+        return value;
+    return (value >> amount) | (value << (32 - amount));
+}
+
+/** @return true if signed 32-bit addition a + b overflows. */
+constexpr bool
+addOverflows(uint32_t a, uint32_t b)
+{
+    uint32_t sum = a + b;
+    return (~(a ^ b) & (a ^ sum)) >> 31;
+}
+
+/** @return true if signed 32-bit subtraction a - b overflows. */
+constexpr bool
+subOverflows(uint32_t a, uint32_t b)
+{
+    uint32_t diff = a - b;
+    return ((a ^ b) & (a ^ diff)) >> 31;
+}
+
+/** @return the unsigned carry-out of a + b (+ carry-in). */
+constexpr bool
+addCarries(uint32_t a, uint32_t b, bool carry_in = false)
+{
+    uint64_t sum = uint64_t(a) + uint64_t(b) + (carry_in ? 1 : 0);
+    return sum > 0xffffffffull;
+}
+
+} // namespace scif
+
+#endif // SCIFINDER_SUPPORT_BITS_HH

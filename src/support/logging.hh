@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers.
+ *
+ * Follows the gem5 convention: panic() for internal invariant failures
+ * (tool bugs), fatal() for user-caused errors (bad configuration, bad
+ * input files), warn()/inform() for status messages that never stop
+ * execution.
+ */
+
+#ifndef SCIFINDER_SUPPORT_LOGGING_HH
+#define SCIFINDER_SUPPORT_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace scif {
+
+/**
+ * Terminate with an error that indicates an internal tool bug.
+ * Calls std::abort() after printing the message, so it can dump core.
+ *
+ * @param fmt printf-style format string.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Terminate with an error caused by the user or the environment
+ * (bad configuration, malformed input). Exits with status 1.
+ *
+ * @param fmt printf-style format string.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning about possibly-incorrect behaviour; never stops. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational status message; never stops. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() (used by tests and benchmarks). */
+void setQuiet(bool quiet);
+
+/** @return true if warn()/inform() are currently silenced. */
+bool quiet();
+
+/**
+ * Internal helper behind the SCIF_ASSERT macro.
+ *
+ * @param cond_str stringified asserted condition.
+ * @param file source file of the assertion.
+ * @param line source line of the assertion.
+ */
+[[noreturn]] void assertFailed(const char *cond_str, const char *file,
+                               int line);
+
+/**
+ * Assert an internal invariant; active in all build types (unlike
+ * the C assert macro, which vanishes under NDEBUG).
+ */
+#define SCIF_ASSERT(cond)                                                    \
+    do {                                                                     \
+        if (!(cond))                                                         \
+            ::scif::assertFailed(#cond, __FILE__, __LINE__);                 \
+    } while (0)
+
+} // namespace scif
+
+#endif // SCIFINDER_SUPPORT_LOGGING_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator.
+ *
+ * All stochastic pieces of the tool chain (random workload generation,
+ * train/test splits, cross-validation folds) draw from this generator so
+ * that every experiment is reproducible from a seed.
+ */
+
+#ifndef SCIFINDER_SUPPORT_RANDOM_HH
+#define SCIFINDER_SUPPORT_RANDOM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace scif {
+
+/**
+ * xoshiro256** pseudo-random generator with convenience draws.
+ * Deterministic across platforms (no libstdc++ distribution objects).
+ */
+class Rng
+{
+  public:
+    /** Seed the generator; the same seed yields the same stream. */
+    explicit Rng(uint64_t seed = 0x5c1f1de4ull);
+
+    /** @return the next raw 64-bit draw. */
+    uint64_t next();
+
+    /** @return a uniform integer in [0, bound), bound > 0. */
+    uint64_t below(uint64_t bound);
+
+    /** @return a uniform integer in [lo, hi] inclusive. */
+    int64_t range(int64_t lo, int64_t hi);
+
+    /** @return a uniform double in [0, 1). */
+    double uniform();
+
+    /** @return a standard-normal draw (Box-Muller). */
+    double gaussian();
+
+    /** @return true with probability @p p. */
+    bool chance(double p);
+
+    /** Fisher-Yates shuffle of an index vector 0..n-1. */
+    std::vector<size_t> permutation(size_t n);
+
+    /** Pick a uniformly random element of a non-empty vector. */
+    template <typename T>
+    const T &
+    pick(const std::vector<T> &v)
+    {
+        return v[below(v.size())];
+    }
+
+  private:
+    uint64_t state_[4];
+    bool haveSpare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace scif
+
+#endif // SCIFINDER_SUPPORT_RANDOM_HH

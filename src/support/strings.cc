@@ -1,0 +1,156 @@
+#include "strings.hh"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace scif {
+
+std::vector<std::string>
+split(std::string_view text, char sep)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    for (size_t i = 0; i <= text.size(); ++i) {
+        if (i == text.size() || text[i] == sep) {
+            out.emplace_back(text.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+std::vector<std::string>
+splitWhitespace(std::string_view text)
+{
+    std::vector<std::string> out;
+    size_t i = 0;
+    while (i < text.size()) {
+        while (i < text.size() && std::isspace(uint8_t(text[i])))
+            ++i;
+        size_t start = i;
+        while (i < text.size() && !std::isspace(uint8_t(text[i])))
+            ++i;
+        if (i > start)
+            out.emplace_back(text.substr(start, i - start));
+    }
+    return out;
+}
+
+std::string
+trim(std::string_view text)
+{
+    size_t begin = 0;
+    size_t end = text.size();
+    while (begin < end && std::isspace(uint8_t(text[begin])))
+        ++begin;
+    while (end > begin && std::isspace(uint8_t(text[end - 1])))
+        --end;
+    return std::string(text.substr(begin, end - begin));
+}
+
+std::string
+toLower(std::string_view text)
+{
+    std::string out(text);
+    for (auto &c : out)
+        c = char(std::tolower(uint8_t(c)));
+    return out;
+}
+
+bool
+startsWith(std::string_view text, std::string_view prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.substr(0, prefix.size()) == prefix;
+}
+
+std::optional<int64_t>
+parseInt(std::string_view text)
+{
+    if (text.empty())
+        return std::nullopt;
+
+    bool negative = false;
+    size_t i = 0;
+    if (text[0] == '-' || text[0] == '+') {
+        negative = text[0] == '-';
+        i = 1;
+    }
+    if (i >= text.size())
+        return std::nullopt;
+
+    int base = 10;
+    if (text.size() - i > 2 && text[i] == '0') {
+        char c = char(std::tolower(uint8_t(text[i + 1])));
+        if (c == 'x') {
+            base = 16;
+            i += 2;
+        } else if (c == 'b') {
+            base = 2;
+            i += 2;
+        }
+    }
+
+    uint64_t value = 0;
+    bool any = false;
+    for (; i < text.size(); ++i) {
+        char c = char(std::tolower(uint8_t(text[i])));
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            digit = 10 + (c - 'a');
+        else
+            return std::nullopt;
+        if (digit >= base)
+            return std::nullopt;
+        uint64_t next = value * uint64_t(base) + uint64_t(digit);
+        if (next < value)
+            return std::nullopt; // overflow
+        value = next;
+        any = true;
+    }
+    if (!any)
+        return std::nullopt;
+
+    if (negative)
+        return -int64_t(value);
+    return int64_t(value);
+}
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+
+    std::string out(size_t(needed), '\0');
+    std::vsnprintf(out.data(), size_t(needed) + 1, fmt, args_copy);
+    va_end(args_copy);
+    return out;
+}
+
+std::string
+hex32(uint32_t value)
+{
+    return format("0x%08x", value);
+}
+
+std::string
+join(const std::vector<std::string> &parts, std::string_view sep)
+{
+    std::string out;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+} // namespace scif

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Small string helpers shared across the tool chain (tokenizing assembly
+ * source, formatting invariants and report tables).
+ */
+
+#ifndef SCIFINDER_SUPPORT_STRINGS_HH
+#define SCIFINDER_SUPPORT_STRINGS_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scif {
+
+/** Split @p text on @p sep, keeping empty fields. */
+std::vector<std::string> split(std::string_view text, char sep);
+
+/** Split @p text on runs of whitespace, dropping empty fields. */
+std::vector<std::string> splitWhitespace(std::string_view text);
+
+/** Strip leading and trailing whitespace. */
+std::string trim(std::string_view text);
+
+/** Lower-case an ASCII string. */
+std::string toLower(std::string_view text);
+
+/** @return true if @p text starts with @p prefix. */
+bool startsWith(std::string_view text, std::string_view prefix);
+
+/**
+ * Parse an integer literal: decimal, 0x-hex, 0b-binary, optional
+ * leading '-'. Returns nullopt on malformed input or overflow of
+ * the 64-bit intermediate.
+ */
+std::optional<int64_t> parseInt(std::string_view text);
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Format a 32-bit value as 0x%08x. */
+std::string hex32(uint32_t value);
+
+/** Join the elements of @p parts with @p sep. */
+std::string join(const std::vector<std::string> &parts,
+                 std::string_view sep);
+
+} // namespace scif
+
+#endif // SCIFINDER_SUPPORT_STRINGS_HH

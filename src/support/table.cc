@@ -1,0 +1,69 @@
+#include "table.hh"
+
+#include <algorithm>
+
+namespace scif {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    row.resize(std::max(row.size(), header_.size()));
+    rows_.push_back(std::move(row));
+    ++dataRows_;
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.emplace_back();
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths(header_.size(), 0);
+    for (size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c >= widths.size())
+                widths.resize(c + 1, 0);
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    auto renderRow = [&](const std::vector<std::string> &row) {
+        std::string line;
+        for (size_t c = 0; c < widths.size(); ++c) {
+            std::string cell = c < row.size() ? row[c] : "";
+            cell.resize(widths[c], ' ');
+            line += cell;
+            if (c + 1 < widths.size())
+                line += "  ";
+        }
+        // Strip trailing padding.
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        return line + "\n";
+    };
+
+    std::string sep;
+    for (size_t c = 0; c < widths.size(); ++c) {
+        sep += std::string(widths[c], '-');
+        if (c + 1 < widths.size())
+            sep += "  ";
+    }
+    sep += "\n";
+
+    std::string out = renderRow(header_) + sep;
+    for (const auto &row : rows_)
+        out += row.empty() ? sep : renderRow(row);
+    return out;
+}
+
+} // namespace scif

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Plain-text table renderer used by the benchmark harness to print the
+ * paper's tables in a readable, diff-friendly format.
+ */
+
+#ifndef SCIFINDER_SUPPORT_TABLE_HH
+#define SCIFINDER_SUPPORT_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace scif {
+
+/**
+ * A simple column-aligned text table. Collect a header plus rows of
+ * strings, then render with padding computed from the widest cell.
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append one row; short rows are padded with empty cells. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** @return the rendered table, one trailing newline per row. */
+    std::string render() const;
+
+    /** @return number of data rows (separators excluded). */
+    size_t rowCount() const { return dataRows_; }
+
+  private:
+    std::vector<std::string> header_;
+    /** Rows; an empty vector encodes a separator. */
+    std::vector<std::vector<std::string>> rows_;
+    size_t dataRows_ = 0;
+};
+
+} // namespace scif
+
+#endif // SCIFINDER_SUPPORT_TABLE_HH

@@ -1,0 +1,343 @@
+/**
+ * @file
+ * The scifinder command-line tool: the library's functionality as a
+ * standalone program.
+ *
+ *   scifinder workloads                 list the training workloads
+ *   scifinder bugs                      list the reproduced errata
+ *   scifinder properties                list the property catalog
+ *   scifinder trace <workload> <out>    write a binary trace
+ *   scifinder generate <trace>...       infer invariants from traces
+ *   scifinder identify <bug>...         identify SCI for errata
+ *   scifinder run [--no-inference]      the full pipeline
+ *   scifinder exec <file.s>             assemble + run a program
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bugs/classification.hh"
+#include "core/scifinder.hh"
+#include "monitor/overhead.hh"
+#include "support/strings.hh"
+#include "support/table.hh"
+#include "trace/io.hh"
+
+namespace {
+
+using namespace scif;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: scifinder <command> [args]\n"
+        "\n"
+        "  workloads                 list the 17 training workloads\n"
+        "  bugs                      list the 31 reproduced errata\n"
+        "  errata                    the collected-errata catalog and\n"
+        "                            the phase-2 classification aid\n"
+        "  properties                list the security-property "
+        "catalog\n"
+        "  trace <workload> <out>    run a workload, write its "
+        "binary trace\n"
+        "  generate [-o f] <trace>.. infer invariants from trace "
+        "files\n"
+        "  identify <bug>...         identify SCI for the given "
+        "errata\n"
+        "  run [--no-inference]      run the full pipeline and "
+        "report\n"
+        "  exec <file.s>             assemble and execute a "
+        "program\n");
+    return 2;
+}
+
+int
+cmdWorkloads()
+{
+    TextTable table({"name", "records", "instructions"});
+    for (const auto &w : workloads::all()) {
+        trace::TraceBuffer buf = workloads::run(w);
+        uint64_t insns = 0;
+        for (const auto &rec : buf.records())
+            insns += rec.fused ? 2 : 1;
+        table.addRow({w.name, std::to_string(buf.size()),
+                      std::to_string(insns)});
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}
+
+int
+cmdBugs()
+{
+    TextTable table({"id", "set", "source", "synopsis"});
+    for (const auto &bug : bugs::all()) {
+        table.addRow({bug.id, bug.heldOut ? "held-out" : "Table 1",
+                      bug.source, bug.synopsis});
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}
+
+int
+cmdErrata()
+{
+    TextTable table({"id", "processor", "judged", "assistant",
+                     "reproduced", "synopsis"});
+    for (const auto &e : bugs::collectedErrata()) {
+        auto suggestion = bugs::classifyBySynopsis(e.synopsis);
+        table.addRow(
+            {e.id, e.processor,
+             e.judged == bugs::ErratumClass::Security ? "security"
+                                                      : "functional",
+             suggestion.suggested == bugs::ErratumClass::Security
+                 ? "security"
+                 : "functional",
+             e.reproducedAs, e.synopsis.substr(0, 52)});
+    }
+    std::printf("%s", table.render().c_str());
+    auto s = bugs::summarizeCollection();
+    std::printf("\n%zu collected, %zu security-critical, %zu "
+                "reproduced, %zu not reproducible; assistant agrees "
+                "on %zu/%zu\n",
+                s.collected, s.security, s.reproduced,
+                s.notReproducible, s.assistantAgrees, s.collected);
+    return 0;
+}
+
+int
+cmdProperties()
+{
+    TextTable table({"id", "class", "origin", "scope", "description"});
+    for (const auto &p : sci::catalog()) {
+        std::string scope;
+        switch (p.expressibility) {
+          case sci::Expressibility::Yes: scope = "in-scope"; break;
+          case sci::Expressibility::NotGenerated:
+            scope = "not-generated";
+            break;
+          case sci::Expressibility::Microarch:
+            scope = "microarch";
+            break;
+          case sci::Expressibility::OffCore:
+            scope = "off-core";
+            break;
+        }
+        table.addRow({p.id, std::string(sci::propClassName(p.cls)),
+                      p.origin, scope, p.description});
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}
+
+int
+cmdTrace(const std::vector<std::string> &args)
+{
+    if (args.size() != 2) {
+        std::fprintf(stderr,
+                     "usage: scifinder trace <workload> <out>\n");
+        return 2;
+    }
+    const auto &w = workloads::byName(args[0]);
+    trace::TraceBuffer buf = workloads::run(w);
+    trace::TraceWriter writer(args[1]);
+    for (const auto &rec : buf.records())
+        writer.record(rec);
+    writer.close();
+    std::printf("wrote %zu records (%zu bytes/record) to %s\n",
+                buf.size(), sizeof(trace::Record), args[1].c_str());
+    return 0;
+}
+
+int
+cmdGenerate(const std::vector<std::string> &args_in)
+{
+    std::vector<std::string> args = args_in;
+    std::string outPath;
+    for (size_t i = 0; i + 1 < args.size(); ++i) {
+        if (args[i] == "-o") {
+            outPath = args[i + 1];
+            args.erase(args.begin() + long(i),
+                       args.begin() + long(i) + 2);
+            break;
+        }
+    }
+    if (args.empty()) {
+        std::fprintf(stderr,
+                     "usage: scifinder generate [-o invs.txt] "
+                     "<trace>...\n");
+        return 2;
+    }
+    std::vector<trace::TraceBuffer> buffers;
+    for (const auto &path : args) {
+        trace::TraceReader reader(path);
+        trace::TraceBuffer buf;
+        reader.readAll(buf);
+        std::printf("loaded %zu records from %s\n", buf.size(),
+                    path.c_str());
+        buffers.push_back(std::move(buf));
+    }
+    std::vector<const trace::TraceBuffer *> ptrs;
+    for (const auto &b : buffers)
+        ptrs.push_back(&b);
+
+    invgen::GenStats stats;
+    invgen::InvariantSet set = invgen::generate(ptrs, {}, &stats);
+    auto optStats = opt::optimize(set);
+    std::printf("%llu program points, %zu raw invariants, %zu after "
+                "optimization\n",
+                (unsigned long long)stats.points,
+                optStats[0].invariantsBefore, set.size());
+    if (!outPath.empty()) {
+        set.saveText(outPath);
+        std::printf("wrote the invariant model to %s\n",
+                    outPath.c_str());
+    } else {
+        for (size_t i = 0; i < set.size(); ++i)
+            std::printf("%s\n", set.all()[i].str().c_str());
+    }
+    return 0;
+}
+
+int
+cmdIdentify(const std::vector<std::string> &args)
+{
+    if (args.empty()) {
+        std::fprintf(stderr, "usage: scifinder identify <bug>...\n");
+        return 2;
+    }
+    core::PipelineConfig config;
+    config.bugIds = args;
+    config.runInference = false;
+    core::PipelineResult result = core::runPipeline(config);
+    for (const auto &res : result.database.results()) {
+        std::printf("%s: %zu true SCI, %zu false positives, "
+                    "detected=%s\n",
+                    res.bugId.c_str(), res.trueSci.size(),
+                    res.falsePositives.size(),
+                    res.detected() ? "yes" : "no");
+        for (size_t idx : res.trueSci) {
+            std::printf("  %s\n",
+                        result.model.all()[idx].str().c_str());
+        }
+    }
+    return 0;
+}
+
+int
+cmdRun(const std::vector<std::string> &args)
+{
+    core::PipelineConfig config;
+    for (const auto &arg : args) {
+        if (arg == "--no-inference")
+            config.runInference = false;
+        else {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            return 2;
+        }
+    }
+    core::PipelineResult r = core::runPipeline(config);
+    std::printf("traces:      %llu records\n",
+                (unsigned long long)r.traceRecords);
+    std::printf("invariants:  %zu raw, %zu optimized\n",
+                r.rawInvariants, r.model.size());
+    std::printf("identified:  %zu SCI (%zu labeled non-SCI)\n",
+                r.identifiedSci().size(),
+                r.database.nonSciIndices().size());
+    if (config.runInference) {
+        std::printf("inferred:    %zu SCI (accuracy %.0f%%)\n",
+                    r.inference.inferredSci.size(),
+                    100 * r.inference.testAccuracy);
+    }
+    auto deployed = core::deployedAssertions(r, r.finalSci());
+    auto overhead = monitor::estimateOverhead(deployed);
+    std::printf("deployment:  %zu assertions, %.2f%% logic, "
+                "%.2f%% power, 0%% delay\n",
+                deployed.size(), overhead.logicPct,
+                overhead.powerPct);
+    return 0;
+}
+
+int
+cmdExec(const std::vector<std::string> &args)
+{
+    if (args.size() != 1) {
+        std::fprintf(stderr, "usage: scifinder exec <file.s>\n");
+        return 2;
+    }
+    std::ifstream in(args[0]);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", args[0].c_str());
+        return 1;
+    }
+    std::stringstream source;
+    source << in.rdbuf();
+
+    auto asmResult = assembler::assemble(source.str());
+    if (!asmResult.ok) {
+        for (const auto &err : asmResult.errors)
+            std::fprintf(stderr, "%s: %s\n", args[0].c_str(),
+                         err.c_str());
+        return 1;
+    }
+
+    cpu::Cpu cpu;
+    cpu.loadProgram(asmResult.program);
+    trace::TraceBuffer buf;
+    cpu::RunResult run = cpu.run(&buf);
+
+    const char *reason =
+        run.reason == cpu::HaltReason::Halted     ? "halted"
+        : run.reason == cpu::HaltReason::MaxInsns ? "budget exhausted"
+                                                  : "wedged";
+    std::printf("%s after %llu instructions (%llu trace records)\n",
+                reason, (unsigned long long)run.instructions,
+                (unsigned long long)run.records);
+    for (unsigned r = 0; r < isa::numGprs; r += 4) {
+        std::printf("r%-2u %08x  r%-2u %08x  r%-2u %08x  r%-2u %08x\n",
+                    r, cpu.gpr(r), r + 1, cpu.gpr(r + 1), r + 2,
+                    cpu.gpr(r + 2), r + 3, cpu.gpr(r + 3));
+    }
+    std::printf("pc  %08x  sr  %08x  epcr %08x  esr %08x\n",
+                cpu.pc(), cpu.readSpr(isa::spr::SR),
+                cpu.readSpr(isa::spr::EPCR0),
+                cpu.readSpr(isa::spr::ESR0));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string cmd = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+
+    if (cmd == "workloads")
+        return cmdWorkloads();
+    if (cmd == "bugs")
+        return cmdBugs();
+    if (cmd == "errata")
+        return cmdErrata();
+    if (cmd == "properties")
+        return cmdProperties();
+    if (cmd == "trace")
+        return cmdTrace(args);
+    if (cmd == "generate")
+        return cmdGenerate(args);
+    if (cmd == "identify")
+        return cmdIdentify(args);
+    if (cmd == "run")
+        return cmdRun(args);
+    if (cmd == "exec")
+        return cmdExec(args);
+    return usage();
+}

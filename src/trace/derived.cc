@@ -1,0 +1,145 @@
+#include "derived.hh"
+
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace scif::trace {
+
+using isa::Mnemonic;
+
+uint32_t
+compareOracle(Mnemonic m, uint32_t a, uint32_t b)
+{
+    int32_t sa = int32_t(a);
+    int32_t sb = int32_t(b);
+    switch (m) {
+      case Mnemonic::L_SFEQ:
+      case Mnemonic::L_SFEQI:
+        return a == b;
+      case Mnemonic::L_SFNE:
+      case Mnemonic::L_SFNEI:
+        return a != b;
+      case Mnemonic::L_SFGTU:
+      case Mnemonic::L_SFGTUI:
+        return a > b;
+      case Mnemonic::L_SFGEU:
+      case Mnemonic::L_SFGEUI:
+        return a >= b;
+      case Mnemonic::L_SFLTU:
+      case Mnemonic::L_SFLTUI:
+        return a < b;
+      case Mnemonic::L_SFLEU:
+      case Mnemonic::L_SFLEUI:
+        return a <= b;
+      case Mnemonic::L_SFGTS:
+      case Mnemonic::L_SFGTSI:
+        return sa > sb;
+      case Mnemonic::L_SFGES:
+      case Mnemonic::L_SFGESI:
+        return sa >= sb;
+      case Mnemonic::L_SFLTS:
+      case Mnemonic::L_SFLTSI:
+        return sa < sb;
+      case Mnemonic::L_SFLES:
+      case Mnemonic::L_SFLESI:
+        return sa <= sb;
+      default:
+        panic("compareOracle: %s is not a compare",
+              isa::info(m).name);
+    }
+}
+
+namespace {
+
+void
+computeSide(Record &rec, std::array<uint32_t, numVars> &side, bool post)
+{
+    uint32_t srv = side[VarId::SR];
+    side[VarId::SF] = bit(srv, isa::sr::F);
+    side[VarId::SM] = bit(srv, isa::sr::SM);
+    side[VarId::CY] = bit(srv, isa::sr::CY);
+    side[VarId::OV] = bit(srv, isa::sr::OV);
+    side[VarId::DSX] = bit(srv, isa::sr::DSX);
+    side[VarId::FO] = bit(srv, isa::sr::FO);
+
+    bool isInsn = !rec.point.isInterrupt();
+    Mnemonic m = isInsn ? rec.point.mnemonic() : Mnemonic::L_NOP;
+    const isa::InsnInfo &ii = isa::info(m);
+
+    // FLAGOK: for compare points, whether the post-state flag matches
+    // the ISA oracle applied to the orig operands. Defined as 1 on
+    // every other point and on the pre side so the variable is total.
+    uint32_t flag_ok = 1;
+    if (post && isInsn && ii.kind == isa::InsnKind::Compare) {
+        uint32_t a = rec.pre[VarId::OPA];
+        uint32_t b = ii.readsRb ? rec.pre[VarId::OPB]
+                                : rec.pre[VarId::IMM];
+        flag_ok = rec.post[VarId::SF] == compareOracle(m, a, b);
+    }
+    side[VarId::FLAGOK] = flag_ok;
+
+    // MEMOK: for loads, the destination equals the architecturally
+    // correct extension of the bus data; for stores, the bus data
+    // equals the correct truncation of the source register. Total 1
+    // elsewhere, and 1 on records whose access faulted (the LSU never
+    // transferred data).
+    uint32_t mem_ok = 1;
+    if (post && isInsn &&
+        rec.point.exception() == isa::Exception::None) {
+        uint32_t bus = rec.post[VarId::MEMBUS];
+        switch (m) {
+          case Mnemonic::L_LWZ:
+          case Mnemonic::L_LWS:
+          case Mnemonic::L_LBZ:
+          case Mnemonic::L_LHZ:
+            mem_ok = rec.post[VarId::OPDEST] == bus;
+            break;
+          case Mnemonic::L_LBS:
+            mem_ok = rec.post[VarId::OPDEST] == signExtend(bus, 8);
+            break;
+          case Mnemonic::L_LHS:
+            mem_ok = rec.post[VarId::OPDEST] == signExtend(bus, 16);
+            break;
+          case Mnemonic::L_SW:
+            mem_ok = bus == rec.pre[VarId::OPB];
+            break;
+          case Mnemonic::L_SB:
+            mem_ok = bus == (rec.pre[VarId::OPB] & 0xffu);
+            break;
+          case Mnemonic::L_SH:
+            mem_ok = bus == (rec.pre[VarId::OPB] & 0xffffu);
+            break;
+          default:
+            break;
+        }
+    }
+    side[VarId::MEMOK] = mem_ok;
+
+    // JEA: architecturally specified target of a J-format control
+    // transfer (the "effective address" of §5.4 / property p10).
+    uint32_t jea = 0;
+    if (isInsn && ii.format == isa::Format::J) {
+        jea = side[VarId::PC] + (side[VarId::IMM] << 2);
+    }
+    side[VarId::JEA] = jea;
+
+    // EA: load/store effective address per the ISA (rA + sext(imm)).
+    uint32_t ea = 0;
+    if (isInsn &&
+        (ii.kind == isa::InsnKind::Load ||
+         ii.kind == isa::InsnKind::Store)) {
+        ea = rec.pre[VarId::OPA] + side[VarId::IMM];
+    }
+    side[VarId::EA] = ea;
+}
+
+} // namespace
+
+void
+computeDerived(Record &rec)
+{
+    computeSide(rec, rec.pre, false);
+    computeSide(rec, rec.post, true);
+}
+
+} // namespace scif::trace

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Derived trace variables (§3.1.4).
+ *
+ * Derived variables are pure functions of the base record, configured
+ * by the user of the invariant generator. They let the engine express
+ * hardware idioms the plain grammar cannot: unpacked flag bits from
+ * the SR "record", the control-flow-flag correctness witness used by
+ * property p28, and the optional effective-address variables whose
+ * absence explains the paper's missing property p10.
+ */
+
+#ifndef SCIFINDER_TRACE_DERIVED_HH
+#define SCIFINDER_TRACE_DERIVED_HH
+
+#include "trace/record.hh"
+
+namespace scif::trace {
+
+/**
+ * Populate the derived slots (SF..EA) of @p rec, pre and post, from
+ * its base variables. Idempotent.
+ */
+void computeDerived(Record &rec);
+
+/**
+ * The ISA compare oracle behind FLAGOK: the architecturally correct
+ * SR[F] result of compare instruction @p m with operand values
+ * @p a and @p b (b is the immediate for the *i forms).
+ *
+ * @return 0 or 1; aborts if @p m is not a compare.
+ */
+uint32_t compareOracle(isa::Mnemonic m, uint32_t a, uint32_t b);
+
+} // namespace scif::trace
+
+#endif // SCIFINDER_TRACE_DERIVED_HH

@@ -1,0 +1,120 @@
+#include "io.hh"
+
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace scif::trace {
+
+namespace {
+
+constexpr uint32_t magic = 0x53434946; // "SCIF"
+constexpr uint32_t version = 1;
+
+struct Header
+{
+    uint32_t magic;
+    uint32_t version;
+    uint32_t numVars;
+    uint32_t reserved;
+};
+
+struct RecordHead
+{
+    uint16_t pointId;
+    uint8_t fused;
+    uint8_t pad;
+    uint32_t pad2;
+    uint64_t index;
+};
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_)
+        fatal("cannot open trace file '%s' for writing", path.c_str());
+    Header h{magic, version, numVars, 0};
+    if (std::fwrite(&h, sizeof(h), 1, file_) != 1)
+        fatal("cannot write trace header to '%s'", path.c_str());
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::record(const Record &rec)
+{
+    SCIF_ASSERT(file_);
+    RecordHead head{rec.point.id(), uint8_t(rec.fused), 0, 0, rec.index};
+    bool ok = std::fwrite(&head, sizeof(head), 1, file_) == 1;
+    ok = ok && std::fwrite(rec.pre.data(), sizeof(uint32_t), numVars,
+                           file_) == numVars;
+    ok = ok && std::fwrite(rec.post.data(), sizeof(uint32_t), numVars,
+                           file_) == numVars;
+    if (!ok)
+        fatal("trace write failed");
+    ++count_;
+}
+
+void
+TraceWriter::close()
+{
+    if (file_) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
+TraceReader::TraceReader(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "rb");
+    if (!file_)
+        fatal("cannot open trace file '%s'", path.c_str());
+    Header h{};
+    if (std::fread(&h, sizeof(h), 1, file_) != 1 || h.magic != magic)
+        fatal("'%s' is not a SCIFinder trace", path.c_str());
+    if (h.version != version)
+        fatal("trace version %u unsupported (want %u)", h.version,
+              version);
+    if (h.numVars != numVars)
+        fatal("trace schema has %u vars, this build has %u", h.numVars,
+              unsigned(numVars));
+}
+
+TraceReader::~TraceReader()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+bool
+TraceReader::next(Record &rec)
+{
+    RecordHead head{};
+    if (std::fread(&head, sizeof(head), 1, file_) != 1)
+        return false;
+    rec.point = Point::fromId(head.pointId);
+    rec.fused = head.fused != 0;
+    rec.index = head.index;
+    bool ok = std::fread(rec.pre.data(), sizeof(uint32_t), numVars,
+                         file_) == numVars;
+    ok = ok && std::fread(rec.post.data(), sizeof(uint32_t), numVars,
+                          file_) == numVars;
+    if (!ok)
+        fatal("truncated trace record");
+    return true;
+}
+
+void
+TraceReader::readAll(TraceBuffer &buffer)
+{
+    Record rec;
+    while (next(rec))
+        buffer.record(rec);
+}
+
+} // namespace scif::trace

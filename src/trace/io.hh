@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Binary serialization of execution traces.
+ *
+ * The paper's pipeline buffers 26 GB of trace data on disk between the
+ * simulation and the invariant generator; this module provides the
+ * equivalent capability so large corpora need not be held in memory.
+ * The format is a small header (magic, version, schema size) followed
+ * by fixed-size little-endian records.
+ */
+
+#ifndef SCIFINDER_TRACE_IO_HH
+#define SCIFINDER_TRACE_IO_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "trace/record.hh"
+
+namespace scif::trace {
+
+/** Streaming trace writer implementing the TraceSink interface. */
+class TraceWriter : public TraceSink
+{
+  public:
+    /** Open @p path for writing; aborts on I/O failure. */
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter() override;
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    void record(const Record &rec) override;
+
+    /** Flush and close; further record() calls are invalid. */
+    void close();
+
+    /** @return number of records written so far. */
+    uint64_t count() const { return count_; }
+
+  private:
+    std::FILE *file_ = nullptr;
+    uint64_t count_ = 0;
+};
+
+/** Streaming trace reader. */
+class TraceReader
+{
+  public:
+    /** Open @p path; aborts on I/O failure or bad header. */
+    explicit TraceReader(const std::string &path);
+    ~TraceReader();
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    /**
+     * Read the next record.
+     * @return false at end of file.
+     */
+    bool next(Record &rec);
+
+    /** Read the remainder of the file into a buffer. */
+    void readAll(TraceBuffer &buffer);
+
+  private:
+    std::FILE *file_ = nullptr;
+};
+
+} // namespace scif::trace
+
+#endif // SCIFINDER_TRACE_IO_HH

@@ -1,0 +1,54 @@
+#include "record.hh"
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace scif::trace {
+
+std::string
+Point::name() const
+{
+    std::string base = isInterrupt()
+                           ? "int"
+                           : std::string(isa::info(mnemonic()).name);
+    if (exception() == isa::Exception::None)
+        return base;
+    return base + "@" + std::string(isa::exceptionName(exception()));
+}
+
+Point
+Point::parse(const std::string &name)
+{
+    std::string base = name;
+    isa::Exception exc = isa::Exception::None;
+    size_t at = name.find('@');
+    if (at != std::string::npos) {
+        base = name.substr(0, at);
+        std::string excName = name.substr(at + 1);
+        bool found = false;
+        for (int e = 0; e <= int(isa::Exception::Trap); ++e) {
+            if (isa::exceptionName(isa::Exception(e)) == excName) {
+                exc = isa::Exception(e);
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            panic("bad exception name in point '%s'", name.c_str());
+    }
+    if (base == "int")
+        return Point::interrupt(exc);
+    const isa::InsnInfo *ii = isa::infoByName(base);
+    if (!ii)
+        panic("bad mnemonic in point '%s'", name.c_str());
+    return Point::insn(ii->mnemonic, exc);
+}
+
+void
+TraceBuffer::append(const TraceBuffer &other)
+{
+    records_.insert(records_.end(), other.records_.begin(),
+                    other.records_.end());
+}
+
+} // namespace scif::trace

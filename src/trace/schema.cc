@@ -1,0 +1,65 @@
+#include "schema.hh"
+
+#include <map>
+#include <string>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace scif::trace {
+
+namespace {
+
+const char *const fixedNames[] = {
+    "PC",     "NPC",  "NNPC",   "PPC",    "WBPC",   "IDPC", "SR",
+    "ESR0",   "EPCR0", "EEAR0", "MACLO",  "MACHI",  "SPRA", "SPRV",
+    "INSN",   "IMEM", "IMM",    "OPA",    "OPB",    "OPDEST",
+    "REGA",   "REGB", "REGD",   "MEMADDR", "MEMBUS", "ROR",  "DIV",
+    "DMEM",
+    "SF",     "SM",   "CY",     "OV",     "DSX",    "FO",
+    "FLAGOK", "MEMOK", "JEA",   "EA",    "USTALL",
+};
+
+constexpr size_t numFixedNames = sizeof(fixedNames) / sizeof(fixedNames[0]);
+
+static_assert(32 + numFixedNames == size_t(NumVars),
+              "schema names out of sync with VarId");
+
+const std::map<std::string, uint16_t> &
+nameIndex()
+{
+    static const auto *index = [] {
+        auto *m = new std::map<std::string, uint16_t>();
+        for (uint16_t v = 0; v < numVars; ++v)
+            (*m)[std::string(varName(v))] = v;
+        return m;
+    }();
+    return *index;
+}
+
+} // namespace
+
+std::string_view
+varName(uint16_t var)
+{
+    SCIF_ASSERT(var < numVars);
+    if (var < 32) {
+        static const std::string *gprNames = [] {
+            auto *names = new std::string[32];
+            for (unsigned i = 0; i < 32; ++i)
+                names[i] = format("GPR%u", i);
+            return names;
+        }();
+        return gprNames[var];
+    }
+    return fixedNames[var - 32];
+}
+
+uint16_t
+varByName(std::string_view name)
+{
+    auto it = nameIndex().find(std::string(name));
+    return it == nameIndex().end() ? numVars : it->second;
+}
+
+} // namespace scif::trace

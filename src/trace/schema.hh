@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The trace variable schema: the fixed set of software-visible
+ * (ISA-level) variables recorded at every instruction boundary,
+ * mirroring SCIFinder §3.1.3 ("all registers and signals that are
+ * visible to software: all GPRs, all SPRs, flags, data and address of
+ * the memory subsystem, target registers, and immediate values").
+ *
+ * The last block of variables is *derived* (§3.1.4): values computed
+ * from the base record rather than sampled from the processor, such as
+ * the unpacked SR flag bits and the control-flow-flag correctness
+ * variable used by property p28.
+ */
+
+#ifndef SCIFINDER_TRACE_SCHEMA_HH
+#define SCIFINDER_TRACE_SCHEMA_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace scif::trace {
+
+/**
+ * Identifiers of every tracked variable. GPRs occupy [0, 32); the
+ * remaining architectural and derived variables follow.
+ */
+enum VarId : uint16_t {
+    // General purpose registers: GPR0 + n.
+    GPR0 = 0,
+
+    PC = 32,    ///< address of the executed instruction
+    NPC,        ///< address of the next instruction to execute
+    NNPC,       ///< address after the next instruction
+    PPC,        ///< previous program counter
+    WBPC,       ///< pipeline shadow: PC of the writeback-stage insn
+    IDPC,       ///< pipeline shadow: PC of the decode-stage insn
+    SR,         ///< supervision register
+    ESR0,       ///< exception status register
+    EPCR0,      ///< exception PC register
+    EEAR0,      ///< exception effective address register
+    MACLO,      ///< MAC accumulator low
+    MACHI,      ///< MAC accumulator high
+    SPRA,       ///< SPR address touched by l.mtspr/l.mfspr (else 0)
+    SPRV,       ///< value of that SPR after the instruction (else 0)
+    INSN,       ///< instruction word that executed
+    IMEM,       ///< instruction memory word at PC (fetch oracle)
+    IMM,        ///< decoded immediate operand
+    OPA,        ///< value of source operand rA
+    OPB,        ///< value of source operand rB
+    OPDEST,     ///< value written to the destination register
+    REGA,       ///< rA register index
+    REGB,       ///< rB register index
+    REGD,       ///< rD register index
+    MEMADDR,    ///< memory address driven by the LSU (else 0)
+    MEMBUS,     ///< data transferred on the memory bus (else 0)
+    ROR,        ///< rotate-unit output (else 0)
+    DIV,        ///< divide-unit output (else 0)
+    DMEM,       ///< memory content at MEMADDR after the access (oracle)
+
+    // ---- derived variables (computed, §3.1.4) ----
+    SF,         ///< SR[F]: conditional branch flag
+    SM,         ///< SR[SM]: supervisor mode bit
+    CY,         ///< SR[CY]: carry bit
+    OV,         ///< SR[OV]: overflow bit
+    DSX,        ///< SR[DSX]: delay-slot exception bit
+    FO,         ///< SR[FO]: the fixed-one bit
+    FLAGOK,     ///< compare insns: flag was set per the ISA (0/1)
+    MEMOK,      ///< loads/stores: LSU extension/truncation correct (0/1)
+    JEA,        ///< jump/branch effective target address (optional)
+    EA,         ///< load/store effective address oracle (optional)
+    USTALL,     ///< microarchitectural stall counter (optional; only
+                ///< populated when the simulator's microarchitectural
+                ///< trace extension is enabled — the paper's §5.2
+                ///< future-work direction that makes b2 visible)
+
+    NumVars
+};
+
+/** Total number of schema variables (pre and post both recorded). */
+constexpr uint16_t numVars = uint16_t(VarId::NumVars);
+
+/** Index of the first derived variable. */
+constexpr uint16_t firstDerivedVar = uint16_t(VarId::SF);
+
+/** @return the printable variable name ("GPR7", "EPCR0", "SF", ...). */
+std::string_view varName(uint16_t var);
+
+/** @return the VarId for a name, or NumVars if unknown. */
+uint16_t varByName(std::string_view name);
+
+/** @return the VarId of general purpose register @p n. */
+constexpr uint16_t
+gprVar(unsigned n)
+{
+    return uint16_t(GPR0 + n);
+}
+
+} // namespace scif::trace
+
+#endif // SCIFINDER_TRACE_SCHEMA_HH

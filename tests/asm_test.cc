@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Unit tests for the two-pass assembler: syntax forms, labels and
+ * forward references, directives, expressions, error diagnostics, and
+ * a disassembly round trip over a representative program.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "isa/insn.hh"
+
+namespace scif::assembler {
+namespace {
+
+using isa::Mnemonic;
+
+isa::DecodedInsn
+decodeAt(const Program &p, uint32_t addr)
+{
+    auto it = p.words.find(addr);
+    EXPECT_NE(it, p.words.end()) << "no word at " << std::hex << addr;
+    auto d = isa::decode(it->second);
+    EXPECT_TRUE(d.has_value());
+    return *d;
+}
+
+TEST(Assembler, BasicInstructions)
+{
+    auto r = assemble(R"(
+        .org 0x100
+        l.addi r1, r0, 42
+        l.add  r2, r1, r1
+        l.nop  0xf
+    )");
+    ASSERT_TRUE(r.ok) << (r.errors.empty() ? "" : r.errors[0]);
+    EXPECT_EQ(r.program.entry, 0x100u);
+
+    auto d = decodeAt(r.program, 0x100);
+    EXPECT_EQ(d.mnemonic, Mnemonic::L_ADDI);
+    EXPECT_EQ(d.rd, 1);
+    EXPECT_EQ(d.imm, 42);
+
+    d = decodeAt(r.program, 0x104);
+    EXPECT_EQ(d.mnemonic, Mnemonic::L_ADD);
+    EXPECT_EQ(d.rd, 2);
+    EXPECT_EQ(d.ra, 1);
+    EXPECT_EQ(d.rb, 1);
+}
+
+TEST(Assembler, LoadStoreSyntax)
+{
+    auto r = assemble(R"(
+        .org 0x100
+        l.lwz r3, 8(r2)
+        l.sw  -4(r5), r6
+        l.lbs r7, 0(r1)
+    )");
+    ASSERT_TRUE(r.ok);
+    auto d = decodeAt(r.program, 0x100);
+    EXPECT_EQ(d.mnemonic, Mnemonic::L_LWZ);
+    EXPECT_EQ(d.rd, 3);
+    EXPECT_EQ(d.ra, 2);
+    EXPECT_EQ(d.imm, 8);
+
+    d = decodeAt(r.program, 0x104);
+    EXPECT_EQ(d.mnemonic, Mnemonic::L_SW);
+    EXPECT_EQ(d.ra, 5);
+    EXPECT_EQ(d.rb, 6);
+    EXPECT_EQ(d.imm, -4);
+}
+
+TEST(Assembler, LabelsForwardAndBackward)
+{
+    auto r = assemble(R"(
+        .org 0x100
+    start:
+        l.j   done          ; forward reference
+        l.nop 0
+        l.j   start         ; backward reference
+        l.nop 0
+    done:
+        l.nop 0xf
+    )");
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.program.symbol("start"), 0x100u);
+    EXPECT_EQ(r.program.symbol("done"), 0x110u);
+
+    auto d = decodeAt(r.program, 0x100);
+    EXPECT_EQ(d.imm, 4); // (0x110 - 0x100) / 4
+
+    d = decodeAt(r.program, 0x108);
+    EXPECT_EQ(d.imm, -2); // (0x100 - 0x108) / 4
+}
+
+TEST(Assembler, HiLoAndEqu)
+{
+    auto r = assemble(R"(
+        .equ STACK, 0x12345678
+        .org 0x100
+        l.movhi r1, hi(STACK)
+        l.ori   r1, r1, lo(STACK)
+    )");
+    ASSERT_TRUE(r.ok);
+    auto d = decodeAt(r.program, 0x100);
+    EXPECT_EQ(d.mnemonic, Mnemonic::L_MOVHI);
+    EXPECT_EQ(d.imm, 0x1234);
+    d = decodeAt(r.program, 0x104);
+    EXPECT_EQ(d.mnemonic, Mnemonic::L_ORI);
+    EXPECT_EQ(d.imm, 0x5678);
+}
+
+TEST(Assembler, SprNamesInImmediates)
+{
+    auto r = assemble(R"(
+        .org 0x100
+        l.mfspr r1, r0, SR
+        l.mtspr r0, r1, ESR0
+    )");
+    ASSERT_TRUE(r.ok);
+    auto d = decodeAt(r.program, 0x100);
+    EXPECT_EQ(d.imm, 0x11);
+    d = decodeAt(r.program, 0x104);
+    EXPECT_EQ(d.imm, 0x40);
+}
+
+TEST(Assembler, WordAndSpaceDirectives)
+{
+    auto r = assemble(R"(
+        .org 0x200
+        .word 0xdeadbeef
+        .space 8
+        .word 42
+    )");
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.program.words.at(0x200), 0xdeadbeefu);
+    EXPECT_EQ(r.program.words.at(0x20c), 42u);
+}
+
+TEST(Assembler, MultipleOrgSectionsKeepFirstEntry)
+{
+    auto r = assemble(R"(
+        .org 0x100
+        l.nop 0
+        .org 0x2000
+        l.nop 0
+    )");
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.program.entry, 0x100u);
+    EXPECT_TRUE(r.program.words.count(0x2000));
+}
+
+TEST(Assembler, EntryDirective)
+{
+    auto r = assemble(R"(
+        .entry 0x2000
+        .org 0x100
+        l.nop 0
+        .org 0x2000
+        l.nop 0xf
+    )");
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.program.entry, 0x2000u);
+}
+
+TEST(Assembler, ExpressionArithmetic)
+{
+    auto r = assemble(R"(
+        .equ BASE, 0x1000
+        .org 0x100
+        l.addi r1, r0, BASE+8
+        l.addi r2, r0, BASE-0x10
+    )");
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(decodeAt(r.program, 0x100).imm, 0x1008);
+    EXPECT_EQ(decodeAt(r.program, 0x104).imm, 0xff0);
+}
+
+TEST(Assembler, ErrorsAreDiagnosed)
+{
+    auto r = assemble("l.bogus r1, r2\n");
+    EXPECT_FALSE(r.ok);
+    ASSERT_EQ(r.errors.size(), 1u);
+    EXPECT_NE(r.errors[0].find("unknown mnemonic"), std::string::npos);
+
+    r = assemble("l.addi r1, r2\n");
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.errors[0].find("expects 3 operands"),
+              std::string::npos);
+
+    r = assemble("l.addi r1, r99, 0\n");
+    EXPECT_FALSE(r.ok);
+
+    r = assemble("l.j nowhere\n");
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.errors[0].find("undefined symbol"), std::string::npos);
+
+    r = assemble("x: l.nop 0\nx: l.nop 0\n");
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.errors[0].find("duplicate label"), std::string::npos);
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    auto r = assemble(R"(
+        ; full-line comment
+        # hash comment
+        .org 0x100
+
+        l.nop 0   ; trailing comment
+    )");
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.program.words.size(), 1u);
+}
+
+TEST(Assembler, AllMnemonicsAssembleViaDisassembly)
+{
+    // Disassemble a canonical form of every instruction and feed it
+    // back through the assembler: the encodings must agree.
+    for (const auto &ii : isa::allInsns()) {
+        isa::DecodedInsn d;
+        d.mnemonic = ii.mnemonic;
+        switch (ii.format) {
+          case isa::Format::J:
+            d.imm = 2;
+            break;
+          case isa::Format::JR:
+            d.rb = 3;
+            break;
+          case isa::Format::RRR:
+            d.rd = 1;
+            d.ra = 2;
+            d.rb = 3;
+            break;
+          case isa::Format::RRDA:
+            d.rd = 1;
+            d.ra = 2;
+            break;
+          case isa::Format::RRAB:
+            d.ra = 2;
+            d.rb = 3;
+            break;
+          case isa::Format::RRI:
+          case isa::Format::LOAD:
+            d.rd = 1;
+            d.ra = 2;
+            d.imm = ii.signedImm ? -4 : 4;
+            break;
+          case isa::Format::RIA:
+            d.ra = 2;
+            d.imm = -4;
+            break;
+          case isa::Format::RI:
+            d.rd = 1;
+            d.imm = 0x1234;
+            break;
+          case isa::Format::RD:
+            d.rd = 1;
+            break;
+          case isa::Format::RRL:
+            d.rd = 1;
+            d.ra = 2;
+            d.imm = 5;
+            break;
+          case isa::Format::STORE:
+            d.ra = 2;
+            d.rb = 3;
+            d.imm = -4;
+            break;
+          case isa::Format::MTSPR:
+            d.ra = 2;
+            d.rb = 3;
+            d.imm = 0x11;
+            break;
+          case isa::Format::K16:
+            d.imm = 7;
+            break;
+          case isa::Format::NONE:
+            break;
+        }
+        std::string text = ".org 0x100\n" + isa::disassemble(d) + "\n";
+        auto r = assemble(text);
+        ASSERT_TRUE(r.ok) << text
+                          << (r.errors.empty() ? "" : r.errors[0]);
+        if (ii.format == isa::Format::J) {
+            // Numeric jump operands are raw word offsets.
+            EXPECT_EQ(decodeAt(r.program, 0x100).imm, d.imm) << ii.name;
+        } else {
+            EXPECT_EQ(r.program.words.at(0x100), isa::encode(d))
+                << ii.name;
+        }
+    }
+}
+
+} // namespace
+} // namespace scif::assembler

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Bug-registry tests: registry shape, clean triggers halt, buggy
+ * runs manifest architectural differences for all ISA-visible bugs,
+ * and the microarchitecturally invisible ones do not.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bugs/registry.hh"
+
+namespace scif::bugs {
+namespace {
+
+TEST(Registry, ThirtyOneBugs)
+{
+    EXPECT_EQ(all().size(), 31u);
+    EXPECT_EQ(table1().size(), 17u);
+    EXPECT_EQ(heldOut().size(), 14u);
+    EXPECT_EQ(byId("b1").source, "OR1200, Bugzilla #33");
+    EXPECT_FALSE(byId("b17").heldOut);
+    EXPECT_TRUE(byId("h1").heldOut);
+}
+
+TEST(Registry, DistinctMutations)
+{
+    std::set<cpu::Mutation> seen;
+    for (const auto &bug : all())
+        EXPECT_TRUE(seen.insert(bug.mutation).second) << bug.id;
+}
+
+/** Clean trigger runs always halt (checked inside runTrigger). */
+class CleanTrigger : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(CleanTrigger, Halts)
+{
+    const Bug &bug = all()[GetParam()];
+    trace::TraceBuffer buf = runTrigger(bug, false);
+    EXPECT_GT(buf.size(), 3u) << bug.id;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBugs, CleanTrigger, ::testing::Range(size_t(0), size_t(31)),
+    [](const ::testing::TestParamInfo<size_t> &info) {
+        return all()[info.param].id;
+    });
+
+/** Buggy runs differ from clean runs at the ISA level, except for
+ *  the stall-style and invisible bugs. */
+class BuggyTrigger : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(BuggyTrigger, ManifestsWhenVisible)
+{
+    const Bug &bug = all()[GetParam()];
+    trace::TraceBuffer clean = runTrigger(bug, false);
+    trace::TraceBuffer buggy = runTrigger(bug, true);
+
+    bool differs = clean.size() != buggy.size();
+    for (size_t i = 0; !differs && i < clean.size(); ++i) {
+        differs = clean.records()[i].post != buggy.records()[i].post ||
+                  clean.records()[i].point.id() !=
+                      buggy.records()[i].point.id();
+    }
+
+    bool invisible = bug.id == "h14";
+    bool truncatesOnly = bug.id == "b2" || bug.id == "h13";
+    if (invisible) {
+        EXPECT_FALSE(differs) << bug.id;
+    } else if (truncatesOnly) {
+        // The wedge cuts the trace short, but every record that was
+        // emitted matches the clean run.
+        EXPECT_LT(buggy.size(), clean.size()) << bug.id;
+        for (size_t i = 0; i < buggy.size(); ++i) {
+            EXPECT_EQ(buggy.records()[i].post,
+                      clean.records()[i].post);
+        }
+    } else {
+        EXPECT_TRUE(differs) << bug.id;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBugs, BuggyTrigger, ::testing::Range(size_t(0), size_t(31)),
+    [](const ::testing::TestParamInfo<size_t> &info) {
+        return all()[info.param].id;
+    });
+
+} // namespace
+} // namespace scif::bugs

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Errata-classification tests (§4.1 phase 2): catalog integrity, the
+ * reproduced-bug cross references, and the guideline assistant's
+ * agreement with the human judgments.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bugs/classification.hh"
+#include "bugs/registry.hh"
+
+namespace scif::bugs {
+namespace {
+
+TEST(Catalog, ShapeMatchesTheNarrative)
+{
+    CollectionSummary s = summarizeCollection();
+    // A representative catalog: every reproduced security erratum,
+    // the eight non-reproducible security ones, and a functional
+    // cross-section.
+    EXPECT_EQ(s.security, 25u);        // paper: 25 of 185
+    EXPECT_EQ(s.reproduced, 17u);      // paper: 17 reproduced
+    EXPECT_EQ(s.notReproducible, 8u);  // paper: 8 not reproducible
+    EXPECT_GT(s.collected, 40u);
+    EXPECT_GT(s.collected - s.security, 15u)
+        << "the functional majority must be represented";
+}
+
+TEST(Catalog, ReproducedCrossReferencesResolve)
+{
+    std::set<std::string> seen;
+    for (const auto &e : collectedErrata()) {
+        if (e.reproducedAs.empty())
+            continue;
+        // Must resolve in the bug registry (aborts if unknown)...
+        const Bug &bug = byId(e.reproducedAs);
+        EXPECT_FALSE(bug.heldOut) << e.reproducedAs;
+        // ...and each registry bug is referenced exactly once.
+        EXPECT_TRUE(seen.insert(e.reproducedAs).second)
+            << e.reproducedAs;
+        EXPECT_EQ(e.judged, ErratumClass::Security);
+    }
+    EXPECT_EQ(seen.size(), 17u);
+}
+
+TEST(Catalog, ProcessorsCovered)
+{
+    std::set<std::string> processors;
+    for (const auto &e : collectedErrata())
+        processors.insert(e.processor);
+    for (const char *p : {"OR1200", "LEON2", "LEON3", "OpenSPARC-T1",
+                          "OpenMSP430"}) {
+        EXPECT_TRUE(processors.count(p)) << p;
+    }
+}
+
+TEST(Assistant, GuidelinesFireOnKnownSecurityErrata)
+{
+    // The assistant must recognize the Table 1 synopses.
+    for (const auto &e : collectedErrata()) {
+        if (e.reproducedAs.empty())
+            continue;
+        Suggestion s = classifyBySynopsis(e.synopsis);
+        EXPECT_EQ(s.suggested, ErratumClass::Security)
+            << e.synopsis << " (" << s.reason << ")";
+    }
+}
+
+TEST(Assistant, FunctionalIndicatorsStayFunctional)
+{
+    for (const char *synopsis : {
+             "Performance counters overcount stalled cycles",
+             "Synthesis warning: latch inferred in the debug unit",
+             "Documentation lists the wrong reset value",
+             "Timer prescaler reload delayed one tick",
+         }) {
+        EXPECT_EQ(classifyBySynopsis(synopsis).suggested,
+                  ErratumClass::Functional)
+            << synopsis;
+    }
+}
+
+TEST(Assistant, HighAgreementWithTheHuman)
+{
+    CollectionSummary s = summarizeCollection();
+    double agreement = double(s.assistantAgrees) / double(s.collected);
+    EXPECT_GT(agreement, 0.85)
+        << "the decision aid must mostly agree with the human "
+        << "judgments (" << s.assistantAgrees << "/" << s.collected
+        << ")";
+}
+
+TEST(Assistant, ReasonsNameAGuideline)
+{
+    Suggestion a = classifyBySynopsis("EPCR on range exception is "
+                                      "incorrect");
+    EXPECT_NE(a.reason.find("guideline (a)"), std::string::npos);
+
+    Suggestion b = classifyBySynopsis("GPR0 can be assigned");
+    EXPECT_NE(b.reason.find("guideline"), std::string::npos);
+}
+
+} // namespace
+} // namespace scif::bugs

@@ -1,0 +1,790 @@
+/**
+ * @file
+ * Simulator tests: instruction semantics, exception behaviour, delay
+ * slots, privilege, the tick timer and PIC, trace-record contents,
+ * and every injected erratum's architectural symptom.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "cpu/cpu.hh"
+#include "support/logging.hh"
+
+namespace scif::cpu {
+namespace {
+
+using assembler::assembleOrDie;
+using isa::Exception;
+using trace::Record;
+using trace::VarId;
+
+/** Assemble, run, and return the halted CPU plus its trace. */
+struct RunFixture
+{
+    explicit RunFixture(const std::string &body,
+                        CpuConfig config = CpuConfig())
+        : cpu(config)
+    {
+        // Standard harness: handlers that just return, then the body
+        // at the reset vector's jump target.
+        cpu.loadProgram(assembleOrDie(body));
+        result = cpu.run(&buffer);
+    }
+
+    Cpu cpu;
+    trace::TraceBuffer buffer;
+    RunResult result;
+};
+
+std::string
+prog(const std::string &body)
+{
+    return ".org 0x100\n" + body + "\n    l.nop 0xf\n";
+}
+
+TEST(Exec, ArithmeticBasics)
+{
+    RunFixture f(prog(R"(
+        l.addi r1, r0, 40
+        l.addi r2, r0, 2
+        l.add  r3, r1, r2
+        l.sub  r4, r1, r2
+        l.muli r5, r1, 3
+        l.addi r6, r0, 7
+        l.div  r7, r1, r6
+        l.divu r8, r1, r2
+    )"));
+    EXPECT_EQ(f.result.reason, HaltReason::Halted);
+    EXPECT_EQ(f.cpu.gpr(3), 42u);
+    EXPECT_EQ(f.cpu.gpr(4), 38u);
+    EXPECT_EQ(f.cpu.gpr(5), 120u);
+    EXPECT_EQ(f.cpu.gpr(7), 5u);
+    EXPECT_EQ(f.cpu.gpr(8), 20u);
+}
+
+TEST(Exec, LogicAndShifts)
+{
+    RunFixture f(prog(R"(
+        l.movhi r1, 0xdead
+        l.ori   r1, r1, 0xbeef
+        l.andi  r2, r1, 0xff
+        l.xori  r3, r1, -1         ; sign-extended: flips all bits
+        l.slli  r4, r1, 4
+        l.srli  r5, r1, 4
+        l.srai  r6, r1, 4
+        l.rori  r7, r1, 8
+        l.ff1   r8, r1
+    )"));
+    EXPECT_EQ(f.cpu.gpr(1), 0xdeadbeefu);
+    EXPECT_EQ(f.cpu.gpr(2), 0xefu);
+    EXPECT_EQ(f.cpu.gpr(3), ~0xdeadbeefu);
+    EXPECT_EQ(f.cpu.gpr(4), 0xeadbeef0u);
+    EXPECT_EQ(f.cpu.gpr(5), 0x0deadbeeu);
+    EXPECT_EQ(f.cpu.gpr(6), 0xfdeadbeeu);
+    EXPECT_EQ(f.cpu.gpr(7), 0xefdeadbeu);
+    EXPECT_EQ(f.cpu.gpr(8), 1u);
+}
+
+TEST(Exec, Extensions)
+{
+    RunFixture f(prog(R"(
+        l.ori   r1, r0, 0x8180
+        l.extbs r2, r1
+        l.extbz r3, r1
+        l.exths r4, r1
+        l.exthz r5, r1
+        l.extws r6, r1
+        l.extwz r7, r1
+    )"));
+    EXPECT_EQ(f.cpu.gpr(2), 0xffffff80u);
+    EXPECT_EQ(f.cpu.gpr(3), 0x80u);
+    EXPECT_EQ(f.cpu.gpr(4), 0xffff8180u);
+    EXPECT_EQ(f.cpu.gpr(5), 0x8180u);
+    EXPECT_EQ(f.cpu.gpr(6), 0x8180u);
+    EXPECT_EQ(f.cpu.gpr(7), 0x8180u);
+}
+
+TEST(Exec, CompareAndCmov)
+{
+    RunFixture f(prog(R"(
+        l.addi  r1, r0, 5
+        l.addi  r2, r0, 9
+        l.sflts r1, r2
+        l.cmov  r3, r1, r2      ; flag set -> rA
+        l.sfgtu r1, r2
+        l.cmov  r4, r1, r2      ; flag clear -> rB
+    )"));
+    EXPECT_EQ(f.cpu.gpr(3), 5u);
+    EXPECT_EQ(f.cpu.gpr(4), 9u);
+}
+
+TEST(Exec, UnsignedVsSignedCompare)
+{
+    RunFixture f(prog(R"(
+        l.addi  r1, r0, -1     ; 0xffffffff
+        l.addi  r2, r0, 1
+        l.sfltu r1, r2         ; unsigned: 0xffffffff < 1 is false
+        l.addi  r3, r0, 0
+        l.bf    set3
+        l.nop   0
+        l.j     next
+        l.nop   0
+    set3:
+        l.addi  r3, r0, 1
+    next:
+        l.sflts r1, r2         ; signed: -1 < 1 is true
+        l.addi  r4, r0, 0
+        l.bf    set4
+        l.nop   0
+        l.j     fin
+        l.nop   0
+    set4:
+        l.addi  r4, r0, 1
+    fin:
+    )"));
+    EXPECT_EQ(f.cpu.gpr(3), 0u);
+    EXPECT_EQ(f.cpu.gpr(4), 1u);
+}
+
+TEST(Exec, LoadsAndStores)
+{
+    RunFixture f(prog(R"(
+        .equ BUF, 0x8000
+        l.movhi r1, hi(BUF)
+        l.ori   r1, r1, lo(BUF)
+        l.movhi r2, 0xcafe
+        l.ori   r2, r2, 0xbabe
+        l.sw    0(r1), r2
+        l.lwz   r3, 0(r1)
+        l.lbz   r4, 0(r1)      ; big endian: first byte is 0xca
+        l.lbs   r5, 0(r1)
+        l.lhz   r6, 2(r1)
+        l.lhs   r7, 2(r1)
+        l.sb    4(r1), r2      ; stores 0xbe
+        l.lbz   r8, 4(r1)
+        l.sh    6(r1), r2      ; stores 0xbabe
+        l.lhz   r9, 6(r1)
+    )"));
+    EXPECT_EQ(f.cpu.gpr(3), 0xcafebabeu);
+    EXPECT_EQ(f.cpu.gpr(4), 0xcau);
+    EXPECT_EQ(f.cpu.gpr(5), 0xffffffcau);
+    EXPECT_EQ(f.cpu.gpr(6), 0xbabeu);
+    EXPECT_EQ(f.cpu.gpr(7), 0xffffbabeu);
+    EXPECT_EQ(f.cpu.gpr(8), 0xbeu);
+    EXPECT_EQ(f.cpu.gpr(9), 0xbabeu);
+}
+
+TEST(Exec, MacFamily)
+{
+    RunFixture f(prog(R"(
+        l.addi  r1, r0, 6
+        l.addi  r2, r0, 7
+        l.mac   r1, r2         ; acc = 42
+        l.maci  r1, 10         ; acc = 102
+        l.msb   r2, r2         ; acc = 53
+        l.macrc r3             ; r3 = 53, acc cleared
+        l.macrc r4             ; r4 = 0
+    )"));
+    EXPECT_EQ(f.cpu.gpr(3), 53u);
+    EXPECT_EQ(f.cpu.gpr(4), 0u);
+}
+
+TEST(Exec, JumpAndLink)
+{
+    RunFixture f(prog(R"(
+        l.jal  callee
+        l.addi r1, r0, 11      ; delay slot executes
+        l.addi r2, r0, 22      ; return lands here
+        l.j    done
+        l.nop  0
+    callee:
+        l.addi r3, r0, 33
+        l.jr   r9
+        l.nop  0
+    done:
+    )"));
+    EXPECT_EQ(f.result.reason, HaltReason::Halted);
+    EXPECT_EQ(f.cpu.gpr(1), 11u);
+    EXPECT_EQ(f.cpu.gpr(2), 22u);
+    EXPECT_EQ(f.cpu.gpr(3), 33u);
+    // l.jal at 0x100: LR = 0x108.
+    EXPECT_EQ(f.cpu.gpr(9), 0x108u);
+}
+
+TEST(Exec, BranchDelaySlotAlwaysExecutes)
+{
+    RunFixture f(prog(R"(
+        l.sfeqi r0, 0          ; flag := 1
+        l.bf    taken
+        l.addi  r1, r0, 1      ; delay slot of taken branch
+        l.addi  r2, r0, 99     ; skipped
+    taken:
+        l.sfeqi r0, 1          ; flag := 0
+        l.bf    nottaken
+        l.addi  r3, r0, 3      ; delay slot of untaken branch
+        l.addi  r4, r0, 4      ; falls through here
+    nottaken:
+    )"));
+    EXPECT_EQ(f.cpu.gpr(1), 1u);
+    EXPECT_EQ(f.cpu.gpr(2), 0u);
+    EXPECT_EQ(f.cpu.gpr(3), 3u);
+    EXPECT_EQ(f.cpu.gpr(4), 4u);
+}
+
+TEST(Exec, Gpr0IsHardwiredZero)
+{
+    RunFixture f(prog(R"(
+        l.addi r0, r0, 5
+        l.addi r1, r0, 1
+    )"));
+    EXPECT_EQ(f.cpu.gpr(0), 0u);
+    EXPECT_EQ(f.cpu.gpr(1), 1u);
+}
+
+TEST(Exception, SyscallVectorsAndReturns)
+{
+    RunFixture f(R"(
+        .org 0xc00             ; syscall handler
+        l.mfspr r20, r0, EPCR0
+        l.rfe
+        .org 0x100
+        l.addi r1, r0, 1
+        l.sys  0
+        l.addi r2, r0, 2
+        l.nop  0xf
+    )");
+    EXPECT_EQ(f.result.reason, HaltReason::Halted);
+    EXPECT_EQ(f.cpu.gpr(1), 1u);
+    EXPECT_EQ(f.cpu.gpr(2), 2u);
+    // EPCR = instruction after the l.sys (0x104 + 4).
+    EXPECT_EQ(f.cpu.gpr(20), 0x108u);
+}
+
+TEST(Exception, IllegalInstructionVector)
+{
+    RunFixture f(R"(
+        .org 0x700
+        l.mfspr r20, r0, EPCR0
+        l.movhi r21, hi(0x108)
+        l.ori   r21, r21, lo(0x108)
+        l.mtspr r0, r21, EPCR0  ; skip the bad word
+        l.rfe
+        .org 0x100
+        l.addi r1, r0, 1
+        .word 0xfc000000        ; unassigned opcode
+        l.addi r2, r0, 2
+        l.nop 0xf
+    )");
+    EXPECT_EQ(f.result.reason, HaltReason::Halted);
+    EXPECT_EQ(f.cpu.gpr(2), 2u);
+    EXPECT_EQ(f.cpu.gpr(20), 0x104u); // faulting word itself
+}
+
+TEST(Exception, AlignmentFault)
+{
+    RunFixture f(R"(
+        .org 0x600
+        l.mfspr r20, r0, EEAR0
+        l.mfspr r21, r0, EPCR0
+        l.nop   0xf
+        .org 0x100
+        l.ori  r1, r0, 0x8001
+        l.lwz  r2, 0(r1)        ; misaligned word load
+        l.nop  0xf
+    )");
+    EXPECT_EQ(f.cpu.gpr(20), 0x8001u);
+    EXPECT_EQ(f.cpu.gpr(21), 0x104u);
+}
+
+TEST(Exception, RangeOnOverflowWhenEnabled)
+{
+    RunFixture f(R"(
+        .org 0xb00
+        l.mfspr r20, r0, EPCR0
+        l.mfspr r21, r0, ESR0
+        l.nop 0xf
+        .org 0x100
+        l.mfspr r1, r0, SR
+        l.ori   r1, r1, 0x1000  ; set OVE
+        l.mtspr r0, r1, SR
+        l.movhi r2, 0x7fff
+        l.ori   r2, r2, 0xffff
+        l.addi  r3, r2, 1       ; signed overflow -> range exception
+        l.nop 0xf
+    )");
+    EXPECT_EQ(f.cpu.gpr(20), 0x114u); // the overflowing l.addi
+    // ESR captured SR with OVE set.
+    EXPECT_TRUE(f.cpu.gpr(21) & 0x1000u);
+}
+
+TEST(Exception, TrapVector)
+{
+    RunFixture f(R"(
+        .org 0xe00
+        l.mfspr r20, r0, EPCR0
+        l.nop 0xf
+        .org 0x100
+        l.trap 0
+        l.nop 0xf
+    )");
+    EXPECT_EQ(f.cpu.gpr(20), 0x100u);
+}
+
+TEST(Exception, DelaySlotFaultSetsDsxAndBranchEpcr)
+{
+    RunFixture f(R"(
+        .org 0x600
+        l.mfspr r20, r0, EPCR0
+        l.mfspr r21, r0, SR
+        l.nop 0xf
+        .org 0x100
+        l.ori  r1, r0, 0x8002
+        l.j    0x200
+        l.lwz  r2, 1(r1)       ; misaligned load in delay slot
+        l.nop  0xf
+    )");
+    EXPECT_EQ(f.cpu.gpr(20), 0x104u);      // the branch address
+    EXPECT_TRUE(f.cpu.gpr(21) & (1u << isa::sr::DSX));
+}
+
+TEST(Privilege, UserModeCannotTouchSprs)
+{
+    RunFixture f(R"(
+        .org 0x700             ; illegal-instruction handler
+        l.addi r20, r20, 1
+        l.mfspr r21, r0, EPCR0
+        l.mtspr r0, r21, EPCR0 ; EPCR already past the bad insn? no:
+        l.nop 0xf              ; just stop after first fault
+        .org 0x100
+        ; drop to user mode: clear SM, jump to user code
+        l.movhi r1, hi(0x8000)
+        l.ori   r1, r1, lo(0x8000)
+        l.mtspr r0, r1, EPCR0
+        l.mfspr r2, r0, SR
+        l.xori  r3, r0, -1        ; r3 = 0xffffffff
+        l.xori  r3, r3, 1         ; r3 = ~SM
+        l.and   r2, r2, r3
+        l.mtspr r0, r2, ESR0
+        l.rfe                     ; "return" to user code
+        .org 0x8000
+        l.mfspr r4, r0, SR        ; privileged in user mode -> illegal
+        l.nop 0xf
+    )");
+    EXPECT_EQ(f.cpu.gpr(20), 1u);      // handler ran once
+    EXPECT_EQ(f.cpu.gpr(21), 0x8000u); // faulting user insn
+}
+
+TEST(Privilege, UserModeCannotTouchKernelMemory)
+{
+    RunFixture f(R"(
+        .org 0x300             ; data page fault handler
+        l.addi r20, r20, 1
+        l.mfspr r21, r0, EEAR0
+        l.nop 0xf
+        .org 0x100
+        l.movhi r1, hi(0x8000)
+        l.ori   r1, r1, lo(0x8000)
+        l.mtspr r0, r1, EPCR0
+        l.mfspr r2, r0, SR
+        l.xori  r3, r0, -1
+        l.xori  r3, r3, 1
+        l.and   r2, r2, r3
+        l.mtspr r0, r2, ESR0
+        l.rfe
+        .org 0x8000
+        l.lwz  r4, 0x400(r0)   ; kernel address from user mode
+        l.nop 0xf
+    )");
+    EXPECT_EQ(f.cpu.gpr(20), 1u);
+    EXPECT_EQ(f.cpu.gpr(21), 0x400u);
+}
+
+TEST(Interrupt, TickTimerFires)
+{
+    RunFixture f(R"(
+        .org 0x500
+        l.addi  r20, r20, 1    ; count ticks
+        l.mfspr r21, r0, TTMR
+        l.movhi r22, 0         ; clear TTMR entirely (stop timer)
+        l.mtspr r0, r22, TTMR
+        l.rfe
+        .org 0x100
+        ; enable tick: period 20, IE, restart mode
+        l.movhi r1, 0x6000     ; mode=restart(01), IE(bit29)
+        l.ori   r1, r1, 20
+        l.mtspr r0, r1, TTMR
+        l.mfspr r2, r0, SR
+        l.ori   r2, r2, 2      ; TEE
+        l.mtspr r0, r2, SR
+    loop:
+        l.addi  r3, r3, 1
+        l.sfeqi r3, 100
+        l.bnf   loop
+        l.nop   0
+        l.nop   0xf
+    )");
+    EXPECT_EQ(f.result.reason, HaltReason::Halted);
+    EXPECT_EQ(f.cpu.gpr(20), 1u);          // tick handler ran once
+    EXPECT_EQ(f.cpu.gpr(3), 100u);         // loop still completed
+    EXPECT_TRUE(f.cpu.gpr(21) & (1u << 28)); // IP was pending
+}
+
+TEST(Interrupt, ExternalIrqViaSchedule)
+{
+    CpuConfig cfg;
+    cfg.irqSchedule = {{10, 2}};
+    RunFixture f(R"(
+        .org 0x800
+        l.addi  r20, r20, 1
+        l.mfspr r21, r0, PICSR
+        l.mtspr r0, r0, PICSR  ; ack
+        l.rfe
+        .org 0x100
+        l.addi  r1, r0, 4      ; unmask line 2
+        l.mtspr r0, r1, PICMR
+        l.mfspr r2, r0, SR
+        l.ori   r2, r2, 4      ; IEE
+        l.mtspr r0, r2, SR
+    loop:
+        l.addi  r3, r3, 1
+        l.sfeqi r3, 50
+        l.bnf   loop
+        l.nop   0
+        l.nop   0xf
+    )",
+                 cfg);
+    EXPECT_EQ(f.cpu.gpr(20), 1u);
+    EXPECT_EQ(f.cpu.gpr(21), 4u); // line 2 pending when read
+    EXPECT_EQ(f.cpu.gpr(3), 50u);
+}
+
+TEST(Trace, RecordShapes)
+{
+    RunFixture f(prog(R"(
+        l.addi r1, r0, 7
+        l.add  r2, r1, r1
+    )"));
+    ASSERT_GE(f.buffer.size(), 3u);
+    const Record &r0 = f.buffer.records()[0];
+    EXPECT_EQ(r0.point.name(), "l.addi");
+    EXPECT_EQ(r0.post[VarId::PC], 0x100u);
+    EXPECT_EQ(r0.post[VarId::NPC], 0x104u);
+    EXPECT_EQ(r0.post[VarId::OPDEST], 7u);
+    EXPECT_EQ(r0.post[VarId::REGD], 1u);
+    EXPECT_EQ(r0.post[VarId::IMM], 7u);
+    EXPECT_EQ(r0.post[trace::gprVar(1)], 7u);
+    EXPECT_EQ(r0.pre[trace::gprVar(1)], 0u);
+    EXPECT_EQ(r0.post[VarId::INSN], r0.post[VarId::IMEM]);
+
+    const Record &r1 = f.buffer.records()[1];
+    EXPECT_EQ(r1.point.name(), "l.add");
+    EXPECT_EQ(r1.pre[VarId::OPA], 7u);
+    EXPECT_EQ(r1.post[VarId::OPDEST], 14u);
+}
+
+TEST(Trace, FusedBranchRecord)
+{
+    RunFixture f(prog(R"(
+        l.j    target
+        l.addi r1, r0, 5
+    target:
+        l.addi r2, r0, 6
+    )"));
+    const Record &r0 = f.buffer.records()[0];
+    EXPECT_TRUE(r0.fused);
+    EXPECT_EQ(r0.point.name(), "l.j");
+    EXPECT_EQ(r0.post[VarId::PC], 0x100u);
+    EXPECT_EQ(r0.post[VarId::NPC], 0x108u); // branch target
+    // Delay slot write is visible in the fused post state.
+    EXPECT_EQ(r0.post[trace::gprVar(1)], 5u);
+}
+
+TEST(Trace, SyscallRecordPoint)
+{
+    RunFixture f(R"(
+        .org 0xc00
+        l.rfe
+        .org 0x100
+        l.sys 0
+        l.nop 0xf
+    )");
+    const Record &r0 = f.buffer.records()[0];
+    EXPECT_EQ(r0.point.name(), "l.sys@syscall");
+    EXPECT_EQ(r0.post[VarId::NPC], 0xc00u);
+    EXPECT_EQ(r0.post[VarId::EPCR0], 0x104u);
+    EXPECT_EQ(r0.post[VarId::SM], 1u);
+}
+
+TEST(Run, MaxInsnsBudget)
+{
+    CpuConfig cfg;
+    cfg.maxInsns = 25;
+    RunFixture f(R"(
+        .org 0x100
+    loop:
+        l.j loop
+        l.nop 0
+    )",
+                 cfg);
+    EXPECT_EQ(f.result.reason, HaltReason::MaxInsns);
+    EXPECT_GE(f.result.instructions, 25u);
+}
+
+// ---- erratum symptom checks ----
+
+TEST(Mutation, B2WedgesWithNoTraceDifference)
+{
+    std::string body = prog(R"(
+        l.addi  r1, r0, 3
+        l.addi  r2, r0, 4
+        l.mac   r1, r2
+        l.macrc r3
+    )");
+    RunFixture clean(body);
+    CpuConfig cfg;
+    cfg.mutations = {Mutation::B2_MacrcAfterMacStall};
+    RunFixture buggy(body, cfg);
+
+    EXPECT_EQ(clean.result.reason, HaltReason::Halted);
+    EXPECT_EQ(buggy.result.reason, HaltReason::Wedged);
+    // Every record the buggy run did emit matches the clean run:
+    // the wedge is invisible at the ISA level.
+    ASSERT_LT(buggy.buffer.size(), clean.buffer.size());
+    for (size_t i = 0; i < buggy.buffer.size(); ++i) {
+        EXPECT_EQ(buggy.buffer.records()[i].post,
+                  clean.buffer.records()[i].post);
+    }
+}
+
+TEST(Mutation, B10AllowsGpr0Write)
+{
+    CpuConfig cfg;
+    cfg.mutations = {Mutation::B10_Gpr0Writable};
+    RunFixture f(prog("l.addi r0, r0, 5"), cfg);
+    EXPECT_EQ(f.cpu.gpr(0), 5u);
+}
+
+TEST(Mutation, B6WrongUnsignedCompareOnMsbDiffer)
+{
+    std::string body = prog(R"(
+        l.movhi r1, 0x8000     ; MSB set
+        l.addi  r2, r0, 1      ; MSB clear
+        l.sfltu r2, r1         ; 1 < 0x80000000 unsigned: true
+        l.cmov  r3, r2, r1
+    )");
+    RunFixture clean(body);
+    CpuConfig cfg;
+    cfg.mutations = {Mutation::B6_UnsignedCmpMsb};
+    RunFixture buggy(body, cfg);
+    EXPECT_EQ(clean.cpu.gpr(3), 1u);          // took rA
+    EXPECT_EQ(buggy.cpu.gpr(3), 0x80000000u); // signed path: false
+}
+
+TEST(Mutation, B13CorruptsLinkOnLargeDisplacement)
+{
+    std::string body = R"(
+        .org 0x100
+        l.j     far
+        l.nop   0
+        .org 0x40000
+    far:
+        l.jal   back           ; large negative displacement
+        l.nop   0
+        l.nop   0xf
+        .org 0x200
+    back:
+        l.jr    r9
+        l.nop   0
+    )";
+    RunFixture clean(body);
+    CpuConfig cfg;
+    cfg.mutations = {Mutation::B13_JalLargeDispLr};
+    cfg.maxInsns = 100;
+    RunFixture buggy(body, cfg);
+    EXPECT_EQ(clean.result.reason, HaltReason::Halted);
+    EXPECT_EQ(clean.cpu.gpr(9), 0x40008u);
+    // Buggy: LR corrupted, return goes elsewhere.
+    EXPECT_NE(buggy.cpu.gpr(9), 0x40008u);
+}
+
+TEST(Mutation, B16DropsSignExtension)
+{
+    std::string body = prog(R"(
+        l.ori  r1, r0, 0x8000
+        l.addi r2, r0, -1
+        l.sb   0(r1), r2
+        l.lbs  r3, 0(r1)
+    )");
+    RunFixture clean(body);
+    CpuConfig cfg;
+    cfg.mutations = {Mutation::B16_LoadExtendWrong};
+    RunFixture buggy(body, cfg);
+    EXPECT_EQ(clean.cpu.gpr(3), 0xffffffffu);
+    EXPECT_EQ(buggy.cpu.gpr(3), 0xffu);
+}
+
+TEST(Mutation, H7PrivilegeFailsToDeescalate)
+{
+    std::string body = R"(
+        .org 0x100
+        ; craft ESR with SM clear and return to user code
+        l.movhi r1, hi(0x8000)
+        l.ori   r1, r1, lo(0x8000)
+        l.mtspr r0, r1, EPCR0
+        l.mfspr r2, r0, SR
+        l.xori  r3, r0, -1
+        l.xori  r3, r3, 1
+        l.and   r2, r2, r3
+        l.mtspr r0, r2, ESR0
+        l.rfe
+        .org 0x8000
+        l.nop 0xf
+    )";
+    RunFixture clean(body);
+    CpuConfig cfg;
+    cfg.mutations = {Mutation::H7_RfeKeepsSm};
+    RunFixture buggy(body, cfg);
+    EXPECT_EQ(clean.cpu.readSpr(isa::spr::SR) & 1u, 0u);
+    EXPECT_EQ(buggy.cpu.readSpr(isa::spr::SR) & 1u, 1u);
+}
+
+TEST(Mutation, B1SysInDelaySlotLoopsForever)
+{
+    std::string body = R"(
+        .org 0xc00
+        l.rfe
+        .org 0x100
+        l.j    cont
+        l.sys  0               ; syscall in the delay slot
+    cont:
+        l.nop  0xf
+    )";
+    RunFixture clean(body);
+    CpuConfig cfg;
+    cfg.mutations = {Mutation::B1_SysDelaySlotEpcr};
+    cfg.maxInsns = 500;
+    RunFixture buggy(body, cfg);
+    EXPECT_EQ(clean.result.reason, HaltReason::Halted);
+    EXPECT_EQ(buggy.result.reason, HaltReason::MaxInsns);
+}
+
+TEST(Mutation, B8CorruptsVectorAfterRori)
+{
+    std::string body = R"(
+        .org 0x800             ; where the corrupted vector lands
+        l.addi r20, r0, 77
+        l.nop  0xf
+        .org 0xc00
+        l.addi r21, r0, 88
+        l.nop  0xf
+        .org 0x100
+        l.addi r1, r0, 0xff
+        l.rori r2, r1, 4
+        l.sys  0
+        l.nop  0xf
+    )";
+    RunFixture clean(body);
+    CpuConfig cfg;
+    cfg.mutations = {Mutation::B8_RoriVector};
+    RunFixture buggy(body, cfg);
+    EXPECT_EQ(clean.cpu.gpr(21), 88u); // correct handler
+    EXPECT_EQ(clean.cpu.gpr(20), 0u);
+    EXPECT_EQ(buggy.cpu.gpr(20), 77u); // wrong handler
+    EXPECT_EQ(buggy.cpu.gpr(21), 0u);
+}
+
+TEST(Mutation, B11ExecutesStaleInstructionAfterLsuStall)
+{
+    std::string body = prog(R"(
+        l.ori  r1, r0, 0x8080  ; address with bit 7 set
+        l.lwz  r2, 0(r1)
+        l.addi r3, r0, 9       ; fetch of this one is corrupted
+    )");
+    RunFixture clean(body);
+    CpuConfig cfg;
+    cfg.mutations = {Mutation::B11_FetchAfterLsuStall};
+    cfg.maxInsns = 200;
+    RunFixture buggy(body, cfg);
+    EXPECT_EQ(clean.cpu.gpr(3), 9u);
+    EXPECT_EQ(buggy.result.reason, HaltReason::Halted);
+    EXPECT_EQ(buggy.cpu.gpr(3), 0u); // the l.lwz replayed instead
+    // The trace shows INSN != IMEM at the corrupted slot.
+    bool mismatch = false;
+    for (const auto &r : buggy.buffer.records())
+        mismatch |= r.post[VarId::INSN] != r.post[VarId::IMEM];
+    EXPECT_TRUE(mismatch);
+}
+
+TEST(Mutation, B12DropsMtsprWrites)
+{
+    std::string body = prog(R"(
+        l.addi  r1, r0, 0x123
+        l.mtspr r0, r1, EEAR0
+        l.mfspr r2, r0, EEAR0
+    )");
+    RunFixture clean(body);
+    CpuConfig cfg;
+    cfg.mutations = {Mutation::B12_MtsprDropped};
+    RunFixture buggy(body, cfg);
+    EXPECT_EQ(clean.cpu.gpr(2), 0x123u);
+    EXPECT_EQ(buggy.cpu.gpr(2), 0u);
+}
+
+TEST(Mutation, H11CompareClobbersConditionReg)
+{
+    std::string body = prog(R"(
+        l.addi  r1, r0, 5
+        l.sfeq  r1, r1         ; cond field 0 -> clobbers GPR0
+        l.addi  r2, r0, 0
+        l.add   r2, r2, r0
+    )");
+    RunFixture clean(body);
+    CpuConfig cfg;
+    cfg.mutations = {Mutation::H11_CompareClobbersReg};
+    RunFixture buggy(body, cfg);
+    EXPECT_EQ(clean.cpu.gpr(2), 0u);
+    EXPECT_EQ(buggy.cpu.gpr(2), 2u); // GPR0 leaked the flag twice
+}
+
+TEST(Mutation, H12SuppressesAlignmentFault)
+{
+    std::string body = R"(
+        .org 0x600
+        l.addi r20, r20, 1
+        l.nop 0xf
+        .org 0x100
+        l.ori  r1, r0, 0x8001
+        l.lhz  r2, 0(r1)       ; misaligned halfword
+        l.nop 0xf
+    )";
+    RunFixture clean(body);
+    CpuConfig cfg;
+    cfg.mutations = {Mutation::H12_AlignSuppressed};
+    RunFixture buggy(body, cfg);
+    EXPECT_EQ(clean.cpu.gpr(20), 1u); // clean: fault taken
+    EXPECT_EQ(buggy.cpu.gpr(20), 0u); // buggy: silently truncated
+}
+
+TEST(Mutation, H14IsArchitecturallyInvisible)
+{
+    std::string body = prog(R"(
+        l.ori  r1, r0, 0x8000
+        l.addi r2, r0, 0x11
+        l.sb   0(r1), r2
+        l.sb   1(r1), r2
+        l.lhz  r3, 0(r1)
+    )");
+    RunFixture clean(body);
+    CpuConfig cfg;
+    cfg.mutations = {Mutation::H14_StoreMerge};
+    RunFixture buggy(body, cfg);
+    ASSERT_EQ(clean.buffer.size(), buggy.buffer.size());
+    for (size_t i = 0; i < clean.buffer.size(); ++i) {
+        EXPECT_EQ(clean.buffer.records()[i].post,
+                  buggy.buffer.records()[i].post);
+    }
+}
+
+} // namespace
+} // namespace scif::cpu

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Expression IR tests: evaluation, canonicalization, keys, printing,
+ * and parse round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include "expr/expr.hh"
+#include "support/random.hh"
+
+namespace scif::expr {
+namespace {
+
+using trace::Record;
+using trace::VarId;
+
+Record
+makeRecord()
+{
+    Record rec;
+    rec.point = trace::Point::insn(isa::Mnemonic::L_ADD);
+    rec.pre[VarId::PC] = 0x100;
+    rec.post[VarId::PC] = 0x100;
+    rec.post[VarId::NPC] = 0x104;
+    rec.pre[VarId::OPA] = 40;
+    rec.pre[VarId::OPB] = 2;
+    rec.post[VarId::OPDEST] = 42;
+    rec.post[trace::gprVar(9)] = 0x108;
+    rec.pre[VarId::ESR0] = 0x8001;
+    rec.post[VarId::SR] = 0x8001;
+    return rec;
+}
+
+TEST(Operand, EvalBasics)
+{
+    Record rec = makeRecord();
+    EXPECT_EQ(Operand::imm(7).eval(rec), 7u);
+    EXPECT_EQ(Operand::var(VarId::NPC).eval(rec), 0x104u);
+    EXPECT_EQ(Operand::var(VarId::OPA, true).eval(rec), 40u);
+    EXPECT_EQ(Operand::varPlus(VarId::PC, false, 8).eval(rec), 0x108u);
+}
+
+TEST(Operand, EvalCombinationsAndMods)
+{
+    Record rec = makeRecord();
+    Operand sum = Operand::pair(VarRef{VarId::OPA, true}, Op2::Add,
+                                VarRef{VarId::OPB, true});
+    EXPECT_EQ(sum.eval(rec), 42u);
+
+    Operand diff = Operand::pair(VarRef{VarId::OPA, true}, Op2::Sub,
+                                 VarRef{VarId::OPB, true});
+    EXPECT_EQ(diff.eval(rec), 38u);
+
+    Operand scaled = Operand::var(VarId::OPB, true);
+    scaled.mulImm = 3;
+    scaled.addImm = 1;
+    EXPECT_EQ(scaled.eval(rec), 7u);
+
+    Operand modded = Operand::var(VarId::PC);
+    modded.modImm = 4;
+    EXPECT_EQ(modded.eval(rec), 0u);
+
+    Operand negated = Operand::var(VarId::OPB, true);
+    negated.negate = true;
+    EXPECT_EQ(negated.eval(rec), ~2u);
+}
+
+TEST(Invariant, HoldsRespectsPoint)
+{
+    Record rec = makeRecord();
+    Invariant inv;
+    inv.point = trace::Point::insn(isa::Mnemonic::L_ADD);
+    inv.op = CmpOp::Eq;
+    inv.lhs = Operand::var(VarId::OPDEST);
+    inv.rhs = Operand::imm(42);
+    EXPECT_TRUE(inv.holds(rec));
+
+    inv.rhs = Operand::imm(41);
+    EXPECT_FALSE(inv.holds(rec));
+
+    // A record at a different point vacuously satisfies it.
+    inv.point = trace::Point::insn(isa::Mnemonic::L_SUB);
+    EXPECT_TRUE(inv.holds(rec));
+    EXPECT_FALSE(inv.exprHolds(rec));
+}
+
+TEST(Invariant, InSetMembership)
+{
+    Record rec = makeRecord();
+    Invariant inv;
+    inv.point = rec.point;
+    inv.op = CmpOp::In;
+    inv.lhs = Operand::var(VarId::OPDEST);
+    inv.set = {41, 42, 43};
+    inv.canonicalize();
+    EXPECT_TRUE(inv.holds(rec));
+    inv.set = {1, 2};
+    EXPECT_FALSE(inv.exprHolds(rec));
+}
+
+TEST(Invariant, CanonicalizeOrdersAndRewrites)
+{
+    Invariant a;
+    a.point = trace::Point::insn(isa::Mnemonic::L_ADD);
+    a.op = CmpOp::Eq;
+    a.lhs = Operand::imm(0);
+    a.rhs = Operand::var(trace::gprVar(0));
+
+    Invariant b;
+    b.point = a.point;
+    b.op = CmpOp::Eq;
+    b.lhs = Operand::var(trace::gprVar(0));
+    b.rhs = Operand::imm(0);
+
+    EXPECT_EQ(a.key(), b.key());
+
+    // a < b becomes b > a.
+    Invariant lt;
+    lt.point = a.point;
+    lt.op = CmpOp::Lt;
+    lt.lhs = Operand::var(VarId::PC);
+    lt.rhs = Operand::var(VarId::NPC);
+    lt.canonicalize();
+    EXPECT_EQ(lt.op, CmpOp::Gt);
+    EXPECT_EQ(lt.lhs.a.var, uint16_t(VarId::NPC));
+
+    // Commutative pair terms order their variables.
+    Invariant sum1, sum2;
+    sum1.point = sum2.point = a.point;
+    sum1.op = sum2.op = CmpOp::Eq;
+    sum1.lhs = Operand::var(VarId::MEMADDR);
+    sum1.rhs = Operand::pair(VarRef{VarId::IMM, false}, Op2::Add,
+                             VarRef{VarId::OPA, true});
+    sum2.lhs = Operand::var(VarId::MEMADDR);
+    sum2.rhs = Operand::pair(VarRef{VarId::OPA, true}, Op2::Add,
+                             VarRef{VarId::IMM, false});
+    EXPECT_EQ(sum1.key(), sum2.key());
+
+    // Subtraction is not commutative.
+    Invariant d1, d2;
+    d1.point = d2.point = a.point;
+    d1.op = d2.op = CmpOp::Eq;
+    d1.lhs = Operand::var(VarId::MEMADDR);
+    d1.rhs = Operand::pair(VarRef{VarId::IMM, false}, Op2::Sub,
+                           VarRef{VarId::OPA, true});
+    d2.lhs = Operand::var(VarId::MEMADDR);
+    d2.rhs = Operand::pair(VarRef{VarId::OPA, true}, Op2::Sub,
+                           VarRef{VarId::IMM, false});
+    EXPECT_NE(d1.key(), d2.key());
+}
+
+TEST(Invariant, CanonicalizeIsIdempotent)
+{
+    Rng rng(77);
+    for (int i = 0; i < 500; ++i) {
+        Invariant inv;
+        inv.point = trace::Point::insn(
+            isa::allInsns()[rng.below(isa::numMnemonics)].mnemonic);
+        inv.op = CmpOp(rng.below(6));
+        auto randOperand = [&rng]() {
+            if (rng.chance(0.3))
+                return Operand::imm(uint32_t(rng.next()));
+            Operand o = Operand::var(
+                uint16_t(rng.below(trace::numVars)), rng.chance(0.5));
+            if (rng.chance(0.3)) {
+                o.op2 = Op2(1 + rng.below(4));
+                o.b = VarRef{uint16_t(rng.below(trace::numVars)),
+                             rng.chance(0.5)};
+            }
+            if (rng.chance(0.2))
+                o.addImm = uint32_t(rng.below(100));
+            if (rng.chance(0.2))
+                o.mulImm = 1 + uint32_t(rng.below(4));
+            return o;
+        };
+        inv.lhs = randOperand();
+        inv.rhs = randOperand();
+
+        Invariant once = inv;
+        once.canonicalize();
+        Invariant twice = once;
+        twice.canonicalize();
+        EXPECT_EQ(once.key(), twice.key());
+        EXPECT_EQ(once.str(), twice.str());
+    }
+}
+
+TEST(Invariant, PrintForms)
+{
+    Invariant inv;
+    inv.point = trace::Point::insn(isa::Mnemonic::L_RFE);
+    inv.op = CmpOp::Eq;
+    inv.lhs = Operand::var(VarId::SR);
+    inv.rhs = Operand::var(VarId::ESR0, true);
+    EXPECT_EQ(inv.str(), "l.rfe -> SR == orig(ESR0)");
+
+    inv.point = trace::Point::insn(isa::Mnemonic::L_JAL);
+    inv.lhs = Operand::var(trace::gprVar(9));
+    inv.rhs = Operand::varPlus(VarId::PC, false, 8);
+    EXPECT_EQ(inv.str(), "l.jal -> GPR9 == PC + 8");
+
+    inv.point = trace::Point::insn(isa::Mnemonic::L_SYS,
+                                   isa::Exception::Syscall);
+    inv.lhs = Operand::var(VarId::NPC);
+    inv.rhs = Operand::imm(0xc00);
+    EXPECT_EQ(inv.str(), "l.sys@syscall -> NPC == 0xc00");
+}
+
+TEST(Invariant, ParseRoundTrip)
+{
+    for (const char *text : {
+             "l.rfe -> SR == orig(ESR0)",
+             "l.jal -> GPR9 == PC + 8",
+             "l.sys@syscall -> NPC == 0xc00",
+             "l.add -> GPR0 == 0",
+             "l.lwz -> MEMADDR == (orig(OPA) + IMM)",
+             "l.sfleu -> FLAGOK == 1",
+             "l.addi -> IMM in {0x0, 0x4, 0x8}",
+             "l.add -> PC mod 4 == 0",
+             "int@tick -> EPCR0 == PC",
+             "l.j@syscall -> EPCR0 != PC",
+             "l.srai -> OPDEST >= orig(OPA)",
+         }) {
+        Invariant inv = Invariant::parse(text);
+        Invariant reparsed = Invariant::parse(inv.str());
+        EXPECT_EQ(inv.key(), reparsed.key()) << text;
+    }
+}
+
+TEST(Invariant, ParsedSemanticsMatch)
+{
+    Record rec = makeRecord();
+    EXPECT_TRUE(
+        Invariant::parse("l.add -> OPDEST == (orig(OPA) + orig(OPB))")
+            .holds(rec));
+    EXPECT_TRUE(
+        Invariant::parse("l.add -> GPR9 == PC + 8").holds(rec));
+    EXPECT_FALSE(
+        Invariant::parse("l.add -> GPR9 == PC + 4").exprHolds(rec));
+    EXPECT_TRUE(Invariant::parse("l.add -> PC mod 4 == 0").holds(rec));
+}
+
+} // namespace
+} // namespace scif::expr

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Unit and property tests for the ISA model: registry integrity,
+ * encode/decode round trips over every instruction, decoder rejection
+ * of illegal words, disassembly, and architectural constants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "isa/arch.hh"
+#include "isa/insn.hh"
+#include "support/random.hh"
+
+namespace scif::isa {
+namespace {
+
+TEST(Registry, AllMnemonicsHaveInfo)
+{
+    EXPECT_GE(numMnemonics, 56u) << "basic set must be covered";
+    std::set<std::string> names;
+    for (const auto &ii : allInsns()) {
+        EXPECT_NE(ii.name, nullptr);
+        EXPECT_TRUE(names.insert(ii.name).second)
+            << "duplicate mnemonic " << ii.name;
+        EXPECT_EQ(&info(ii.mnemonic), &ii);
+        EXPECT_EQ(infoByName(ii.name), &ii);
+    }
+}
+
+TEST(Registry, MatchBitsDisjointFromFields)
+{
+    // Fixed encoding bits must not overlap the live operand fields.
+    for (const auto &ii : allInsns()) {
+        uint32_t mask = formatMask(ii.format);
+        EXPECT_EQ(ii.match & ~mask, 0u)
+            << ii.name << " has match bits inside operand fields";
+    }
+}
+
+TEST(Registry, EncodingsAreUnambiguous)
+{
+    // No two instructions may claim the same word.
+    const auto &insns = allInsns();
+    for (size_t i = 0; i < insns.size(); ++i) {
+        for (size_t j = i + 1; j < insns.size(); ++j) {
+            uint32_t mi = formatMask(insns[i].format);
+            uint32_t mj = formatMask(insns[j].format);
+            uint32_t common = mi & mj;
+            EXPECT_NE(insns[i].match & common, insns[j].match & common)
+                << insns[i].name << " vs " << insns[j].name;
+        }
+    }
+}
+
+TEST(Registry, DelaySlotOnlyOnControlFlow)
+{
+    for (const auto &ii : allInsns()) {
+        bool cf = ii.kind == InsnKind::Jump ||
+                  ii.kind == InsnKind::Branch;
+        EXPECT_EQ(ii.hasDelaySlot, cf) << ii.name;
+    }
+}
+
+TEST(Decode, KnownWords)
+{
+    // l.addi r3,r4,-1
+    auto d = decode(0x9c64ffff);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->mnemonic, Mnemonic::L_ADDI);
+    EXPECT_EQ(d->rd, 3);
+    EXPECT_EQ(d->ra, 4);
+    EXPECT_EQ(d->imm, -1);
+
+    // l.add r1,r2,r3
+    d = decode(0xe0221800);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->mnemonic, Mnemonic::L_ADD);
+    EXPECT_EQ(d->rd, 1);
+    EXPECT_EQ(d->ra, 2);
+    EXPECT_EQ(d->rb, 3);
+
+    // l.j backward by one word
+    d = decode(0x03ffffff);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->mnemonic, Mnemonic::L_J);
+    EXPECT_EQ(d->imm, -1);
+
+    // l.rfe
+    d = decode(0x24000000);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->mnemonic, Mnemonic::L_RFE);
+}
+
+TEST(Decode, RejectsJunk)
+{
+    // Opcode 0x3f is unassigned.
+    EXPECT_FALSE(decode(0xfc000000).has_value());
+    // l.rfe with garbage in the operand space.
+    EXPECT_FALSE(decode(0x24000001).has_value());
+    // ALU group with a reserved secondary opcode.
+    EXPECT_FALSE(decode(0xe0000007).has_value());
+}
+
+/** Draw a random immediate and sign extend it from @p width bits. */
+uint32_t
+signExtendImm(Rng &rng, unsigned width)
+{
+    uint32_t raw = uint32_t(rng.below(1ull << width));
+    uint32_t sign = 1u << (width - 1);
+    return (raw ^ sign) - sign;
+}
+
+/** Round-trip fuzzing parameterized over every instruction. */
+class RoundTrip : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(RoundTrip, EncodeDecodeIdentity)
+{
+    const InsnInfo &ii = allInsns()[GetParam()];
+    Rng rng(GetParam() * 7919 + 13);
+
+    for (int iter = 0; iter < 200; ++iter) {
+        DecodedInsn in;
+        in.mnemonic = ii.mnemonic;
+        in.rd = uint8_t(rng.below(32));
+        in.ra = uint8_t(rng.below(32));
+        in.rb = uint8_t(rng.below(32));
+        switch (ii.format) {
+          case Format::J:
+            in.imm = int32_t(signExtendImm(rng, 26));
+            break;
+          case Format::RRL:
+            in.imm = int32_t(rng.below(64));
+            break;
+          case Format::K16:
+          case Format::RI:
+            in.imm = int32_t(rng.below(0x10000));
+            break;
+          default:
+            in.imm = ii.signedImm
+                         ? int32_t(signExtendImm(rng, 16))
+                         : int32_t(rng.below(0x10000));
+            break;
+        }
+        // Zero the fields the format does not encode.
+        switch (ii.format) {
+          case Format::J:
+            in.rd = in.ra = in.rb = 0;
+            break;
+          case Format::JR:
+            in.rd = in.ra = 0;
+            in.imm = 0;
+            break;
+          case Format::RRR:
+            in.imm = 0;
+            break;
+          case Format::RRDA:
+            in.rb = 0;
+            in.imm = 0;
+            break;
+          case Format::RRAB:
+            in.rd = 0;
+            in.imm = 0;
+            break;
+          case Format::RRI:
+          case Format::LOAD:
+          case Format::RRL:
+            in.rb = 0;
+            break;
+          case Format::RIA:
+            in.rd = in.rb = 0;
+            break;
+          case Format::RI:
+            in.ra = in.rb = 0;
+            break;
+          case Format::RD:
+            in.ra = in.rb = 0;
+            in.imm = 0;
+            break;
+          case Format::STORE:
+          case Format::MTSPR:
+            in.rd = 0;
+            break;
+          case Format::K16:
+            in.rd = in.ra = in.rb = 0;
+            break;
+          case Format::NONE:
+            in.rd = in.ra = in.rb = 0;
+            in.imm = 0;
+            break;
+        }
+
+        uint32_t word = encode(in);
+        auto out = decode(word);
+        ASSERT_TRUE(out.has_value())
+            << ii.name << " word 0x" << std::hex << word;
+        EXPECT_EQ(out->mnemonic, in.mnemonic) << ii.name;
+        EXPECT_EQ(out->rd, in.rd) << ii.name;
+        EXPECT_EQ(out->ra, in.ra) << ii.name;
+        EXPECT_EQ(out->rb, in.rb) << ii.name;
+        EXPECT_EQ(out->imm, in.imm) << ii.name;
+        EXPECT_EQ(encode(*out), word) << ii.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllInsns, RoundTrip,
+    ::testing::Range(size_t(0), numMnemonics),
+    [](const ::testing::TestParamInfo<size_t> &info) {
+        std::string name = allInsns()[info.param].name;
+        for (auto &c : name)
+            if (c == '.')
+                c = '_';
+        return name;
+    });
+
+TEST(Disassemble, Forms)
+{
+    DecodedInsn d;
+    d.mnemonic = Mnemonic::L_ADDI;
+    d.rd = 3;
+    d.ra = 4;
+    d.imm = -1;
+    EXPECT_EQ(disassemble(d), "l.addi r3,r4,-1");
+
+    d = DecodedInsn{};
+    d.mnemonic = Mnemonic::L_LWZ;
+    d.rd = 5;
+    d.ra = 2;
+    d.imm = 8;
+    EXPECT_EQ(disassemble(d), "l.lwz r5,8(r2)");
+
+    d = DecodedInsn{};
+    d.mnemonic = Mnemonic::L_SW;
+    d.ra = 1;
+    d.rb = 7;
+    d.imm = -4;
+    EXPECT_EQ(disassemble(d), "l.sw -4(r1),r7");
+
+    d = DecodedInsn{};
+    d.mnemonic = Mnemonic::L_RFE;
+    EXPECT_EQ(disassemble(d), "l.rfe");
+}
+
+TEST(JumpTarget, SignedWordOffsets)
+{
+    DecodedInsn d;
+    d.mnemonic = Mnemonic::L_J;
+    d.imm = 4;
+    EXPECT_EQ(jumpTarget(d, 0x1000), 0x1010u);
+    d.imm = -4;
+    EXPECT_EQ(jumpTarget(d, 0x1000), 0x0ff0u);
+}
+
+TEST(Arch, ExceptionVectors)
+{
+    EXPECT_EQ(exceptionVector(Exception::Reset), 0x100u);
+    EXPECT_EQ(exceptionVector(Exception::BusError), 0x200u);
+    EXPECT_EQ(exceptionVector(Exception::Tick), 0x500u);
+    EXPECT_EQ(exceptionVector(Exception::Alignment), 0x600u);
+    EXPECT_EQ(exceptionVector(Exception::Illegal), 0x700u);
+    EXPECT_EQ(exceptionVector(Exception::External), 0x800u);
+    EXPECT_EQ(exceptionVector(Exception::Range), 0xb00u);
+    EXPECT_EQ(exceptionVector(Exception::Syscall), 0xc00u);
+    EXPECT_EQ(exceptionVector(Exception::Trap), 0xe00u);
+}
+
+TEST(Arch, SprNames)
+{
+    EXPECT_EQ(spr::name(spr::SR), "SR");
+    EXPECT_EQ(spr::name(spr::EPCR0), "EPCR0");
+    EXPECT_EQ(spr::name(0x123), "spr_0x0123");
+}
+
+TEST(Arch, SrResetValue)
+{
+    EXPECT_TRUE(sr::resetValue & (1u << sr::SM));
+    EXPECT_TRUE(sr::resetValue & (1u << sr::FO));
+    EXPECT_FALSE(sr::resetValue & (1u << sr::TEE));
+}
+
+} // namespace
+} // namespace scif::isa

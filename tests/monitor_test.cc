@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Assertion-monitor tests: synthesis grouping and template
+ * selection, firing semantics on live processor runs, and the
+ * hardware overhead model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "cpu/cpu.hh"
+#include "monitor/assertion.hh"
+#include "monitor/overhead.hh"
+
+namespace scif::monitor {
+namespace {
+
+using expr::Invariant;
+
+invgen::InvariantSet
+makeSet(std::initializer_list<const char *> texts)
+{
+    invgen::InvariantSet set;
+    for (const char *t : texts)
+        set.add(Invariant::parse(t));
+    return set;
+}
+
+std::vector<size_t>
+allIndices(const invgen::InvariantSet &set)
+{
+    std::vector<size_t> out(set.size());
+    for (size_t i = 0; i < out.size(); ++i)
+        out[i] = i;
+    return out;
+}
+
+TEST(Synthesize, GroupsByExpression)
+{
+    auto set = makeSet({
+        "l.add -> GPR0 == 0",
+        "l.sub -> GPR0 == 0",
+        "l.xor -> GPR0 == 0",
+        "l.rfe -> SR == orig(ESR0)",
+    });
+    auto assertions = synthesize(set, allIndices(set));
+    ASSERT_EQ(assertions.size(), 2u);
+
+    for (const auto &a : assertions) {
+        if (a.members.size() == 3) {
+            EXPECT_EQ(a.pointCount(), 3u);
+            EXPECT_EQ(a.kind, Template::Edge);
+        } else {
+            EXPECT_EQ(a.members.size(), 1u);
+            // orig() reference: needs the history register template.
+            EXPECT_EQ(a.kind, Template::Next);
+        }
+    }
+}
+
+TEST(Synthesize, WidePointSetsBecomeAlways)
+{
+    invgen::InvariantSet set;
+    size_t added = 0;
+    for (const auto &ii : isa::allInsns()) {
+        Invariant inv;
+        inv.point = trace::Point::insn(ii.mnemonic);
+        inv.op = expr::CmpOp::Eq;
+        inv.lhs = expr::Operand::var(trace::gprVar(0));
+        inv.rhs = expr::Operand::imm(0);
+        added += set.add(inv);
+    }
+    ASSERT_GT(added, 30u);
+    auto assertions = synthesize(set, allIndices(set));
+    ASSERT_EQ(assertions.size(), 1u);
+    EXPECT_EQ(assertions[0].kind, Template::Always);
+}
+
+TEST(Monitor, FiresOnLiveViolation)
+{
+    // Enforce GPR0 == 0 and run the b10-style attack on a processor
+    // with the GPR0 defect: the assertion must fire.
+    auto set = makeSet({
+        "l.add -> GPR0 == 0",
+        "l.addi -> GPR0 == 0",
+    });
+    AssertionMonitor mon(synthesize(set, allIndices(set)));
+
+    cpu::CpuConfig config;
+    config.mutations = {cpu::Mutation::B10_Gpr0Writable};
+    cpu::Cpu cpu(config);
+    cpu.loadProgram(assembler::assembleOrDie(R"(
+        .org 0x100
+        l.addi r0, r0, 5
+        l.add  r1, r0, r0
+        l.nop  0xf
+    )"));
+    cpu.run(&mon);
+    EXPECT_TRUE(mon.anyFired());
+    ASSERT_FALSE(mon.fired().empty());
+    EXPECT_EQ(mon.fired()[0].point.name(), "l.addi");
+}
+
+TEST(Monitor, QuietOnCleanRun)
+{
+    auto set = makeSet({
+        "l.add -> GPR0 == 0",
+        "l.addi -> GPR0 == 0",
+        "l.rfe -> SR == orig(ESR0)",
+    });
+    AssertionMonitor mon(synthesize(set, allIndices(set)));
+
+    cpu::Cpu cpu;
+    cpu.loadProgram(assembler::assembleOrDie(R"(
+        .org 0x100
+        l.addi r1, r0, 5
+        l.add  r2, r1, r1
+        l.nop  0xf
+    )"));
+    cpu.run(&mon);
+    EXPECT_FALSE(mon.anyFired());
+}
+
+TEST(Monitor, ClearFiringsReArms)
+{
+    auto set = makeSet({"l.addi -> OPDEST == 1"});
+    AssertionMonitor mon(synthesize(set, allIndices(set)));
+    trace::Record rec;
+    rec.point = trace::Point::parse("l.addi");
+    rec.post[trace::VarId::OPDEST] = 2;
+    mon.record(rec);
+    EXPECT_EQ(mon.fired().size(), 1u);
+    mon.clearFirings();
+    EXPECT_FALSE(mon.anyFired());
+    mon.record(rec);
+    EXPECT_TRUE(mon.anyFired());
+}
+
+TEST(Monitor, FiredAssertionsDeduplicates)
+{
+    auto set = makeSet({"l.addi -> OPDEST == 1"});
+    AssertionMonitor mon(synthesize(set, allIndices(set)));
+    trace::Record rec;
+    rec.point = trace::Point::parse("l.addi");
+    rec.post[trace::VarId::OPDEST] = 2;
+    mon.record(rec);
+    mon.record(rec);
+    EXPECT_EQ(mon.fired().size(), 2u);
+    EXPECT_EQ(mon.firedAssertions().size(), 1u);
+}
+
+TEST(Overhead, ScalesWithAssertions)
+{
+    auto small = makeSet({"l.add -> GPR0 == 0"});
+    auto large = makeSet({
+        "l.add -> GPR0 == 0",
+        "l.rfe -> SR == orig(ESR0)",
+        "l.sys@syscall -> NPC == 0xc00",
+        "l.jal -> GPR9 == PC + 8",
+    });
+    Overhead a = estimateOverhead(synthesize(small, allIndices(small)));
+    Overhead b = estimateOverhead(synthesize(large, allIndices(large)));
+    EXPECT_GT(a.luts, 0u);
+    EXPECT_GT(b.luts, a.luts);
+    EXPECT_GT(b.logicPct, a.logicPct);
+    EXPECT_EQ(a.delayPct, 0.0);
+    EXPECT_LT(b.powerPct, b.logicPct);
+}
+
+TEST(Overhead, HistoryRegistersCostMore)
+{
+    auto plain = makeSet({"l.rfe -> SR == ESR0"});
+    auto history = makeSet({"l.rfe -> SR == orig(ESR0)"});
+    Overhead a = estimateOverhead(synthesize(plain, allIndices(plain)));
+    Overhead b =
+        estimateOverhead(synthesize(history, allIndices(history)));
+    EXPECT_GT(b.luts, a.luts);
+    EXPECT_EQ(b.historyRegs, 1u);
+    EXPECT_EQ(a.historyRegs, 0u);
+}
+
+TEST(Overhead, PaperScaleSanity)
+{
+    // A deployment-sized assertion set must stay in the single-digit
+    // percent range on the OR1200 baseline, with zero delay overhead
+    // (Table 9's shape).
+    auto set = makeSet({
+        "l.add -> GPR0 == 0",
+        "l.rfe -> SR == orig(ESR0)",
+        "l.sys@syscall -> NPC == 0xc00",
+        "l.sys@syscall -> EPCR0 == PC + 4",
+        "l.jal -> GPR9 == PC + 8",
+        "l.sfltu -> FLAGOK == 1",
+        "l.lwz -> MEMBUS == DMEM",
+        "l.sb -> MEMOK == 1",
+        "l.mtspr -> SPRV == orig(OPB)",
+        "l.lwz -> MEMADDR == (IMM + orig(OPA))",
+        "l.j@alignment -> DSX == 1",
+        "l.add -> IMEM == INSN",
+        "l.add@range -> EPCR0 == PC",
+        "l.mtspr -> SM == 1",
+    });
+    Overhead o = estimateOverhead(synthesize(set, allIndices(set)));
+    EXPECT_EQ(o.assertions, 14u);
+    EXPECT_GT(o.logicPct, 0.5);
+    EXPECT_LT(o.logicPct, 8.0);
+    EXPECT_LT(o.powerPct, 1.0);
+    EXPECT_EQ(o.delayPct, 0.0);
+}
+
+} // namespace
+} // namespace scif::monitor

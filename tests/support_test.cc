@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Unit tests for the support library: bit utilities, deterministic
+ * RNG, string helpers, and the text-table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/bits.hh"
+#include "support/random.hh"
+#include "support/strings.hh"
+#include "support/table.hh"
+
+namespace scif {
+namespace {
+
+TEST(Bits, ExtractBasics)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 31, 16), 0xdeadu);
+    EXPECT_EQ(bits(0xdeadbeef, 15, 0), 0xbeefu);
+    EXPECT_EQ(bits(0xdeadbeef, 31, 0), 0xdeadbeefu);
+    EXPECT_EQ(bits(0xf0, 7, 4), 0xfu);
+    EXPECT_EQ(bit(0x8, 3), 1u);
+    EXPECT_EQ(bit(0x8, 2), 0u);
+}
+
+TEST(Bits, InsertAndSet)
+{
+    EXPECT_EQ(insertBits(0, 15, 0, 0xbeef), 0xbeefu);
+    EXPECT_EQ(insertBits(0xffffffff, 15, 8, 0), 0xffff00ffu);
+    EXPECT_EQ(insertBits(0, 31, 0, 0x12345678), 0x12345678u);
+    EXPECT_EQ(setBit(0, 31, true), 0x80000000u);
+    EXPECT_EQ(setBit(0xffffffff, 0, false), 0xfffffffeu);
+}
+
+TEST(Bits, InsertTruncatesOversizedField)
+{
+    EXPECT_EQ(insertBits(0, 3, 0, 0xff), 0xfu);
+}
+
+TEST(Bits, SignExtend)
+{
+    EXPECT_EQ(signExtend(0xff, 8), 0xffffffffu);
+    EXPECT_EQ(signExtend(0x7f, 8), 0x7fu);
+    EXPECT_EQ(signExtend(0x8000, 16), 0xffff8000u);
+    EXPECT_EQ(signExtend(0x2000000, 26), 0xfe000000u);
+    EXPECT_EQ(signExtend(0x1ffffff, 26), 0x01ffffffu);
+    EXPECT_EQ(signExtend(0xdeadbeef, 32), 0xdeadbeefu);
+}
+
+TEST(Bits, ZeroExtend)
+{
+    EXPECT_EQ(zeroExtend(0xdeadbeef, 16), 0xbeefu);
+    EXPECT_EQ(zeroExtend(0xdeadbeef, 8), 0xefu);
+    EXPECT_EQ(zeroExtend(0xdeadbeef, 32), 0xdeadbeefu);
+}
+
+TEST(Bits, RotateRight)
+{
+    EXPECT_EQ(rotateRight32(0x00000001, 1), 0x80000000u);
+    EXPECT_EQ(rotateRight32(0xdeadbeef, 0), 0xdeadbeefu);
+    EXPECT_EQ(rotateRight32(0xdeadbeef, 32), 0xdeadbeefu);
+    EXPECT_EQ(rotateRight32(0x12345678, 8), 0x78123456u);
+}
+
+TEST(Bits, OverflowAndCarry)
+{
+    EXPECT_TRUE(addOverflows(0x7fffffff, 1));
+    EXPECT_FALSE(addOverflows(0x7ffffffe, 1));
+    EXPECT_TRUE(addOverflows(0x80000000, 0xffffffff));
+    EXPECT_FALSE(addOverflows(5, 0xffffffff));
+    EXPECT_TRUE(subOverflows(0x80000000, 1));
+    EXPECT_FALSE(subOverflows(5, 3));
+    EXPECT_TRUE(addCarries(0xffffffff, 1));
+    EXPECT_FALSE(addCarries(0xfffffffe, 1));
+    EXPECT_TRUE(addCarries(0xffffffff, 0, true));
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    bool differ = false;
+    for (int i = 0; i < 10 && !differ; ++i)
+        differ = a.next() != b.next();
+    EXPECT_TRUE(differ);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(7);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        int64_t v = r.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(9);
+    double sum = 0;
+    for (int i = 0; i < 2000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 2000, 0.5, 0.05);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng r(11);
+    double sum = 0, sq = 0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i) {
+        double g = r.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.1);
+    EXPECT_NEAR(sq / n, 1.0, 0.1);
+}
+
+TEST(Rng, PermutationIsPermutation)
+{
+    Rng r(3);
+    auto p = r.permutation(100);
+    std::set<size_t> s(p.begin(), p.end());
+    EXPECT_EQ(s.size(), 100u);
+    EXPECT_EQ(*s.begin(), 0u);
+    EXPECT_EQ(*s.rbegin(), 99u);
+}
+
+TEST(Strings, Split)
+{
+    auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, SplitWhitespace)
+{
+    auto parts = splitWhitespace("  foo\tbar  baz ");
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "foo");
+    EXPECT_EQ(parts[1], "bar");
+    EXPECT_EQ(parts[2], "baz");
+    EXPECT_TRUE(splitWhitespace("   ").empty());
+}
+
+TEST(Strings, Trim)
+{
+    EXPECT_EQ(trim("  x  "), "x");
+    EXPECT_EQ(trim("x"), "x");
+    EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, ParseIntForms)
+{
+    EXPECT_EQ(parseInt("42").value(), 42);
+    EXPECT_EQ(parseInt("-42").value(), -42);
+    EXPECT_EQ(parseInt("0x10").value(), 16);
+    EXPECT_EQ(parseInt("0b101").value(), 5);
+    EXPECT_EQ(parseInt("-0x10").value(), -16);
+    EXPECT_FALSE(parseInt("").has_value());
+    EXPECT_FALSE(parseInt("0x").has_value());
+    EXPECT_FALSE(parseInt("12z").has_value());
+    EXPECT_FALSE(parseInt("--3").has_value());
+}
+
+TEST(Strings, Format)
+{
+    EXPECT_EQ(format("%d-%s", 3, "x"), "3-x");
+    EXPECT_EQ(hex32(0xbeef), "0x0000beef");
+}
+
+TEST(Strings, Join)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(TextTable, RendersAligned)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "22"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("name    value"), std::string::npos);
+    EXPECT_NE(out.find("longer  22"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TextTable, PadsShortRows)
+{
+    TextTable t({"a", "b", "c"});
+    t.addRow({"1"});
+    std::string out = t.render();
+    EXPECT_NE(out.find('1'), std::string::npos);
+}
+
+} // namespace
+} // namespace scif

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Workload suite tests: every training program assembles, runs to a
+ * clean halt, the union of the suite covers every implemented
+ * instruction, and the boot workload covers the exception-qualified
+ * program points the trigger programs later rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/record.hh"
+#include "workloads/workloads.hh"
+
+namespace scif::workloads {
+namespace {
+
+TEST(Suite, SeventeenWorkloads)
+{
+    EXPECT_EQ(all().size(), 17u);
+    std::set<std::string> names;
+    for (const auto &w : all())
+        EXPECT_TRUE(names.insert(w.name).second) << w.name;
+    EXPECT_TRUE(names.count("vmlinux"));
+    EXPECT_TRUE(names.count("twolf"));
+    EXPECT_TRUE(names.count("helloworld"));
+}
+
+TEST(Suite, ByNameLookup)
+{
+    EXPECT_EQ(byName("mcf").name, "mcf");
+}
+
+/** Every workload must halt cleanly on the clean processor. */
+class RunsClean : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(RunsClean, HaltsAndEmitsRecords)
+{
+    const Workload &w = all()[GetParam()];
+    trace::TraceBuffer buf = run(w); // panics if it does not halt
+    EXPECT_GT(buf.size(), 10u) << w.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, RunsClean,
+    ::testing::Range(size_t(0), size_t(17)),
+    [](const ::testing::TestParamInfo<size_t> &info) {
+        return all()[info.param].name;
+    });
+
+TEST(Suite, CoversEveryInstruction)
+{
+    std::set<uint16_t> mnems;
+    for (const auto &w : all()) {
+        trace::TraceBuffer buf = run(w);
+        for (const auto &rec : buf.records()) {
+            if (!rec.point.isInterrupt())
+                mnems.insert(uint16_t(rec.point.mnemonic()));
+        }
+    }
+    std::set<std::string> missing;
+    for (const auto &ii : isa::allInsns()) {
+        if (!mnems.count(uint16_t(ii.mnemonic)))
+            missing.insert(ii.name);
+    }
+    EXPECT_TRUE(missing.empty())
+        << "uncovered instructions: "
+        << [&missing] {
+               std::string s;
+               for (const auto &m : missing)
+                   s += m + " ";
+               return s;
+           }();
+}
+
+TEST(Suite, BootCoversExceptionPoints)
+{
+    trace::TraceBuffer buf = run(byName("vmlinux"));
+    std::map<std::string, size_t> counts;
+    for (const auto &rec : buf.records())
+        ++counts[rec.point.name()];
+
+    // The program points the trigger programs hit must be trained
+    // with at least the generator's default minimum sample count.
+    for (const char *point :
+         {"l.sys@syscall", "l.j@syscall", "l.add@range",
+          "l.addi@range", "l.trap@trap", "int@illegal-instruction",
+          "l.lwz@alignment", "l.lhz@alignment", "l.j@alignment",
+          "int@tick", "int@external-interrupt",
+          "l.lwz@data-page-fault", "l.mfspr@illegal-instruction",
+          "l.rfe"}) {
+        EXPECT_GE(counts[point], 5u) << point;
+    }
+}
+
+TEST(Suite, UserModeExercised)
+{
+    trace::TraceBuffer buf = run(byName("vmlinux"));
+    bool sawUser = false;
+    for (const auto &rec : buf.records())
+        sawUser |= rec.post[trace::VarId::SM] == 0;
+    EXPECT_TRUE(sawUser);
+}
+
+TEST(RandomProgram, AlwaysHaltsClean)
+{
+    Rng rng(123);
+    for (int i = 0; i < 10; ++i) {
+        Workload w;
+        w.name = "random";
+        w.source = randomProgram(rng, 120);
+        trace::TraceBuffer buf = run(w);
+        // Fused branch pairs make records fewer than instructions.
+        EXPECT_GT(buf.size(), 60u);
+    }
+}
+
+} // namespace
+} // namespace scif::workloads
