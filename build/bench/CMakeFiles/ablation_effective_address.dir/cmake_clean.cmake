@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_effective_address.dir/ablation_effective_address.cc.o"
+  "CMakeFiles/ablation_effective_address.dir/ablation_effective_address.cc.o.d"
+  "ablation_effective_address"
+  "ablation_effective_address.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_effective_address.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_microarch.dir/ablation_microarch.cc.o"
+  "CMakeFiles/ablation_microarch.dir/ablation_microarch.cc.o.d"
+  "ablation_microarch"
+  "ablation_microarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_microarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

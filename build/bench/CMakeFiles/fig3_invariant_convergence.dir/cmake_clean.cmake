@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_invariant_convergence.dir/fig3_invariant_convergence.cc.o"
+  "CMakeFiles/fig3_invariant_convergence.dir/fig3_invariant_convergence.cc.o.d"
+  "fig3_invariant_convergence"
+  "fig3_invariant_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_invariant_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_pca.dir/fig4_pca.cc.o"
+  "CMakeFiles/fig4_pca.dir/fig4_pca.cc.o.d"
+  "fig4_pca"
+  "fig4_pca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_pca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

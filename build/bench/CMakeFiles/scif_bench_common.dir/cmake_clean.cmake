@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scif_bench_common.dir/common.cc.o"
+  "CMakeFiles/scif_bench_common.dir/common.cc.o.d"
+  "libscif_bench_common.a"
+  "libscif_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scif_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

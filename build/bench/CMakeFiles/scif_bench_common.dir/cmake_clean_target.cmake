@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscif_bench_common.a"
+)

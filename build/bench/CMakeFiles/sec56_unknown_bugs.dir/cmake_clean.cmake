@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec56_unknown_bugs.dir/sec56_unknown_bugs.cc.o"
+  "CMakeFiles/sec56_unknown_bugs.dir/sec56_unknown_bugs.cc.o.d"
+  "sec56_unknown_bugs"
+  "sec56_unknown_bugs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec56_unknown_bugs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_optimization.dir/table2_optimization.cc.o"
+  "CMakeFiles/table2_optimization.dir/table2_optimization.cc.o.d"
+  "table2_optimization"
+  "table2_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_sci_identification.dir/table3_sci_identification.cc.o"
+  "CMakeFiles/table3_sci_identification.dir/table3_sci_identification.cc.o.d"
+  "table3_sci_identification"
+  "table3_sci_identification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_sci_identification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

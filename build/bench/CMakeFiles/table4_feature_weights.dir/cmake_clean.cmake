@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_feature_weights.dir/table4_feature_weights.cc.o"
+  "CMakeFiles/table4_feature_weights.dir/table4_feature_weights.cc.o.d"
+  "table4_feature_weights"
+  "table4_feature_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_feature_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_inference.dir/table5_inference.cc.o"
+  "CMakeFiles/table5_inference.dir/table5_inference.cc.o.d"
+  "table5_inference"
+  "table5_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

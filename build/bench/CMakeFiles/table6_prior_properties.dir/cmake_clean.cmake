@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_prior_properties.dir/table6_prior_properties.cc.o"
+  "CMakeFiles/table6_prior_properties.dir/table6_prior_properties.cc.o.d"
+  "table6_prior_properties"
+  "table6_prior_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_prior_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_new_properties.dir/table7_new_properties.cc.o"
+  "CMakeFiles/table7_new_properties.dir/table7_new_properties.cc.o.d"
+  "table7_new_properties"
+  "table7_new_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_new_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

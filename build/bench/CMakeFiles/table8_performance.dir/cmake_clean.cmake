@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_performance.dir/table8_performance.cc.o"
+  "CMakeFiles/table8_performance.dir/table8_performance.cc.o.d"
+  "table8_performance"
+  "table8_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_overhead.dir/table9_overhead.cc.o"
+  "CMakeFiles/table9_overhead.dir/table9_overhead.cc.o.d"
+  "table9_overhead"
+  "table9_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

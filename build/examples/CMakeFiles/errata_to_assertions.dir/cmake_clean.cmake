@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/errata_to_assertions.dir/errata_to_assertions.cpp.o"
+  "CMakeFiles/errata_to_assertions.dir/errata_to_assertions.cpp.o.d"
+  "errata_to_assertions"
+  "errata_to_assertions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/errata_to_assertions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

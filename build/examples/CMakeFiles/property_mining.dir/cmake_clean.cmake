@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_mining.dir/property_mining.cpp.o"
+  "CMakeFiles/property_mining.dir/property_mining.cpp.o.d"
+  "property_mining"
+  "property_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

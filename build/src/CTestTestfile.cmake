@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("isa")
+subdirs("asm")
+subdirs("trace")
+subdirs("cpu")
+subdirs("expr")
+subdirs("invgen")
+subdirs("opt")
+subdirs("bugs")
+subdirs("workloads")
+subdirs("sci")
+subdirs("ml")
+subdirs("monitor")
+subdirs("core")
+subdirs("tools")

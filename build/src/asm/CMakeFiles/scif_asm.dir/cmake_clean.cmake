@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scif_asm.dir/assembler.cc.o"
+  "CMakeFiles/scif_asm.dir/assembler.cc.o.d"
+  "libscif_asm.a"
+  "libscif_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scif_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

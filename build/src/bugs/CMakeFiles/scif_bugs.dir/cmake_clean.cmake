@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scif_bugs.dir/classification.cc.o"
+  "CMakeFiles/scif_bugs.dir/classification.cc.o.d"
+  "CMakeFiles/scif_bugs.dir/registry.cc.o"
+  "CMakeFiles/scif_bugs.dir/registry.cc.o.d"
+  "libscif_bugs.a"
+  "libscif_bugs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scif_bugs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

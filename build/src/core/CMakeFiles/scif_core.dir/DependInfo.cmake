@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/scifinder.cc" "src/core/CMakeFiles/scif_core.dir/scifinder.cc.o" "gcc" "src/core/CMakeFiles/scif_core.dir/scifinder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sci/CMakeFiles/scif_sci.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/scif_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/scif_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/scif_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/bugs/CMakeFiles/scif_bugs.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/scif_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/scif_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/invgen/CMakeFiles/scif_invgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/scif_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/scif_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/scif_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/scif_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/scif_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scif_core.dir/scifinder.cc.o"
+  "CMakeFiles/scif_core.dir/scifinder.cc.o.d"
+  "libscif_core.a"
+  "libscif_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scif_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

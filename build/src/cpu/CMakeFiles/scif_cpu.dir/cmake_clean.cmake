@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scif_cpu.dir/cpu.cc.o"
+  "CMakeFiles/scif_cpu.dir/cpu.cc.o.d"
+  "CMakeFiles/scif_cpu.dir/memory.cc.o"
+  "CMakeFiles/scif_cpu.dir/memory.cc.o.d"
+  "libscif_cpu.a"
+  "libscif_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scif_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

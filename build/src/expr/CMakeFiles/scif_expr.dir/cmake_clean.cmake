@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scif_expr.dir/expr.cc.o"
+  "CMakeFiles/scif_expr.dir/expr.cc.o.d"
+  "libscif_expr.a"
+  "libscif_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scif_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

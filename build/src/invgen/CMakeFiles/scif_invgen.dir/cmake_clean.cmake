@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scif_invgen.dir/invgen.cc.o"
+  "CMakeFiles/scif_invgen.dir/invgen.cc.o.d"
+  "libscif_invgen.a"
+  "libscif_invgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scif_invgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scif_isa.dir/arch.cc.o"
+  "CMakeFiles/scif_isa.dir/arch.cc.o.d"
+  "CMakeFiles/scif_isa.dir/insn.cc.o"
+  "CMakeFiles/scif_isa.dir/insn.cc.o.d"
+  "libscif_isa.a"
+  "libscif_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scif_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

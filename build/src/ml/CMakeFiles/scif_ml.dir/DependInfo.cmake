@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/elastic_net.cc" "src/ml/CMakeFiles/scif_ml.dir/elastic_net.cc.o" "gcc" "src/ml/CMakeFiles/scif_ml.dir/elastic_net.cc.o.d"
+  "/root/repo/src/ml/features.cc" "src/ml/CMakeFiles/scif_ml.dir/features.cc.o" "gcc" "src/ml/CMakeFiles/scif_ml.dir/features.cc.o.d"
+  "/root/repo/src/ml/matrix.cc" "src/ml/CMakeFiles/scif_ml.dir/matrix.cc.o" "gcc" "src/ml/CMakeFiles/scif_ml.dir/matrix.cc.o.d"
+  "/root/repo/src/ml/pca.cc" "src/ml/CMakeFiles/scif_ml.dir/pca.cc.o" "gcc" "src/ml/CMakeFiles/scif_ml.dir/pca.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expr/CMakeFiles/scif_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/scif_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/scif_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/scif_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scif_ml.dir/elastic_net.cc.o"
+  "CMakeFiles/scif_ml.dir/elastic_net.cc.o.d"
+  "CMakeFiles/scif_ml.dir/features.cc.o"
+  "CMakeFiles/scif_ml.dir/features.cc.o.d"
+  "CMakeFiles/scif_ml.dir/matrix.cc.o"
+  "CMakeFiles/scif_ml.dir/matrix.cc.o.d"
+  "CMakeFiles/scif_ml.dir/pca.cc.o"
+  "CMakeFiles/scif_ml.dir/pca.cc.o.d"
+  "libscif_ml.a"
+  "libscif_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scif_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

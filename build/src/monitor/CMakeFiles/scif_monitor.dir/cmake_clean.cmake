@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scif_monitor.dir/assertion.cc.o"
+  "CMakeFiles/scif_monitor.dir/assertion.cc.o.d"
+  "CMakeFiles/scif_monitor.dir/overhead.cc.o"
+  "CMakeFiles/scif_monitor.dir/overhead.cc.o.d"
+  "libscif_monitor.a"
+  "libscif_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scif_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

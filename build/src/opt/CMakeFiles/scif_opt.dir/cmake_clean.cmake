@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scif_opt.dir/passes.cc.o"
+  "CMakeFiles/scif_opt.dir/passes.cc.o.d"
+  "libscif_opt.a"
+  "libscif_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scif_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

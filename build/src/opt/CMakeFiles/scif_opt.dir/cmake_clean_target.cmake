@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscif_opt.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scif_sci.dir/identify.cc.o"
+  "CMakeFiles/scif_sci.dir/identify.cc.o.d"
+  "CMakeFiles/scif_sci.dir/infer.cc.o"
+  "CMakeFiles/scif_sci.dir/infer.cc.o.d"
+  "CMakeFiles/scif_sci.dir/properties.cc.o"
+  "CMakeFiles/scif_sci.dir/properties.cc.o.d"
+  "libscif_sci.a"
+  "libscif_sci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scif_sci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scif_support.dir/logging.cc.o"
+  "CMakeFiles/scif_support.dir/logging.cc.o.d"
+  "CMakeFiles/scif_support.dir/random.cc.o"
+  "CMakeFiles/scif_support.dir/random.cc.o.d"
+  "CMakeFiles/scif_support.dir/strings.cc.o"
+  "CMakeFiles/scif_support.dir/strings.cc.o.d"
+  "CMakeFiles/scif_support.dir/table.cc.o"
+  "CMakeFiles/scif_support.dir/table.cc.o.d"
+  "libscif_support.a"
+  "libscif_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scif_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

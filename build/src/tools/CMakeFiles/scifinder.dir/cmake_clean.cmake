@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scifinder.dir/scifinder_main.cc.o"
+  "CMakeFiles/scifinder.dir/scifinder_main.cc.o.d"
+  "scifinder"
+  "scifinder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scifinder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/derived.cc" "src/trace/CMakeFiles/scif_trace.dir/derived.cc.o" "gcc" "src/trace/CMakeFiles/scif_trace.dir/derived.cc.o.d"
+  "/root/repo/src/trace/io.cc" "src/trace/CMakeFiles/scif_trace.dir/io.cc.o" "gcc" "src/trace/CMakeFiles/scif_trace.dir/io.cc.o.d"
+  "/root/repo/src/trace/record.cc" "src/trace/CMakeFiles/scif_trace.dir/record.cc.o" "gcc" "src/trace/CMakeFiles/scif_trace.dir/record.cc.o.d"
+  "/root/repo/src/trace/schema.cc" "src/trace/CMakeFiles/scif_trace.dir/schema.cc.o" "gcc" "src/trace/CMakeFiles/scif_trace.dir/schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/scif_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/scif_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scif_trace.dir/derived.cc.o"
+  "CMakeFiles/scif_trace.dir/derived.cc.o.d"
+  "CMakeFiles/scif_trace.dir/io.cc.o"
+  "CMakeFiles/scif_trace.dir/io.cc.o.d"
+  "CMakeFiles/scif_trace.dir/record.cc.o"
+  "CMakeFiles/scif_trace.dir/record.cc.o.d"
+  "CMakeFiles/scif_trace.dir/schema.cc.o"
+  "CMakeFiles/scif_trace.dir/schema.cc.o.d"
+  "libscif_trace.a"
+  "libscif_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scif_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

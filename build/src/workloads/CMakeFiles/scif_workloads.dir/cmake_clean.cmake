@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scif_workloads.dir/workloads.cc.o"
+  "CMakeFiles/scif_workloads.dir/workloads.cc.o.d"
+  "libscif_workloads.a"
+  "libscif_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scif_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arch_properties_test.dir/arch_properties_test.cc.o"
+  "CMakeFiles/arch_properties_test.dir/arch_properties_test.cc.o.d"
+  "arch_properties_test"
+  "arch_properties_test.pdb"
+  "arch_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arch_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

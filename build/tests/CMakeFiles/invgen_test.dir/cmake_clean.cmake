@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invgen_test.dir/invgen_test.cc.o"
+  "CMakeFiles/invgen_test.dir/invgen_test.cc.o.d"
+  "invgen_test"
+  "invgen_test.pdb"
+  "invgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_semantics_test.dir/isa_semantics_test.cc.o"
+  "CMakeFiles/isa_semantics_test.dir/isa_semantics_test.cc.o.d"
+  "isa_semantics_test"
+  "isa_semantics_test.pdb"
+  "isa_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sci_test.dir/sci_test.cc.o"
+  "CMakeFiles/sci_test.dir/sci_test.cc.o.d"
+  "sci_test"
+  "sci_test.pdb"
+  "sci_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sci_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
