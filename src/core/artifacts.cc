@@ -1,0 +1,61 @@
+#include "artifacts.hh"
+
+#include <filesystem>
+
+#include "support/binio.hh"
+#include "support/logging.hh"
+
+namespace scif::core {
+
+namespace {
+
+constexpr uint32_t indexMagic = 0x53434958; // "SCIX"
+constexpr uint32_t indexVersion = 1;
+
+} // namespace
+
+void
+ArtifactPaths::ensureDir() const
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) {
+        fatal("cannot create artifact directory '%s': %s",
+              dir_.c_str(), ec.message().c_str());
+    }
+}
+
+bool
+ArtifactPaths::exists(const std::string &path)
+{
+    std::error_code ec;
+    return std::filesystem::exists(path, ec);
+}
+
+void
+saveIndexSet(const std::string &path, const std::set<size_t> &indices)
+{
+    support::BinWriter out(path, indexMagic, indexVersion);
+    out.u64(indices.size());
+    for (size_t idx : indices)
+        out.u64(idx);
+    out.close();
+}
+
+std::set<size_t>
+loadIndexSet(const std::string &path)
+{
+    support::BinReader in(path, indexMagic, indexVersion,
+                          "index set");
+    std::set<size_t> out;
+    uint64_t count = in.u64();
+    if (count > (1ull << 32))
+        fatal("index set '%s' is corrupt (%llu entries)",
+              path.c_str(), (unsigned long long)count);
+    for (uint64_t i = 0; i < count; ++i)
+        out.insert(size_t(in.u64()));
+    in.expectEof();
+    return out;
+}
+
+} // namespace scif::core

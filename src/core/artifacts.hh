@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The on-disk layout of a pipeline artifact directory.
+ *
+ * Every phase boundary of the staged pipeline has a versioned binary
+ * artifact, so any phase can be re-run (or resumed) from its
+ * predecessors' persisted outputs without recomputing them:
+ *
+ *     traces.bin          phase 1a  the named training-trace set
+ *     invariants.raw.bin  phase 1b  the unoptimized invariant model
+ *     invariants.bin      phase 2   the optimized invariant model
+ *     violations.bin      phase 3   validation-corpus violations
+ *     scidb.bin           phase 3   per-bug identification results
+ *     inference.txt       phase 4   final SCI report (human-readable)
+ *
+ * The serializers themselves live with their types (trace/io.hh,
+ * invgen::InvariantSet, sci::SciDatabase); this module owns the
+ * directory layout plus the small index-set artifact used for the
+ * validation violations.
+ */
+
+#ifndef SCIFINDER_CORE_ARTIFACTS_HH
+#define SCIFINDER_CORE_ARTIFACTS_HH
+
+#include <set>
+#include <string>
+
+namespace scif::core {
+
+/** Path helper for one artifact directory. */
+class ArtifactPaths
+{
+  public:
+    explicit ArtifactPaths(std::string dir) : dir_(std::move(dir)) {}
+
+    const std::string &dir() const { return dir_; }
+
+    std::string traces() const { return join("traces.bin"); }
+    std::string rawModel() const { return join("invariants.raw.bin"); }
+    std::string model() const { return join("invariants.bin"); }
+    std::string violations() const { return join("violations.bin"); }
+    std::string sciDatabase() const { return join("scidb.bin"); }
+    std::string inference() const { return join("inference.txt"); }
+
+    /** Create the directory (and parents) if missing; fatal on
+     *  failure. */
+    void ensureDir() const;
+
+    /** @return true if the file exists. */
+    static bool exists(const std::string &path);
+
+  private:
+    std::string join(const char *name) const
+    {
+        return dir_ + "/" + name;
+    }
+
+    std::string dir_;
+};
+
+/** Persist a set of invariant indices as a versioned artifact. */
+void saveIndexSet(const std::string &path,
+                  const std::set<size_t> &indices);
+
+/** Load an index-set artifact; aborts on truncation or corruption. */
+std::set<size_t> loadIndexSet(const std::string &path);
+
+} // namespace scif::core
+
+#endif // SCIFINDER_CORE_ARTIFACTS_HH

@@ -1,22 +1,15 @@
 #include "scifinder.hh"
 
 #include <algorithm>
-#include <chrono>
+#include <fstream>
+#include <memory>
 
+#include "core/artifacts.hh"
 #include "support/logging.hh"
+#include "support/threadpool.hh"
+#include "trace/io.hh"
 
 namespace scif::core {
-
-namespace {
-
-double
-secondsSince(std::chrono::steady_clock::time_point start)
-{
-    auto end = std::chrono::steady_clock::now();
-    return std::chrono::duration<double>(end - start).count();
-}
-
-} // namespace
 
 std::vector<size_t>
 PipelineResult::finalSci() const
@@ -29,71 +22,167 @@ PipelineResult::finalSci() const
     return out;
 }
 
+namespace {
+
+/** Resolve the configured workload list to registry entries. */
+std::vector<const workloads::Workload *>
+resolveWorkloads(const PipelineConfig &config)
+{
+    std::vector<const workloads::Workload *> list;
+    if (config.workloadNames.empty()) {
+        for (const auto &w : workloads::all())
+            list.push_back(&w);
+    } else {
+        for (const auto &name : config.workloadNames)
+            list.push_back(&workloads::byName(name));
+    }
+    return list;
+}
+
+/** Resolve the configured bug list to registry entries. */
+std::vector<const bugs::Bug *>
+resolveBugs(const PipelineConfig &config)
+{
+    if (config.bugIds.empty())
+        return bugs::table1();
+    std::vector<const bugs::Bug *> list;
+    for (const auto &id : config.bugIds)
+        list.push_back(&bugs::byId(id));
+    return list;
+}
+
+/** The phase-4 human-readable artifact: the final SCI report. */
+void
+writeInferenceReport(const std::string &path,
+                     const PipelineResult &result)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open '%s' for writing", path.c_str());
+    out << "# identified SCI: "
+        << result.identifiedSci().size() << "\n";
+    out << "# inferred SCI: "
+        << result.inference.inferredSci.size() << "\n";
+    out << "# test accuracy: " << result.inference.testAccuracy
+        << "\n";
+    for (size_t idx : result.finalSci())
+        out << idx << "\t" << result.model.all()[idx].str() << "\n";
+    if (!out)
+        fatal("write to '%s' failed", path.c_str());
+}
+
+} // namespace
+
 PipelineResult
 runPipeline(const PipelineConfig &config)
 {
     PipelineResult result;
-    using clock = std::chrono::steady_clock;
 
-    // ---- phase 1a: trace generation ----
-    auto t0 = clock::now();
-    std::vector<trace::TraceBuffer> traces;
-    if (config.workloadNames.empty()) {
-        for (const auto &w : workloads::all())
-            traces.push_back(workloads::run(w));
-    } else {
-        for (const auto &name : config.workloadNames)
-            traces.push_back(workloads::run(workloads::byName(name)));
-    }
-    for (const auto &t : traces) {
-        result.traceRecords += t.size();
-        result.traceBytes += t.size() * sizeof(trace::Record);
-    }
-    result.timing.traceGeneration = secondsSince(t0);
+    size_t jobs = support::ThreadPool::resolveJobs(config.jobs);
+    std::unique_ptr<support::ThreadPool> pool;
+    if (jobs > 1)
+        pool = std::make_unique<support::ThreadPool>(jobs);
+    StageContext ctx(pool.get(), &result.stages);
 
-    // ---- phase 1b: invariant generation ----
-    t0 = clock::now();
-    std::vector<const trace::TraceBuffer *> ptrs;
-    for (const auto &t : traces)
-        ptrs.push_back(&t);
-    result.model = invgen::generate(ptrs, config.generation);
+    const bool persist = !config.artifactDir.empty();
+    ArtifactPaths paths(config.artifactDir);
+    if (persist)
+        paths.ensureDir();
+
+    // ---- phase 1a: trace generation (fans out per workload) ----
+    Stage<PipelineConfig, std::vector<trace::NamedTrace>> traceStage(
+        "trace-generation",
+        [](StageContext &sc, PipelineConfig &cfg) {
+            auto list = resolveWorkloads(cfg);
+            return support::parallelMap(
+                sc.pool(), list, [](const workloads::Workload *w) {
+                    return trace::NamedTrace{w->name,
+                                             workloads::run(*w)};
+                });
+        });
+    PipelineConfig cfg = config;
+    auto traces = traceStage.run(ctx, cfg);
+    for (const auto &nt : traces) {
+        result.traceRecords += nt.trace.size();
+        result.traceBytes += nt.trace.size() * sizeof(trace::Record);
+    }
+    if (persist)
+        trace::saveTraceSet(paths.traces(), traces);
+
+    // ---- phase 1b: invariant generation (fans out per point) ----
+    Stage<std::vector<trace::NamedTrace>, invgen::InvariantSet>
+        genStage("invariant-generation",
+                 [&cfg](StageContext &sc,
+                        std::vector<trace::NamedTrace> &in) {
+                     std::vector<const trace::TraceBuffer *> ptrs;
+                     for (const auto &nt : in)
+                         ptrs.push_back(&nt.trace);
+                     return invgen::generate(ptrs, cfg.generation,
+                                             nullptr, sc.pool());
+                 });
+    result.model = genStage.run(ctx, traces);
     result.rawInvariants = result.model.size();
     result.rawVariables = result.model.variableCount();
-    result.timing.invariantGeneration = secondsSince(t0);
+    if (persist)
+        result.model.saveBinary(paths.rawModel());
 
-    // ---- phase 2: optimization ----
-    t0 = clock::now();
-    result.optimizationStats = opt::optimize(result.model);
-    result.timing.optimization = secondsSince(t0);
+    // ---- phase 2: optimization (rewrites the model in place) ----
+    Stage<invgen::InvariantSet, std::vector<opt::PassStats>> optStage(
+        "optimization", [](StageContext &, invgen::InvariantSet &m) {
+            return opt::optimize(m);
+        });
+    result.optimizationStats = optStage.run(ctx, result.model);
+    if (persist)
+        result.model.saveBinary(paths.model());
 
-    // ---- phase 3: identification (with the simulated expert) ----
-    t0 = clock::now();
-    auto validation =
-        workloads::validationCorpus(config.validationPrograms);
-    result.validationViolations =
-        sci::corpusViolations(result.model, validation);
-
-    std::vector<const bugs::Bug *> bugList;
-    if (config.bugIds.empty()) {
-        bugList = bugs::table1();
-    } else {
-        for (const auto &id : config.bugIds)
-            bugList.push_back(&bugs::byId(id));
+    // ---- phase 3: identification (fans out per bug, with the
+    //      simulated expert's validation corpus fanned per program) --
+    struct IdentOutput
+    {
+        std::set<size_t> violations;
+        sci::SciDatabase db;
+    };
+    Stage<invgen::InvariantSet, IdentOutput> identStage(
+        "identification",
+        [&cfg](StageContext &sc, invgen::InvariantSet &model) {
+            IdentOutput out;
+            auto validation = workloads::validationCorpus(
+                cfg.validationPrograms, 0x5eed, sc.pool());
+            out.violations =
+                sci::corpusViolations(model, validation, sc.pool());
+            out.db = sci::identifyAll(model, resolveBugs(cfg),
+                                      out.violations, sc.pool());
+            return out;
+        });
+    IdentOutput ident = identStage.run(ctx, result.model);
+    result.validationViolations = std::move(ident.violations);
+    result.database = std::move(ident.db);
+    if (persist) {
+        saveIndexSet(paths.violations(), result.validationViolations);
+        result.database.saveBinary(paths.sciDatabase());
     }
-    for (const bugs::Bug *bug : bugList) {
-        result.database.addResult(sci::identify(
-            result.model, *bug, result.validationViolations));
-    }
-    result.timing.identification = secondsSince(t0);
 
     // ---- phase 4: inference ----
     if (config.runInference) {
-        t0 = clock::now();
-        result.inference =
-            sci::infer(result.model, result.database,
-                       result.validationViolations, config.inference);
-        result.timing.inference = secondsSince(t0);
+        Stage<invgen::InvariantSet, sci::InferenceResult> inferStage(
+            "inference",
+            [&cfg, &result](StageContext &,
+                            invgen::InvariantSet &model) {
+                return sci::infer(model, result.database,
+                                  result.validationViolations,
+                                  cfg.inference);
+            });
+        result.inference = inferStage.run(ctx, result.model);
+        if (persist)
+            writeInferenceReport(paths.inference(), result);
     }
+
+    result.timing.traceGeneration = ctx.seconds("trace-generation");
+    result.timing.invariantGeneration =
+        ctx.seconds("invariant-generation");
+    result.timing.optimization = ctx.seconds("optimization");
+    result.timing.identification = ctx.seconds("identification");
+    result.timing.inference = ctx.seconds("inference");
     return result;
 }
 

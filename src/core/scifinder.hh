@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bugs/registry.hh"
+#include "core/stage.hh"
 #include "invgen/invgen.hh"
 #include "monitor/assertion.hh"
 #include "opt/passes.hh"
@@ -44,6 +45,21 @@ struct PipelineConfig
 
     /** Skip phase 4 (used by ablations). */
     bool runInference = true;
+
+    /**
+     * Worker threads for the intra-stage fan-outs (per workload, per
+     * program point, per bug). 1 = serial; 0 = all hardware threads.
+     * Every fan-out merges deterministically, so the results are
+     * byte-identical for any value.
+     */
+    size_t jobs = 1;
+
+    /**
+     * When non-empty, each stage persists its output artifact here
+     * (see core/artifacts.hh), enabling single-phase re-runs via the
+     * scifinder subcommands.
+     */
+    std::string artifactDir;
 };
 
 /** Wall-clock seconds per phase (Table 8). */
@@ -73,6 +89,10 @@ struct PipelineResult
     std::set<size_t> validationViolations;
     sci::InferenceResult inference;
     PhaseTiming timing;
+
+    /** Per-stage accounting in execution order (wall-clock seconds
+     *  plus input/output item counts); timing is derived from it. */
+    std::vector<StageStats> stages;
 
     /** SCI identified from the errata (phase 3). */
     std::vector<size_t> identifiedSci() const

@@ -5,7 +5,9 @@
 #include <fstream>
 #include <unordered_set>
 
+#include "support/binio.hh"
 #include "support/logging.hh"
+#include "support/threadpool.hh"
 
 namespace scif::invgen {
 
@@ -99,6 +101,98 @@ InvariantSet::loadText(const std::string &path)
 
 namespace {
 
+constexpr uint32_t invMagic = 0x53434956; // "SCIV"
+constexpr uint32_t invVersion = 1;
+
+void
+writeOperand(support::BinWriter &out, const Operand &op)
+{
+    out.u8(op.isConst);
+    out.u32(op.constVal);
+    out.u16(op.a.var);
+    out.u8(op.a.orig);
+    out.u8(uint8_t(op.op2));
+    out.u16(op.b.var);
+    out.u8(op.b.orig);
+    out.u8(op.negate);
+    out.u32(op.mulImm);
+    out.u32(op.modImm);
+    out.u32(op.addImm);
+}
+
+Operand
+readOperand(support::BinReader &in, const std::string &path)
+{
+    Operand op;
+    op.isConst = in.u8() != 0;
+    op.constVal = in.u32();
+    op.a.var = in.u16();
+    op.a.orig = in.u8() != 0;
+    uint8_t op2 = in.u8();
+    if (op2 > uint8_t(Op2::Sub))
+        fatal("invariant model '%s' is corrupt (operator %u)",
+              path.c_str(), op2);
+    op.op2 = Op2(op2);
+    op.b.var = in.u16();
+    op.b.orig = in.u8() != 0;
+    op.negate = in.u8() != 0;
+    op.mulImm = in.u32();
+    op.modImm = in.u32();
+    op.addImm = in.u32();
+    return op;
+}
+
+} // namespace
+
+void
+InvariantSet::saveBinary(const std::string &path) const
+{
+    support::BinWriter out(path, invMagic, invVersion);
+    out.u64(invs_.size());
+    for (const auto &inv : invs_) {
+        out.u16(inv.point.id());
+        out.u8(uint8_t(inv.op));
+        writeOperand(out, inv.lhs);
+        writeOperand(out, inv.rhs);
+        out.u32(uint32_t(inv.set.size()));
+        for (uint32_t v : inv.set)
+            out.u32(v);
+    }
+    out.close();
+}
+
+InvariantSet
+InvariantSet::loadBinary(const std::string &path)
+{
+    support::BinReader in(path, invMagic, invVersion,
+                          "invariant model");
+    InvariantSet set;
+    uint64_t count = in.u64();
+    for (uint64_t i = 0; i < count; ++i) {
+        Invariant inv;
+        inv.point = trace::Point::fromId(in.u16());
+        uint8_t op = in.u8();
+        if (op > uint8_t(CmpOp::In))
+            fatal("invariant model '%s' is corrupt (comparison %u)",
+                  path.c_str(), op);
+        inv.op = CmpOp(op);
+        inv.lhs = readOperand(in, path);
+        inv.rhs = readOperand(in, path);
+        uint32_t setSize = in.u32();
+        if (setSize > (1u << 20))
+            fatal("invariant model '%s' is corrupt (set size %u)",
+                  path.c_str(), setSize);
+        inv.set.resize(setSize);
+        for (uint32_t &v : inv.set)
+            v = in.u32();
+        set.add(std::move(inv));
+    }
+    in.expectEof();
+    return set;
+}
+
+namespace {
+
 /** A slot is one column of the record matrix: (variable, pre/post). */
 struct Slot
 {
@@ -180,21 +274,47 @@ class Generator
     }
 
     InvariantSet
-    run(GenStats *stats)
+    run(GenStats *stats, support::ThreadPool *pool)
     {
         groupByPoint();
         computeGlobalCardinality();
 
-        InvariantSet out;
+        // Program points are independent: fan each one out, then
+        // merge in ascending point order (the byPoint_ map order),
+        // which reproduces the serial loop exactly.
+        std::vector<const std::vector<const Record *> *> pointRecs;
+        std::vector<uint16_t> pointIds;
         for (const auto &[pointId, recs] : byPoint_) {
             if (recs.size() < config_.minSamples)
                 continue;
-            processPoint(trace::Point::fromId(pointId), recs, out);
+            pointIds.push_back(pointId);
+            pointRecs.push_back(&recs);
+        }
+
+        struct PointOut
+        {
+            InvariantSet invs;
+            uint64_t candidates = 0;
+        };
+        std::vector<PointOut> perPoint(pointIds.size());
+        support::parallelFor(
+            pool, pointIds.size(), [&](size_t i) {
+                processPoint(trace::Point::fromId(pointIds[i]),
+                             *pointRecs[i], perPoint[i].invs,
+                             perPoint[i].candidates);
+            });
+
+        InvariantSet out;
+        uint64_t candidates = 0;
+        for (auto &po : perPoint) {
+            for (const auto &inv : po.invs.all())
+                out.add(inv);
+            candidates += po.candidates;
         }
         if (stats) {
             stats->records = totalRecords_;
             stats->points = byPoint_.size();
-            stats->candidatesTried = candidates_;
+            stats->candidatesTried = candidates;
         }
         return out;
     }
@@ -279,7 +399,7 @@ class Generator
     void
     processPoint(trace::Point point,
                  const std::vector<const Record *> &recs,
-                 InvariantSet &out)
+                 InvariantSet &out, uint64_t &candidates) const
     {
         size_t ns = slots_.size();
         uint64_t n = recs.size();
@@ -325,7 +445,7 @@ class Generator
         for (size_t s = 0; s < ns; ++s) {
             const auto &st = stats[s];
             const Slot &slot = slots_[s];
-            ++candidates_;
+            ++candidates;
             if (st.constant &&
                 justified(1.0 / double(std::max<size_t>(
                                     cardinality_[s], 2)),
@@ -356,7 +476,7 @@ class Generator
             // slots' residues are deducible).
             if (!st.constant) {
                 for (size_t m = 0; m < config_.moduli.size(); ++m) {
-                    ++candidates_;
+                    ++candidates;
                     if (!st.modAlive[m])
                         continue;
                     uint32_t mod = config_.moduli[m];
@@ -453,7 +573,7 @@ class Generator
         };
 
         for (const auto &p : pairs) {
-            ++candidates_;
+            ++candidates;
             Invariant inv;
             inv.point = point;
             inv.lhs = slotOperand(p.i);
@@ -497,7 +617,7 @@ class Generator
         }
 
         for (const auto &lin : linears) {
-            ++candidates_;
+            ++candidates;
             if (!justified(eqChance(lin.i, lin.j), n,
                            config_.confidence)) {
                 continue;
@@ -513,14 +633,14 @@ class Generator
         }
 
         // --- targeted ternary sums ---
-        processTriples(point, recs, stats, out);
+        processTriples(point, recs, stats, out, candidates);
     }
 
     void
     processTriples(trace::Point point,
                    const std::vector<const Record *> &recs,
                    const std::vector<SlotStats> &stats,
-                   InvariantSet &out)
+                   InvariantSet &out, uint64_t &candidates) const
     {
         using trace::VarId;
         struct TripleSpec
@@ -559,7 +679,7 @@ class Generator
                 continue;
             }
             for (bool sub : {false, true}) {
-                ++candidates_;
+                ++candidates;
                 bool alive = true;
                 for (const Record *rec : recs) {
                     uint32_t v = slotValue(*rec, spec.v);
@@ -597,17 +717,17 @@ class Generator
     std::vector<uint32_t> globalMax_;
     std::map<uint16_t, std::vector<const Record *>> byPoint_;
     uint64_t totalRecords_ = 0;
-    uint64_t candidates_ = 0;
 };
 
 } // namespace
 
 InvariantSet
 generate(const std::vector<const trace::TraceBuffer *> &traces,
-         const Config &config, GenStats *stats)
+         const Config &config, GenStats *stats,
+         support::ThreadPool *pool)
 {
     Generator gen(traces, config);
-    return gen.run(stats);
+    return gen.run(stats, pool);
 }
 
 InvariantSet

@@ -32,6 +32,10 @@
 #include "expr/expr.hh"
 #include "trace/record.hh"
 
+namespace scif::support {
+class ThreadPool;
+} // namespace scif::support
+
 namespace scif::invgen {
 
 /** Tuning knobs for the generator. */
@@ -108,6 +112,17 @@ class InvariantSet
     /** Load a set previously written by saveText(). */
     static InvariantSet loadText(const std::string &path);
 
+    /**
+     * Persist to a versioned binary artifact (the inter-stage format
+     * of the staged pipeline); byte-exact round trip, including
+     * insertion order.
+     */
+    void saveBinary(const std::string &path) const;
+
+    /** Load a binary artifact; aborts on a truncated or corrupt
+     *  file, or on an unsupported version. */
+    static InvariantSet loadBinary(const std::string &path);
+
   private:
     std::vector<expr::Invariant> invs_;
     std::map<std::string, size_t> keyIndex_;
@@ -125,13 +140,20 @@ struct GenStats
 /**
  * Infer invariants from one or more trace buffers.
  *
+ * Program points are independent, so inference fans out per point
+ * over @p pool when one is given; the per-point results are merged
+ * in ascending point order, making the output identical to the
+ * serial run.
+ *
  * @param traces the training corpus.
  * @param config generator tuning.
  * @param stats optional output statistics.
+ * @param pool optional worker pool for the per-point fan-out.
  */
 InvariantSet generate(const std::vector<const trace::TraceBuffer *> &traces,
                       const Config &config = Config(),
-                      GenStats *stats = nullptr);
+                      GenStats *stats = nullptr,
+                      support::ThreadPool *pool = nullptr);
 
 /** Convenience overload for a single buffer. */
 InvariantSet generate(const trace::TraceBuffer &trace,

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "support/binio.hh"
 #include "support/logging.hh"
+#include "support/threadpool.hh"
 
 namespace scif::sci {
 
@@ -25,13 +27,16 @@ findViolations(const invgen::InvariantSet &set,
 
 std::set<size_t>
 corpusViolations(const invgen::InvariantSet &set,
-                 const std::vector<trace::TraceBuffer> &corpus)
+                 const std::vector<trace::TraceBuffer> &corpus,
+                 support::ThreadPool *pool)
 {
+    std::vector<std::vector<size_t>> perTrace(corpus.size());
+    support::parallelFor(pool, corpus.size(), [&](size_t i) {
+        perTrace[i] = findViolations(set, corpus[i]);
+    });
     std::set<size_t> out;
-    for (const auto &trace : corpus) {
-        for (size_t idx : findViolations(set, trace))
-            out.insert(idx);
-    }
+    for (const auto &violations : perTrace)
+        out.insert(violations.begin(), violations.end());
     return out;
 }
 
@@ -62,6 +67,25 @@ identify(const invgen::InvariantSet &set, const bugs::Bug &bug,
             result.trueSci.push_back(idx);
     }
     return result;
+}
+
+SciDatabase
+identifyAll(const invgen::InvariantSet &set,
+            const std::vector<const bugs::Bug *> &bugList,
+            const std::set<size_t> &knownNonInvariant,
+            support::ThreadPool *pool)
+{
+    // Each bug's identification (two trigger simulations plus the
+    // violation scans) is independent; folding the results in bug-
+    // list order keeps the database identical to the serial loop.
+    std::vector<IdentificationResult> results(bugList.size());
+    support::parallelFor(pool, bugList.size(), [&](size_t i) {
+        results[i] = identify(set, *bugList[i], knownNonInvariant);
+    });
+    SciDatabase db;
+    for (const auto &result : results)
+        db.addResult(result);
+    return db;
 }
 
 void
@@ -100,6 +124,67 @@ SciDatabase::provenance(size_t index) const
     static const std::vector<std::string> empty;
     auto it = sci_.find(index);
     return it == sci_.end() ? empty : it->second;
+}
+
+namespace {
+
+constexpr uint32_t dbMagic = 0x53434944; // "SCID"
+constexpr uint32_t dbVersion = 1;
+constexpr uint64_t dbMaxIndices = 1ull << 32;
+
+void
+writeIndices(support::BinWriter &out, const std::vector<size_t> &v)
+{
+    out.u64(v.size());
+    for (size_t idx : v)
+        out.u64(idx);
+}
+
+std::vector<size_t>
+readIndices(support::BinReader &in, const std::string &path)
+{
+    uint64_t count = in.u64();
+    if (count > dbMaxIndices)
+        fatal("SCI database '%s' is corrupt (%llu indices)",
+              path.c_str(), (unsigned long long)count);
+    std::vector<size_t> out(count);
+    for (uint64_t i = 0; i < count; ++i)
+        out[i] = size_t(in.u64());
+    return out;
+}
+
+} // namespace
+
+void
+SciDatabase::saveBinary(const std::string &path) const
+{
+    support::BinWriter out(path, dbMagic, dbVersion);
+    out.u64(results_.size());
+    for (const auto &result : results_) {
+        out.str(result.bugId);
+        writeIndices(out, result.trueSci);
+        writeIndices(out, result.falsePositives);
+        writeIndices(out, result.notInvariant);
+    }
+    out.close();
+}
+
+SciDatabase
+SciDatabase::loadBinary(const std::string &path)
+{
+    support::BinReader in(path, dbMagic, dbVersion, "SCI database");
+    SciDatabase db;
+    uint64_t count = in.u64();
+    for (uint64_t i = 0; i < count; ++i) {
+        IdentificationResult result;
+        result.bugId = in.str(256);
+        result.trueSci = readIndices(in, path);
+        result.falsePositives = readIndices(in, path);
+        result.notInvariant = readIndices(in, path);
+        db.addResult(result);
+    }
+    in.expectEof();
+    return db;
 }
 
 } // namespace scif::sci

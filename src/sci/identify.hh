@@ -27,6 +27,10 @@
 #include "bugs/registry.hh"
 #include "invgen/invgen.hh"
 
+namespace scif::support {
+class ThreadPool;
+} // namespace scif::support
+
 namespace scif::sci {
 
 /**
@@ -42,11 +46,14 @@ std::vector<size_t> findViolations(const invgen::InvariantSet &set,
 
 /**
  * Union of violations across a corpus of clean traces — the automated
- * stand-in for the expert's ISA knowledge.
+ * stand-in for the expert's ISA knowledge. Traces are scanned in
+ * parallel over @p pool when one is given; the union is
+ * order-independent, so the result is identical either way.
  */
 std::set<size_t>
 corpusViolations(const invgen::InvariantSet &set,
-                 const std::vector<trace::TraceBuffer> &corpus);
+                 const std::vector<trace::TraceBuffer> &corpus,
+                 support::ThreadPool *pool = nullptr);
 
 /** Per-bug identification outcome (one row of Table 3). */
 struct IdentificationResult
@@ -76,6 +83,18 @@ struct IdentificationResult
 IdentificationResult identify(const invgen::InvariantSet &set,
                               const bugs::Bug &bug,
                               const std::set<size_t> &knownNonInvariant);
+
+/**
+ * Identify the SCI for a list of bugs, fanning out per bug over
+ * @p pool when one is given. Results are folded into the returned
+ * database in the order of @p bugList, so the output is identical to
+ * the serial per-bug loop.
+ */
+class SciDatabase;
+SciDatabase identifyAll(const invgen::InvariantSet &set,
+                        const std::vector<const bugs::Bug *> &bugList,
+                        const std::set<size_t> &knownNonInvariant,
+                        support::ThreadPool *pool = nullptr);
 
 /**
  * The accumulated identification output: which invariants are SCI
@@ -109,6 +128,17 @@ class SciDatabase
     {
         return results_;
     }
+
+    /**
+     * Persist to a versioned binary artifact (the phase-3 output of
+     * the staged pipeline). The per-bug results are the source of
+     * truth; the SCI and false-positive indices are rebuilt on load.
+     */
+    void saveBinary(const std::string &path) const;
+
+    /** Load a binary artifact; aborts on a truncated or corrupt
+     *  file, or on an unsupported version. */
+    static SciDatabase loadBinary(const std::string &path);
 
   private:
     std::vector<IdentificationResult> results_;

@@ -1,0 +1,165 @@
+#include "binio.hh"
+
+#include "support/logging.hh"
+
+namespace scif::support {
+
+BinWriter::BinWriter(const std::string &path, uint32_t magic,
+                     uint32_t version)
+    : path_(path)
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_)
+        fatal("cannot open '%s' for writing", path.c_str());
+    u32(magic);
+    u32(version);
+}
+
+BinWriter::~BinWriter()
+{
+    if (file_)
+        close();
+}
+
+void
+BinWriter::bytes(const void *data, size_t size)
+{
+    SCIF_ASSERT(file_);
+    if (size != 0 && std::fwrite(data, 1, size, file_) != size)
+        fatal("write to '%s' failed", path_.c_str());
+}
+
+void
+BinWriter::u8(uint8_t v)
+{
+    bytes(&v, sizeof(v));
+}
+
+void
+BinWriter::u16(uint16_t v)
+{
+    bytes(&v, sizeof(v));
+}
+
+void
+BinWriter::u32(uint32_t v)
+{
+    bytes(&v, sizeof(v));
+}
+
+void
+BinWriter::u64(uint64_t v)
+{
+    bytes(&v, sizeof(v));
+}
+
+void
+BinWriter::str(const std::string &s)
+{
+    u32(uint32_t(s.size()));
+    bytes(s.data(), s.size());
+}
+
+void
+BinWriter::close()
+{
+    SCIF_ASSERT(file_);
+    bool ok = std::fclose(file_) == 0;
+    file_ = nullptr;
+    if (!ok)
+        fatal("closing '%s' failed", path_.c_str());
+}
+
+BinReader::BinReader(const std::string &path, uint32_t magic,
+                     uint32_t version, const char *what)
+    : path_(path), what_(what)
+{
+    file_ = std::fopen(path.c_str(), "rb");
+    if (!file_)
+        fatal("cannot open %s '%s'", what, path.c_str());
+    if (u32() != magic)
+        fatal("'%s' is not a %s artifact", path.c_str(), what);
+    uint32_t got = u32();
+    if (got != version) {
+        fatal("%s '%s' has version %u, this build reads %u",
+              what, path.c_str(), got, version);
+    }
+}
+
+BinReader::~BinReader()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+BinReader::bytes(void *data, size_t size)
+{
+    SCIF_ASSERT(file_);
+    if (size != 0 && std::fread(data, 1, size, file_) != size)
+        fatal("%s '%s' is truncated or corrupt", what_, path_.c_str());
+}
+
+uint8_t
+BinReader::u8()
+{
+    uint8_t v;
+    bytes(&v, sizeof(v));
+    return v;
+}
+
+uint16_t
+BinReader::u16()
+{
+    uint16_t v;
+    bytes(&v, sizeof(v));
+    return v;
+}
+
+uint32_t
+BinReader::u32()
+{
+    uint32_t v;
+    bytes(&v, sizeof(v));
+    return v;
+}
+
+uint64_t
+BinReader::u64()
+{
+    uint64_t v;
+    bytes(&v, sizeof(v));
+    return v;
+}
+
+std::string
+BinReader::str(size_t maxLen)
+{
+    uint32_t len = u32();
+    if (len > maxLen)
+        fatal("%s '%s' is corrupt (string length %u)", what_,
+              path_.c_str(), len);
+    std::string s(len, '\0');
+    bytes(s.data(), len);
+    return s;
+}
+
+bool
+BinReader::atEof()
+{
+    SCIF_ASSERT(file_);
+    int c = std::fgetc(file_);
+    if (c == EOF)
+        return true;
+    std::ungetc(c, file_);
+    return false;
+}
+
+void
+BinReader::expectEof()
+{
+    if (!atEof())
+        fatal("%s '%s' has trailing garbage", what_, path_.c_str());
+}
+
+} // namespace scif::support

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Minimal binary artifact I/O.
+ *
+ * Every inter-stage artifact of the staged pipeline (trace sets,
+ * invariant models, SCI databases) is a stream of fixed-width
+ * little-endian integers and length-prefixed strings behind a
+ * (magic, version) header. These helpers centralize the encoding and
+ * the failure policy: any short read/write, bad magic, or unsupported
+ * version is a fatal() with the file name — artifacts are either
+ * valid or rejected, never silently misparsed.
+ */
+
+#ifndef SCIFINDER_SUPPORT_BINIO_HH
+#define SCIFINDER_SUPPORT_BINIO_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace scif::support {
+
+/** Sequential writer for one binary artifact file. */
+class BinWriter
+{
+  public:
+    /** Open @p path and emit the (magic, version) header; aborts on
+     *  I/O failure. */
+    BinWriter(const std::string &path, uint32_t magic,
+              uint32_t version);
+    ~BinWriter();
+
+    BinWriter(const BinWriter &) = delete;
+    BinWriter &operator=(const BinWriter &) = delete;
+
+    void u8(uint8_t v);
+    void u16(uint16_t v);
+    void u32(uint32_t v);
+    void u64(uint64_t v);
+
+    /** Length-prefixed (u32) byte string. */
+    void str(const std::string &s);
+
+    void bytes(const void *data, size_t size);
+
+    /** Flush and close; aborts if any buffered write failed. */
+    void close();
+
+  private:
+    std::FILE *file_ = nullptr;
+    std::string path_;
+};
+
+/** Sequential reader for one binary artifact file. */
+class BinReader
+{
+  public:
+    /**
+     * Open @p path and validate the header: a wrong magic or an
+     * unsupported version is fatal. @p what names the artifact kind
+     * in error messages ("invariant model", ...).
+     */
+    BinReader(const std::string &path, uint32_t magic,
+              uint32_t version, const char *what);
+    ~BinReader();
+
+    BinReader(const BinReader &) = delete;
+    BinReader &operator=(const BinReader &) = delete;
+
+    uint8_t u8();
+    uint16_t u16();
+    uint32_t u32();
+    uint64_t u64();
+
+    /** Length-prefixed string; lengths above @p maxLen mean the file
+     *  is corrupt. */
+    std::string str(size_t maxLen = 1 << 20);
+
+    void bytes(void *data, size_t size);
+
+    /** @return true if the read cursor is at end of file. */
+    bool atEof();
+
+    /** The artifact must end exactly here; trailing garbage is
+     *  corruption. */
+    void expectEof();
+
+  private:
+    std::FILE *file_ = nullptr;
+    std::string path_;
+    const char *what_;
+};
+
+} // namespace scif::support
+
+#endif // SCIFINDER_SUPPORT_BINIO_HH

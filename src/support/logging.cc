@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace scif {
 
@@ -9,9 +10,19 @@ namespace {
 
 bool quietFlag = false;
 
+/** Serializes log-line emission so concurrent worker-thread reports
+ *  never interleave mid-line. */
+std::mutex &
+reportMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
 void
 vreport(const char *tag, const char *fmt, va_list args)
 {
+    std::lock_guard<std::mutex> lock(reportMutex());
     std::fprintf(stderr, "%s: ", tag);
     std::vfprintf(stderr, fmt, args);
     std::fprintf(stderr, "\n");

@@ -1,0 +1,180 @@
+#include "threadpool.hh"
+
+#include "support/logging.hh"
+
+namespace scif::support {
+
+ThreadPool::ThreadPool(size_t threads)
+{
+    if (threads == 0)
+        threads = resolveJobs(0);
+    for (size_t i = 0; i < threads; ++i)
+        workers_.push_back(std::make_unique<Worker>());
+    threads_.reserve(threads);
+    for (size_t i = 0; i < threads; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(sleepMutex_);
+        stop_ = true;
+    }
+    sleepCv_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+size_t
+ThreadPool::resolveJobs(size_t jobs)
+{
+    if (jobs != 0)
+        return jobs;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    SCIF_ASSERT(!workers_.empty());
+    size_t q = nextQueue_.fetch_add(1, std::memory_order_relaxed) %
+               workers_.size();
+    {
+        std::lock_guard<std::mutex> lock(workers_[q]->mutex);
+        workers_[q]->tasks.push_back(std::move(task));
+    }
+    {
+        std::lock_guard<std::mutex> lock(sleepMutex_);
+        ++submitVersion_;
+    }
+    sleepCv_.notify_all();
+}
+
+bool
+ThreadPool::runOneTask(size_t self)
+{
+    std::function<void()> task;
+
+    // Own deque first, newest task (LIFO keeps caches warm)...
+    {
+        Worker &w = *workers_[self];
+        std::lock_guard<std::mutex> lock(w.mutex);
+        if (!w.tasks.empty()) {
+            task = std::move(w.tasks.back());
+            w.tasks.pop_back();
+        }
+    }
+    // ...then steal the oldest task of the nearest busy victim.
+    if (!task) {
+        for (size_t d = 1; d < workers_.size() && !task; ++d) {
+            Worker &v = *workers_[(self + d) % workers_.size()];
+            std::lock_guard<std::mutex> lock(v.mutex);
+            if (!v.tasks.empty()) {
+                task = std::move(v.tasks.front());
+                v.tasks.pop_front();
+            }
+        }
+    }
+    if (!task)
+        return false;
+    task();
+    return true;
+}
+
+void
+ThreadPool::workerLoop(size_t self)
+{
+    while (true) {
+        uint64_t seen;
+        {
+            std::lock_guard<std::mutex> lock(sleepMutex_);
+            seen = submitVersion_;
+        }
+        if (runOneTask(self))
+            continue;
+        std::unique_lock<std::mutex> lock(sleepMutex_);
+        if (stop_)
+            return;
+        sleepCv_.wait(lock, [&] {
+            return stop_ || submitVersion_ != seen;
+        });
+        if (stop_)
+            return;
+    }
+}
+
+void
+parallelFor(ThreadPool *pool, size_t n,
+            const std::function<void(size_t)> &fn)
+{
+    if (!pool || pool->threadCount() <= 1 || n <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    // The loop state is shared by the queued helper tasks, which can
+    // outlive this call on an abort path, so it lives on the heap.
+    struct State
+    {
+        std::atomic<size_t> next{0};
+        std::atomic<size_t> done{0};
+        size_t n;
+        std::mutex mutex;
+        std::condition_variable cv;
+        std::exception_ptr error;
+        std::atomic<bool> abort{false};
+    };
+    auto state = std::make_shared<State>();
+    state->n = n;
+
+    auto body = [state, &fn] {
+        while (true) {
+            size_t i =
+                state->next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= state->n)
+                break;
+            if (!state->abort.load(std::memory_order_relaxed)) {
+                try {
+                    fn(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(state->mutex);
+                    if (!state->error)
+                        state->error = std::current_exception();
+                    state->abort.store(true,
+                                       std::memory_order_relaxed);
+                }
+            }
+            if (state->done.fetch_add(1, std::memory_order_acq_rel) +
+                    1 == state->n) {
+                std::lock_guard<std::mutex> lock(state->mutex);
+                state->cv.notify_all();
+            }
+        }
+    };
+
+    // One helper task per worker; the body self-schedules via the
+    // shared index counter, so idle helpers exit immediately. The
+    // helpers capture fn by reference — safe because this frame
+    // cannot unwind before done == n.
+    size_t helpers = std::min(pool->threadCount(), n - 1);
+    auto shared_body = std::make_shared<decltype(body)>(body);
+    for (size_t t = 0; t < helpers; ++t)
+        pool->submit([shared_body] { (*shared_body)(); });
+
+    body(); // the caller participates
+
+    {
+        std::unique_lock<std::mutex> lock(state->mutex);
+        state->cv.wait(lock, [&] {
+            return state->done.load(std::memory_order_acquire) ==
+                   state->n;
+        });
+    }
+    if (state->error)
+        std::rethrow_exception(state->error);
+}
+
+} // namespace scif::support

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * A work-stealing thread pool and deterministic parallel loops.
+ *
+ * The pipeline's fan-out points (per-workload trace generation,
+ * per-point invariant generation, per-bug identification) are
+ * embarrassingly parallel but must stay byte-identical to the serial
+ * run. The pool provides raw task execution; parallelFor() and
+ * parallelMap() layer deterministic, index-ordered result collection
+ * on top, so callers parallelize by replacing a for-loop without
+ * changing what they compute.
+ *
+ * Scheduling: every worker owns a deque. External submissions are
+ * distributed round-robin; a worker pops from the back of its own
+ * deque (LIFO, cache-warm) and steals from the front of a victim's
+ * deque (FIFO, oldest first) when its own is empty.
+ */
+
+#ifndef SCIFINDER_SUPPORT_THREADPOOL_HH
+#define SCIFINDER_SUPPORT_THREADPOOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace scif::support {
+
+/** Work-stealing task pool. Tasks may not block on one another. */
+class ThreadPool
+{
+  public:
+    /**
+     * Start the worker threads.
+     *
+     * @param threads worker count; 0 picks the hardware concurrency.
+     *        Note that a pool with one worker still runs tasks on
+     *        that worker; use resolveJobs() and skip pool creation
+     *        entirely for jobs == 1.
+     */
+    explicit ThreadPool(size_t threads = 0);
+
+    /** Drain nothing: outstanding tasks are abandoned only if never
+     *  submitted; submitted tasks run before the workers exit. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** @return the number of worker threads. */
+    size_t threadCount() const { return workers_.size(); }
+
+    /** Enqueue a task for asynchronous execution. */
+    void submit(std::function<void()> task);
+
+    /**
+     * Map a jobs request to a concrete thread count: 0 means "all
+     * hardware threads", anything else is taken literally.
+     */
+    static size_t resolveJobs(size_t jobs);
+
+  private:
+    struct Worker
+    {
+        std::deque<std::function<void()>> tasks;
+        std::mutex mutex;
+    };
+
+    void workerLoop(size_t self);
+    bool runOneTask(size_t self);
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::thread> threads_;
+
+    std::mutex sleepMutex_;
+    std::condition_variable sleepCv_;
+    uint64_t submitVersion_ = 0;
+    bool stop_ = false;
+
+    std::atomic<size_t> nextQueue_{0};
+};
+
+/**
+ * Run fn(0..n-1), distributing indices over the pool. The calling
+ * thread participates, so the loop completes even on a saturated
+ * pool. Indices are claimed dynamically (load-balanced); any
+ * determinism must come from fn writing only to index-private state —
+ * see parallelMap() for the common case.
+ *
+ * A null @p pool (or n <= 1) degrades to the plain serial loop.
+ * The first exception thrown by fn aborts the remaining iterations
+ * and is rethrown on the calling thread.
+ */
+void parallelFor(ThreadPool *pool, size_t n,
+                 const std::function<void(size_t)> &fn);
+
+/**
+ * Deterministic parallel map: out[i] = fn(items[i]). Results are
+ * collected in index order, so the output is identical to the serial
+ * loop no matter how execution interleaves.
+ */
+template <typename T, typename F>
+auto
+parallelMap(ThreadPool *pool, const std::vector<T> &items, F fn)
+    -> std::vector<decltype(fn(items[0]))>
+{
+    using R = decltype(fn(items[0]));
+    std::vector<R> out(items.size());
+    parallelFor(pool, items.size(),
+                [&](size_t i) { out[i] = fn(items[i]); });
+    return out;
+}
+
+} // namespace scif::support
+
+#endif // SCIFINDER_SUPPORT_THREADPOOL_HH

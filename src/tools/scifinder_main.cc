@@ -3,28 +3,37 @@
  * The scifinder command-line tool: the library's functionality as a
  * standalone program.
  *
- *   scifinder workloads                 list the training workloads
- *   scifinder bugs                      list the reproduced errata
- *   scifinder properties                list the property catalog
- *   scifinder trace <workload> <out>    write a binary trace
- *   scifinder generate <trace>...       infer invariants from traces
- *   scifinder identify <bug>...         identify SCI for errata
- *   scifinder run [--no-inference]      the full pipeline
- *   scifinder exec <file.s>             assemble + run a program
+ * The pipeline phases are separate subcommands over a shared artifact
+ * directory, so any phase can be re-run alone from its predecessors'
+ * persisted outputs:
+ *
+ *   scifinder run       [--jobs N] [--artifact-dir D]   all phases
+ *   scifinder generate  [--jobs N] --artifact-dir D     phase 1
+ *   scifinder optimize  --artifact-dir D                phase 2
+ *   scifinder identify  [--jobs N] --artifact-dir D     phase 3
+ *   scifinder infer     --artifact-dir D                phase 4
+ *
+ * plus the catalog/utility commands (workloads, bugs, errata,
+ * properties, trace, exec) and the legacy trace-file mode of
+ * generate/identify, which runs in memory without artifacts.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "bugs/classification.hh"
+#include "core/artifacts.hh"
 #include "core/scifinder.hh"
 #include "monitor/overhead.hh"
 #include "support/strings.hh"
 #include "support/table.hh"
+#include "support/threadpool.hh"
 #include "trace/io.hh"
 
 namespace {
@@ -38,6 +47,28 @@ usage()
         stderr,
         "usage: scifinder <command> [args]\n"
         "\n"
+        "pipeline (artifact-backed; any phase can be re-run alone):\n"
+        "  run       [opts] [--no-inference]\n"
+        "                            run all phases and report\n"
+        "  generate  [opts] [workload...]\n"
+        "                            phase 1: run the workloads, "
+        "infer the\n"
+        "                            raw invariant model\n"
+        "            [-o f] <trace-file>...\n"
+        "                            legacy: infer from trace files\n"
+        "  optimize  --artifact-dir D\n"
+        "                            phase 2: optimize the raw "
+        "model\n"
+        "  identify  [opts] [bug...] phase 3: identify SCI for the "
+        "errata\n"
+        "  infer     --artifact-dir D\n"
+        "                            phase 4: infer additional SCI\n"
+        "\n"
+        "  common [opts]: --jobs N (0 = all cores), --artifact-dir "
+        "D,\n"
+        "                 --validation N (corpus size, default 24)\n"
+        "\n"
+        "catalogs and utilities:\n"
         "  workloads                 list the 17 training workloads\n"
         "  bugs                      list the 31 reproduced errata\n"
         "  errata                    the collected-errata catalog and\n"
@@ -46,16 +77,94 @@ usage()
         "catalog\n"
         "  trace <workload> <out>    run a workload, write its "
         "binary trace\n"
-        "  generate [-o f] <trace>.. infer invariants from trace "
-        "files\n"
-        "  identify <bug>...         identify SCI for the given "
-        "errata\n"
-        "  run [--no-inference]      run the full pipeline and "
-        "report\n"
         "  exec <file.s>             assemble and execute a "
         "program\n");
     return 2;
 }
+
+/** Options shared by the pipeline subcommands, stripped from args. */
+struct CommonOpts
+{
+    size_t jobs = 1;
+    std::string artifactDir;
+    size_t validationPrograms = 24;
+    bool noInference = false;
+};
+
+/**
+ * Strip the common pipeline flags out of @p args.
+ * @return false (after printing a diagnostic) on a malformed flag.
+ */
+bool
+parseCommon(std::vector<std::string> &args, CommonOpts &opts)
+{
+    std::vector<std::string> rest;
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        auto value = [&](const char *flag) -> const std::string * {
+            if (i + 1 >= args.size()) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                return nullptr;
+            }
+            return &args[++i];
+        };
+        auto count = [](const std::string &s, const char *flag,
+                        size_t *out) {
+            char *end = nullptr;
+            unsigned long v = std::strtoul(s.c_str(), &end, 10);
+            if (s.empty() || *end != '\0') {
+                std::fprintf(stderr, "%s expects a number, got '%s'\n",
+                             flag, s.c_str());
+                return false;
+            }
+            *out = size_t(v);
+            return true;
+        };
+        if (arg == "--jobs" || arg == "-j") {
+            const std::string *v = value("--jobs");
+            if (!v || !count(*v, "--jobs", &opts.jobs))
+                return false;
+        } else if (arg == "--artifact-dir") {
+            const std::string *v = value("--artifact-dir");
+            if (!v)
+                return false;
+            opts.artifactDir = *v;
+        } else if (arg == "--validation") {
+            const std::string *v = value("--validation");
+            if (!v ||
+                !count(*v, "--validation", &opts.validationPrograms))
+                return false;
+        } else if (arg == "--no-inference") {
+            opts.noInference = true;
+        } else {
+            rest.push_back(arg);
+        }
+    }
+    args = std::move(rest);
+    return true;
+}
+
+/** Pool for a subcommand's own fan-outs (null = serial). */
+std::unique_ptr<support::ThreadPool>
+makePool(const CommonOpts &opts)
+{
+    size_t jobs = support::ThreadPool::resolveJobs(opts.jobs);
+    if (jobs <= 1)
+        return nullptr;
+    return std::make_unique<support::ThreadPool>(jobs);
+}
+
+/** Load an artifact after checking it exists, with a phase hint. */
+#define REQUIRE_ARTIFACT(path, hint)                                         \
+    do {                                                                     \
+        if (!core::ArtifactPaths::exists(path)) {                            \
+            std::fprintf(stderr,                                             \
+                         "missing artifact %s (run 'scifinder %s' "          \
+                         "first)\n",                                         \
+                         (path).c_str(), hint);                              \
+            return 1;                                                        \
+        }                                                                    \
+    } while (0)
 
 int
 cmdWorkloads()
@@ -155,10 +264,59 @@ cmdTrace(const std::vector<std::string> &args)
     return 0;
 }
 
+/** Phase 1: run the workloads, infer the raw model, persist both. */
+int
+cmdGeneratePhase(const CommonOpts &opts,
+                 const std::vector<std::string> &workloadNames)
+{
+    core::ArtifactPaths paths(opts.artifactDir);
+    paths.ensureDir();
+    auto pool = makePool(opts);
+
+    std::vector<const workloads::Workload *> list;
+    if (workloadNames.empty()) {
+        for (const auto &w : workloads::all())
+            list.push_back(&w);
+    } else {
+        for (const auto &name : workloadNames)
+            list.push_back(&workloads::byName(name));
+    }
+    auto traces = support::parallelMap(
+        pool.get(), list, [](const workloads::Workload *w) {
+            return trace::NamedTrace{w->name, workloads::run(*w)};
+        });
+    trace::saveTraceSet(paths.traces(), traces);
+
+    std::vector<const trace::TraceBuffer *> ptrs;
+    uint64_t records = 0;
+    for (const auto &nt : traces) {
+        ptrs.push_back(&nt.trace);
+        records += nt.trace.size();
+    }
+    invgen::GenStats stats;
+    invgen::InvariantSet model =
+        invgen::generate(ptrs, {}, &stats, pool.get());
+    model.saveBinary(paths.rawModel());
+    std::printf("%zu workloads, %llu records, %llu program points, "
+                "%zu raw invariants\n",
+                traces.size(), (unsigned long long)records,
+                (unsigned long long)stats.points, model.size());
+    std::printf("wrote %s and %s\n", paths.traces().c_str(),
+                paths.rawModel().c_str());
+    return 0;
+}
+
 int
 cmdGenerate(const std::vector<std::string> &args_in)
 {
     std::vector<std::string> args = args_in;
+    CommonOpts opts;
+    if (!parseCommon(args, opts))
+        return 2;
+    if (!opts.artifactDir.empty())
+        return cmdGeneratePhase(opts, args);
+
+    // Legacy mode: infer from previously written trace files.
     std::string outPath;
     for (size_t i = 0; i + 1 < args.size(); ++i) {
         if (args[i] == "-o") {
@@ -170,7 +328,9 @@ cmdGenerate(const std::vector<std::string> &args_in)
     }
     if (args.empty()) {
         std::fprintf(stderr,
-                     "usage: scifinder generate [-o invs.txt] "
+                     "usage: scifinder generate [--jobs N] "
+                     "--artifact-dir D [workload...]\n"
+                     "       scifinder generate [-o invs.txt] "
                      "<trace>...\n");
         return 2;
     }
@@ -205,43 +365,195 @@ cmdGenerate(const std::vector<std::string> &args_in)
     return 0;
 }
 
+/** Phase 2: optimize the persisted raw model. */
 int
-cmdIdentify(const std::vector<std::string> &args)
+cmdOptimize(const std::vector<std::string> &args_in)
 {
-    if (args.empty()) {
-        std::fprintf(stderr, "usage: scifinder identify <bug>...\n");
+    std::vector<std::string> args = args_in;
+    CommonOpts opts;
+    if (!parseCommon(args, opts))
+        return 2;
+    if (opts.artifactDir.empty() || !args.empty()) {
+        std::fprintf(stderr,
+                     "usage: scifinder optimize --artifact-dir D\n");
         return 2;
     }
-    core::PipelineConfig config;
-    config.bugIds = args;
-    config.runInference = false;
-    core::PipelineResult result = core::runPipeline(config);
-    for (const auto &res : result.database.results()) {
+    core::ArtifactPaths paths(opts.artifactDir);
+    REQUIRE_ARTIFACT(paths.rawModel(), "generate");
+    invgen::InvariantSet model =
+        invgen::InvariantSet::loadBinary(paths.rawModel());
+    size_t before = model.size();
+    auto passStats = opt::optimize(model);
+    model.saveBinary(paths.model());
+    const char *passNames[] = {"constant propagation",
+                               "deducible removal",
+                               "equivalence removal"};
+    for (size_t i = 0; i < passStats.size(); ++i) {
+        const char *name =
+            i < 3 ? passNames[i] : "pass";
+        std::printf("%-22s %zu -> %zu invariants, %zu -> %zu "
+                    "variables\n",
+                    name, passStats[i].invariantsBefore,
+                    passStats[i].invariantsAfter,
+                    passStats[i].variablesBefore,
+                    passStats[i].variablesAfter);
+    }
+    std::printf("%zu raw invariants, %zu after optimization\n",
+                before, model.size());
+    std::printf("wrote %s\n", paths.model().c_str());
+    return 0;
+}
+
+void
+printIdentification(const sci::SciDatabase &db,
+                    const invgen::InvariantSet &model)
+{
+    for (const auto &res : db.results()) {
         std::printf("%s: %zu true SCI, %zu false positives, "
                     "detected=%s\n",
                     res.bugId.c_str(), res.trueSci.size(),
                     res.falsePositives.size(),
                     res.detected() ? "yes" : "no");
-        for (size_t idx : res.trueSci) {
-            std::printf("  %s\n",
-                        result.model.all()[idx].str().c_str());
-        }
+        for (size_t idx : res.trueSci)
+            std::printf("  %s\n", model.all()[idx].str().c_str());
     }
+}
+
+/** Phase 3: identify SCI from the persisted optimized model —
+ *  no workload re-simulation, only the triggers and the validation
+ *  corpus run. */
+int
+cmdIdentifyPhase(const CommonOpts &opts,
+                 const std::vector<std::string> &bugIds)
+{
+    core::ArtifactPaths paths(opts.artifactDir);
+    REQUIRE_ARTIFACT(paths.model(), "optimize");
+    invgen::InvariantSet model =
+        invgen::InvariantSet::loadBinary(paths.model());
+    auto pool = makePool(opts);
+
+    auto validation = workloads::validationCorpus(
+        opts.validationPrograms, 0x5eed, pool.get());
+    std::set<size_t> violations =
+        sci::corpusViolations(model, validation, pool.get());
+
+    std::vector<const bugs::Bug *> bugList;
+    if (bugIds.empty()) {
+        bugList = bugs::table1();
+    } else {
+        for (const auto &id : bugIds)
+            bugList.push_back(&bugs::byId(id));
+    }
+    sci::SciDatabase db =
+        sci::identifyAll(model, bugList, violations, pool.get());
+
+    core::saveIndexSet(paths.violations(), violations);
+    db.saveBinary(paths.sciDatabase());
+    printIdentification(db, model);
+    std::printf("wrote %s and %s\n", paths.violations().c_str(),
+                paths.sciDatabase().c_str());
     return 0;
 }
 
 int
-cmdRun(const std::vector<std::string> &args)
+cmdIdentify(const std::vector<std::string> &args_in)
 {
-    core::PipelineConfig config;
-    for (const auto &arg : args) {
-        if (arg == "--no-inference")
-            config.runInference = false;
-        else {
-            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
-            return 2;
-        }
+    std::vector<std::string> args = args_in;
+    CommonOpts opts;
+    if (!parseCommon(args, opts))
+        return 2;
+    if (!opts.artifactDir.empty())
+        return cmdIdentifyPhase(opts, args);
+
+    // Legacy mode: run phases 1-3 in memory for the given bugs.
+    if (args.empty()) {
+        std::fprintf(stderr,
+                     "usage: scifinder identify [--jobs N] "
+                     "[--artifact-dir D] [bug...]\n");
+        return 2;
     }
+    core::PipelineConfig config;
+    config.bugIds = args;
+    config.runInference = false;
+    config.jobs = opts.jobs;
+    config.validationPrograms = opts.validationPrograms;
+    core::PipelineResult result = core::runPipeline(config);
+    printIdentification(result.database, result.model);
+    return 0;
+}
+
+/** Phase 4: infer additional SCI from the persisted phase-2/3
+ *  artifacts. */
+int
+cmdInfer(const std::vector<std::string> &args_in)
+{
+    std::vector<std::string> args = args_in;
+    CommonOpts opts;
+    if (!parseCommon(args, opts))
+        return 2;
+    if (opts.artifactDir.empty() || !args.empty()) {
+        std::fprintf(stderr,
+                     "usage: scifinder infer --artifact-dir D\n");
+        return 2;
+    }
+    core::ArtifactPaths paths(opts.artifactDir);
+    REQUIRE_ARTIFACT(paths.model(), "optimize");
+    REQUIRE_ARTIFACT(paths.violations(), "identify");
+    REQUIRE_ARTIFACT(paths.sciDatabase(), "identify");
+    invgen::InvariantSet model =
+        invgen::InvariantSet::loadBinary(paths.model());
+    std::set<size_t> violations =
+        core::loadIndexSet(paths.violations());
+    sci::SciDatabase db =
+        sci::SciDatabase::loadBinary(paths.sciDatabase());
+
+    sci::InferenceResult inference =
+        sci::infer(model, db, violations);
+    std::printf("labeled:   %zu SCI, %zu non-SCI\n",
+                inference.labeledSci, inference.labeledNonSci);
+    std::printf("inferred:  %zu SCI (accuracy %.0f%%, %zu clear "
+                "false positives rejected)\n",
+                inference.inferredSci.size(),
+                100 * inference.testAccuracy,
+                inference.clearFalsePositives.size());
+
+    std::ofstream out(paths.inference());
+    if (!out) {
+        std::fprintf(stderr, "cannot open %s\n",
+                     paths.inference().c_str());
+        return 1;
+    }
+    std::vector<size_t> final_set = db.sciIndices();
+    final_set.insert(final_set.end(), inference.inferredSci.begin(),
+                     inference.inferredSci.end());
+    std::sort(final_set.begin(), final_set.end());
+    final_set.erase(std::unique(final_set.begin(), final_set.end()),
+                    final_set.end());
+    out << "# identified SCI: " << db.sciIndices().size() << "\n";
+    out << "# inferred SCI: " << inference.inferredSci.size() << "\n";
+    out << "# test accuracy: " << inference.testAccuracy << "\n";
+    for (size_t idx : final_set)
+        out << idx << "\t" << model.all()[idx].str() << "\n";
+    std::printf("wrote %s\n", paths.inference().c_str());
+    return 0;
+}
+
+int
+cmdRun(const std::vector<std::string> &args_in)
+{
+    std::vector<std::string> args = args_in;
+    CommonOpts opts;
+    if (!parseCommon(args, opts))
+        return 2;
+    if (!args.empty()) {
+        std::fprintf(stderr, "unknown option %s\n", args[0].c_str());
+        return 2;
+    }
+    core::PipelineConfig config;
+    config.runInference = !opts.noInference;
+    config.jobs = opts.jobs;
+    config.artifactDir = opts.artifactDir;
+    config.validationPrograms = opts.validationPrograms;
     core::PipelineResult r = core::runPipeline(config);
     std::printf("traces:      %llu records\n",
                 (unsigned long long)r.traceRecords);
@@ -261,6 +573,14 @@ cmdRun(const std::vector<std::string> &args)
                 "%.2f%% power, 0%% delay\n",
                 deployed.size(), overhead.logicPct,
                 overhead.powerPct);
+    for (const auto &stage : r.stages) {
+        std::printf("stage %-21s %8.2fs  %llu -> %llu items\n",
+                    stage.name.c_str(), stage.seconds,
+                    (unsigned long long)stage.itemsIn,
+                    (unsigned long long)stage.itemsOut);
+    }
+    if (!opts.artifactDir.empty())
+        std::printf("artifacts:   %s\n", opts.artifactDir.c_str());
     return 0;
 }
 
@@ -333,8 +653,12 @@ main(int argc, char **argv)
         return cmdTrace(args);
     if (cmd == "generate")
         return cmdGenerate(args);
+    if (cmd == "optimize")
+        return cmdOptimize(args);
     if (cmd == "identify")
         return cmdIdentify(args);
+    if (cmd == "infer")
+        return cmdInfer(args);
     if (cmd == "run")
         return cmdRun(args);
     if (cmd == "exec")

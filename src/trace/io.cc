@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "support/binio.hh"
 #include "support/logging.hh"
 
 namespace scif::trace {
@@ -115,6 +116,65 @@ TraceReader::readAll(TraceBuffer &buffer)
     Record rec;
     while (next(rec))
         buffer.record(rec);
+}
+
+namespace {
+
+constexpr uint32_t setMagic = 0x53435453; // "SCTS"
+constexpr uint32_t setVersion = 1;
+
+} // namespace
+
+void
+saveTraceSet(const std::string &path,
+             const std::vector<NamedTrace> &traces)
+{
+    support::BinWriter out(path, setMagic, setVersion);
+    out.u32(numVars);
+    out.u64(traces.size());
+    for (const auto &nt : traces) {
+        out.str(nt.name);
+        out.u64(nt.trace.size());
+        for (const auto &rec : nt.trace.records()) {
+            out.u16(rec.point.id());
+            out.u8(rec.fused);
+            out.u64(rec.index);
+            out.bytes(rec.pre.data(), sizeof(uint32_t) * numVars);
+            out.bytes(rec.post.data(), sizeof(uint32_t) * numVars);
+        }
+    }
+    out.close();
+}
+
+std::vector<NamedTrace>
+loadTraceSet(const std::string &path)
+{
+    support::BinReader in(path, setMagic, setVersion, "trace set");
+    uint32_t vars = in.u32();
+    if (vars != numVars) {
+        fatal("trace set '%s' has %u vars, this build has %u",
+              path.c_str(), vars, unsigned(numVars));
+    }
+    uint64_t count = in.u64();
+    std::vector<NamedTrace> out;
+    out.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+        NamedTrace nt;
+        nt.name = in.str(4096);
+        uint64_t records = in.u64();
+        for (uint64_t r = 0; r < records; ++r) {
+            Record rec;
+            rec.point = Point::fromId(in.u16());
+            rec.fused = in.u8() != 0;
+            rec.index = in.u64();
+            in.bytes(rec.pre.data(), sizeof(uint32_t) * numVars);
+            in.bytes(rec.post.data(), sizeof(uint32_t) * numVars);
+            nt.trace.record(rec);
+        }
+        out.push_back(std::move(nt));
+    }
+    in.expectEof();
+    return out;
 }
 
 } // namespace scif::trace

@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "trace/record.hh"
 
@@ -67,6 +68,29 @@ class TraceReader
   private:
     std::FILE *file_ = nullptr;
 };
+
+/**
+ * One named trace of a trace-set artifact: the workload (or trigger)
+ * name plus its execution trace.
+ */
+struct NamedTrace
+{
+    std::string name;
+    TraceBuffer trace;
+};
+
+/**
+ * Persist a whole training corpus as a single versioned artifact (the
+ * phase-1 output of the staged pipeline). Unlike the per-trace
+ * TraceWriter format, the set format carries the provenance names, so
+ * a reloaded corpus is self-describing.
+ */
+void saveTraceSet(const std::string &path,
+                  const std::vector<NamedTrace> &traces);
+
+/** Load a trace-set artifact; aborts on truncation, corruption, a
+ *  schema mismatch, or an unsupported version. */
+std::vector<NamedTrace> loadTraceSet(const std::string &path);
 
 } // namespace scif::trace
 

@@ -5,6 +5,7 @@
 #include "asm/assembler.hh"
 #include "support/logging.hh"
 #include "support/strings.hh"
+#include "support/threadpool.hh"
 
 namespace scif::workloads {
 
@@ -1175,17 +1176,21 @@ randomProgram(Rng &rng, size_t length)
 }
 
 std::vector<trace::TraceBuffer>
-validationCorpus(size_t count, uint64_t seed)
+validationCorpus(size_t count, uint64_t seed,
+                 support::ThreadPool *pool)
 {
+    // One sequential random stream decides every program, so the
+    // corpus is a pure function of (count, seed); only the runs of
+    // the already-fixed programs fan out.
     Rng rng(seed);
-    std::vector<trace::TraceBuffer> out;
+    std::vector<Workload> programs(count);
     for (size_t i = 0; i < count; ++i) {
-        Workload w;
-        w.name = format("random-%zu", i);
-        w.source = randomProgram(rng, 150);
-        out.push_back(run(w));
+        programs[i].name = format("random-%zu", i);
+        programs[i].source = randomProgram(rng, 150);
     }
-    return out;
+    return support::parallelMap(
+        pool, programs,
+        [](const Workload &w) { return run(w); });
 }
 
 } // namespace scif::workloads

@@ -26,6 +26,10 @@
 #include "support/random.hh"
 #include "trace/record.hh"
 
+namespace scif::support {
+class ThreadPool;
+} // namespace scif::support
+
 namespace scif::workloads {
 
 /** One training program. */
@@ -71,10 +75,14 @@ std::string randomProgram(Rng &rng, size_t length);
 
 /**
  * @return a deterministic validation corpus: @p count random
- * programs executed on the clean processor.
+ * programs executed on the clean processor. Program *generation*
+ * consumes one sequential random stream and always runs serially;
+ * only the executions fan out over @p pool, so the corpus does not
+ * depend on the thread count.
  */
-std::vector<trace::TraceBuffer> validationCorpus(size_t count = 24,
-                                                 uint64_t seed = 0x5eed);
+std::vector<trace::TraceBuffer>
+validationCorpus(size_t count = 24, uint64_t seed = 0x5eed,
+                 support::ThreadPool *pool = nullptr);
 
 } // namespace scif::workloads
 

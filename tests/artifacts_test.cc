@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Round-trip and corruption tests for the versioned binary artifacts
+ * the staged pipeline writes between phases: trace sets, invariant
+ * models, SCI databases, and violation index sets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+
+#include "core/artifacts.hh"
+#include "invgen/invgen.hh"
+#include "sci/identify.hh"
+#include "trace/io.hh"
+#include "workloads/workloads.hh"
+
+namespace scif {
+namespace {
+
+std::string
+tmpPath(const std::string &name)
+{
+    return (std::filesystem::path(::testing::TempDir()) / name)
+        .string();
+}
+
+/** Shrink a file, cutting it mid-record. */
+void
+truncateFile(const std::string &path, uintmax_t keep)
+{
+    ASSERT_GT(std::filesystem::file_size(path), keep);
+    std::filesystem::resize_file(path, keep);
+}
+
+std::vector<trace::NamedTrace>
+smallTraceSet()
+{
+    std::vector<trace::NamedTrace> traces;
+    for (const char *name : {"basicmath", "twolf"}) {
+        traces.push_back(
+            {name, workloads::run(workloads::byName(name))});
+    }
+    return traces;
+}
+
+TEST(Artifacts, TraceSetRoundTrip)
+{
+    auto traces = smallTraceSet();
+    std::string path = tmpPath("traces.bin");
+    trace::saveTraceSet(path, traces);
+    auto loaded = trace::loadTraceSet(path);
+
+    ASSERT_EQ(loaded.size(), traces.size());
+    for (size_t t = 0; t < traces.size(); ++t) {
+        EXPECT_EQ(loaded[t].name, traces[t].name);
+        const auto &a = traces[t].trace.records();
+        const auto &b = loaded[t].trace.records();
+        ASSERT_EQ(a.size(), b.size());
+        for (size_t i = 0; i < a.size(); ++i) {
+            EXPECT_EQ(a[i].point.id(), b[i].point.id());
+            EXPECT_EQ(a[i].index, b[i].index);
+            EXPECT_EQ(a[i].fused, b[i].fused);
+            EXPECT_EQ(a[i].pre, b[i].pre);
+            EXPECT_EQ(a[i].post, b[i].post);
+        }
+    }
+}
+
+TEST(Artifacts, InvariantSetBinaryRoundTrip)
+{
+    auto buf = workloads::run(workloads::byName("basicmath"));
+    auto model =
+        invgen::generate({&buf}, invgen::Config(), nullptr, nullptr);
+    ASSERT_GT(model.size(), 0u);
+
+    std::string path = tmpPath("model.bin");
+    model.saveBinary(path);
+    auto loaded = invgen::InvariantSet::loadBinary(path);
+
+    ASSERT_EQ(loaded.size(), model.size());
+    EXPECT_EQ(loaded.keys(), model.keys());
+    EXPECT_EQ(loaded.variableCount(), model.variableCount());
+    // Insertion order is part of the contract: indices into all()
+    // are the identifiers the SCI database stores.
+    for (size_t i = 0; i < model.size(); ++i)
+        EXPECT_EQ(loaded.all()[i].str(), model.all()[i].str());
+}
+
+TEST(Artifacts, SciDatabaseRoundTrip)
+{
+    sci::SciDatabase db;
+    sci::IdentificationResult r1;
+    r1.bugId = "b6";
+    r1.trueSci = {3, 17};
+    r1.falsePositives = {4};
+    r1.notInvariant = {9, 10, 11};
+    db.addResult(r1);
+    sci::IdentificationResult r2;
+    r2.bugId = "b10";
+    r2.trueSci = {17, 42};
+    r2.falsePositives = {};
+    r2.notInvariant = {2};
+    db.addResult(r2);
+
+    std::string path = tmpPath("scidb.bin");
+    db.saveBinary(path);
+    auto loaded = sci::SciDatabase::loadBinary(path);
+
+    EXPECT_EQ(loaded.sciIndices(), db.sciIndices());
+    EXPECT_EQ(loaded.nonSciIndices(), db.nonSciIndices());
+    ASSERT_EQ(loaded.results().size(), db.results().size());
+    for (size_t i = 0; i < db.results().size(); ++i) {
+        EXPECT_EQ(loaded.results()[i].bugId, db.results()[i].bugId);
+        EXPECT_EQ(loaded.results()[i].trueSci,
+                  db.results()[i].trueSci);
+        EXPECT_EQ(loaded.results()[i].falsePositives,
+                  db.results()[i].falsePositives);
+        EXPECT_EQ(loaded.results()[i].notInvariant,
+                  db.results()[i].notInvariant);
+    }
+    EXPECT_EQ(loaded.provenance(17), db.provenance(17));
+}
+
+TEST(Artifacts, IndexSetRoundTrip)
+{
+    std::set<size_t> indices = {0, 5, 42, 1000000};
+    std::string path = tmpPath("violations.bin");
+    core::saveIndexSet(path, indices);
+    EXPECT_EQ(core::loadIndexSet(path), indices);
+
+    core::saveIndexSet(path, {});
+    EXPECT_TRUE(core::loadIndexSet(path).empty());
+}
+
+TEST(ArtifactsDeathTest, TruncatedIndexSetRejected)
+{
+    std::string path = tmpPath("truncated.bin");
+    core::saveIndexSet(path, {1, 2, 3});
+    truncateFile(path, 12); // header survives, payload cut mid-u64
+    EXPECT_EXIT(core::loadIndexSet(path),
+                ::testing::ExitedWithCode(1), "truncated");
+}
+
+TEST(ArtifactsDeathTest, TruncatedTraceSetRejected)
+{
+    auto traces = smallTraceSet();
+    std::string path = tmpPath("truncated-traces.bin");
+    trace::saveTraceSet(path, traces);
+    truncateFile(path, std::filesystem::file_size(path) / 2);
+    EXPECT_EXIT(trace::loadTraceSet(path),
+                ::testing::ExitedWithCode(1), "truncated");
+}
+
+TEST(ArtifactsDeathTest, TruncatedModelRejected)
+{
+    auto buf = workloads::run(workloads::byName("basicmath"));
+    auto model =
+        invgen::generate({&buf}, invgen::Config(), nullptr, nullptr);
+    std::string path = tmpPath("truncated-model.bin");
+    model.saveBinary(path);
+    truncateFile(path, std::filesystem::file_size(path) - 3);
+    EXPECT_EXIT(invgen::InvariantSet::loadBinary(path),
+                ::testing::ExitedWithCode(1), "truncated");
+}
+
+TEST(ArtifactsDeathTest, WrongMagicRejected)
+{
+    std::string path = tmpPath("not-an-artifact.bin");
+    std::ofstream(path) << "this is not a binary artifact at all";
+    EXPECT_EXIT(sci::SciDatabase::loadBinary(path),
+                ::testing::ExitedWithCode(1), "not a");
+}
+
+TEST(ArtifactsDeathTest, WrongKindRejected)
+{
+    // An index-set artifact is not a trace set: magic must mismatch.
+    std::string path = tmpPath("kind-mismatch.bin");
+    core::saveIndexSet(path, {1});
+    EXPECT_EXIT(trace::loadTraceSet(path),
+                ::testing::ExitedWithCode(1), "not a");
+}
+
+TEST(ArtifactsDeathTest, TrailingGarbageRejected)
+{
+    std::string path = tmpPath("trailing.bin");
+    core::saveIndexSet(path, {1, 2});
+    std::ofstream(path, std::ios::app | std::ios::binary) << "XX";
+    EXPECT_EXIT(core::loadIndexSet(path),
+                ::testing::ExitedWithCode(1), "trailing");
+}
+
+TEST(ArtifactsDeathTest, MissingFileRejected)
+{
+    EXPECT_EXIT(core::loadIndexSet(tmpPath("does-not-exist.bin")),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace scif

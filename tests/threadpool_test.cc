@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Work-stealing thread pool and the deterministic parallel loops
+ * built on it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "support/threadpool.hh"
+
+namespace scif::support {
+namespace {
+
+TEST(ThreadPool, ResolveJobs)
+{
+    EXPECT_EQ(ThreadPool::resolveJobs(1), 1u);
+    EXPECT_EQ(ThreadPool::resolveJobs(7), 7u);
+    EXPECT_GE(ThreadPool::resolveJobs(0), 1u);
+}
+
+TEST(ThreadPool, SubmittedTasksAllRun)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4u);
+
+    std::atomic<int> count{0};
+    constexpr int n = 100;
+    std::atomic<int> done{0};
+    for (int i = 0; i < n; ++i) {
+        pool.submit([&] {
+            count.fetch_add(1);
+            done.fetch_add(1);
+        });
+    }
+    while (done.load() < n)
+        std::this_thread::yield();
+    EXPECT_EQ(count.load(), n);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce)
+{
+    ThreadPool pool(4);
+    constexpr size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    parallelFor(&pool, n, [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForWithoutPoolRunsSerially)
+{
+    std::vector<size_t> order;
+    parallelFor(nullptr, 5, [&](size_t i) { order.push_back(i); });
+    EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ParallelMapPreservesIndexOrder)
+{
+    ThreadPool pool(4);
+    std::vector<int> items(257);
+    std::iota(items.begin(), items.end(), 0);
+    auto out = parallelMap(&pool, items,
+                           [](const int &v) { return v * v; });
+    ASSERT_EQ(out.size(), items.size());
+    for (size_t i = 0; i < items.size(); ++i)
+        EXPECT_EQ(out[i], int(i * i));
+}
+
+TEST(ThreadPool, ParallelForPropagatesException)
+{
+    ThreadPool pool(2);
+    EXPECT_THROW(parallelFor(&pool, 64,
+                             [](size_t i) {
+                                 if (i == 13)
+                                     throw std::runtime_error("boom");
+                             }),
+                 std::runtime_error);
+    // The pool survives and stays usable after an aborted loop.
+    std::atomic<int> count{0};
+    parallelFor(&pool, 32, [&](size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPool, ParallelForZeroAndOneItems)
+{
+    ThreadPool pool(2);
+    int runs = 0;
+    parallelFor(&pool, 0, [&](size_t) { ++runs; });
+    EXPECT_EQ(runs, 0);
+    parallelFor(&pool, 1, [&](size_t) { ++runs; });
+    EXPECT_EQ(runs, 1);
+}
+
+} // namespace
+} // namespace scif::support
