@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Throughput of the differential fuzzing harness: program generation,
+ * assembly, lockstep co-simulation against the reference interpreter,
+ * and the 31-mutant kill-mask evaluation. These set the budget for
+ * the nightly fuzz job: the printed programs/second figures times the
+ * job's wall-clock allowance gives the campaign size.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "asm/assembler.hh"
+#include "bench/common.hh"
+#include "fuzz/differ.hh"
+#include "fuzz/mutcov.hh"
+#include "fuzz/progen.hh"
+#include "support/strings.hh"
+
+namespace scif {
+namespace {
+
+constexpr uint64_t benchSeed = 0xbe7c;
+
+fuzz::GenConfig
+genConfig()
+{
+    return fuzz::GenConfig();
+}
+
+assembler::Program
+programAt(uint32_t index)
+{
+    return assembler::assembleOrDie(
+        fuzz::generate(genConfig(), benchSeed, index).source());
+}
+
+void
+experiment()
+{
+    bench::printHeader("Differential fuzzing throughput",
+                       "harness instrumentation (not in the paper)");
+
+    using clock = std::chrono::steady_clock;
+    constexpr uint32_t n = 200;
+
+    auto t0 = clock::now();
+    std::vector<assembler::Program> corpus;
+    for (uint32_t i = 0; i < n; ++i)
+        corpus.push_back(programAt(i));
+    auto t1 = clock::now();
+
+    fuzz::DiffConfig dc;
+    dc.memBytes = genConfig().memBytes;
+    size_t diverged = 0;
+    for (const auto &p : corpus)
+        diverged += fuzz::diffProgram(p, dc) ? 1 : 0;
+    auto t2 = clock::now();
+
+    fuzz::MutCovConfig mc;
+    mc.memBytes = genConfig().memBytes;
+    uint64_t killed = 0;
+    for (uint32_t i = 0; i < 20; ++i)
+        killed |= fuzz::killMask(corpus[i], mc);
+    auto t3 = clock::now();
+
+    auto secs = [](clock::time_point a, clock::time_point b) {
+        return std::chrono::duration<double>(b - a).count();
+    };
+    TextTable table({"Stage", "Programs", "Time (s)", "Programs/s"});
+    table.addRow({"generate + assemble", std::to_string(n),
+                  format("%.3f", secs(t0, t1)),
+                  format("%.0f", n / secs(t0, t1))});
+    table.addRow({"differential co-sim", std::to_string(n),
+                  format("%.3f", secs(t1, t2)),
+                  format("%.0f", n / secs(t1, t2))});
+    table.addRow({"kill mask (31 mutants)", "20",
+                  format("%.3f", secs(t2, t3)),
+                  format("%.0f", 20 / secs(t2, t3))});
+    std::printf("%s", table.render().c_str());
+    std::printf("divergences: %zu (expected 0), mutations killed by "
+                "20 programs: %d/31\n",
+                diverged, __builtin_popcountll(killed));
+}
+
+void
+BM_GenerateProgram(benchmark::State &state)
+{
+    uint32_t index = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            fuzz::generate(genConfig(), benchSeed, index++));
+    }
+}
+BENCHMARK(BM_GenerateProgram);
+
+void
+BM_AssembleProgram(benchmark::State &state)
+{
+    std::string source =
+        fuzz::generate(genConfig(), benchSeed, 0).source();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(assembler::assemble(source));
+}
+BENCHMARK(BM_AssembleProgram);
+
+void
+BM_DifferentialCosim(benchmark::State &state)
+{
+    assembler::Program p = programAt(0);
+    fuzz::DiffConfig dc;
+    dc.memBytes = genConfig().memBytes;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fuzz::diffProgram(p, dc));
+}
+BENCHMARK(BM_DifferentialCosim);
+
+void
+BM_KillMask(benchmark::State &state)
+{
+    assembler::Program p = programAt(0);
+    fuzz::MutCovConfig mc;
+    mc.memBytes = genConfig().memBytes;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fuzz::killMask(p, mc));
+}
+BENCHMARK(BM_KillMask);
+
+} // namespace
+} // namespace scif
+
+SCIF_BENCH_MAIN(scif::experiment)

@@ -597,7 +597,7 @@ Cpu::execute(const DecodedInsn &insn, Record &rec)
         bool cin = bit(sr_, isa::sr::CY);
         uint32_t sum = a + rhs + (cin ? 1 : 0);
         setCarry(addCarries(a, rhs, cin));
-        setOverflow(addOverflows(a, rhs + (cin ? 1 : 0)));
+        setOverflow(addOverflows(a, rhs, cin));
         writeGpr(insn.rd, sum, rec);
         break;
       }
@@ -996,6 +996,25 @@ Cpu::run(trace::TraceSink *sink)
         result.instructions = retired_;
     result.instructions = retired_;
     return result;
+}
+
+StepStatus
+Cpu::step(trace::TraceSink *sink)
+{
+    if (wedged_)
+        return StepStatus::Wedged;
+    if (retired_ >= config_.maxInsns)
+        return StepStatus::Budget;
+
+    uint64_t emitted = 0;
+    if (maybeInterrupt(sink, emitted))
+        return StepStatus::Running;
+
+    uint64_t insns = 0;
+    bool keep_going = stepInsn(sink, insns, emitted);
+    if (wedged_)
+        return StepStatus::Wedged;
+    return keep_going ? StepStatus::Running : StepStatus::Halted;
 }
 
 } // namespace scif::cpu

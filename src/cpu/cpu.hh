@@ -78,6 +78,14 @@ struct CpuConfig
 /** The K operand of l.nop that halts simulation. */
 constexpr uint32_t haltNopCode = 0xf;
 
+/** Outcome of a single Cpu::step() call. */
+enum class StepStatus {
+    Running,  ///< one boundary executed; simulation can continue
+    Halted,   ///< the halt idiom retired on this boundary
+    Wedged,   ///< the pipeline wedged (stall-style bugs)
+    Budget,   ///< retirement budget already exhausted
+};
+
 /** The OR1200-model processor. */
 class Cpu
 {
@@ -96,6 +104,21 @@ class Cpu
      * @param sink optional trace sink; pass nullptr to run untraced.
      */
     RunResult run(trace::TraceSink *sink);
+
+    /**
+     * Advance the processor by one trace boundary: deliver one
+     * pending asynchronous interrupt, or execute one instruction (a
+     * control-flow instruction together with its delay slot counts
+     * as one boundary, mirroring the fused trace record). Lockstep
+     * co-simulation (src/fuzz) drives the processor with this
+     * instead of run().
+     *
+     * @param sink optional trace sink; pass nullptr to step untraced.
+     */
+    StepStatus step(trace::TraceSink *sink = nullptr);
+
+    /** @return instructions retired since reset. */
+    uint64_t retired() const { return retired_; }
 
     // --- state accessors (tests and the assertion monitor) ---
     uint32_t gpr(unsigned n) const { return gpr_[n]; }

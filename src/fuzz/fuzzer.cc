@@ -1,0 +1,236 @@
+#include "fuzzer.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace scif::fuzz {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/** One corpus entry: source plus (for generated programs) the
+ *  gadget-granular form the shrinker needs. */
+struct CorpusItem
+{
+    std::string name;
+    std::string source;
+    GeneratedProgram gen;
+    bool shrinkable = false;
+    assembler::Program program;
+};
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot read '%s'", path.c_str());
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("cannot write '%s'", path.c_str());
+    out << text;
+}
+
+void
+assembleItem(CorpusItem &item)
+{
+    assembler::Result result = assembler::assemble(item.source);
+    if (!result.ok) {
+        fatal("corpus program '%s' does not assemble: %s",
+              item.name.c_str(),
+              join(result.errors, "; ").c_str());
+    }
+    item.program = result.program;
+}
+
+std::vector<CorpusItem>
+buildCorpus(const FuzzConfig &config)
+{
+    std::vector<CorpusItem> corpus;
+
+    if (!config.replayDir.empty()) {
+        std::error_code ec;
+        std::vector<std::string> paths;
+        for (const auto &entry :
+             fs::directory_iterator(config.replayDir, ec)) {
+            if (entry.path().extension() == ".s")
+                paths.push_back(entry.path().string());
+        }
+        if (ec) {
+            fatal("cannot read replay directory '%s': %s",
+                  config.replayDir.c_str(), ec.message().c_str());
+        }
+        std::sort(paths.begin(), paths.end());
+        if (paths.empty())
+            fatal("replay directory '%s' contains no .s programs",
+                  config.replayDir.c_str());
+        for (const std::string &path : paths) {
+            CorpusItem item;
+            item.name = fs::path(path).stem().string();
+            item.source = readFile(path);
+            assembleItem(item);
+            corpus.push_back(std::move(item));
+        }
+        return corpus;
+    }
+
+    // Generation is serial by design: each program draws from its own
+    // (seed, index)-derived stream, so the corpus is identical no
+    // matter how many jobs later execute it.
+    for (uint32_t i = 0; i < config.count; ++i) {
+        CorpusItem item;
+        item.gen = generate(config.gen, config.seed, i);
+        item.name = item.gen.name;
+        item.source = item.gen.source();
+        item.shrinkable = true;
+        assembleItem(item);
+        corpus.push_back(std::move(item));
+    }
+    return corpus;
+}
+
+void
+saveCorpus(const std::vector<CorpusItem> &corpus,
+           const std::string &dir)
+{
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+        fatal("cannot create corpus directory '%s': %s", dir.c_str(),
+              ec.message().c_str());
+    }
+    for (size_t i = 0; i < corpus.size(); ++i) {
+        writeFile(format("%s/prog_%04zu.s", dir.c_str(), i),
+                  corpus[i].source);
+    }
+}
+
+} // namespace
+
+bool
+FuzzResult::ok() const
+{
+    if (!repros.empty())
+        return false;
+    if (coverageRan && !coverage.allTable1Killed())
+        return false;
+    return true;
+}
+
+std::string
+FuzzResult::render() const
+{
+    std::string out;
+    out += "differential fuzz report\n";
+    out += "========================\n";
+    out += format("programs: %u\n", programs);
+    out += format("divergences: %zu\n", repros.size());
+    for (const Repro &r : repros) {
+        out += format("  [%04u] %s: step %llu, %s\n", r.index,
+                      r.name.c_str(),
+                      (unsigned long long)r.divergence.step,
+                      r.divergence.what.c_str());
+    }
+    if (coverageRan) {
+        out += "\n";
+        out += coverage.render();
+    }
+    out += format("\nverdict: %s\n", ok() ? "PASS" : "FAIL");
+    return out;
+}
+
+FuzzResult
+runFuzz(const FuzzConfig &config, support::ThreadPool *pool)
+{
+    std::vector<CorpusItem> corpus = buildCorpus(config);
+
+    if (!config.artifactDir.empty() && config.replayDir.empty())
+        saveCorpus(corpus, config.artifactDir + "/corpus");
+
+    DiffConfig dc;
+    dc.memBytes = config.gen.memBytes;
+    dc.maxInsns = config.maxInsns;
+    dc.maxSteps = config.maxInsns * 2;
+
+    // Differential pass; a mismatching generated program is shrunk
+    // in-task so the expensive part parallelizes with the rest.
+    std::vector<Repro> outcomes = support::parallelMap(
+        pool, corpus, [&](const CorpusItem &item) {
+            Repro repro;
+            repro.divergence = diffProgram(item.program, dc);
+            if (repro.divergence && item.shrinkable) {
+                ShrinkResult minimal = shrink(item.gen, dc);
+                repro.divergence = minimal.divergence;
+                repro.source = minimal.source;
+            } else if (repro.divergence) {
+                repro.source = item.source;
+            }
+            return repro;
+        });
+
+    FuzzResult result;
+    result.programs = uint32_t(corpus.size());
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+        if (!outcomes[i].divergence)
+            continue;
+        Repro repro = std::move(outcomes[i]);
+        repro.index = uint32_t(i);
+        repro.name = corpus[i].name;
+        result.repros.push_back(std::move(repro));
+    }
+
+    if (config.mutationCoverage) {
+        MutCovConfig mc;
+        mc.memBytes = config.gen.memBytes;
+        mc.maxInsns = config.maxInsns;
+        std::vector<assembler::Program> programs;
+        programs.reserve(corpus.size());
+        for (const CorpusItem &item : corpus)
+            programs.push_back(item.program);
+        result.coverage = runCoverage(programs, mc, pool);
+        result.coverageRan = true;
+    }
+
+    if (!config.artifactDir.empty()) {
+        std::error_code ec;
+        fs::create_directories(config.artifactDir, ec);
+        if (ec) {
+            fatal("cannot create artifact directory '%s': %s",
+                  config.artifactDir.c_str(), ec.message().c_str());
+        }
+        writeFile(config.artifactDir + "/fuzz_report.txt",
+                  result.render());
+        for (const Repro &r : result.repros) {
+            writeFile(format("%s/repro_%04u.s",
+                             config.artifactDir.c_str(), r.index),
+                      r.source);
+        }
+        if (result.coverageRan) {
+            writeFile(config.artifactDir + "/mutation_coverage.txt",
+                      result.coverage.render());
+            std::string survivors;
+            for (const std::string &id : result.coverage.survivors())
+                survivors += id + "\n";
+            writeFile(config.artifactDir + "/surviving_mutants.txt",
+                      survivors);
+        }
+    }
+
+    return result;
+}
+
+} // namespace scif::fuzz

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Top-level fuzzing driver: generates (or replays) a corpus, runs the
+ * differential co-simulation on every program, shrinks any mismatch
+ * to a minimal repro, optionally scores mutation coverage, and writes
+ * the corpus/report artifacts. Drives `scifinder fuzz`.
+ *
+ * Determinism contract: for a fixed (seed, count, generator config)
+ * the corpus, every report, and every artifact byte are identical
+ * across runs and across --jobs values. Generation is serial (one Rng
+ * stream per program, derived from seed and index); execution fans
+ * out over the thread pool with index-ordered result collection.
+ */
+
+#ifndef SCIFINDER_FUZZ_FUZZER_HH
+#define SCIFINDER_FUZZ_FUZZER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/differ.hh"
+#include "fuzz/mutcov.hh"
+#include "fuzz/progen.hh"
+#include "support/threadpool.hh"
+
+namespace scif::fuzz {
+
+/** One fuzzing campaign's parameters. */
+struct FuzzConfig
+{
+    uint64_t seed = 1;          ///< corpus master seed
+    uint32_t count = 256;       ///< programs to generate
+    bool mutationCoverage = false; ///< also score mutation kills
+    std::string artifactDir;    ///< save corpus + reports here ("" = no)
+    std::string replayDir;      ///< replay *.s from here instead of
+                                ///< generating ("" = generate)
+    GenConfig gen;              ///< program-shape knobs
+    uint64_t maxInsns = 20000;  ///< per-program retirement budget
+};
+
+/** One diverging program, minimized. */
+struct Repro
+{
+    uint32_t index = 0;     ///< corpus index
+    std::string name;       ///< program name
+    Divergence divergence;  ///< mismatch of the minimized program
+    std::string source;     ///< minimal diverging source
+};
+
+/** Results of one fuzzing campaign. */
+struct FuzzResult
+{
+    uint32_t programs = 0;
+    std::vector<Repro> repros;   ///< divergences, minimized
+    bool coverageRan = false;
+    CoverageReport coverage;
+
+    /** Campaign verdict: no divergence and (when run) a full Table 1
+     *  mutation kill. */
+    bool ok() const;
+
+    /** Deterministic human-readable campaign report. */
+    std::string render() const;
+};
+
+/** Run one campaign. @p pool may be null (serial). */
+FuzzResult runFuzz(const FuzzConfig &config, support::ThreadPool *pool);
+
+} // namespace scif::fuzz
+
+#endif // SCIFINDER_FUZZ_FUZZER_HH

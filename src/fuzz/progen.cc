@@ -1,0 +1,566 @@
+#include "progen.hh"
+
+#include "support/strings.hh"
+
+namespace scif::fuzz {
+
+namespace {
+
+// Register allocation: a pool of freely clobbered registers plus a
+// handful of reserved roles the gadget templates rely on.
+//   r6  address temp        r7  data base pointer
+//   r9  link register       r22 result temp
+//   r23 running checksum    r25 loop counter
+//   r26/r27 handler scratch (EPCR / SR witnesses)
+const std::vector<unsigned> kPool = {1,  2,  3,  4,  5,  8,  10, 11,
+                                     12, 13, 14, 15, 16, 17, 18, 19,
+                                     20, 21, 24, 28, 29, 30, 31};
+
+constexpr uint32_t kDataBase = 0x20000;  ///< seeded data region
+constexpr uint32_t kDataMask = 0x1fc;    ///< word-aligned offsets
+constexpr uint32_t kDataWords = 128;     ///< seeded words
+constexpr uint32_t kTextBase = 0x30000;  ///< gadget chunk ("main")
+constexpr uint32_t kFuncBase = 0x1000;   ///< call targets (far away,
+                                         ///< so call displacements
+                                         ///< exceed 15 bits)
+
+std::string
+reg(unsigned n)
+{
+    return format("r%u", n);
+}
+
+/** Builds one program; owns the rng stream and the label counter. */
+class Builder
+{
+  public:
+    Builder(const GenConfig &config, uint64_t seed)
+        : config_(config), rng_(seed)
+    {
+    }
+
+    GeneratedProgram build(const std::string &name, uint64_t seed);
+
+  private:
+    std::string pick() { return reg(rng_.pick(kPool)); }
+    int32_t simm16() { return int32_t(rng_.range(-0x8000, 0x7fff)); }
+    uint32_t uimm16() { return uint32_t(rng_.below(0x10000)); }
+
+    /** Unique label prefix for the gadget being built. */
+    std::string lab(const char *tag)
+    {
+        return format("g%u_%s", gadgetIndex_, tag);
+    }
+
+    std::string header();
+    std::string footer();
+    std::string gadget();
+
+    std::string aluGadget();
+    std::string memGadget();
+    std::string branchGadget();
+    std::string callGadget();
+    std::string excGadget();
+    std::string sprGadget();
+
+    /** The masked-address idiom: r6 = DATA + (rX & mask). */
+    std::string addrSetup(const std::string &src)
+    {
+        return format("    l.andi  r6, %s, 0x%x\n"
+                      "    l.add   r6, r6, r7\n",
+                      src.c_str(), kDataMask);
+    }
+
+    const GenConfig &config_;
+    Rng rng_;
+    uint32_t gadgetIndex_ = 0;
+};
+
+std::string
+Builder::header()
+{
+    std::string s;
+    s += format(".equ DATA, 0x%x\n\n", kDataBase);
+
+    // Reset vector: jump to the gadget chunk.
+    s += ".org 0x100\n"
+         "    l.j     main\n"
+         "    l.nop   0\n\n";
+
+    // Exception handlers. Unexpected vectors halt (reaching one under
+    // a mutation IS the divergence); expected ones record witnesses
+    // in r26/r27 and resume.
+    for (uint32_t v : {0x200u, 0x300u, 0x400u, 0x500u, 0x800u, 0x900u,
+                       0xa00u, 0xd00u}) {
+        s += format(".org 0x%x\n    l.nop   0xf\n", v);
+    }
+
+    // Alignment: accumulate the faulting address (EEAR witness), then
+    // skip the faulting instruction.
+    s += ".org 0x600\n"
+         "    l.mfspr r26, r0, EEAR0\n"
+         "    l.add   r23, r23, r26\n"
+         "    l.mfspr r26, r0, EPCR0\n"
+         "    l.addi  r26, r26, 4\n"
+         "    l.mtspr r0, r26, EPCR0\n"
+         "    l.rfe\n";
+
+    // Illegal / range / trap: record SR and the resume PC, skip the
+    // faulting instruction.
+    for (uint32_t v : {0x700u, 0xb00u, 0xe00u}) {
+        s += format(".org 0x%x\n"
+                    "    l.mfspr r27, r0, SR\n"
+                    "    l.mfspr r26, r0, EPCR0\n"
+                    "    l.addi  r26, r26, 4\n"
+                    "    l.mtspr r0, r26, EPCR0\n"
+                    "    l.rfe\n",
+                    v);
+    }
+
+    // Syscall: EPCR already names the resume point.
+    s += ".org 0xc00\n"
+         "    l.mfspr r26, r0, EPCR0\n"
+         "    l.mfspr r27, r0, SR\n"
+         "    l.rfe\n";
+
+    // Prologue: data base pointer, cleared bookkeeping registers,
+    // randomly seeded pool registers.
+    s += format("\n.org 0x%x\n", kTextBase);
+    s += "main:\n"
+         "    l.movhi r7, hi(DATA)\n"
+         "    l.ori   r7, r7, lo(DATA)\n"
+         "    l.addi  r22, r0, 0\n"
+         "    l.addi  r23, r0, 0\n"
+         "    l.addi  r25, r0, 0\n";
+    for (unsigned r : kPool) {
+        uint32_t v = uint32_t(rng_.next());
+        s += format("    l.movhi %s, 0x%x\n", reg(r).c_str(), v >> 16);
+        s += format("    l.ori   %s, %s, 0x%x\n", reg(r).c_str(),
+                    reg(r).c_str(), v & 0xffff);
+    }
+    return s;
+}
+
+std::string
+Builder::footer()
+{
+    std::string s = "    l.nop   0xf\n\n";
+
+    // Call targets live far below the gadget chunk, so l.jal
+    // displacements have magnitude above 15 bits.
+    s += format(".org 0x%x\n", kFuncBase);
+    s += "fn_mix:\n"
+         "    l.add   r23, r23, r3\n"
+         "    l.jr    r9\n"
+         "    l.xor   r3, r3, r23\n"
+         "fn_rot:\n"
+         "    l.rori  r23, r23, 5\n"
+         "    l.jr    r9\n"
+         "    l.add   r23, r23, r3\n";
+
+    // Seeded data region.
+    s += format("\n.org 0x%x\n", kDataBase);
+    for (uint32_t i = 0; i < kDataWords; ++i)
+        s += format("    .word 0x%08x\n", uint32_t(rng_.next()));
+    return s;
+}
+
+std::string
+Builder::aluGadget()
+{
+    std::string s;
+    switch (rng_.below(12)) {
+      case 0: { // three-register ALU op
+        static const std::vector<std::string> ops = {
+            "l.add",  "l.addc", "l.sub", "l.and", "l.or",
+            "l.xor",  "l.mul",  "l.sll", "l.srl", "l.sra",
+            "l.ror",  "l.mulu", "l.div", "l.divu"};
+        s = format("    %-7s %s, %s, %s\n", rng_.pick(ops).c_str(),
+                   pick().c_str(), pick().c_str(), pick().c_str());
+        break;
+      }
+      case 1: { // signed-immediate op
+        static const std::vector<std::string> ops = {
+            "l.addi", "l.addic", "l.xori", "l.muli"};
+        s = format("    %-7s %s, %s, %d\n", rng_.pick(ops).c_str(),
+                   pick().c_str(), pick().c_str(), simm16());
+        break;
+      }
+      case 2: { // unsigned-immediate op
+        static const std::vector<std::string> ops = {"l.andi",
+                                                     "l.ori"};
+        s = format("    %-7s %s, %s, 0x%x\n", rng_.pick(ops).c_str(),
+                   pick().c_str(), pick().c_str(), uimm16());
+        break;
+      }
+      case 3: { // immediate shift / rotate (amount 1-31, not 16, so
+                // a reversed rotate direction is always visible)
+        static const std::vector<std::string> ops = {
+            "l.slli", "l.srli", "l.srai", "l.rori"};
+        uint32_t amt = 1 + uint32_t(rng_.below(30));
+        if (amt >= 16)
+            ++amt;
+        s = format("    %-7s %s, %s, %u\n", rng_.pick(ops).c_str(),
+                   pick().c_str(), pick().c_str(), amt);
+        break;
+      }
+      case 4: { // extensions (l.extws/l.extwz must round-trip a full
+                // word)
+        static const std::vector<std::string> ops = {
+            "l.exths", "l.extbs", "l.exthz",
+            "l.extbz", "l.extws", "l.extwz"};
+        s = format("    %-7s r22, %s\n", rng_.pick(ops).c_str(),
+                   pick().c_str());
+        s += "    l.add   r23, r23, r22\n";
+        break;
+      }
+      case 5: // find-first-one
+        s = format("    l.ff1   r22, %s\n", pick().c_str());
+        s += "    l.add   r23, r23, r22\n";
+        break;
+      case 6: { // compare (register or immediate form) + cmov witness
+        static const std::vector<std::string> rr = {
+            "l.sfeq",  "l.sfne",  "l.sfgtu", "l.sfgeu", "l.sfltu",
+            "l.sfleu", "l.sfgts", "l.sfges", "l.sflts", "l.sfles"};
+        static const std::vector<std::string> ri = {
+            "l.sfeqi",  "l.sfnei",  "l.sfgtui", "l.sfgeui",
+            "l.sfltui", "l.sfleui", "l.sfgtsi", "l.sfgesi",
+            "l.sfltsi", "l.sflesi"};
+        if (rng_.chance(0.5)) {
+            s = format("    %-8s %s, %s\n", rng_.pick(rr).c_str(),
+                       pick().c_str(), pick().c_str());
+        } else {
+            s = format("    %-8s %s, %d\n", rng_.pick(ri).c_str(),
+                       pick().c_str(), simm16());
+        }
+        s += format("    l.cmov  r22, %s, %s\n", pick().c_str(),
+                    pick().c_str());
+        s += "    l.add   r23, r23, r22\n";
+        break;
+      }
+      case 7: { // equal-operand signed compare (boundary case)
+        std::string r = pick();
+        s = format("    l.sfges %s, %s\n", r.c_str(), r.c_str());
+        s += format("    l.cmov  r22, %s, %s\n", pick().c_str(),
+                    pick().c_str());
+        s += "    l.add   r23, r23, r22\n";
+        break;
+      }
+      case 8: { // flag must survive an interleaved l.movhi
+        std::string r = pick();
+        s = format("    l.sfeq  %s, %s\n", r.c_str(), r.c_str());
+        s += format("    l.movhi r22, 0x%x\n", uimm16());
+        s += format("    l.cmov  r22, %s, %s\n", pick().c_str(),
+                    pick().c_str());
+        s += "    l.add   r23, r23, r22\n";
+        break;
+      }
+      case 9: // MAC accumulate then read-and-clear (back to back)
+        s = format("    l.mac   %s, %s\n", pick().c_str(),
+                   pick().c_str());
+        s += "    l.macrc r22\n"
+             "    l.add   r23, r23, r22\n";
+        break;
+      case 10: // longer MAC sequence
+        s = format("    l.maci  %s, %d\n", pick().c_str(), simm16());
+        s += format("    l.mac   %s, %s\n", pick().c_str(),
+                    pick().c_str());
+        s += format("    l.msb   %s, %s\n", pick().c_str(),
+                    pick().c_str());
+        s += "    l.macrc r22\n"
+             "    l.add   r23, r23, r22\n";
+        break;
+      default: // write to r0 must stay a no-op
+        s = format("    l.ori   r0, %s, 1\n", pick().c_str());
+        s += "    l.addi  r22, r0, 0\n"
+             "    l.add   r23, r23, r22\n";
+        break;
+    }
+    return s;
+}
+
+std::string
+Builder::memGadget()
+{
+    std::string s = addrSetup(pick());
+    switch (rng_.below(6)) {
+      case 0: { // word store / load round trip
+        s += format("    l.sw    0(r6), %s\n", pick().c_str());
+        s += "    l.lwz   r22, 0(r6)\n";
+        break;
+      }
+      case 1: { // sub-word store, then signed and unsigned readback
+        bool half = rng_.chance(0.5);
+        if (half) {
+            s += format("    l.sh    0(r6), %s\n", pick().c_str());
+            s += rng_.chance(0.5) ? "    l.lhs   r22, 0(r6)\n"
+                                  : "    l.lhz   r22, 0(r6)\n";
+        } else {
+            s += format("    l.sb    %u(r6), %s\n",
+                        unsigned(rng_.below(4)), pick().c_str());
+            s += rng_.chance(0.5) ? "    l.lbs   r22, 0(r6)\n"
+                                  : "    l.lbz   r22, 0(r6)\n";
+        }
+        break;
+      }
+      case 2: { // load from the seeded data region
+        static const std::vector<std::string> loads = {
+            "l.lwz", "l.lws", "l.lhz", "l.lhs", "l.lbz", "l.lbs"};
+        std::string op = rng_.pick(loads);
+        unsigned off = unsigned(rng_.below(4)) * 4;
+        s += format("    %-7s r22, %u(r6)\n", op.c_str(), off);
+        break;
+      }
+      case 3: // negative-offset word store
+        s += "    l.addi  r6, r6, 8\n";
+        s += format("    l.sw    -8(r6), %s\n", pick().c_str());
+        s += "    l.lwz   r22, -8(r6)\n";
+        break;
+      case 4: // store, then a load whose address aliases the store
+              // in the low 12 bits (different full address)
+        s += format("    l.sw    0(r6), %s\n", pick().c_str());
+        s += "    l.lwz   r22, 0x1000(r6)\n";
+        break;
+      default: // repeated loads of one address
+        s += "    l.lwz   r22, 0(r6)\n"
+             "    l.lwz   r22, 0(r6)\n"
+             "    l.lwz   r22, 0(r6)\n";
+        break;
+    }
+    s += "    l.add   r23, r23, r22\n";
+    return s;
+}
+
+std::string
+Builder::branchGadget()
+{
+    std::string s;
+    switch (rng_.below(4)) {
+      case 0: { // forward jump over junk, ALU in the delay slot
+        std::string past = lab("past");
+        s = format("    l.j     %s\n", past.c_str());
+        s += format("    l.addi  %s, %s, %d\n", pick().c_str(),
+                    pick().c_str(), simm16());
+        s += format("    l.movhi r22, 0x%x\n", uimm16());
+        s += format("%s:\n", past.c_str());
+        break;
+      }
+      case 1: { // data-dependent conditional branch, both paths merge
+        std::string past = lab("past");
+        static const std::vector<std::string> rr = {
+            "l.sfeq", "l.sfne", "l.sfgtu", "l.sfltu",
+            "l.sfgts", "l.sflts", "l.sfgeu", "l.sfges"};
+        s = format("    %-8s %s, %s\n", rng_.pick(rr).c_str(),
+                   pick().c_str(), pick().c_str());
+        s += format("    %s %s\n",
+                    rng_.chance(0.5) ? "l.bf   " : "l.bnf  ",
+                    past.c_str());
+        s += format("    l.xori  r22, %s, 0x%x\n", pick().c_str(),
+                    unsigned(rng_.below(0x8000)));
+        s += format("    l.add   r23, r23, %s\n", pick().c_str());
+        s += format("%s:\n", past.c_str());
+        s += "    l.add   r23, r23, r22\n";
+        break;
+      }
+      case 2: { // back-to-back fused pairs
+        std::string a = lab("a"), b = lab("b");
+        s = "    l.sfeq  r0, r0\n";
+        s += format("    l.bf    %s\n", a.c_str());
+        s += format("    l.addi  r22, %s, 5\n", pick().c_str());
+        s += format("    l.movhi r22, 0x%x\n", uimm16());
+        s += format("%s:\n", a.c_str());
+        s += format("    l.bnf   %s\n", b.c_str());
+        s += format("    l.xori  r22, r22, 0x%x\n",
+                    unsigned(rng_.below(0x8000)));
+        s += format("%s:\n", b.c_str());
+        s += "    l.add   r23, r23, r22\n";
+        break;
+      }
+      default: { // bounded counted loop
+        std::string loop = lab("loop");
+        unsigned n = 2 + unsigned(rng_.below(5));
+        s = format("    l.addi  r25, r0, %u\n", n);
+        s += format("%s:\n", loop.c_str());
+        s += format("    l.add   r23, r23, %s\n", pick().c_str());
+        s += "    l.addi  r25, r25, -1\n"
+             "    l.sfgtsi r25, 0\n";
+        s += format("    l.bf    %s\n", loop.c_str());
+        s += "    l.addi  r23, r23, 1\n";
+        break;
+      }
+    }
+    return s;
+}
+
+std::string
+Builder::callGadget()
+{
+    if (rng_.chance(0.5)) {
+        std::string s = "    l.jal   fn_mix\n";
+        s += format("    l.addi  r3, r3, %d\n", simm16());
+        return s;
+    }
+    std::string s = "    l.movhi r6, hi(fn_rot)\n"
+                    "    l.ori   r6, r6, lo(fn_rot)\n"
+                    "    l.jalr  r6\n";
+    s += format("    l.addi  r3, r3, %d\n", simm16());
+    return s;
+}
+
+std::string
+Builder::excGadget()
+{
+    std::string s;
+    switch (rng_.below(6)) {
+      case 0: // syscall; the handler records EPCR and SR
+        s = "    l.sys   0\n"
+            "    l.add   r23, r23, r26\n";
+        break;
+      case 1: { // syscall inside a delay slot (DSX, EPCR = target)
+        std::string past = lab("past");
+        s = "    l.sfeq  r0, r0\n";
+        s += format("    l.bf    %s\n", past.c_str());
+        s += "    l.sys   0\n";
+        s += format("%s:\n", past.c_str());
+        s += "    l.add   r23, r23, r27\n";
+        break;
+      }
+      case 2: // trap
+        s = "    l.trap  0\n"
+            "    l.add   r23, r23, r26\n";
+        break;
+      case 3: // undecodable word (reserved primary opcode 0x3f)
+        s = "    .word 0xfc000000\n"
+            "    l.add   r23, r23, r26\n";
+        break;
+      case 4: // misaligned halfword load; handler accumulates EEAR
+        s = addrSetup(pick());
+        s += "    l.ori   r6, r6, 1\n"
+             "    l.lhz   r22, 0(r6)\n"
+             "    l.add   r23, r23, r22\n";
+        break;
+      default: // arithmetic overflow with range exceptions enabled
+        s = "    l.mfspr r26, r0, SR\n"
+            "    l.ori   r26, r26, 0x1000\n"
+            "    l.mtspr r0, r26, SR\n"
+            "    l.movhi r22, 0x7fff\n"
+            "    l.ori   r22, r22, 0xffff\n"
+            "    l.addi  r22, r22, 1\n"
+            "    l.mfspr r26, r0, SR\n"
+            "    l.andi  r26, r26, 0xe7ff\n"
+            "    l.mtspr r0, r26, SR\n";
+        break;
+    }
+    return s;
+}
+
+std::string
+Builder::sprGadget()
+{
+    std::string s;
+    switch (rng_.below(5)) {
+      case 0: // EPCR0 write/readback
+        s = format("    l.mtspr r0, %s, EPCR0\n", pick().c_str());
+        s += "    l.mfspr r22, r0, EPCR0\n"
+             "    l.add   r23, r23, r22\n";
+        break;
+      case 1: // EEAR0 write/readback
+        s = format("    l.mtspr r0, %s, EEAR0\n", pick().c_str());
+        s += "    l.mfspr r22, r0, EEAR0\n"
+             "    l.add   r23, r23, r22\n";
+        break;
+      case 2: // ESR0 write/readback
+        s = format("    l.mtspr r0, %s, ESR0\n", pick().c_str());
+        s += "    l.mfspr r22, r0, ESR0\n"
+             "    l.add   r23, r23, r22\n";
+        break;
+      case 3: // MAC halves via SPRs, drained by l.macrc
+        s = format("    l.mtspr r0, %s, MACLO\n", pick().c_str());
+        s += format("    l.mtspr r0, %s, MACHI\n", pick().c_str());
+        s += "    l.macrc r22\n"
+             "    l.add   r23, r23, r22\n";
+        break;
+      default: // SR flag-bit witness
+        s = "    l.mfspr r22, r0, SR\n"
+            "    l.andi  r22, r22, 0x200\n"
+            "    l.add   r23, r23, r22\n";
+        break;
+    }
+    return s;
+}
+
+std::string
+Builder::gadget()
+{
+    double roll = rng_.uniform();
+    double acc = config_.branchDensity;
+    if (roll < acc)
+        return branchGadget();
+    acc += config_.memDensity;
+    if (roll < acc)
+        return memGadget();
+    acc += config_.callDensity;
+    if (roll < acc)
+        return callGadget();
+    acc += config_.excDensity;
+    if (roll < acc)
+        return excGadget();
+    acc += config_.sprDensity;
+    if (roll < acc)
+        return sprGadget();
+    return aluGadget();
+}
+
+GeneratedProgram
+Builder::build(const std::string &name, uint64_t seed)
+{
+    GeneratedProgram p;
+    p.name = name;
+    p.seed = seed;
+    p.header = header();
+    // Keep the gadget chunk well inside [kTextBase, memBytes).
+    uint32_t capacity =
+        (config_.memBytes - kTextBase) / (4 * 16) - kPool.size();
+    uint32_t count = std::min(config_.gadgets, capacity);
+    for (gadgetIndex_ = 0; gadgetIndex_ < count; ++gadgetIndex_)
+        p.gadgets.push_back(gadget());
+    p.footer = footer();
+    return p;
+}
+
+} // namespace
+
+std::string
+GeneratedProgram::source() const
+{
+    std::string s = header;
+    for (const auto &g : gadgets)
+        s += g;
+    s += footer;
+    return s;
+}
+
+std::string
+GeneratedProgram::sourceSubset(const std::vector<size_t> &keep) const
+{
+    std::string s = header;
+    for (size_t i : keep) {
+        if (i < gadgets.size())
+            s += gadgets[i];
+    }
+    s += footer;
+    return s;
+}
+
+GeneratedProgram
+generate(const GenConfig &config, uint64_t seed, uint32_t index)
+{
+    // splitmix-style per-program stream derivation.
+    uint64_t derived = seed + 0x9e3779b97f4a7c15ull * (index + 1);
+    Builder builder(config, derived);
+    return builder.build(format("fuzz-%llu-%u",
+                                (unsigned long long)seed, index),
+                        derived);
+}
+
+} // namespace scif::fuzz

@@ -1,0 +1,641 @@
+#include "refsim.hh"
+
+namespace scif::fuzz {
+
+using isa::DecodedInsn;
+using isa::Exception;
+using isa::Mnemonic;
+
+namespace {
+
+// Local naive helpers: the reference deliberately re-derives even the
+// bit twiddling instead of reusing support/bits.hh, so a helper bug
+// cannot cancel out across the two implementations.
+
+uint32_t
+sext(uint32_t value, unsigned width)
+{
+    if (width >= 32)
+        return value;
+    uint32_t m = 1u << (width - 1);
+    value &= (1u << width) - 1;
+    return (value ^ m) - m;
+}
+
+uint32_t
+zext(uint32_t value, unsigned width)
+{
+    if (width >= 32)
+        return value;
+    return value & ((1u << width) - 1);
+}
+
+bool
+srBit(uint32_t sr, unsigned pos)
+{
+    return (sr >> pos) & 1u;
+}
+
+uint32_t
+withBit(uint32_t sr, unsigned pos, bool on)
+{
+    if (on)
+        return sr | (1u << pos);
+    return sr & ~(1u << pos);
+}
+
+} // namespace
+
+RefSim::RefSim(RefConfig config)
+    : config_(config), ram_(config.memBytes, 0)
+{
+    reset();
+}
+
+void
+RefSim::loadProgram(const assembler::Program &program)
+{
+    std::fill(ram_.begin(), ram_.end(), 0);
+    for (const auto &[addr, w] : program.words) {
+        if (addr % 4 != 0 || uint64_t(addr) + 4 > ram_.size())
+            continue;
+        ram_[addr + 0] = uint8_t(w >> 24);
+        ram_[addr + 1] = uint8_t(w >> 16);
+        ram_[addr + 2] = uint8_t(w >> 8);
+        ram_[addr + 3] = uint8_t(w);
+    }
+    reset();
+    pc_ = program.entry;
+}
+
+void
+RefSim::reset()
+{
+    gpr_.fill(0);
+    pc_ = isa::exceptionVector(Exception::Reset);
+    ppc_ = 0;
+    sr_ = isa::sr::resetValue;
+    epcr_ = 0;
+    eear_ = 0;
+    esr_ = 0;
+    mac_ = 0;
+    picmr_ = 0;
+    picsr_ = 0;
+    ttmr_ = 0;
+    ttcr_ = 0;
+    retired_ = 0;
+    lastDirty_.clear();
+}
+
+uint32_t
+RefSim::readSpr(uint16_t addr) const
+{
+    switch (addr) {
+      case isa::spr::VR: return 0x12000001;
+      case isa::spr::UPR: return 0x00000001;
+      case isa::spr::NPC: return pc_;
+      case isa::spr::SR: return sr_;
+      case isa::spr::PPC: return ppc_;
+      case isa::spr::EPCR0: return epcr_;
+      case isa::spr::EEAR0: return eear_;
+      case isa::spr::ESR0: return esr_;
+      case isa::spr::MACLO: return uint32_t(mac_);
+      case isa::spr::MACHI: return uint32_t(mac_ >> 32);
+      case isa::spr::PICMR: return picmr_;
+      case isa::spr::PICSR: return picsr_;
+      case isa::spr::TTMR: return ttmr_;
+      case isa::spr::TTCR: return ttcr_;
+      default: return 0;
+    }
+}
+
+void
+RefSim::writeSpr(uint16_t addr, uint32_t value)
+{
+    switch (addr) {
+      case isa::spr::SR:
+        // FO always reads one.
+        sr_ = value | (1u << isa::sr::FO);
+        break;
+      case isa::spr::EPCR0: epcr_ = value; break;
+      case isa::spr::EEAR0: eear_ = value; break;
+      case isa::spr::ESR0: esr_ = value; break;
+      case isa::spr::MACLO:
+        mac_ = (mac_ & 0xffffffff00000000ull) | value;
+        break;
+      case isa::spr::MACHI:
+        mac_ = (mac_ & 0xffffffffull) | (uint64_t(value) << 32);
+        break;
+      case isa::spr::PICMR: picmr_ = value; break;
+      case isa::spr::PICSR: picsr_ = value; break;
+      case isa::spr::TTMR: ttmr_ = value; break;
+      case isa::spr::TTCR: ttcr_ = value; break;
+      default: break; // read-only / unknown SPRs drop writes
+    }
+}
+
+void
+RefSim::writeGpr(unsigned n, uint32_t value)
+{
+    if (n != 0 && n < isa::numGprs)
+        gpr_[n] = value;
+}
+
+uint32_t
+RefSim::word(uint32_t addr) const
+{
+    if (addr % 4 != 0 || uint64_t(addr) + 4 > ram_.size())
+        return 0;
+    return uint32_t(ram_[addr]) << 24 | uint32_t(ram_[addr + 1]) << 16 |
+           uint32_t(ram_[addr + 2]) << 8 | uint32_t(ram_[addr + 3]);
+}
+
+isa::Exception
+RefSim::checkAccess(uint32_t addr, unsigned size, bool fetch) const
+{
+    if (addr % size != 0)
+        return Exception::Alignment;
+    uint64_t end = uint64_t(addr) + size;
+    if (end > ram_.size())
+        return Exception::BusError;
+    if (!supervisor() && addr < config_.userBase) {
+        return fetch ? Exception::InsnPageFault
+                     : Exception::DataPageFault;
+    }
+    return Exception::None;
+}
+
+uint32_t
+RefSim::loadRam(uint32_t addr, unsigned size) const
+{
+    uint32_t v = 0;
+    for (unsigned i = 0; i < size; ++i)
+        v = (v << 8) | ram_[addr + i];
+    return v;
+}
+
+void
+RefSim::storeRam(uint32_t addr, unsigned size, uint32_t value)
+{
+    for (unsigned i = 0; i < size; ++i)
+        ram_[addr + i] = uint8_t(value >> (8 * (size - 1 - i)));
+    uint32_t first = addr & ~3u;
+    uint32_t last = (addr + size - 1) & ~3u;
+    for (uint32_t w = first; w <= last; w += 4)
+        lastDirty_.push_back(w);
+}
+
+void
+RefSim::tick()
+{
+    uint32_t mode = (ttmr_ >> 30) & 3u;
+    if (mode == 0)
+        return;
+    ttcr_ += 1;
+    uint32_t period = ttmr_ & 0x0fffffffu;
+    if ((ttcr_ & 0x0fffffffu) >= period && period != 0) {
+        ttmr_ |= 1u << 28; // IP
+        if (mode == 1)
+            ttcr_ = 0;
+        else if (mode == 2)
+            ttmr_ &= ~(3u << 30);
+    }
+}
+
+void
+RefSim::enterException(Exception e, uint32_t fault_pc, uint32_t next_pc,
+                       uint32_t eear, bool in_delay_slot,
+                       uint32_t branch_pc, uint32_t branch_target)
+{
+    esr_ = sr_;
+
+    switch (e) {
+      case Exception::Syscall:
+        // Resume past the syscall; past the delay slot that is the
+        // branch target.
+        epcr_ = in_delay_slot ? branch_target : next_pc;
+        break;
+      case Exception::Tick:
+      case Exception::External:
+        // The interrupted instruction has not executed.
+        epcr_ = fault_pc;
+        break;
+      default:
+        // Faults re-execute: the faulting instruction, or the branch
+        // owning the delay slot.
+        epcr_ = in_delay_slot ? branch_pc : fault_pc;
+        break;
+    }
+
+    switch (e) {
+      case Exception::BusError:
+      case Exception::DataPageFault:
+      case Exception::InsnPageFault:
+      case Exception::Alignment:
+        eear_ = eear;
+        break;
+      default:
+        break;
+    }
+
+    uint32_t sr = sr_;
+    sr = withBit(sr, isa::sr::SM, true);
+    sr = withBit(sr, isa::sr::TEE, false);
+    sr = withBit(sr, isa::sr::IEE, false);
+    sr = withBit(sr, isa::sr::DSX, in_delay_slot);
+    sr_ = sr;
+
+    pc_ = isa::exceptionVector(e);
+}
+
+RefSim::Outcome
+RefSim::execute(const DecodedInsn &insn, uint32_t insn_pc)
+{
+    Outcome out;
+    Mnemonic m = insn.mnemonic;
+
+    uint32_t a = gpr_[insn.ra];
+    uint32_t b = gpr_[insn.rb];
+    uint32_t imm = uint32_t(insn.imm);
+
+    bool privileged = m == Mnemonic::L_MTSPR ||
+                      m == Mnemonic::L_MFSPR || m == Mnemonic::L_RFE;
+    if (privileged && !supervisor()) {
+        out.exception = Exception::Illegal;
+        return out;
+    }
+
+    auto setFlag = [&](bool f) { sr_ = withBit(sr_, isa::sr::F, f); };
+    auto setCarry = [&](bool c) { sr_ = withBit(sr_, isa::sr::CY, c); };
+    // Records the overflow flag; raises a range exception when OVE is
+    // on. Execution continues: the add family writes rD even when the
+    // exception is taken (the OR1200 writeback is not suppressed).
+    auto setOverflow = [&](bool v) {
+        sr_ = withBit(sr_, isa::sr::OV, v);
+        if (v && srBit(sr_, isa::sr::OVE))
+            out.exception = Exception::Range;
+    };
+
+    auto doLoad = [&](unsigned size, bool sign_extend) {
+        uint32_t addr = a + imm;
+        Exception fault = checkAccess(addr, size, false);
+        if (fault != Exception::None) {
+            out.exception = fault;
+            out.eear = addr;
+            return;
+        }
+        uint32_t value = loadRam(addr, size);
+        if (sign_extend && size < 4)
+            value = sext(value, 8 * size);
+        writeGpr(insn.rd, value);
+    };
+
+    auto doStore = [&](unsigned size) {
+        uint32_t addr = a + imm;
+        Exception fault = checkAccess(addr, size, false);
+        if (fault != Exception::None) {
+            out.exception = fault;
+            out.eear = addr;
+            return;
+        }
+        storeRam(addr, size, zext(b, 8 * size));
+    };
+
+    switch (m) {
+      case Mnemonic::L_NOP:
+        if (imm == 0xf)
+            out.halted = true;
+        break;
+
+      case Mnemonic::L_MOVHI:
+        writeGpr(insn.rd, imm << 16);
+        break;
+
+      case Mnemonic::L_MACRC:
+        writeGpr(insn.rd, uint32_t(mac_));
+        mac_ = 0;
+        break;
+
+      case Mnemonic::L_SYS:
+        out.exception = Exception::Syscall;
+        break;
+      case Mnemonic::L_TRAP:
+        out.exception = Exception::Trap;
+        break;
+
+      case Mnemonic::L_RFE:
+        // FO stays set across the restore.
+        sr_ = esr_ | (1u << isa::sr::FO);
+        out.isRfe = true;
+        out.rfeTarget = epcr_;
+        break;
+
+      case Mnemonic::L_J:
+      case Mnemonic::L_JAL:
+        out.branchTaken = true;
+        out.branchTarget = insn_pc + (imm << 2);
+        if (m == Mnemonic::L_JAL)
+            writeGpr(isa::linkReg, insn_pc + 8);
+        break;
+
+      case Mnemonic::L_JR:
+      case Mnemonic::L_JALR:
+        out.branchTaken = true;
+        out.branchTarget = b;
+        if (m == Mnemonic::L_JALR)
+            writeGpr(isa::linkReg, insn_pc + 8);
+        break;
+
+      case Mnemonic::L_BF:
+      case Mnemonic::L_BNF: {
+        bool flag = srBit(sr_, isa::sr::F);
+        bool taken = (m == Mnemonic::L_BF) ? flag : !flag;
+        out.branchTaken = taken;
+        if (taken)
+            out.branchTarget = insn_pc + (imm << 2);
+        break;
+      }
+
+      case Mnemonic::L_MACI:
+        mac_ += uint64_t(int64_t(int32_t(a)) * int64_t(insn.imm));
+        break;
+      case Mnemonic::L_MAC:
+        mac_ += uint64_t(int64_t(int32_t(a)) * int64_t(int32_t(b)));
+        break;
+      case Mnemonic::L_MSB:
+        mac_ -= uint64_t(int64_t(int32_t(a)) * int64_t(int32_t(b)));
+        break;
+
+      case Mnemonic::L_LWZ: doLoad(4, false); break;
+      case Mnemonic::L_LWS: doLoad(4, true); break;
+      case Mnemonic::L_LBZ: doLoad(1, false); break;
+      case Mnemonic::L_LBS: doLoad(1, true); break;
+      case Mnemonic::L_LHZ: doLoad(2, false); break;
+      case Mnemonic::L_LHS: doLoad(2, true); break;
+      case Mnemonic::L_SW: doStore(4); break;
+      case Mnemonic::L_SB: doStore(1); break;
+      case Mnemonic::L_SH: doStore(2); break;
+
+      case Mnemonic::L_ADD:
+      case Mnemonic::L_ADDI: {
+        uint32_t rhs = (m == Mnemonic::L_ADD) ? b : imm;
+        uint64_t wide = uint64_t(a) + uint64_t(rhs);
+        uint32_t sum = uint32_t(wide);
+        setCarry(wide > 0xffffffffull);
+        // Signed overflow: operands agree in sign, sum disagrees.
+        setOverflow(int32_t(~(a ^ rhs) & (a ^ sum)) < 0);
+        writeGpr(insn.rd, sum);
+        break;
+      }
+
+      case Mnemonic::L_ADDC:
+      case Mnemonic::L_ADDIC: {
+        uint32_t rhs = (m == Mnemonic::L_ADDC) ? b : imm;
+        uint32_t cin = srBit(sr_, isa::sr::CY) ? 1 : 0;
+        uint64_t wide = uint64_t(a) + uint64_t(rhs) + cin;
+        uint32_t sum = uint32_t(wide);
+        setCarry(wide > 0xffffffffull);
+        setOverflow(int32_t(~(a ^ rhs) & (a ^ sum)) < 0);
+        writeGpr(insn.rd, sum);
+        break;
+      }
+
+      case Mnemonic::L_SUB: {
+        uint32_t diff = a - b;
+        setCarry(a < b);
+        setOverflow(int32_t((a ^ b) & (a ^ diff)) < 0);
+        writeGpr(insn.rd, diff);
+        break;
+      }
+
+      case Mnemonic::L_AND: writeGpr(insn.rd, a & b); break;
+      case Mnemonic::L_ANDI: writeGpr(insn.rd, a & imm); break;
+      case Mnemonic::L_OR: writeGpr(insn.rd, a | b); break;
+      case Mnemonic::L_ORI: writeGpr(insn.rd, a | imm); break;
+      case Mnemonic::L_XOR: writeGpr(insn.rd, a ^ b); break;
+      case Mnemonic::L_XORI: writeGpr(insn.rd, a ^ imm); break;
+
+      case Mnemonic::L_MUL:
+      case Mnemonic::L_MULI: {
+        uint32_t rhs = (m == Mnemonic::L_MUL) ? b : imm;
+        int64_t prod = int64_t(int32_t(a)) * int64_t(int32_t(rhs));
+        setOverflow(prod < INT32_MIN || prod > INT32_MAX);
+        writeGpr(insn.rd, uint32_t(prod));
+        break;
+      }
+
+      case Mnemonic::L_MULU: {
+        uint64_t prod = uint64_t(a) * uint64_t(b);
+        setCarry(prod > 0xffffffffull);
+        writeGpr(insn.rd, uint32_t(prod));
+        break;
+      }
+
+      case Mnemonic::L_DIV:
+      case Mnemonic::L_DIVU: {
+        if (b == 0) {
+            // Divide by zero raises overflow; no quotient is written.
+            setOverflow(true);
+            break;
+        }
+        uint32_t q;
+        if (m == Mnemonic::L_DIV) {
+            if (a == 0x80000000u && b == 0xffffffffu) {
+                // INT_MIN / -1: quotient unrepresentable, the OR1200
+                // returns the dividend.
+                setOverflow(true);
+                q = a;
+            } else {
+                q = uint32_t(int32_t(a) / int32_t(b));
+            }
+        } else {
+            q = a / b;
+        }
+        writeGpr(insn.rd, q);
+        break;
+      }
+
+      case Mnemonic::L_SLL:
+      case Mnemonic::L_SLLI: {
+        uint32_t amt = ((m == Mnemonic::L_SLL) ? b : imm) & 31;
+        writeGpr(insn.rd, a << amt);
+        break;
+      }
+      case Mnemonic::L_SRL:
+      case Mnemonic::L_SRLI: {
+        uint32_t amt = ((m == Mnemonic::L_SRL) ? b : imm) & 31;
+        writeGpr(insn.rd, a >> amt);
+        break;
+      }
+      case Mnemonic::L_SRA:
+      case Mnemonic::L_SRAI: {
+        uint32_t amt = ((m == Mnemonic::L_SRA) ? b : imm) & 31;
+        writeGpr(insn.rd, uint32_t(int32_t(a) >> amt));
+        break;
+      }
+      case Mnemonic::L_ROR:
+      case Mnemonic::L_RORI: {
+        uint32_t amt = ((m == Mnemonic::L_ROR) ? b : imm) & 31;
+        uint32_t r = amt ? (a >> amt) | (a << (32 - amt)) : a;
+        writeGpr(insn.rd, r);
+        break;
+      }
+
+      case Mnemonic::L_EXTHS: writeGpr(insn.rd, sext(a, 16)); break;
+      case Mnemonic::L_EXTBS: writeGpr(insn.rd, sext(a, 8)); break;
+      case Mnemonic::L_EXTHZ: writeGpr(insn.rd, zext(a, 16)); break;
+      case Mnemonic::L_EXTBZ: writeGpr(insn.rd, zext(a, 8)); break;
+      case Mnemonic::L_EXTWS:
+      case Mnemonic::L_EXTWZ:
+        writeGpr(insn.rd, a); // word extension is the identity
+        break;
+
+      case Mnemonic::L_CMOV:
+        writeGpr(insn.rd, srBit(sr_, isa::sr::F) ? a : b);
+        break;
+
+      case Mnemonic::L_FF1: {
+        uint32_t pos = 0;
+        for (unsigned i = 0; i < 32; ++i) {
+            if ((a >> i) & 1u) {
+                pos = i + 1;
+                break;
+            }
+        }
+        writeGpr(insn.rd, pos);
+        break;
+      }
+
+      case Mnemonic::L_MFSPR:
+        writeGpr(insn.rd, readSpr(uint16_t(a | imm)));
+        break;
+      case Mnemonic::L_MTSPR:
+        writeSpr(uint16_t(a | imm), b);
+        break;
+
+      // Set-flag compares, spelled out one by one.
+      case Mnemonic::L_SFEQ: setFlag(a == b); break;
+      case Mnemonic::L_SFNE: setFlag(a != b); break;
+      case Mnemonic::L_SFGTU: setFlag(a > b); break;
+      case Mnemonic::L_SFGEU: setFlag(a >= b); break;
+      case Mnemonic::L_SFLTU: setFlag(a < b); break;
+      case Mnemonic::L_SFLEU: setFlag(a <= b); break;
+      case Mnemonic::L_SFGTS: setFlag(int32_t(a) > int32_t(b)); break;
+      case Mnemonic::L_SFGES: setFlag(int32_t(a) >= int32_t(b)); break;
+      case Mnemonic::L_SFLTS: setFlag(int32_t(a) < int32_t(b)); break;
+      case Mnemonic::L_SFLES: setFlag(int32_t(a) <= int32_t(b)); break;
+      case Mnemonic::L_SFEQI: setFlag(a == imm); break;
+      case Mnemonic::L_SFNEI: setFlag(a != imm); break;
+      case Mnemonic::L_SFGTUI: setFlag(a > imm); break;
+      case Mnemonic::L_SFGEUI: setFlag(a >= imm); break;
+      case Mnemonic::L_SFLTUI: setFlag(a < imm); break;
+      case Mnemonic::L_SFLEUI: setFlag(a <= imm); break;
+      case Mnemonic::L_SFGTSI: setFlag(int32_t(a) > insn.imm); break;
+      case Mnemonic::L_SFGESI: setFlag(int32_t(a) >= insn.imm); break;
+      case Mnemonic::L_SFLTSI: setFlag(int32_t(a) < insn.imm); break;
+      case Mnemonic::L_SFLESI: setFlag(int32_t(a) <= insn.imm); break;
+
+      default:
+        break;
+    }
+
+    return out;
+}
+
+RefStatus
+RefSim::step()
+{
+    lastDirty_.clear();
+
+    if (retired_ >= config_.maxInsns)
+        return RefStatus::Budget;
+
+    // Pending asynchronous interrupts deliver first and do not retire.
+    Exception irq = Exception::None;
+    if (((ttmr_ >> 28) & 1u) && ((ttmr_ >> 29) & 1u) &&
+        srBit(sr_, isa::sr::TEE)) {
+        irq = Exception::Tick;
+    } else if ((picsr_ & picmr_) != 0 && srBit(sr_, isa::sr::IEE)) {
+        irq = Exception::External;
+    }
+    if (irq != Exception::None) {
+        enterException(irq, pc_, pc_, 0, false, 0, 0);
+        return RefStatus::Running;
+    }
+
+    uint32_t insn_pc = pc_;
+
+    // Fetch. A faulting or undecodable fetch retires the boundary but
+    // does not advance the tick timer (no execute happened).
+    Exception ff = checkAccess(insn_pc, 4, true);
+    if (ff != Exception::None) {
+        enterException(ff, insn_pc, insn_pc + 4, insn_pc, false, 0, 0);
+        ppc_ = insn_pc;
+        ++retired_;
+        return RefStatus::Running;
+    }
+    auto decoded = isa::decode(loadRam(insn_pc, 4));
+    if (!decoded) {
+        enterException(Exception::Illegal, insn_pc, insn_pc + 4, 0,
+                       false, 0, 0);
+        ppc_ = insn_pc;
+        ++retired_;
+        return RefStatus::Running;
+    }
+
+    if (decoded->info().hasDelaySlot) {
+        // Branches themselves cannot fault; the delay slot can.
+        Outcome br = execute(*decoded, insn_pc);
+
+        uint32_t ds_pc = insn_pc + 4;
+        Exception df = checkAccess(ds_pc, 4, true);
+        if (df != Exception::None) {
+            enterException(df, ds_pc, ds_pc + 4, ds_pc, true, insn_pc,
+                           br.branchTarget);
+            ppc_ = insn_pc;
+            ++retired_;
+            return RefStatus::Running;
+        }
+        auto ds_decoded = isa::decode(loadRam(ds_pc, 4));
+        if (!ds_decoded || ds_decoded->info().hasDelaySlot) {
+            // Undecodable word or control flow in the delay slot.
+            enterException(Exception::Illegal, ds_pc, ds_pc + 4, 0,
+                           true, insn_pc, br.branchTarget);
+            ppc_ = insn_pc;
+            ++retired_;
+            return RefStatus::Running;
+        }
+
+        Outcome ds = execute(*ds_decoded, ds_pc);
+        if (ds.exception != Exception::None) {
+            enterException(ds.exception, ds_pc, ds_pc + 4, ds.eear,
+                           true, insn_pc, br.branchTarget);
+        } else {
+            // An l.rfe in the delay slot restores SR (done inside
+            // execute) but the branch still supplies the next PC.
+            pc_ = br.branchTaken ? br.branchTarget : insn_pc + 8;
+        }
+        ppc_ = insn_pc;
+        retired_ += 2;
+        tick();
+        if (ds.exception == Exception::None && ds.halted)
+            return RefStatus::Halted;
+        return RefStatus::Running;
+    }
+
+    Outcome r = execute(*decoded, insn_pc);
+    if (r.exception != Exception::None) {
+        enterException(r.exception, insn_pc, insn_pc + 4, r.eear,
+                       false, 0, 0);
+    } else {
+        pc_ = r.isRfe ? r.rfeTarget : insn_pc + 4;
+    }
+    ppc_ = insn_pc;
+    ++retired_;
+    tick();
+    if (r.exception == Exception::None && r.halted)
+        return RefStatus::Halted;
+    return RefStatus::Running;
+}
+
+} // namespace scif::fuzz

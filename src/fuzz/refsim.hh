@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Independent reference interpreter for differential co-simulation.
+ *
+ * A second, deliberately naive big-switch implementation of the
+ * ORBIS32 semantics, written from the architecture manual against
+ * isa/insn.hh (the instruction registry and decoder) and isa/arch.hh
+ * (architectural constants) only. It shares no execution code with
+ * src/cpu: memory, exception entry, the delay-slot rules, and every
+ * instruction's semantics are re-derived here, so a slip in either
+ * implementation shows up as a divergence instead of cancelling out.
+ *
+ * The simulator quirks that are deliberate (and must be mirrored for
+ * the diff to be meaningful) are commented at their re-implementation
+ * below: the add family writes rD even when it raises a range
+ * exception, l.rfe in a delay slot restores SR while the branch
+ * supplies the next PC, and the tick timer only advances on boundaries
+ * that complete an execute (fetch/decode faults do not tick).
+ */
+
+#ifndef SCIFINDER_FUZZ_REFSIM_HH
+#define SCIFINDER_FUZZ_REFSIM_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "asm/assembler.hh"
+#include "isa/arch.hh"
+#include "isa/insn.hh"
+
+namespace scif::fuzz {
+
+/** Outcome of one RefSim::step(). */
+enum class RefStatus {
+    Running,  ///< one boundary executed
+    Halted,   ///< the halt idiom (l.nop 0xf) retired
+    Budget,   ///< retirement budget already exhausted
+};
+
+/** Reference-interpreter configuration (mirrors cpu::CpuConfig). */
+struct RefConfig
+{
+    uint32_t memBytes = 1 << 20;
+    uint32_t userBase = 0x2000;
+    uint64_t maxInsns = 1000000;
+};
+
+/** The naive reference implementation of the ISA. */
+class RefSim
+{
+  public:
+    explicit RefSim(RefConfig config = RefConfig());
+
+    /** Load an assembled image and reset (PC to the entry point). */
+    void loadProgram(const assembler::Program &program);
+
+    /** Reset architectural state. */
+    void reset();
+
+    /**
+     * Advance by one trace boundary: deliver one pending interrupt,
+     * or execute one instruction (a control-flow instruction and its
+     * delay slot count as one boundary).
+     */
+    RefStatus step();
+
+    // --- state accessors for the differ ---
+    uint32_t gpr(unsigned n) const { return gpr_[n]; }
+    uint32_t pc() const { return pc_; }
+    uint64_t retired() const { return retired_; }
+
+    /** Read an SPR by address (supervisor view, same map as the CPU). */
+    uint32_t readSpr(uint16_t addr) const;
+
+    /** Word at @p addr, 0 when unmapped/misaligned (debug view). */
+    uint32_t word(uint32_t addr) const;
+
+    /**
+     * Word addresses dirtied by stores during the most recent step().
+     * Cleared at the start of each step.
+     */
+    const std::vector<uint32_t> &lastDirty() const { return lastDirty_; }
+
+    uint32_t memBytes() const { return uint32_t(ram_.size()); }
+
+  private:
+    /** Result of executing one instruction. */
+    struct Outcome
+    {
+        isa::Exception exception = isa::Exception::None;
+        uint32_t eear = 0;
+        bool halted = false;
+        bool branchTaken = false;
+        uint32_t branchTarget = 0;
+        bool isRfe = false;
+        uint32_t rfeTarget = 0;
+    };
+
+    Outcome execute(const isa::DecodedInsn &insn, uint32_t insn_pc);
+
+    void enterException(isa::Exception e, uint32_t fault_pc,
+                        uint32_t next_pc, uint32_t eear,
+                        bool in_delay_slot, uint32_t branch_pc,
+                        uint32_t branch_target);
+
+    void writeSpr(uint16_t addr, uint32_t value);
+    void writeGpr(unsigned n, uint32_t value);
+    void tick();
+
+    bool supervisor() const { return (sr_ >> isa::sr::SM) & 1; }
+
+    /** Memory access check per the manual; None when legal. */
+    isa::Exception checkAccess(uint32_t addr, unsigned size,
+                               bool fetch) const;
+    /** Big-endian load after a passing check. */
+    uint32_t loadRam(uint32_t addr, unsigned size) const;
+    /** Big-endian store after a passing check; tracks dirty words. */
+    void storeRam(uint32_t addr, unsigned size, uint32_t value);
+
+    RefConfig config_;
+    std::vector<uint8_t> ram_;
+    std::vector<uint32_t> lastDirty_;
+
+    std::array<uint32_t, isa::numGprs> gpr_{};
+    uint32_t pc_ = 0x100;
+    uint32_t ppc_ = 0;
+    uint32_t sr_ = isa::sr::resetValue;
+    uint32_t epcr_ = 0;
+    uint32_t eear_ = 0;
+    uint32_t esr_ = 0;
+    uint64_t mac_ = 0;
+    uint32_t picmr_ = 0;
+    uint32_t picsr_ = 0;
+    uint32_t ttmr_ = 0;
+    uint32_t ttcr_ = 0;
+    uint64_t retired_ = 0;
+};
+
+} // namespace scif::fuzz
+
+#endif // SCIFINDER_FUZZ_REFSIM_HH

@@ -90,11 +90,16 @@ rotateRight32(uint32_t value, unsigned amount)
     return (value >> amount) | (value << (32 - amount));
 }
 
-/** @return true if signed 32-bit addition a + b overflows. */
+/**
+ * @return true if signed 32-bit addition a + b (+ carry-in)
+ * overflows. The carry-in participates in the sum before the sign
+ * comparison: 0x7fffffff + 0 + 1 overflows even though
+ * 0x7fffffff + 1 alone would be attributed to the wrong operand.
+ */
 constexpr bool
-addOverflows(uint32_t a, uint32_t b)
+addOverflows(uint32_t a, uint32_t b, bool carry_in = false)
 {
-    uint32_t sum = a + b;
+    uint32_t sum = a + b + (carry_in ? 1 : 0);
     return (~(a ^ b) & (a ^ sum)) >> 31;
 }
 

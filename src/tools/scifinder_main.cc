@@ -30,6 +30,7 @@
 #include "bugs/classification.hh"
 #include "core/artifacts.hh"
 #include "core/scifinder.hh"
+#include "fuzz/fuzzer.hh"
 #include "monitor/overhead.hh"
 #include "support/strings.hh"
 #include "support/table.hh"
@@ -67,6 +68,17 @@ usage()
         "  common [opts]: --jobs N (0 = all cores), --artifact-dir "
         "D,\n"
         "                 --validation N (corpus size, default 24)\n"
+        "\n"
+        "testing:\n"
+        "  fuzz      [opts] [--seed S] [--count N] "
+        "[--mutation-coverage]\n"
+        "            [--replay D]\n"
+        "                            differential fuzz the simulator "
+        "against\n"
+        "                            the independent reference "
+        "interpreter;\n"
+        "                            optionally score mutation kill "
+        "rates\n"
         "\n"
         "catalogs and utilities:\n"
         "  workloads                 list the 17 training workloads\n"
@@ -584,6 +596,73 @@ cmdRun(const std::vector<std::string> &args_in)
     return 0;
 }
 
+/**
+ * Differential fuzzing campaign. Exit status: 0 when no divergence
+ * (and, with --mutation-coverage, every Table 1 mutation killed),
+ * 1 otherwise, 2 on usage errors.
+ */
+int
+cmdFuzz(const std::vector<std::string> &args_in)
+{
+    std::vector<std::string> args = args_in;
+    CommonOpts opts;
+    if (!parseCommon(args, opts))
+        return 2;
+
+    fuzz::FuzzConfig config;
+    config.artifactDir = opts.artifactDir;
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        auto value = [&](const char *flag) -> const std::string * {
+            if (i + 1 >= args.size()) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                return nullptr;
+            }
+            return &args[++i];
+        };
+        auto number = [](const std::string &s, const char *flag,
+                         uint64_t *out) {
+            char *end = nullptr;
+            unsigned long long v = std::strtoull(s.c_str(), &end, 0);
+            if (s.empty() || *end != '\0') {
+                std::fprintf(stderr, "%s expects a number, got '%s'\n",
+                             flag, s.c_str());
+                return false;
+            }
+            *out = v;
+            return true;
+        };
+        if (arg == "--seed") {
+            const std::string *v = value("--seed");
+            if (!v || !number(*v, "--seed", &config.seed))
+                return 2;
+        } else if (arg == "--count") {
+            const std::string *v = value("--count");
+            uint64_t n = 0;
+            if (!v || !number(*v, "--count", &n))
+                return 2;
+            config.count = uint32_t(n);
+        } else if (arg == "--mutation-coverage") {
+            config.mutationCoverage = true;
+        } else if (arg == "--replay") {
+            const std::string *v = value("--replay");
+            if (!v)
+                return 2;
+            config.replayDir = *v;
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            return 2;
+        }
+    }
+
+    auto pool = makePool(opts);
+    fuzz::FuzzResult result = fuzz::runFuzz(config, pool.get());
+    std::printf("%s", result.render().c_str());
+    if (!opts.artifactDir.empty())
+        std::printf("artifacts:   %s\n", opts.artifactDir.c_str());
+    return result.ok() ? 0 : 1;
+}
+
 int
 cmdExec(const std::vector<std::string> &args)
 {
@@ -661,6 +740,8 @@ main(int argc, char **argv)
         return cmdInfer(args);
     if (cmd == "run")
         return cmdRun(args);
+    if (cmd == "fuzz")
+        return cmdFuzz(args);
     if (cmd == "exec")
         return cmdExec(args);
     return usage();

@@ -1,0 +1,16 @@
+; Minimized differential regression: the simulator computed the
+; signed-overflow flag of l.addc/l.addic from a + b alone, without the
+; carry-in, so INT_MAX + 0 + carry (= INT_MIN, a true overflow) left
+; SR[OV] clear. Found by the differential fuzzer; keep replaying it.
+.org 0x100
+    l.movhi r1, 0x7fff
+    l.ori   r1, r1, 0xffff  ; r1 = INT_MAX
+    l.movhi r2, 0xffff
+    l.ori   r2, r2, 0xffff  ; r2 = 0xffffffff
+    l.add   r3, r2, r2      ; carry out = 1, no signed overflow
+    l.addc  r4, r1, r0      ; INT_MAX + 0 + 1: OV must be set
+    l.mfspr r5, r0, SR
+    l.add   r3, r2, r2      ; re-arm the carry (addc consumed it)
+    l.addic r6, r1, 0       ; immediate form takes the same path
+    l.mfspr r7, r0, SR
+    l.nop   0xf

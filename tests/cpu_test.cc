@@ -348,6 +348,100 @@ TEST(Exception, DelaySlotFaultSetsDsxAndBranchEpcr)
     EXPECT_TRUE(f.cpu.gpr(21) & (1u << isa::sr::DSX));
 }
 
+TEST(Exception, TrapInDelaySlotReportsBranchAndDsx)
+{
+    RunFixture f(R"(
+        .org 0xe00             ; trap handler
+        l.mfspr r20, r0, EPCR0
+        l.mfspr r21, r0, SR
+        l.nop 0xf
+        .org 0x100
+        l.j    0x200
+        l.trap 0               ; trap in the delay slot
+    )");
+    // A synchronous exception in a delay slot must report the branch,
+    // not the slot, so l.rfe re-executes the pair.
+    EXPECT_EQ(f.cpu.gpr(20), 0x100u);
+    EXPECT_TRUE(f.cpu.gpr(21) & (1u << isa::sr::DSX));
+}
+
+TEST(Exception, BranchInDelaySlotIsIllegal)
+{
+    RunFixture f(R"(
+        .org 0x700             ; illegal-instruction handler
+        l.mfspr r20, r0, EPCR0
+        l.mfspr r21, r0, SR
+        l.nop 0xf
+        .org 0x100
+        l.j    0x200
+        l.j    0x300           ; control flow in the delay slot
+    )");
+    EXPECT_EQ(f.cpu.gpr(20), 0x100u); // the outer branch
+    EXPECT_TRUE(f.cpu.gpr(21) & (1u << isa::sr::DSX));
+}
+
+TEST(Exec, BackToBackBranchPairsRetireFused)
+{
+    RunFixture f(prog(R"(
+        l.addi r1, r0, 0
+        l.j    hop1
+        l.addi r1, r1, 1       ; slot 1 executes
+    hop1:
+        l.j    hop2
+        l.addi r1, r1, 2       ; slot 2 executes
+    hop2:
+        l.addi r1, r1, 4
+    )"));
+    EXPECT_EQ(f.result.reason, HaltReason::Halted);
+    EXPECT_EQ(f.cpu.gpr(1), 7u);
+    size_t fused = 0;
+    for (const auto &rec : f.buffer.records())
+        fused += rec.fused ? 1 : 0;
+    EXPECT_EQ(fused, 2u); // each jump+slot pair is one record
+}
+
+TEST(Exception, AlignedAccessTakesNoFaultUnalignedReportsEear)
+{
+    RunFixture f(R"(
+        .org 0x600             ; alignment handler
+        l.addi  r19, r19, 1
+        l.mfspr r20, r0, EEAR0
+        l.mfspr r21, r0, EPCR0
+        l.mfspr r22, r0, EPCR0
+        l.addi  r22, r22, 4
+        l.mtspr r0, r22, EPCR0 ; skip the faulting load
+        l.rfe
+        .org 0x100
+        l.ori  r1, r0, 0x8000
+        l.lhz  r2, 0(r1)       ; aligned halfword: no fault
+        l.lhz  r3, 1(r1)       ; odd address: alignment fault
+        l.lwz  r4, 2(r1)       ; word at addr % 4 == 2: fault too
+        l.nop  0xf
+    )");
+    EXPECT_EQ(f.result.reason, HaltReason::Halted);
+    EXPECT_EQ(f.cpu.gpr(19), 2u);      // exactly the two unaligned
+    EXPECT_EQ(f.cpu.gpr(20), 0x8002u); // EEAR of the last fault
+    EXPECT_EQ(f.cpu.gpr(21), 0x10cu);  // EPCR of the last fault
+}
+
+TEST(Exec, AddcIncludesCarryInSignedOverflow)
+{
+    // Regression for the l.addc overflow computation: INT_MAX + 0
+    // plus a live carry overflows, which the a+rhs pre-add missed.
+    RunFixture f(prog(R"(
+        l.movhi r1, 0x7fff
+        l.ori   r1, r1, 0xffff
+        l.movhi r2, 0xffff
+        l.ori   r2, r2, 0xffff
+        l.add   r3, r2, r2     ; carry out, no signed overflow
+        l.addc  r4, r1, r0     ; INT_MAX + 0 + carry
+        l.mfspr r5, r0, SR
+    )"));
+    EXPECT_EQ(f.cpu.gpr(4), 0x80000000u);
+    EXPECT_TRUE(f.cpu.gpr(5) & (1u << isa::sr::OV));
+    EXPECT_FALSE(f.cpu.gpr(5) & (1u << isa::sr::CY));
+}
+
 TEST(Privilege, UserModeCannotTouchSprs)
 {
     RunFixture f(R"(

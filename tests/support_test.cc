@@ -78,6 +78,22 @@ TEST(Bits, OverflowAndCarry)
     EXPECT_TRUE(addCarries(0xffffffff, 0, true));
 }
 
+TEST(Bits, OverflowWithCarryIn)
+{
+    // The carry-in participates in the signed-overflow decision:
+    // INT_MAX + 0 + 1 overflows even though INT_MAX + 0 does not.
+    EXPECT_TRUE(addOverflows(0x7fffffff, 0, true));
+    EXPECT_FALSE(addOverflows(0x7ffffffe, 0, true));
+    EXPECT_TRUE(addOverflows(0x7ffffffe, 1, true));
+    // ...and can also cancel an overflow that the two addends alone
+    // would produce: INT_MIN + (-1) + 1 = INT_MIN exactly.
+    EXPECT_TRUE(addOverflows(0x80000000, 0xffffffff));
+    EXPECT_FALSE(addOverflows(0x80000000, 0xffffffff, true));
+    // Mixed-sign addends can never overflow, carry or not.
+    EXPECT_FALSE(addOverflows(0xffffffff, 0, true));
+    EXPECT_FALSE(addOverflows(5, 0xffffffff, true));
+}
+
 TEST(Rng, Deterministic)
 {
     Rng a(42), b(42);
