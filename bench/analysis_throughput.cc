@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Throughput of the abstract-interpretation invariant analyzer:
+ * invariants classified per second, serial and through the thread
+ * pool, plus the cost of the full per-point implication search.
+ * These figures bound what 'scifinder analyze' adds on top of the
+ * optimization stage for a full-corpus model.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "analysis/analyzer.hh"
+#include "bench/common.hh"
+#include "support/strings.hh"
+#include "support/threadpool.hh"
+
+namespace scif {
+namespace {
+
+void
+experiment()
+{
+    bench::printHeader("Invariant analysis throughput",
+                       "analyzer instrumentation (not in the paper)");
+
+    const auto &r = bench::pipeline();
+    const auto &invs = r.model.all();
+
+    using clock = std::chrono::steady_clock;
+    auto secs = [](clock::time_point a, clock::time_point b) {
+        return std::chrono::duration<double>(b - a).count();
+    };
+
+    auto t0 = clock::now();
+    analysis::AnalysisReport serial = analysis::analyze(invs);
+    auto t1 = clock::now();
+
+    size_t jobs = support::ThreadPool::resolveJobs(0);
+    support::ThreadPool pool(jobs);
+    analysis::AnalysisReport parallel = analysis::analyze(invs, &pool);
+    auto t2 = clock::now();
+
+    TextTable table(
+        {"Configuration", "Invariants", "Time (s)", "Invariants/s"});
+    table.addRow({"serial", std::to_string(invs.size()),
+                  format("%.3f", secs(t0, t1)),
+                  format("%.0f", invs.size() / secs(t0, t1))});
+    table.addRow({format("%zu jobs", jobs), std::to_string(invs.size()),
+                  format("%.3f", secs(t1, t2)),
+                  format("%.0f", invs.size() / secs(t1, t2))});
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("Verdicts: %zu tautology, %zu contradiction, "
+                "%zu isa-implied, %zu contingent; "
+                "%zu implications.\n",
+                serial.counts[size_t(analysis::Verdict::Tautology)],
+                serial.counts[size_t(
+                    analysis::Verdict::Contradiction)],
+                serial.counts[size_t(analysis::Verdict::IsaImplied)],
+                serial.counts[size_t(analysis::Verdict::Contingent)],
+                serial.implications.size());
+    if (parallel.render() != serial.render())
+        std::printf("WARNING: parallel report differs from serial!\n");
+}
+
+/** Micro-benchmark: classify one invariant (averaged over the set). */
+void
+classifyInvariants(benchmark::State &state)
+{
+    const auto &invs = bench::pipeline().model.all();
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            analysis::classify(invs[i]).removable());
+        i = (i + 1) % invs.size();
+    }
+}
+BENCHMARK(classifyInvariants);
+
+/** Micro-benchmark: the full analysis through the thread pool. */
+void
+analyzeModel(benchmark::State &state)
+{
+    const auto &invs = bench::pipeline().model.all();
+    support::ThreadPool pool(support::ThreadPool::resolveJobs(0));
+    for (auto _ : state) {
+        auto report = analysis::analyze(invs, &pool);
+        benchmark::DoNotOptimize(report.entries.size());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(invs.size()));
+}
+BENCHMARK(analyzeModel)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace scif
+
+SCIF_BENCH_MAIN(scif::experiment)

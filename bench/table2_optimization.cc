@@ -1,9 +1,9 @@
 /**
  * @file
  * Table 2: effect of the invariant optimizations (constant
- * propagation, deducible removal, equivalence removal) on the number
- * of invariants and on the total number of variables across all
- * invariants.
+ * propagation, deducible removal, equivalence removal, vacuity
+ * removal) on the number of invariants and on the total number of
+ * variables across all invariants.
  */
 
 #include <benchmark/benchmark.h>
@@ -25,31 +25,36 @@ experiment()
     const auto &r = bench::pipeline();
     const auto &stats = r.optimizationStats;
 
-    TextTable table({"", "Raw", "after CP", "after DR", "after ER"});
+    TextTable table(
+        {"", "Raw", "after CP", "after DR", "after ER", "after VR"});
     table.addRow({"Invariants",
                   std::to_string(stats[0].invariantsBefore),
                   std::to_string(stats[0].invariantsAfter),
                   std::to_string(stats[1].invariantsAfter),
-                  std::to_string(stats[2].invariantsAfter)});
+                  std::to_string(stats[2].invariantsAfter),
+                  std::to_string(stats[3].invariantsAfter)});
     table.addRow({"Variables",
                   std::to_string(stats[0].variablesBefore),
                   std::to_string(stats[0].variablesAfter),
                   std::to_string(stats[1].variablesAfter),
-                  std::to_string(stats[2].variablesAfter)});
+                  std::to_string(stats[2].variablesAfter),
+                  std::to_string(stats[3].variablesAfter)});
     std::printf("%s\n", table.render().c_str());
 
     double invReduction =
         100.0 *
-        (1.0 - double(stats[2].invariantsAfter) /
+        (1.0 - double(stats[3].invariantsAfter) /
                    double(stats[0].invariantsBefore));
     double varReduction =
-        100.0 * (1.0 - double(stats[2].variablesAfter) /
+        100.0 * (1.0 - double(stats[3].variablesAfter) /
                            double(stats[0].variablesBefore));
     std::printf("Reduction: %.1f%% invariants, %.1f%% variables.\n",
                 invReduction, varReduction);
     std::printf("Paper: 106,174 -> 88,301 invariants (17%%) and\n"
                 "210,013 -> 167,863 variables (20%%); CP leaves the\n"
-                "invariant count unchanged, as here.\n");
+                "invariant count unchanged, as here. VR (vacuity\n"
+                "removal via abstract interpretation) is this\n"
+                "reproduction's addition beyond the paper.\n");
 }
 
 /** Micro-benchmark: one full optimization pass stack. */

@@ -1,0 +1,327 @@
+#include "analyzer.hh"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "support/strings.hh"
+
+namespace scif::analysis {
+
+std::string_view
+verdictName(Verdict v)
+{
+    switch (v) {
+      case Verdict::Tautology: return "tautology";
+      case Verdict::Contradiction: return "contradiction";
+      case Verdict::IsaImplied: return "isa-implied";
+      case Verdict::Contingent: return "contingent";
+    }
+    return "?";
+}
+
+AbstractValue
+evalOperand(const expr::Operand &op, const Env &env)
+{
+    if (op.isConst)
+        return AbstractValue::constant(op.constVal);
+
+    AbstractValue value = env.lookup(op.a);
+    switch (op.op2) {
+      case expr::Op2::None:
+        break;
+      case expr::Op2::And:
+        value = avAnd(value, env.lookup(op.b));
+        break;
+      case expr::Op2::Or:
+        value = avOr(value, env.lookup(op.b));
+        break;
+      case expr::Op2::Add:
+        value = avAdd(value, env.lookup(op.b));
+        break;
+      case expr::Op2::Sub:
+        value = avSub(value, env.lookup(op.b));
+        break;
+    }
+    if (op.negate)
+        value = avNot(value);
+    value = avMulConst(value, op.mulImm);
+    if (op.modImm != 0)
+        value = avModConst(value, op.modImm);
+    value = avAddConst(value, op.addImm);
+    return value;
+}
+
+Truth
+evalInvariant(const expr::Invariant &inv, const Env &env)
+{
+    return compare(inv.op, evalOperand(inv.lhs, env),
+                   evalOperand(inv.rhs, env), inv.set);
+}
+
+namespace {
+
+/**
+ * Identical operands compare trivially: x == x holds and x != x,
+ * x > x fail for any valuation, which the per-operand abstract
+ * evaluation cannot see (it forgets the two sides are correlated).
+ */
+Truth
+identicalOperandTruth(const expr::Invariant &inv)
+{
+    if (inv.op == expr::CmpOp::In || !(inv.lhs == inv.rhs))
+        return Truth::Unknown;
+    switch (inv.op) {
+      case expr::CmpOp::Eq:
+      case expr::CmpOp::Le:
+      case expr::CmpOp::Ge:
+        return Truth::True;
+      case expr::CmpOp::Ne:
+      case expr::CmpOp::Lt:
+      case expr::CmpOp::Gt:
+        return Truth::False;
+      default:
+        return Truth::Unknown;
+    }
+}
+
+} // namespace
+
+Classification
+classify(const expr::Invariant &inv)
+{
+    Truth same = identicalOperandTruth(inv);
+    if (same == Truth::True)
+        return {Verdict::Tautology, true};
+    if (same == Truth::False)
+        return {Verdict::Contradiction, true};
+
+    static const Env empty;
+    switch (evalInvariant(inv, empty)) {
+      case Truth::True:
+        return {Verdict::Tautology, true};
+      case Truth::False:
+        return {Verdict::Contradiction, true};
+      case Truth::Unknown:
+        break;
+    }
+
+    Env structural = structuralEnv(inv.point);
+    switch (evalInvariant(inv, structural)) {
+      case Truth::True:
+        return {Verdict::IsaImplied, true};
+      case Truth::False:
+        return {Verdict::Contradiction, true};
+      case Truth::Unknown:
+        break;
+    }
+
+    Env architectural = architecturalEnv(inv.point);
+    switch (evalInvariant(inv, architectural)) {
+      case Truth::True:
+        return {Verdict::IsaImplied, false};
+      case Truth::False:
+        return {Verdict::Contradiction, false};
+      case Truth::Unknown:
+        break;
+    }
+
+    return {Verdict::Contingent, false};
+}
+
+size_t
+removeVacuous(std::vector<expr::Invariant> &invs,
+              support::ThreadPool *pool)
+{
+    std::vector<char> drop = support::parallelMap(
+        pool, invs, [](const expr::Invariant &inv) {
+            return char(classify(inv).removable());
+        });
+    size_t kept = 0;
+    for (size_t i = 0; i < invs.size(); ++i) {
+        if (drop[i])
+            continue;
+        if (kept != i)   // self-move would empty the In-set vector
+            invs[kept] = std::move(invs[i]);
+        ++kept;
+    }
+    size_t removed = invs.size() - kept;
+    invs.resize(kept);
+    return removed;
+}
+
+namespace {
+
+/**
+ * Extract the fact a single invariant states about a bare variable:
+ * x == c, x in S, or a >,>= bound against a constant (either side,
+ * since canonicalization moves < and <= to swapped >, >=).
+ */
+std::optional<std::pair<expr::VarRef, AbstractValue>>
+factOf(const expr::Invariant &inv)
+{
+    const expr::Operand &l = inv.lhs;
+    const expr::Operand &r = inv.rhs;
+
+    if (inv.op == expr::CmpOp::In) {
+        if (!l.isBareVar() || inv.set.empty())
+            return std::nullopt;
+        return std::pair{l.a, AbstractValue::fromRange(
+                                  inv.set.front(), inv.set.back())};
+    }
+
+    // var OP const
+    if (l.isBareVar() && r.isConst) {
+        uint32_t c = r.constVal;
+        switch (inv.op) {
+          case expr::CmpOp::Eq:
+            return std::pair{l.a, AbstractValue::constant(c)};
+          case expr::CmpOp::Gt:
+            if (c == 0xffffffffu)
+                return std::nullopt;
+            return std::pair{l.a,
+                             AbstractValue::fromRange(c + 1,
+                                                      0xffffffffu)};
+          case expr::CmpOp::Ge:
+            return std::pair{l.a,
+                             AbstractValue::fromRange(c, 0xffffffffu)};
+          default:
+            return std::nullopt;
+        }
+    }
+
+    // const OP var
+    if (r.isBareVar() && l.isConst) {
+        uint32_t c = l.constVal;
+        switch (inv.op) {
+          case expr::CmpOp::Eq:
+            return std::pair{r.a, AbstractValue::constant(c)};
+          case expr::CmpOp::Gt:
+            if (c == 0)
+                return std::nullopt;
+            return std::pair{r.a, AbstractValue::fromRange(0, c - 1)};
+          case expr::CmpOp::Ge:
+            return std::pair{r.a, AbstractValue::fromRange(0, c)};
+          default:
+            return std::nullopt;
+        }
+    }
+
+    return std::nullopt;
+}
+
+} // namespace
+
+std::string
+AnalysisReport::render() const
+{
+    std::string out;
+    out += "scifinder analysis report\n";
+    out += format("invariants: %zu\n", entries.size());
+    out += format("tautology: %zu\n",
+                  counts[size_t(Verdict::Tautology)]);
+    out += format("contradiction: %zu\n",
+                  counts[size_t(Verdict::Contradiction)]);
+    out += format("isa-implied: %zu (structural %zu)\n",
+                  counts[size_t(Verdict::IsaImplied)],
+                  structuralImplied);
+    out += format("contingent: %zu\n",
+                  counts[size_t(Verdict::Contingent)]);
+    out += format("implications: %zu\n", implications.size());
+    out += "\n[verdicts]\n";
+    for (const Entry &e : entries) {
+        out += verdictName(e.cls.verdict);
+        if (e.cls.verdict == Verdict::IsaImplied ||
+            e.cls.verdict == Verdict::Contradiction) {
+            out += e.cls.structural ? "/structural" : "/architectural";
+        }
+        out += "\t";
+        out += e.invariant;
+        out += "\n";
+    }
+    out += "\n[implications]\n";
+    for (const Implication &imp : implications) {
+        out += imp.antecedent;
+        out += "  =>  ";
+        out += imp.consequent;
+        out += "\n";
+    }
+    return out;
+}
+
+AnalysisReport
+analyze(const std::vector<expr::Invariant> &invs,
+        support::ThreadPool *pool)
+{
+    AnalysisReport report;
+
+    std::vector<Classification> cls = support::parallelMap(
+        pool, invs,
+        [](const expr::Invariant &inv) { return classify(inv); });
+
+    report.entries.reserve(invs.size());
+    for (size_t i = 0; i < invs.size(); ++i) {
+        report.entries.push_back({invs[i].str(), cls[i]});
+        report.counts[size_t(cls[i].verdict)]++;
+        if (cls[i].verdict == Verdict::IsaImplied &&
+            cls[i].structural)
+            report.structuralImplied++;
+    }
+
+    // Group invariants per program point, keeping input order inside
+    // each group and ordering the groups by first appearance so the
+    // report does not depend on Point's packing.
+    std::map<uint16_t, std::vector<size_t>> byPoint;
+    std::vector<uint16_t> pointOrder;
+    for (size_t i = 0; i < invs.size(); ++i) {
+        uint16_t raw = invs[i].point.id();
+        auto [it, fresh] = byPoint.try_emplace(raw);
+        if (fresh)
+            pointOrder.push_back(raw);
+        it->second.push_back(i);
+    }
+
+    // Prove implications per point: derive the antecedent's fact,
+    // meet it into the structural environment, and check whether the
+    // consequent becomes decidably true. Pairs where either side is
+    // already vacuous are skipped — their implications are trivial.
+    std::vector<std::vector<Implication>> perPoint =
+        support::parallelMap(
+            pool, pointOrder, [&](uint16_t raw) {
+                const std::vector<size_t> &members = byPoint.at(raw);
+                std::vector<Implication> found;
+                Env base = structuralEnv(invs[members[0]].point);
+                for (size_t ai : members) {
+                    if (cls[ai].removable())
+                        continue;
+                    auto fact = factOf(invs[ai]);
+                    if (!fact)
+                        continue;
+                    Env env = base;
+                    env.constrain(fact->first, fact->second);
+                    for (size_t ci : members) {
+                        if (ci == ai || cls[ci].removable())
+                            continue;
+                        if (invs[ci].key() == invs[ai].key())
+                            continue;
+                        if (evalInvariant(invs[ci], base) !=
+                                Truth::Unknown)
+                            continue;   // decided without the fact
+                        if (evalInvariant(invs[ci], env) ==
+                            Truth::True) {
+                            found.push_back({invs[ai].str(),
+                                             invs[ci].str()});
+                        }
+                    }
+                }
+                return found;
+            });
+
+    for (std::vector<Implication> &found : perPoint) {
+        report.implications.insert(report.implications.end(),
+                                   found.begin(), found.end());
+    }
+    return report;
+}
+
+} // namespace scif::analysis

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Abstract-interpretation invariant analyzer (the tentpole of the
+ * static-analysis subsystem).
+ *
+ * The analyzer evaluates every invariant over the abstract
+ * environment of its program point (isafacts.hh) and assigns one of
+ * four verdicts:
+ *
+ *  - Tautology: the expression is true for every pair of 32-bit
+ *    values — no facts about the processor are needed.
+ *  - Contradiction: the expression is false for every consistent
+ *    valuation; the derived assertion would fire on every occurrence
+ *    of the point.
+ *  - IsaImplied: true under the ISA-seeded environment. The
+ *    `structural` flag distinguishes proofs that use only structural
+ *    facts (enforced by the tracer/decoder — the invariant can never
+ *    be violated by any emittable record and is safe to delete) from
+ *    proofs that need architectural promises (alignment, SR fixed
+ *    bits — exactly what dynamic verification checks, so kept).
+ *  - Contingent: everything else; the invariant carries information
+ *    about the processor's behaviour.
+ *
+ * The analyzer also proves pairwise implications the DR pass cannot
+ * see: DR reduces >,>= chains over identical operand keys, while this
+ * prover derives a fact from one invariant (x == c, x in S, bound
+ * against a constant) and abstractly evaluates its siblings under it.
+ * Implications are reported, never acted on — removing one side of a
+ * mutually-implying pair would change the Table 3 accounting.
+ */
+
+#ifndef SCIFINDER_ANALYSIS_ANALYZER_HH
+#define SCIFINDER_ANALYSIS_ANALYZER_HH
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/domain.hh"
+#include "analysis/isafacts.hh"
+#include "expr/expr.hh"
+#include "support/threadpool.hh"
+
+namespace scif::analysis {
+
+/** The analyzer's verdict lattice (see file comment). */
+enum class Verdict : uint8_t
+{
+    Tautology,
+    Contradiction,
+    IsaImplied,
+    Contingent,
+};
+
+/** @return the printable name ("tautology", ...). */
+std::string_view verdictName(Verdict v);
+
+/** A verdict plus the tier of facts the proof needed. */
+struct Classification
+{
+    Verdict verdict = Verdict::Contingent;
+
+    /** True when the proof used structural facts only (always true
+     *  for Tautology; meaningful for IsaImplied / Contradiction). */
+    bool structural = false;
+
+    /** @return true if no emittable record can violate the
+     *  invariant, i.e. it is dead weight in the model. */
+    bool
+    removable() const
+    {
+        return verdict == Verdict::Tautology ||
+               (verdict == Verdict::IsaImplied && structural);
+    }
+};
+
+/** Abstractly evaluate an operand under an environment. */
+AbstractValue evalOperand(const expr::Operand &op, const Env &env);
+
+/** Decide an invariant's expression under an environment. */
+Truth evalInvariant(const expr::Invariant &inv, const Env &env);
+
+/** Classify one invariant at its program point. */
+Classification classify(const expr::Invariant &inv);
+
+/**
+ * Remove the invariants no emittable record can violate (removable()
+ * classifications). Keeps the relative order of survivors.
+ *
+ * @return the number of invariants removed.
+ */
+size_t removeVacuous(std::vector<expr::Invariant> &invs,
+                     support::ThreadPool *pool = nullptr);
+
+/** One proven implication between sibling invariants at a point. */
+struct Implication
+{
+    std::string antecedent;   ///< str() of the implying invariant
+    std::string consequent;   ///< str() of the implied invariant
+};
+
+/** The full machine-readable analysis (see render()). */
+struct AnalysisReport
+{
+    struct Entry
+    {
+        std::string invariant;   ///< Invariant::str()
+        Classification cls;
+    };
+
+    std::vector<Entry> entries;           ///< input order
+    std::vector<Implication> implications;
+
+    /** Verdict tallies, indexed by Verdict. */
+    std::array<size_t, 4> counts{};
+
+    /** Of the IsaImplied count, how many are structural proofs. */
+    size_t structuralImplied = 0;
+
+    /**
+     * Render the deterministic machine-readable report: a header of
+     * tallies, one "verdict[/tier] <TAB> invariant" line per entry,
+     * then the proven implications. Byte-identical for a given
+     * invariant set regardless of thread count.
+     */
+    std::string render() const;
+};
+
+/**
+ * Classify every invariant and prove sibling implications.
+ * Parallelises over @p pool (null = serial) with index-ordered
+ * collection, so the report is byte-identical across job counts.
+ */
+AnalysisReport analyze(const std::vector<expr::Invariant> &invs,
+                       support::ThreadPool *pool = nullptr);
+
+} // namespace scif::analysis
+
+#endif // SCIFINDER_ANALYSIS_ANALYZER_HH

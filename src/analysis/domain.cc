@@ -1,0 +1,389 @@
+#include "domain.hh"
+
+#include <algorithm>
+
+#include "support/strings.hh"
+
+namespace scif::analysis {
+
+AbstractValue
+AbstractValue::fromRange(uint32_t lo, uint32_t hi)
+{
+    AbstractValue v;
+    v.range = {lo, hi};
+    v.reduce();
+    return v;
+}
+
+AbstractValue
+AbstractValue::fromBits(uint32_t zeros, uint32_t ones)
+{
+    AbstractValue v;
+    v.bits = {zeros, ones};
+    v.reduce();
+    return v;
+}
+
+AbstractValue
+AbstractValue::join(const AbstractValue &o) const
+{
+    if (isBottom())
+        return o;
+    if (o.isBottom())
+        return *this;
+    AbstractValue v{bits.join(o.bits), range.join(o.range)};
+    v.reduce();
+    return v;
+}
+
+AbstractValue
+AbstractValue::meet(const AbstractValue &o) const
+{
+    AbstractValue v{bits.meet(o.bits), range.meet(o.range)};
+    v.reduce();
+    return v;
+}
+
+void
+AbstractValue::reduce()
+{
+    if (isBottom())
+        return;
+
+    // Bits -> range: the known bits bound the value from both sides.
+    range = range.meet({bits.minValue(), bits.maxValue()});
+    if (range.isBottom())
+        return;
+
+    // Range -> bits: lo and hi share a leading prefix of known bits.
+    uint32_t differ = range.lo ^ range.hi;
+    if (differ == 0) {
+        bits = bits.meet(KnownBits::constant(range.lo));
+        return;
+    }
+    // Mask of all positions at or below the highest differing bit.
+    uint32_t suffix = differ;
+    suffix |= suffix >> 1;
+    suffix |= suffix >> 2;
+    suffix |= suffix >> 4;
+    suffix |= suffix >> 8;
+    suffix |= suffix >> 16;
+    uint32_t prefix = ~suffix;
+    bits = bits.meet(
+        {prefix & ~range.lo, prefix & range.lo});
+}
+
+std::string
+AbstractValue::str() const
+{
+    if (isBottom())
+        return "bottom";
+    if (isConstant())
+        return format("0x%x", constantValue());
+    std::string out =
+        format("[0x%x, 0x%x]", range.lo, range.hi);
+    if (bits.zeros != 0 || bits.ones != 0)
+        out += format(" bits(0:%08x 1:%08x)", bits.zeros, bits.ones);
+    return out;
+}
+
+namespace {
+
+/** Known-bits addition via carry propagation from the LSB up. */
+KnownBits
+kbAdd(const KnownBits &a, const KnownBits &b)
+{
+    if (a.isBottom() || b.isBottom())
+        return a.meet(b);
+    KnownBits out = KnownBits::top();
+    // carry state: 0 known-zero, 1 known-one, 2 unknown
+    int carry = 0;
+    for (unsigned i = 0; i < 32; ++i) {
+        uint32_t m = 1u << i;
+        int abit = (a.ones & m) ? 1 : (a.zeros & m) ? 0 : 2;
+        int bbit = (b.ones & m) ? 1 : (b.zeros & m) ? 0 : 2;
+        if (abit != 2 && bbit != 2 && carry != 2) {
+            int sum = abit + bbit + carry;
+            if (sum & 1)
+                out.ones |= m;
+            else
+                out.zeros |= m;
+            carry = sum >> 1;
+        } else if (abit == 0 && bbit == 0) {
+            // 0 + 0 + carry(0/1/?) never carries out.
+            carry = 0;
+        } else if (abit == 1 && bbit == 1) {
+            // 1 + 1 + anything always carries out.
+            carry = 1;
+        } else {
+            carry = 2;
+        }
+    }
+    return out;
+}
+
+/** The all-ones mask covering every bit up to the MSB of @p v. */
+uint32_t
+saturateToMask(uint32_t v)
+{
+    v |= v >> 1;
+    v |= v >> 2;
+    v |= v >> 4;
+    v |= v >> 8;
+    v |= v >> 16;
+    return v;
+}
+
+} // namespace
+
+AbstractValue
+avAnd(const AbstractValue &a, const AbstractValue &b)
+{
+    AbstractValue v;
+    v.bits = {a.bits.zeros | b.bits.zeros, a.bits.ones & b.bits.ones};
+    v.range = {0, std::min(a.range.hi, b.range.hi)};
+    v.reduce();
+    return v;
+}
+
+AbstractValue
+avOr(const AbstractValue &a, const AbstractValue &b)
+{
+    AbstractValue v;
+    v.bits = {a.bits.zeros & b.bits.zeros, a.bits.ones | b.bits.ones};
+    v.range = {std::max(a.range.lo, b.range.lo),
+               saturateToMask(a.range.hi) | saturateToMask(b.range.hi)};
+    v.reduce();
+    return v;
+}
+
+AbstractValue
+avAdd(const AbstractValue &a, const AbstractValue &b)
+{
+    AbstractValue v;
+    v.bits = kbAdd(a.bits, b.bits);
+    uint64_t lo = uint64_t(a.range.lo) + uint64_t(b.range.lo);
+    uint64_t hi = uint64_t(a.range.hi) + uint64_t(b.range.hi);
+    if (hi <= 0xffffffffull) {
+        v.range = {uint32_t(lo), uint32_t(hi)};
+    } else if (lo > 0xffffffffull) {
+        // Every sum wraps exactly once: still a contiguous range.
+        v.range = {uint32_t(lo), uint32_t(hi)};
+    }
+    // Mixed wrap: the range splits; keep interval top.
+    v.reduce();
+    return v;
+}
+
+AbstractValue
+avNot(const AbstractValue &a)
+{
+    AbstractValue v;
+    v.bits = {a.bits.ones, a.bits.zeros};
+    v.range = {~a.range.hi, ~a.range.lo};
+    v.reduce();
+    return v;
+}
+
+AbstractValue
+avSub(const AbstractValue &a, const AbstractValue &b)
+{
+    // a - b == a + ~b + 1 (bits path); the interval path uses the
+    // signed difference of the bounds.
+    AbstractValue v;
+    v.bits = kbAdd(kbAdd(a.bits, {b.bits.ones, b.bits.zeros}),
+                   KnownBits::constant(1));
+    int64_t lo = int64_t(a.range.lo) - int64_t(b.range.hi);
+    int64_t hi = int64_t(a.range.hi) - int64_t(b.range.lo);
+    if (lo >= 0) {
+        v.range = {uint32_t(lo), uint32_t(hi)};
+    } else if (hi < 0) {
+        // Every difference wraps exactly once.
+        v.range = {uint32_t(lo + 0x100000000ll),
+                   uint32_t(hi + 0x100000000ll)};
+    }
+    v.reduce();
+    return v;
+}
+
+AbstractValue
+avMulConst(const AbstractValue &a, uint32_t m)
+{
+    if (m == 1)
+        return a;
+    AbstractValue v;
+    if (a.isConstant()) {
+        return AbstractValue::constant(a.constantValue() * m);
+    }
+    if (m == 0)
+        return AbstractValue::constant(0);
+
+    // Interval: exact when no bound overflows.
+    uint64_t lo = uint64_t(a.range.lo) * m;
+    uint64_t hi = uint64_t(a.range.hi) * m;
+    if (hi <= 0xffffffffull)
+        v.range = {uint32_t(lo), uint32_t(hi)};
+
+    // Bits: the product's low bits depend only on the operand's low
+    // bits; each contiguous known low bit of a (plus the multiplier's
+    // trailing zeros) pins one product bit.
+    unsigned lowKnown = 0;
+    while (lowKnown < 32 &&
+           ((a.bits.zeros | a.bits.ones) & (1u << lowKnown)))
+        ++lowKnown;
+    unsigned tz = 0;
+    while (tz < 32 && !(m & (1u << tz)))
+        ++tz;
+    unsigned known = std::min(32u, lowKnown + tz);
+    if (known > 0) {
+        uint32_t mask =
+            known >= 32 ? 0xffffffffu : (1u << known) - 1;
+        uint32_t low = (a.bits.ones & mask) * m;
+        v.bits = {mask & ~low, mask & low};
+    }
+    v.reduce();
+    return v;
+}
+
+AbstractValue
+avModConst(const AbstractValue &a, uint32_t m)
+{
+    if (m == 0)
+        return a;   // Operand::eval skips mod 0
+    if (a.isConstant())
+        return AbstractValue::constant(a.constantValue() % m);
+    AbstractValue v;
+    if ((m & (m - 1)) == 0) {
+        // Power of two: a bit mask; low bits survive.
+        uint32_t mask = m - 1;
+        v.bits = {~mask | (a.bits.zeros & mask), a.bits.ones & mask};
+    } else {
+        v.range = {0, m - 1};
+        if (a.range.hi < m)
+            v.range = a.range;
+    }
+    v.reduce();
+    return v;
+}
+
+AbstractValue
+avAddConst(const AbstractValue &a, uint32_t c)
+{
+    if (c == 0)
+        return a;
+    return avAdd(a, AbstractValue::constant(c));
+}
+
+std::string_view
+truthName(Truth t)
+{
+    switch (t) {
+      case Truth::True: return "true";
+      case Truth::False: return "false";
+      case Truth::Unknown: return "unknown";
+    }
+    return "?";
+}
+
+namespace {
+
+Truth
+negate(Truth t)
+{
+    if (t == Truth::True)
+        return Truth::False;
+    if (t == Truth::False)
+        return Truth::True;
+    return Truth::Unknown;
+}
+
+Truth
+decideEq(const AbstractValue &l, const AbstractValue &r)
+{
+    if (l.isConstant() && r.isConstant()) {
+        return l.constantValue() == r.constantValue() ? Truth::True
+                                                      : Truth::False;
+    }
+    // Disjoint ranges or conflicting known bits rule equality out.
+    if (l.range.hi < r.range.lo || r.range.hi < l.range.lo)
+        return Truth::False;
+    if ((l.bits.ones & r.bits.zeros) || (r.bits.ones & l.bits.zeros))
+        return Truth::False;
+    return Truth::Unknown;
+}
+
+Truth
+decideGt(const AbstractValue &l, const AbstractValue &r)
+{
+    if (l.range.lo > r.range.hi)
+        return Truth::True;
+    if (l.range.hi <= r.range.lo)
+        return Truth::False;
+    return Truth::Unknown;
+}
+
+Truth
+decideGe(const AbstractValue &l, const AbstractValue &r)
+{
+    if (l.range.lo >= r.range.hi)
+        return Truth::True;
+    if (l.range.hi < r.range.lo)
+        return Truth::False;
+    return Truth::Unknown;
+}
+
+/** Enumeration budget for deciding membership by exhaustion. */
+constexpr uint64_t maxEnumerate = 256;
+
+Truth
+decideIn(const AbstractValue &l, const std::vector<uint32_t> &set)
+{
+    if (l.isConstant()) {
+        return std::binary_search(set.begin(), set.end(),
+                                  l.constantValue())
+                   ? Truth::True
+                   : Truth::False;
+    }
+    // No consistent concretization intersects the set: never a member.
+    bool anyMember = false;
+    for (uint32_t v : set)
+        anyMember |= l.contains(v);
+    if (!anyMember)
+        return Truth::False;
+    // Small concretizations are checked exhaustively.
+    uint64_t span =
+        uint64_t(l.range.hi) - uint64_t(l.range.lo) + 1;
+    if (span <= maxEnumerate) {
+        for (uint64_t v = l.range.lo; v <= l.range.hi; ++v) {
+            if (!l.contains(uint32_t(v)))
+                continue;
+            if (!std::binary_search(set.begin(), set.end(),
+                                    uint32_t(v)))
+                return Truth::Unknown;
+        }
+        return Truth::True;
+    }
+    return Truth::Unknown;
+}
+
+} // namespace
+
+Truth
+compare(expr::CmpOp op, const AbstractValue &l, const AbstractValue &r,
+        const std::vector<uint32_t> &inSet)
+{
+    if (l.isBottom() || r.isBottom())
+        return Truth::Unknown;
+    switch (op) {
+      case expr::CmpOp::Eq: return decideEq(l, r);
+      case expr::CmpOp::Ne: return negate(decideEq(l, r));
+      case expr::CmpOp::Gt: return decideGt(l, r);
+      case expr::CmpOp::Ge: return decideGe(l, r);
+      case expr::CmpOp::Lt: return decideGt(r, l);
+      case expr::CmpOp::Le: return decideGe(r, l);
+      case expr::CmpOp::In: return decideIn(l, inSet);
+    }
+    return Truth::Unknown;
+}
+
+} // namespace scif::analysis

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Abstract domains for the invariant analyzer: known-bits and
+ * unsigned intervals over 32-bit machine words, combined into a
+ * reduced product.
+ *
+ * Both domains are standard abstract-interpretation lattices:
+ *
+ *  - KnownBits tracks, per bit position, whether the bit is known to
+ *    be 0, known to be 1, or unknown. Top knows nothing; a value with
+ *    a position claimed both 0 and 1 is bottom (no concrete value).
+ *  - Interval is the unsigned range [lo, hi]; top is [0, 2^32-1] and
+ *    bottom is represented by lo > hi.
+ *
+ * AbstractValue pairs the two and keeps them mutually reduced: the
+ * interval is clamped to the bounds the bits imply and the bits learn
+ * the common leading prefix of the interval's endpoints. All transfer
+ * functions are sound over-approximations of the expr::Operand
+ * evaluator's modulo-2^32 arithmetic.
+ */
+
+#ifndef SCIFINDER_ANALYSIS_DOMAIN_HH
+#define SCIFINDER_ANALYSIS_DOMAIN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "expr/expr.hh"
+
+namespace scif::analysis {
+
+/** Per-bit knowledge about a 32-bit word. */
+struct KnownBits
+{
+    uint32_t zeros = 0;   ///< bits known to be 0
+    uint32_t ones = 0;    ///< bits known to be 1
+
+    /** The lattice top: nothing known. */
+    static KnownBits top() { return {}; }
+
+    /** All 32 bits known. */
+    static KnownBits constant(uint32_t v) { return {~v, v}; }
+
+    /** @return true if some bit is claimed both 0 and 1. */
+    bool isBottom() const { return (zeros & ones) != 0; }
+
+    /** @return true if every bit is known (and not bottom). */
+    bool isConstant() const
+    {
+        return !isBottom() && (zeros | ones) == 0xffffffffu;
+    }
+
+    /** The single concrete value (only valid when isConstant()). */
+    uint32_t constantValue() const { return ones; }
+
+    /** Smallest value consistent with the known bits. */
+    uint32_t minValue() const { return ones; }
+
+    /** Largest value consistent with the known bits. */
+    uint32_t maxValue() const { return ~zeros; }
+
+    /** @return true if @p v is consistent with the known bits. */
+    bool contains(uint32_t v) const
+    {
+        return (v & zeros) == 0 && (v & ones) == ones;
+    }
+
+    /** Least upper bound: keep only knowledge shared by both. */
+    KnownBits join(const KnownBits &o) const
+    {
+        return {zeros & o.zeros, ones & o.ones};
+    }
+
+    /** Greatest lower bound: combine knowledge (may go bottom). */
+    KnownBits meet(const KnownBits &o) const
+    {
+        return {zeros | o.zeros, ones | o.ones};
+    }
+
+    bool operator==(const KnownBits &) const = default;
+};
+
+/** Unsigned interval [lo, hi]; lo > hi encodes bottom. */
+struct Interval
+{
+    uint32_t lo = 0;
+    uint32_t hi = 0xffffffffu;
+
+    static Interval top() { return {}; }
+    static Interval constant(uint32_t v) { return {v, v}; }
+    static Interval bottom() { return {1, 0}; }
+
+    bool isBottom() const { return lo > hi; }
+    bool isConstant() const { return lo == hi; }
+    bool contains(uint32_t v) const { return lo <= v && v <= hi; }
+
+    Interval join(const Interval &o) const
+    {
+        if (isBottom())
+            return o;
+        if (o.isBottom())
+            return *this;
+        return {lo < o.lo ? lo : o.lo, hi > o.hi ? hi : o.hi};
+    }
+
+    Interval meet(const Interval &o) const
+    {
+        return {lo > o.lo ? lo : o.lo, hi < o.hi ? hi : o.hi};
+    }
+
+    bool operator==(const Interval &) const = default;
+};
+
+/** Reduced product of KnownBits and Interval. */
+struct AbstractValue
+{
+    KnownBits bits;
+    Interval range;
+
+    static AbstractValue top() { return {}; }
+
+    static AbstractValue
+    constant(uint32_t v)
+    {
+        return {KnownBits::constant(v), Interval::constant(v)};
+    }
+
+    /** An interval fact, bits reduced from the endpoints. */
+    static AbstractValue fromRange(uint32_t lo, uint32_t hi);
+
+    /** A known-bits fact, range reduced from the bit bounds. */
+    static AbstractValue fromBits(uint32_t zeros, uint32_t ones);
+
+    bool isBottom() const
+    {
+        return bits.isBottom() || range.isBottom();
+    }
+
+    bool isConstant() const
+    {
+        return !isBottom() &&
+               (bits.isConstant() || range.isConstant());
+    }
+
+    uint32_t constantValue() const
+    {
+        return bits.isConstant() ? bits.constantValue() : range.lo;
+    }
+
+    /** @return true if @p v is in the concretization. */
+    bool contains(uint32_t v) const
+    {
+        return !isBottom() && bits.contains(v) && range.contains(v);
+    }
+
+    AbstractValue join(const AbstractValue &o) const;
+    AbstractValue meet(const AbstractValue &o) const;
+
+    /**
+     * Propagate knowledge between the component domains until
+     * stable: bit bounds clamp the interval; the common leading
+     * prefix of lo and hi becomes known bits.
+     */
+    void reduce();
+
+    /** Printable form for reports and test diagnostics. */
+    std::string str() const;
+
+    bool operator==(const AbstractValue &) const = default;
+};
+
+// ---- transfer functions (all modulo 2^32, like Operand::eval) ----
+
+AbstractValue avAnd(const AbstractValue &a, const AbstractValue &b);
+AbstractValue avOr(const AbstractValue &a, const AbstractValue &b);
+AbstractValue avAdd(const AbstractValue &a, const AbstractValue &b);
+AbstractValue avSub(const AbstractValue &a, const AbstractValue &b);
+AbstractValue avNot(const AbstractValue &a);
+AbstractValue avMulConst(const AbstractValue &a, uint32_t m);
+AbstractValue avModConst(const AbstractValue &a, uint32_t m);
+AbstractValue avAddConst(const AbstractValue &a, uint32_t c);
+
+/** Three-valued truth for abstract comparisons. */
+enum class Truth : uint8_t { True, False, Unknown };
+
+/** @return the printable name ("true", "false", "unknown"). */
+std::string_view truthName(Truth t);
+
+/**
+ * Decide an unsigned comparison between abstract values. True/False
+ * only when every pair of concrete values agrees; membership (In)
+ * tests @p l against @p inSet (sorted, as in expr::Invariant).
+ */
+Truth compare(expr::CmpOp op, const AbstractValue &l,
+              const AbstractValue &r,
+              const std::vector<uint32_t> &inSet = {});
+
+} // namespace scif::analysis
+
+#endif // SCIFINDER_ANALYSIS_DOMAIN_HH

@@ -1,0 +1,190 @@
+#include "isafacts.hh"
+
+#include "isa/arch.hh"
+#include "isa/insn.hh"
+
+namespace scif::analysis {
+
+namespace {
+
+using trace::VarId;
+
+/** The 0/1 range of the derived flag variables. */
+const AbstractValue &
+bitValue()
+{
+    static const AbstractValue v = AbstractValue::fromRange(0, 1);
+    return v;
+}
+
+/** The 5-bit register-index range. */
+const AbstractValue &
+regIndex()
+{
+    static const AbstractValue v = AbstractValue::fromRange(0, 31);
+    return v;
+}
+
+/** Facts every record has, whatever the point: the derived flag
+ *  variables are single bits by construction (trace/derived.cc). */
+void
+seedGlobalStructural(Env &env)
+{
+    for (uint16_t var : {uint16_t(VarId::SF), uint16_t(VarId::SM),
+                         uint16_t(VarId::CY), uint16_t(VarId::OV),
+                         uint16_t(VarId::DSX), uint16_t(VarId::FO),
+                         uint16_t(VarId::FLAGOK),
+                         uint16_t(VarId::MEMOK)}) {
+        env.constrainBoth(var, bitValue());
+    }
+}
+
+/** @return true if the format decodes the given register field. */
+bool
+hasRa(isa::Format f)
+{
+    using isa::Format;
+    switch (f) {
+      case Format::RRR:
+      case Format::RRDA:
+      case Format::RRAB:
+      case Format::RRI:
+      case Format::LOAD:
+      case Format::RIA:
+      case Format::RRL:
+      case Format::STORE:
+      case Format::MTSPR:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+hasRb(isa::Format f)
+{
+    using isa::Format;
+    switch (f) {
+      case Format::JR:
+      case Format::RRR:
+      case Format::RRAB:
+      case Format::STORE:
+      case Format::MTSPR:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Per-point decoder facts: the instruction word's fixed encoding
+ *  bits, the immediate's format range, and the register fields.
+ *  Sound for any processor because the tracer files a record under
+ *  the point its *decoded* instruction word names, and a fused
+ *  branch/delay-slot record keeps the branch's word and fields. */
+void
+seedPointStructural(Env &env, trace::Point point)
+{
+    if (point.isInterrupt())
+        return;
+    const isa::InsnInfo &ii = isa::info(point.mnemonic());
+
+    // INSN: every fixed bit of the encoding is known.
+    uint32_t mask = isa::formatMask(ii.format);
+    env.constrainBoth(uint16_t(VarId::INSN),
+                      AbstractValue::fromBits(mask & ~ii.match,
+                                              mask & ii.match));
+
+    // IMM: the decoder's zero-extension bounds it; sign-extended
+    // immediates cover two unsigned ranges and get no interval fact.
+    using isa::Format;
+    switch (ii.format) {
+      case Format::RRL:
+        env.constrainBoth(uint16_t(VarId::IMM),
+                          AbstractValue::fromRange(0, 63));
+        break;
+      case Format::RI:
+      case Format::K16:
+        env.constrainBoth(uint16_t(VarId::IMM),
+                          AbstractValue::fromRange(0, 0xffff));
+        break;
+      case Format::RRI:
+      case Format::LOAD:
+      case Format::RIA:
+      case Format::STORE:
+      case Format::MTSPR:
+        if (!ii.signedImm) {
+            env.constrainBoth(uint16_t(VarId::IMM),
+                              AbstractValue::fromRange(0, 0xffff));
+        }
+        break;
+      case Format::J:
+        break;   // sign-extended 26-bit offset: no unsigned range
+      case Format::JR:
+      case Format::RRR:
+      case Format::RRDA:
+      case Format::RRAB:
+      case Format::RD:
+      case Format::NONE:
+        env.constrainBoth(uint16_t(VarId::IMM),
+                          AbstractValue::constant(0));
+        break;
+    }
+
+    // Register index fields: 5-bit decoder outputs, or hardwired 0
+    // when the format has no such field (cpu.cc leaves them 0; the
+    // delay-slot half of a fused record never rewrites REGA/REGB).
+    env.constrainBoth(uint16_t(VarId::REGA),
+                      hasRa(ii.format) ? regIndex()
+                                       : AbstractValue::constant(0));
+    env.constrainBoth(uint16_t(VarId::REGB),
+                      hasRb(ii.format) ? regIndex()
+                                       : AbstractValue::constant(0));
+    // REGD is rewritten by every writeGpr(): the link write of
+    // l.jal/l.jalr and any rD write of a fused delay-slot
+    // instruction land in the branch's record, so a point with a
+    // delay slot (or an rD writer) only bounds REGD to 5 bits.
+    env.constrainBoth(uint16_t(VarId::REGD),
+                      ii.writesRd || ii.hasDelaySlot
+                          ? regIndex()
+                          : AbstractValue::constant(0));
+}
+
+/** ISA promises a correct processor keeps (and a buggy one may
+ *  break): word-aligned control flow, the SR fixed-one bit, the
+ *  hardwired zero register. */
+void
+seedArchitectural(Env &env)
+{
+    const AbstractValue aligned = AbstractValue::fromBits(0x3, 0);
+    for (uint16_t var : {uint16_t(VarId::PC), uint16_t(VarId::NPC),
+                         uint16_t(VarId::NNPC), uint16_t(VarId::PPC),
+                         uint16_t(VarId::WBPC),
+                         uint16_t(VarId::IDPC)}) {
+        env.constrainBoth(var, aligned);
+    }
+    env.constrainBoth(uint16_t(VarId::SR),
+                      AbstractValue::fromBits(0, 1u << isa::sr::FO));
+    env.constrainBoth(uint16_t(trace::gprVar(0)),
+                      AbstractValue::constant(0));
+}
+
+} // namespace
+
+Env
+structuralEnv(trace::Point point)
+{
+    Env env;
+    seedGlobalStructural(env);
+    seedPointStructural(env, point);
+    return env;
+}
+
+Env
+architecturalEnv(trace::Point point)
+{
+    Env env = structuralEnv(point);
+    seedArchitectural(env);
+    return env;
+}
+
+} // namespace scif::analysis

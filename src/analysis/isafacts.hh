@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Abstract environments seeded from the ISA specification: what is
+ * known about every schema variable at a program point before any
+ * training trace is observed.
+ *
+ * The facts come in two tiers, which the analyzer keeps apart
+ * because they have different trust levels:
+ *
+ *  - Structural facts are enforced by the trace layer and the decoder
+ *    themselves, independent of the processor's behaviour. The
+ *    derived flag variables are bit() extractions (always 0 or 1),
+ *    the REGA/REGB/REGD fields are 5-bit decoder outputs, and at an
+ *    instruction's program point INSN carries the mnemonic's fixed
+ *    encoding bits and IMM the format's immediate range. No erratum
+ *    (mutation) can produce a record violating them, so an invariant
+ *    they imply can never fire and is safe to delete from the model.
+ *  - Architectural facts are ISA promises the processor implements —
+ *    PC/NPC word alignment, the SR fixed-one bit — which a buggy
+ *    processor may break. Invariants they imply are classified
+ *    ISA-implied (and flagged as vacuous at assertion-synthesis
+ *    time) but are kept in the model: they are exactly the checks
+ *    dynamic verification exists to enforce.
+ */
+
+#ifndef SCIFINDER_ANALYSIS_ISAFACTS_HH
+#define SCIFINDER_ANALYSIS_ISAFACTS_HH
+
+#include <array>
+
+#include "analysis/domain.hh"
+#include "trace/record.hh"
+#include "trace/schema.hh"
+
+namespace scif::analysis {
+
+/**
+ * An abstract store: one AbstractValue per schema variable and side
+ * (post state, then orig() state). Default-constructed slots are top.
+ */
+class Env
+{
+  public:
+    /** @return the fact for a variable reference. */
+    const AbstractValue &
+    lookup(const expr::VarRef &ref) const
+    {
+        return slots_[index(ref)];
+    }
+
+    /** Meet a new fact into a slot. */
+    void
+    constrain(const expr::VarRef &ref, const AbstractValue &fact)
+    {
+        AbstractValue &slot = slots_[index(ref)];
+        slot = slot.meet(fact);
+    }
+
+    /** Constrain both the post and the orig() side of a variable. */
+    void
+    constrainBoth(uint16_t var, const AbstractValue &fact)
+    {
+        constrain({var, false}, fact);
+        constrain({var, true}, fact);
+    }
+
+  private:
+    static size_t
+    index(const expr::VarRef &ref)
+    {
+        return (ref.orig ? trace::numVars : 0) + ref.var;
+    }
+
+    std::array<AbstractValue, 2 * trace::numVars> slots_;
+};
+
+/**
+ * The structural environment for @p point: facts the tracer and the
+ * decoder enforce on every record filed there, buggy processor or
+ * not.
+ */
+Env structuralEnv(trace::Point point);
+
+/**
+ * The architectural environment: the structural facts plus the ISA
+ * promises (alignment, SR fixed bits) a correct processor keeps.
+ */
+Env architecturalEnv(trace::Point point);
+
+} // namespace scif::analysis
+
+#endif // SCIFINDER_ANALYSIS_ISAFACTS_HH

@@ -12,6 +12,7 @@
  *     violations.bin      phase 3   validation-corpus violations
  *     scidb.bin           phase 3   per-bug identification results
  *     inference.txt       phase 4   final SCI report (human-readable)
+ *     analysis.txt        analyze   static invariant classification
  *
  * The serializers themselves live with their types (trace/io.hh,
  * invgen::InvariantSet, sci::SciDatabase); this module owns the
@@ -41,6 +42,7 @@ class ArtifactPaths
     std::string violations() const { return join("violations.bin"); }
     std::string sciDatabase() const { return join("scidb.bin"); }
     std::string inference() const { return join("inference.txt"); }
+    std::string analysis() const { return join("analysis.txt"); }
 
     /** Create the directory (and parents) if missing; fatal on
      *  failure. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "lint.hh"
 #include "support/logging.hh"
 #include "support/strings.hh"
 
@@ -57,8 +58,12 @@ synthesize(const invgen::InvariantSet &set,
     // Group members by exact expression (constants included: the
     // enforced proposition must be identical).
     std::map<std::string, std::vector<size_t>> groups;
-    for (size_t idx : indices)
+    std::vector<expr::Invariant> lintees;
+    for (size_t idx : indices) {
         groups[set.all()[idx].exprKey()].push_back(idx);
+        lintees.push_back(set.all()[idx]);
+    }
+    reportLint(lintees);
 
     std::vector<Assertion> out;
     size_t counter = 0;

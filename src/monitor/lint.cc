@@ -1,0 +1,53 @@
+#include "lint.hh"
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace scif::monitor {
+
+std::string
+LintFinding::message() const
+{
+    using analysis::Verdict;
+    switch (cls.verdict) {
+      case Verdict::Contradiction:
+        return format("assertion can never hold (%s): %s",
+                      cls.structural ? "contradiction"
+                                     : "contradicts ISA promises",
+                      invariant.c_str());
+      case Verdict::Tautology:
+        return format("vacuous assertion (tautology): %s",
+                      invariant.c_str());
+      case Verdict::IsaImplied:
+        return format(
+            "vacuous assertion (structurally ISA-implied): %s",
+            invariant.c_str());
+      case Verdict::Contingent:
+        break;
+    }
+    return {};
+}
+
+std::vector<LintFinding>
+lintAssertionSet(const std::vector<expr::Invariant> &invs)
+{
+    std::vector<LintFinding> findings;
+    for (const expr::Invariant &inv : invs) {
+        analysis::Classification cls = analysis::classify(inv);
+        bool defective =
+            cls.verdict == analysis::Verdict::Contradiction ||
+            cls.removable();
+        if (defective)
+            findings.push_back({inv.str(), cls});
+    }
+    return findings;
+}
+
+void
+reportLint(const std::vector<expr::Invariant> &invs)
+{
+    for (const LintFinding &f : lintAssertionSet(invs))
+        warn("assertion lint: %s", f.message().c_str());
+}
+
+} // namespace scif::monitor

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Pre-synthesis assertion lint.
+ *
+ * Before invariants are translated into OVL assertion templates, the
+ * abstract-interpretation analyzer (src/analysis/) screens them for
+ * two defects a synthesized checker should never carry:
+ *
+ *  - vacuity: the expression is a tautology or is implied by
+ *    structural trace-layer facts, so the assertion can never fire
+ *    and only burns monitor area (Table 9 overhead);
+ *  - contradiction: the expression is false for every consistent
+ *    valuation, so the assertion fires on every occurrence of its
+ *    program point and is unusable as a checker.
+ *
+ * The lint warns and reports; it never drops an assertion itself —
+ * removal policy belongs to the optimizer's VR pass.
+ */
+
+#ifndef SCIFINDER_MONITOR_LINT_HH
+#define SCIFINDER_MONITOR_LINT_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hh"
+#include "expr/expr.hh"
+
+namespace scif::monitor {
+
+/** One lint diagnostic for an invariant headed into synthesis. */
+struct LintFinding
+{
+    std::string invariant;   ///< Invariant::str()
+    analysis::Classification cls;
+
+    /** Human-readable one-line diagnostic. */
+    std::string message() const;
+};
+
+/**
+ * Screen @p invs for vacuous and contradictory expressions.
+ * Architecturally ISA-implied invariants are not flagged: enforcing
+ * ISA promises is the point of dynamic verification.
+ *
+ * @return one finding per defective invariant, in input order.
+ */
+std::vector<LintFinding>
+lintAssertionSet(const std::vector<expr::Invariant> &invs);
+
+/** Run the lint and warn() each finding (silenced by setQuiet). */
+void reportLint(const std::vector<expr::Invariant> &invs);
+
+} // namespace scif::monitor
+
+#endif // SCIFINDER_MONITOR_LINT_HH

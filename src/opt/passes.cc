@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "analysis/analyzer.hh"
 #include "support/logging.hh"
 
 namespace scif::opt {
@@ -301,6 +302,20 @@ equivalenceRemoval(std::vector<Invariant> &invs)
     return stats;
 }
 
+PassStats
+vacuityRemoval(std::vector<Invariant> &invs)
+{
+    PassStats stats;
+    stats.invariantsBefore = invs.size();
+    stats.variablesBefore = countVariables(invs);
+
+    analysis::removeVacuous(invs);
+
+    stats.invariantsAfter = invs.size();
+    stats.variablesAfter = countVariables(invs);
+    return stats;
+}
+
 std::vector<PassStats>
 optimize(invgen::InvariantSet &set)
 {
@@ -309,6 +324,7 @@ optimize(invgen::InvariantSet &set)
     stats.push_back(constantPropagation(invs));
     stats.push_back(deducibleRemoval(invs));
     stats.push_back(equivalenceRemoval(invs));
+    stats.push_back(vacuityRemoval(invs));
     set.assign(std::move(invs));
     return stats;
 }

@@ -2,7 +2,8 @@
  * @file
  * Invariant-set optimization passes (paper §3.2).
  *
- * Three passes run in the paper's order:
+ * Four passes run in order (the paper's three, plus a semantic
+ * vacuity pass built on the abstract-interpretation analyzer):
  *
  *  1. Constant propagation (CP): equality-to-constant invariants at a
  *     point are substituted into that point's other invariants,
@@ -13,6 +14,12 @@
  *     keys; the transitive reduction drops edges implied by others.
  *  3. Equivalence removal (ER): invariants are canonicalized and
  *     exact duplicates (plus tautologies exposed by CP) are dropped.
+ *  4. Vacuity removal (VR): the abstract-interpretation analyzer
+ *     (src/analysis/) proves some invariants can never be violated
+ *     by any emittable record — semantic tautologies and invariants
+ *     implied by structural trace-layer facts (e.g. a derived flag
+ *     variable is always 0 or 1). Deleting them cannot change any
+ *     violation set, so identification (Table 3) is unaffected.
  */
 
 #ifndef SCIFINDER_OPT_PASSES_HH
@@ -52,7 +59,13 @@ PassStats deducibleRemoval(std::vector<expr::Invariant> &invs);
  */
 PassStats equivalenceRemoval(std::vector<expr::Invariant> &invs);
 
-/** Run all three passes in order; returns one stats entry per pass. */
+/**
+ * Vacuity removal: drop invariants the analyzer proves unviolatable
+ * (semantic tautologies and structurally ISA-implied facts).
+ */
+PassStats vacuityRemoval(std::vector<expr::Invariant> &invs);
+
+/** Run all four passes in order; returns one stats entry per pass. */
 std::vector<PassStats> optimize(invgen::InvariantSet &set);
 
 } // namespace scif::opt

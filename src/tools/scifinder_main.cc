@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analyzer.hh"
 #include "bugs/classification.hh"
 #include "core/artifacts.hh"
 #include "core/scifinder.hh"
@@ -64,6 +65,11 @@ usage()
         "errata\n"
         "  infer     --artifact-dir D\n"
         "                            phase 4: infer additional SCI\n"
+        "  analyze   [--jobs N] --artifact-dir D\n"
+        "                            classify the optimized model "
+        "with the\n"
+        "                            abstract-interpretation "
+        "analyzer\n"
         "\n"
         "  common [opts]: --jobs N (0 = all cores), --artifact-dir "
         "D,\n"
@@ -399,10 +405,11 @@ cmdOptimize(const std::vector<std::string> &args_in)
     model.saveBinary(paths.model());
     const char *passNames[] = {"constant propagation",
                                "deducible removal",
-                               "equivalence removal"};
+                               "equivalence removal",
+                               "vacuity removal"};
     for (size_t i = 0; i < passStats.size(); ++i) {
         const char *name =
-            i < 3 ? passNames[i] : "pass";
+            i < 4 ? passNames[i] : "pass";
         std::printf("%-22s %zu -> %zu invariants, %zu -> %zu "
                     "variables\n",
                     name, passStats[i].invariantsBefore,
@@ -547,6 +554,60 @@ cmdInfer(const std::vector<std::string> &args_in)
     for (size_t idx : final_set)
         out << idx << "\t" << model.all()[idx].str() << "\n";
     std::printf("wrote %s\n", paths.inference().c_str());
+    return 0;
+}
+
+/**
+ * Static analysis over the optimized model: classify every invariant
+ * and prove sibling implications; the report is deterministic and
+ * byte-identical across --jobs values.
+ */
+int
+cmdAnalyze(const std::vector<std::string> &args_in)
+{
+    std::vector<std::string> args = args_in;
+    CommonOpts opts;
+    if (!parseCommon(args, opts))
+        return 2;
+    if (opts.artifactDir.empty() || !args.empty()) {
+        std::fprintf(stderr,
+                     "usage: scifinder analyze [--jobs N] "
+                     "--artifact-dir D\n");
+        return 2;
+    }
+    core::ArtifactPaths paths(opts.artifactDir);
+    REQUIRE_ARTIFACT(paths.model(), "optimize");
+    invgen::InvariantSet model =
+        invgen::InvariantSet::loadBinary(paths.model());
+
+    auto pool = makePool(opts);
+    analysis::AnalysisReport report =
+        analysis::analyze(model.all(), pool.get());
+
+    std::ofstream out(paths.analysis(), std::ios::binary);
+    if (!out) {
+        std::fprintf(stderr, "cannot open %s\n",
+                     paths.analysis().c_str());
+        return 1;
+    }
+    std::string text = report.render();
+    out << text;
+
+    std::printf("%zu invariants: %zu tautology, %zu contradiction, "
+                "%zu isa-implied (%zu structural), %zu contingent; "
+                "%zu implications\n",
+                report.entries.size(),
+                report.counts[size_t(
+                    analysis::Verdict::Tautology)],
+                report.counts[size_t(
+                    analysis::Verdict::Contradiction)],
+                report.counts[size_t(
+                    analysis::Verdict::IsaImplied)],
+                report.structuralImplied,
+                report.counts[size_t(
+                    analysis::Verdict::Contingent)],
+                report.implications.size());
+    std::printf("wrote %s\n", paths.analysis().c_str());
     return 0;
 }
 
@@ -738,6 +799,8 @@ main(int argc, char **argv)
         return cmdIdentify(args);
     if (cmd == "infer")
         return cmdInfer(args);
+    if (cmd == "analyze")
+        return cmdAnalyze(args);
     if (cmd == "run")
         return cmdRun(args);
     if (cmd == "fuzz")

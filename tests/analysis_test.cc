@@ -1,0 +1,393 @@
+/**
+ * @file
+ * The abstract-interpretation analyzer: domain lattice laws, transfer
+ * function soundness, verdict classification on hand-built
+ * invariants, and the structural environment's central soundness
+ * contract — it must hold on every record any workload emits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.hh"
+#include "analysis/domain.hh"
+#include "analysis/isafacts.hh"
+#include "expr/expr.hh"
+#include "workloads/workloads.hh"
+
+namespace scif::analysis {
+namespace {
+
+using expr::CmpOp;
+using expr::Invariant;
+using expr::Op2;
+using expr::Operand;
+using trace::VarId;
+
+// ---- domains ----
+
+TEST(KnownBits, ConstantRoundTrip)
+{
+    KnownBits k = KnownBits::constant(0xdeadbeef);
+    EXPECT_TRUE(k.isConstant());
+    EXPECT_EQ(k.constantValue(), 0xdeadbeefu);
+    EXPECT_TRUE(k.contains(0xdeadbeef));
+    EXPECT_FALSE(k.contains(0xdeadbeee));
+}
+
+TEST(KnownBits, JoinKeepsSharedKnowledge)
+{
+    KnownBits a = KnownBits::constant(0b1100);
+    KnownBits b = KnownBits::constant(0b1010);
+    KnownBits j = a.join(b);
+    // Shared: bit3 one, bit1^bit2 disagree, bit0 zero.
+    EXPECT_TRUE(j.contains(0b1000));
+    EXPECT_TRUE(j.contains(0b1110));
+    EXPECT_FALSE(j.contains(0b0100));
+    EXPECT_FALSE(j.contains(0b1001));
+}
+
+TEST(KnownBits, MeetConflictIsBottom)
+{
+    KnownBits a = KnownBits::constant(1);
+    KnownBits b = KnownBits::constant(2);
+    EXPECT_TRUE(a.meet(b).isBottom());
+}
+
+TEST(Interval, JoinMeetLattice)
+{
+    Interval a{4, 10};
+    Interval b{8, 20};
+    EXPECT_EQ(a.join(b), (Interval{4, 20}));
+    EXPECT_EQ(a.meet(b), (Interval{8, 10}));
+    EXPECT_TRUE((Interval{12, 20}.meet({0, 8}).isBottom()));
+    EXPECT_EQ(Interval::bottom().join(a), a);
+}
+
+TEST(AbstractValue, ReductionBitsToRange)
+{
+    // Low 2 bits known zero: range minimum respects them.
+    AbstractValue v = AbstractValue::fromBits(0x3, 0);
+    EXPECT_EQ(v.range.lo, 0u);
+    EXPECT_FALSE(v.contains(2));
+    EXPECT_TRUE(v.contains(8));
+}
+
+TEST(AbstractValue, ReductionRangeToBits)
+{
+    // [4, 7] pins every bit except the low two.
+    AbstractValue v = AbstractValue::fromRange(4, 7);
+    EXPECT_EQ(v.bits.zeros, ~7u);
+    EXPECT_EQ(v.bits.ones, 4u);
+    EXPECT_FALSE(v.contains(3));
+    EXPECT_TRUE(v.contains(5));
+}
+
+TEST(AbstractValue, MeetRefines)
+{
+    AbstractValue v = AbstractValue::fromRange(0, 10).meet(
+        AbstractValue::fromBits(0x1, 0));   // even
+    EXPECT_TRUE(v.contains(8));
+    EXPECT_FALSE(v.contains(7));
+    EXPECT_FALSE(v.contains(12));
+}
+
+/** Exhaustive soundness check of a binary transfer on small values. */
+void
+checkBinaryTransfer(const AbstractValue &a, const AbstractValue &b,
+                    AbstractValue (*fn)(const AbstractValue &,
+                                        const AbstractValue &),
+                    uint32_t (*conc)(uint32_t, uint32_t))
+{
+    AbstractValue out = fn(a, b);
+    for (uint32_t x = 0; x < 64; ++x) {
+        if (!a.contains(x))
+            continue;
+        for (uint32_t y = 0; y < 64; ++y) {
+            if (!b.contains(y))
+                continue;
+            EXPECT_TRUE(out.contains(conc(x, y)))
+                << x << " op " << y << " escapes " << out.str();
+        }
+    }
+}
+
+TEST(Transfer, SoundOnSmallValues)
+{
+    std::vector<AbstractValue> samples = {
+        AbstractValue::constant(0),
+        AbstractValue::constant(37),
+        AbstractValue::fromRange(0, 1),
+        AbstractValue::fromRange(5, 9),
+        AbstractValue::fromRange(0, 63),
+        AbstractValue::fromBits(0x3, 0),
+        AbstractValue::fromBits(0, 0x10),
+    };
+    for (const auto &a : samples) {
+        for (const auto &b : samples) {
+            checkBinaryTransfer(a, b, avAnd,
+                                [](uint32_t x, uint32_t y) {
+                                    return x & y;
+                                });
+            checkBinaryTransfer(a, b, avOr,
+                                [](uint32_t x, uint32_t y) {
+                                    return x | y;
+                                });
+            checkBinaryTransfer(a, b, avAdd,
+                                [](uint32_t x, uint32_t y) {
+                                    return x + y;
+                                });
+            checkBinaryTransfer(a, b, avSub,
+                                [](uint32_t x, uint32_t y) {
+                                    return x - y;
+                                });
+        }
+    }
+}
+
+TEST(Transfer, UnaryAndImmediateForms)
+{
+    AbstractValue v = AbstractValue::fromRange(5, 9);
+    for (uint32_t x = 5; x <= 9; ++x) {
+        EXPECT_TRUE(avNot(v).contains(~x));
+        EXPECT_TRUE(avMulConst(v, 12).contains(x * 12));
+        EXPECT_TRUE(avModConst(v, 4).contains(x % 4));
+        EXPECT_TRUE(avModConst(v, 7).contains(x % 7));
+        EXPECT_TRUE(avAddConst(v, 0xfffffffe).contains(x - 2));
+    }
+    // Wrap-around: every sum wraps, so the interval stays exact.
+    AbstractValue big = AbstractValue::fromRange(0xfffffff0, 0xfffffff4);
+    AbstractValue sum = avAdd(big, AbstractValue::constant(0x20));
+    EXPECT_TRUE(sum.contains(0x10));
+    EXPECT_TRUE(sum.contains(0x14));
+    EXPECT_FALSE(sum.contains(0x15));
+}
+
+TEST(Compare, DecidableForms)
+{
+    AbstractValue lo = AbstractValue::fromRange(0, 3);
+    AbstractValue hi = AbstractValue::fromRange(8, 12);
+    EXPECT_EQ(compare(CmpOp::Lt, lo, hi), Truth::True);
+    EXPECT_EQ(compare(CmpOp::Gt, lo, hi), Truth::False);
+    EXPECT_EQ(compare(CmpOp::Eq, lo, hi), Truth::False);
+    EXPECT_EQ(compare(CmpOp::Ne, lo, hi), Truth::True);
+    EXPECT_EQ(compare(CmpOp::Eq, lo, lo), Truth::Unknown);
+    EXPECT_EQ(compare(CmpOp::In, lo, {}, {0, 1, 2, 3}), Truth::True);
+    EXPECT_EQ(compare(CmpOp::In, lo, {}, {1, 2}), Truth::Unknown);
+    EXPECT_EQ(compare(CmpOp::In, hi, {}, {0, 1}), Truth::False);
+}
+
+// ---- verdicts ----
+
+Invariant
+parsed(const char *text)
+{
+    return Invariant::parse(text);
+}
+
+TEST(Classify, TautologyViaModulus)
+{
+    // x mod 2 is in {0, 1} for any record whatsoever.
+    Invariant inv = parsed("l.add -> orig(OPA) mod 2 in {0, 1}");
+    Classification c = classify(inv);
+    EXPECT_EQ(c.verdict, Verdict::Tautology);
+    EXPECT_TRUE(c.removable());
+}
+
+TEST(Classify, TautologyViaIdenticalOperands)
+{
+    Invariant inv = parsed("l.add -> OPA >= OPA");
+    EXPECT_EQ(classify(inv).verdict, Verdict::Tautology);
+}
+
+TEST(Classify, ContradictionViaModulus)
+{
+    Invariant inv = parsed("l.add -> OPA mod 2 == 2");
+    Classification c = classify(inv);
+    EXPECT_EQ(c.verdict, Verdict::Contradiction);
+    EXPECT_FALSE(c.removable());
+}
+
+TEST(Classify, StructuralFlagFactIsRemovable)
+{
+    // Derived flag variables are bit() extractions on both record
+    // sides — the tracer enforces this, buggy processor or not.
+    Classification c = classify(parsed("l.add -> SF in {0, 1}"));
+    EXPECT_EQ(c.verdict, Verdict::IsaImplied);
+    EXPECT_TRUE(c.structural);
+    EXPECT_TRUE(c.removable());
+
+    Classification corig = classify(parsed("l.sub -> orig(CY) <= 1"));
+    EXPECT_EQ(corig.verdict, Verdict::IsaImplied);
+    EXPECT_TRUE(corig.removable());
+}
+
+TEST(Classify, ScaleOffsetOverStructuralFact)
+{
+    // SF * 4 + 2 over SF in [0, 1] lands in [2, 6].
+    Invariant inv;
+    inv.point = trace::Point::insn(isa::Mnemonic::L_ADD);
+    inv.op = CmpOp::Le;
+    inv.lhs = Operand::var(uint16_t(VarId::SF));
+    inv.lhs.mulImm = 4;
+    inv.lhs.addImm = 2;
+    inv.rhs = Operand::imm(6);
+    Classification c = classify(inv);
+    EXPECT_EQ(c.verdict, Verdict::IsaImplied);
+    EXPECT_TRUE(c.structural);
+}
+
+TEST(Classify, ArchitecturalPromiseIsKept)
+{
+    // GPR0 == 0 and PC alignment are ISA promises a buggy processor
+    // can break: classified ISA-implied but never removable.
+    for (const char *text :
+         {"l.add -> GPR0 == 0", "l.j -> PC mod 4 == 0",
+          "l.add -> orig(NPC) mod 2 == 0"}) {
+        Classification c = classify(parsed(text));
+        EXPECT_EQ(c.verdict, Verdict::IsaImplied) << text;
+        EXPECT_FALSE(c.structural) << text;
+        EXPECT_FALSE(c.removable()) << text;
+    }
+}
+
+TEST(Classify, ContingentFacts)
+{
+    for (const char *text :
+         {"l.add -> OPA == OPB", "l.add -> SF == 0",
+          "l.jal -> REGD == 9", "l.lwz -> MEMADDR mod 4 == 0"}) {
+        EXPECT_EQ(classify(parsed(text)).verdict, Verdict::Contingent)
+            << text;
+    }
+}
+
+TEST(Classify, DecoderImmediateRange)
+{
+    // l.srli has a 6-bit shift-amount immediate.
+    Classification c = classify(parsed("l.srli -> IMM <= 63"));
+    EXPECT_EQ(c.verdict, Verdict::IsaImplied);
+    EXPECT_TRUE(c.structural);
+    // A claim sharper than the format range stays contingent.
+    EXPECT_EQ(classify(parsed("l.srli -> IMM <= 31")).verdict,
+              Verdict::Contingent);
+}
+
+// ---- removal and reporting ----
+
+TEST(RemoveVacuous, KeepsOrderAndSets)
+{
+    std::vector<Invariant> invs = {
+        parsed("l.add -> SF in {0, 1}"),        // removable
+        parsed("l.add -> OPA in {1, 2}"),       // contingent
+        parsed("l.add -> OPB == 0"),            // contingent
+        parsed("l.sub -> orig(OV) <= 1"),       // removable
+    };
+    EXPECT_EQ(removeVacuous(invs), 2u);
+    ASSERT_EQ(invs.size(), 2u);
+    // Survivors keep their order and their In-set payloads (a
+    // regression test: self-move during compaction emptied sets).
+    EXPECT_EQ(invs[0].str(), "l.add -> OPA in {0x1, 0x2}");
+    EXPECT_EQ(invs[1].str(), "l.add -> OPB == 0");
+    ASSERT_EQ(invs[0].set.size(), 2u);
+}
+
+TEST(Analyze, ProvesImplicationsDrMisses)
+{
+    // x == 0x10 implies x <= 0x20: different operators, so the DR
+    // transitive reduction cannot relate them.
+    std::vector<Invariant> invs = {
+        parsed("l.add -> OPA == 0x10"),
+        parsed("l.add -> OPA <= 0x20"),
+        parsed("l.add -> OPB in {2, 4}"),
+        parsed("l.add -> OPB <= 4"),
+    };
+    AnalysisReport report = analyze(invs);
+    ASSERT_EQ(report.implications.size(), 2u);
+    EXPECT_EQ(report.implications[0].antecedent,
+              "l.add -> OPA == 0x10");
+    EXPECT_EQ(report.implications[0].consequent,
+              "l.add -> OPA <= 0x20");
+    EXPECT_EQ(report.implications[1].antecedent,
+              "l.add -> OPB in {0x2, 0x4}");
+    EXPECT_EQ(report.implications[1].consequent,
+              "l.add -> OPB <= 4");
+}
+
+TEST(Analyze, ReportTalliesAndRender)
+{
+    std::vector<Invariant> invs = {
+        parsed("l.add -> OPA mod 2 in {0, 1}"),   // tautology
+        parsed("l.add -> OPA mod 2 == 2"),        // contradiction
+        parsed("l.add -> GPR0 == 0"),             // architectural
+        parsed("l.add -> OPA == OPB"),            // contingent
+    };
+    AnalysisReport report = analyze(invs);
+    EXPECT_EQ(report.counts[size_t(Verdict::Tautology)], 1u);
+    EXPECT_EQ(report.counts[size_t(Verdict::Contradiction)], 1u);
+    EXPECT_EQ(report.counts[size_t(Verdict::IsaImplied)], 1u);
+    EXPECT_EQ(report.counts[size_t(Verdict::Contingent)], 1u);
+    std::string text = report.render();
+    EXPECT_NE(text.find("tautology\tl.add -> OPA mod 2 in"),
+              std::string::npos);
+    EXPECT_NE(text.find("isa-implied/architectural\tl.add -> GPR0"),
+              std::string::npos);
+}
+
+TEST(Analyze, ParallelReportIsByteIdentical)
+{
+    std::vector<Invariant> invs;
+    for (uint32_t i = 0; i < 200; ++i) {
+        Invariant inv;
+        inv.point = trace::Point::insn(
+            i % 2 ? isa::Mnemonic::L_ADD : isa::Mnemonic::L_SUB);
+        inv.op = i % 3 ? CmpOp::Ge : CmpOp::Eq;
+        inv.lhs = Operand::var(uint16_t(VarId::OPA), i % 5 == 0);
+        inv.rhs = Operand::imm(i);
+        invs.push_back(inv);
+    }
+    std::string serial = analyze(invs).render();
+    support::ThreadPool pool(4);
+    EXPECT_EQ(analyze(invs, &pool).render(), serial);
+}
+
+// ---- the soundness contract ----
+
+TEST(Soundness, StructuralEnvHoldsOnEveryWorkloadRecord)
+{
+    for (const auto &w : workloads::all()) {
+        trace::TraceBuffer buf = workloads::run(w);
+        for (const auto &rec : buf.records()) {
+            Env env = structuralEnv(rec.point);
+            for (uint16_t var = 0; var < trace::numVars; ++var) {
+                ASSERT_TRUE(env.lookup({var, false})
+                                .contains(rec.post[var]))
+                    << w.name << " post " << trace::varName(var)
+                    << " at " << rec.point.name();
+                ASSERT_TRUE(
+                    env.lookup({var, true}).contains(rec.pre[var]))
+                    << w.name << " orig " << trace::varName(var)
+                    << " at " << rec.point.name();
+            }
+        }
+    }
+}
+
+TEST(Soundness, ArchitecturalEnvHoldsOnCleanTraces)
+{
+    // The clean simulator keeps the ISA promises, so the wider
+    // architectural environment must also cover its records.
+    for (const auto &w : workloads::all()) {
+        trace::TraceBuffer buf = workloads::run(w);
+        for (const auto &rec : buf.records()) {
+            Env env = architecturalEnv(rec.point);
+            for (uint16_t var = 0; var < trace::numVars; ++var) {
+                ASSERT_TRUE(env.lookup({var, false})
+                                .contains(rec.post[var]))
+                    << w.name << " post " << trace::varName(var)
+                    << " at " << rec.point.name();
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace scif::analysis

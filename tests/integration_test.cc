@@ -29,7 +29,7 @@ TEST(Pipeline, PhasesProduceOutput)
     EXPECT_GT(r.traceRecords, 20000u);
     EXPECT_GT(r.rawInvariants, 50000u);
     EXPECT_LT(r.model.size(), r.rawInvariants);
-    EXPECT_EQ(r.optimizationStats.size(), 3u);
+    EXPECT_EQ(r.optimizationStats.size(), 4u);
     EXPECT_EQ(r.database.results().size(), 17u);
     EXPECT_GT(r.inference.testAccuracy, 0.7);
 }

@@ -10,6 +10,7 @@
 #include "asm/assembler.hh"
 #include "cpu/cpu.hh"
 #include "monitor/assertion.hh"
+#include "monitor/lint.hh"
 #include "monitor/overhead.hh"
 
 namespace scif::monitor {
@@ -74,6 +75,24 @@ TEST(Synthesize, WidePointSetsBecomeAlways)
     auto assertions = synthesize(set, allIndices(set));
     ASSERT_EQ(assertions.size(), 1u);
     EXPECT_EQ(assertions[0].kind, Template::Always);
+}
+
+TEST(Lint, FlagsVacuousAndContradictoryAssertions)
+{
+    std::vector<Invariant> invs = {
+        Invariant::parse("l.add -> SF in {0, 1}"),       // structural
+        Invariant::parse("l.add -> OPA mod 2 == 2"),     // impossible
+        Invariant::parse("l.add -> GPR0 == 0"),          // architectural
+        Invariant::parse("l.add -> OPA == orig(OPB)"),   // contingent
+    };
+    auto findings = lintAssertionSet(invs);
+    ASSERT_EQ(findings.size(), 2u);
+    EXPECT_EQ(findings[0].invariant, invs[0].str());
+    EXPECT_NE(findings[0].message().find("vacuous"),
+              std::string::npos);
+    EXPECT_EQ(findings[1].invariant, invs[1].str());
+    EXPECT_NE(findings[1].message().find("never hold"),
+              std::string::npos);
 }
 
 TEST(Monitor, FiresOnLiveViolation)

@@ -189,13 +189,30 @@ TEST(Optimize, PreservesViolationSemantics)
     EXPECT_EQ(rawViolations.empty(), optViolations.empty());
 }
 
-TEST(Optimize, ReportsThreePasses)
+TEST(Optimize, ReportsFourPasses)
 {
     invgen::InvariantSet set;
+    // GPR0 == 0 is an architectural promise, not a structural fact,
+    // so the vacuity pass must keep it for dynamic verification.
     set.add(expr::Invariant::parse("l.add -> GPR0 == 0"));
     auto stats = optimize(set);
-    ASSERT_EQ(stats.size(), 3u);
+    ASSERT_EQ(stats.size(), 4u);
     EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(Optimize, VacuityPassRemovesStructuralFlagFacts)
+{
+    invgen::InvariantSet set;
+    // A derived flag variable is a bit() extraction: the membership
+    // invariant below can never be violated by any record.
+    set.add(expr::Invariant::parse("l.add -> SF in {0, 1}"));
+    set.add(expr::Invariant::parse("l.add -> OPA == orig(OPB)"));
+    auto stats = optimize(set);
+    ASSERT_EQ(stats.size(), 4u);
+    EXPECT_EQ(stats[3].invariantsBefore, 2u);
+    EXPECT_EQ(stats[3].invariantsAfter, 1u);
+    ASSERT_EQ(set.size(), 1u);
+    EXPECT_EQ(set.all()[0].str(), "l.add -> OPA == orig(OPB)");
 }
 
 } // namespace

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/analyzer.hh"
 #include "core/scifinder.hh"
 #include "support/threadpool.hh"
 
@@ -92,6 +93,22 @@ TEST(PipelineDeterminism, AllHardwareThreadsMatchesSerial)
     auto serial = core::runPipeline(reducedConfig(1));
     auto parallel = core::runPipeline(reducedConfig(0));
     expectIdenticalResults(serial, parallel);
+}
+
+TEST(PipelineDeterminism, AnalyzeReportMatchesSerial)
+{
+    // The 'scifinder analyze' report contract: byte-identical output
+    // for any --jobs value over the same optimized model.
+    auto result = core::runPipeline(reducedConfig(1));
+    std::string serial =
+        analysis::analyze(result.model.all()).render();
+
+    support::ThreadPool four(4);
+    EXPECT_EQ(analysis::analyze(result.model.all(), &four).render(),
+              serial);
+    support::ThreadPool all(support::ThreadPool::resolveJobs(0));
+    EXPECT_EQ(analysis::analyze(result.model.all(), &all).render(),
+              serial);
 }
 
 TEST(PipelineDeterminism, StageStatsRecorded)
