@@ -3,8 +3,97 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "support/logging.hh"
 
 namespace scif::bench {
+
+namespace {
+
+struct Metric
+{
+    std::string name;
+    double value;
+    std::string unit;
+};
+
+Options g_options;
+std::vector<Metric> g_metrics;
+std::vector<std::string> g_failures;
+
+/** JSON string escape for metric names and units (no exotic input). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+void
+writeJsonReport(const std::string &path, const char *argv0)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open '%s' for writing", path.c_str());
+    const char *base = std::strrchr(argv0, '/');
+    out << "{\n  \"bench\": \"" << jsonEscape(base ? base + 1 : argv0)
+        << "\",\n  \"failures\": " << g_failures.size()
+        << ",\n  \"metrics\": [\n";
+    for (size_t i = 0; i < g_metrics.size(); ++i) {
+        const Metric &m = g_metrics[i];
+        out << "    {\"name\": \"" << jsonEscape(m.name)
+            << "\", \"value\": " << m.value << ", \"unit\": \""
+            << jsonEscape(m.unit) << "\"}"
+            << (i + 1 < g_metrics.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+    if (!out)
+        fatal("write to '%s' failed", path.c_str());
+}
+
+/**
+ * Parse and strip the common flags; everything else is forwarded to
+ * google-benchmark untouched.
+ */
+std::vector<char *>
+parseCommonFlags(int argc, char **argv)
+{
+    std::vector<char *> rest;
+    rest.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *flag) -> const char * {
+            size_t n = std::strlen(flag);
+            if (arg.compare(0, n, flag) != 0)
+                return nullptr;
+            if (arg.size() > n && arg[n] == '=')
+                return argv[i] + n + 1;
+            if (arg.size() == n && i + 1 < argc)
+                return argv[++i];
+            if (arg.size() == n)
+                fatal("%s needs a value", flag);
+            return nullptr;
+        };
+        if (const char *v = value("--json")) {
+            g_options.jsonPath = v;
+        } else if (const char *v = value("--require-speedup")) {
+            g_options.requireSpeedup = std::strtod(v, nullptr);
+        } else {
+            rest.push_back(argv[i]);
+        }
+    }
+    return rest;
+}
+
+} // namespace
 
 const core::PipelineResult &
 pipeline()
@@ -24,19 +113,51 @@ printHeader(const std::string &title, const std::string &paper_ref)
                 "===========\n\n");
 }
 
+const Options &
+options()
+{
+    return g_options;
+}
+
+void
+recordMetric(const std::string &name, double value,
+             const std::string &unit)
+{
+    for (auto &m : g_metrics) {
+        if (m.name == name) {
+            m.value = value;
+            m.unit = unit;
+            return;
+        }
+    }
+    g_metrics.push_back({name, value, unit});
+}
+
+void
+failBench(const std::string &why)
+{
+    g_failures.push_back(why);
+}
+
 int
 benchMain(int argc, char **argv, void (*experiment)())
 {
+    std::vector<char *> args = parseCommonFlags(argc, argv);
+
     experiment();
+
+    if (!g_options.jsonPath.empty())
+        writeJsonReport(g_options.jsonPath, argv[0]);
+    for (const auto &why : g_failures)
+        std::fprintf(stderr, "BENCH FAILURE: %s\n", why.c_str());
 
     // Run the registered micro-benchmarks with a short default
     // budget unless the caller overrides it.
-    std::vector<char *> args(argv, argv + argc);
     std::string minTime = "--benchmark_min_time=0.05";
     bool hasMinTime = false;
-    for (int i = 1; i < argc; ++i)
-        hasMinTime |= std::string(argv[i]).find(
-                          "--benchmark_min_time") == 0;
+    for (char *a : args)
+        hasMinTime |=
+            std::string(a).find("--benchmark_min_time") == 0;
     if (!hasMinTime)
         args.push_back(minTime.data());
 
@@ -44,7 +165,7 @@ benchMain(int argc, char **argv, void (*experiment)())
     benchmark::Initialize(&benchArgc, args.data());
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
-    return 0;
+    return g_failures.empty() ? 0 : 1;
 }
 
 } // namespace scif::bench

@@ -24,8 +24,37 @@ void printHeader(const std::string &title,
                  const std::string &paper_ref);
 
 /**
- * Standard bench main body: print the experiment (the callback),
+ * Common bench flags, parsed (and stripped) by benchMain before the
+ * remaining arguments go to google-benchmark:
+ *
+ *   --json <path>            write recorded metrics as JSON
+ *   --require-speedup <x>    bench-specific gate (see the bench)
+ */
+struct Options
+{
+    std::string jsonPath;
+    double requireSpeedup = 0.0;
+};
+
+/** The parsed common flags (valid once benchMain runs). */
+const Options &options();
+
+/**
+ * Record one named result for the --json report. Metrics are written
+ * in recording order; recording the same name again overwrites the
+ * earlier value.
+ */
+void recordMetric(const std::string &name, double value,
+                  const std::string &unit = "");
+
+/** Mark the bench failed: benchMain prints @p why and exits 1. */
+void failBench(const std::string &why);
+
+/**
+ * Standard bench main body: parse the common flags, print the
+ * experiment (the callback), write the JSON report if requested,
  * then run the registered google-benchmark micro-benchmarks.
+ * Returns nonzero if the experiment called failBench().
  */
 int benchMain(int argc, char **argv, void (*experiment)());
 

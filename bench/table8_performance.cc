@@ -12,6 +12,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <thread>
 
@@ -22,6 +23,7 @@ namespace scif {
 namespace {
 
 void threadScalingSweep();
+void evalSubstrateComparison();
 
 std::string
 hms(double seconds)
@@ -71,7 +73,84 @@ experiment()
                 "there as here.\n",
                 total, hms(total).c_str());
 
+    evalSubstrateComparison();
     threadScalingSweep();
+}
+
+/**
+ * Before/after of the identification phase's evaluation substrate:
+ * the full-model violation scan of the validation corpus with the
+ * interpreted Expr walk (the pre-columnar implementation, kept as the
+ * oracle) versus the compiled batch kernels the phase now runs on.
+ */
+void
+evalSubstrateComparison()
+{
+    const auto &r = bench::pipeline();
+    auto corpus = workloads::validationCorpus(8, 0x5eed);
+    uint64_t records = 0;
+    for (const auto &t : corpus)
+        records += t.size();
+
+    using clock = std::chrono::steady_clock;
+    auto seconds = [](clock::time_point from) {
+        return std::chrono::duration<double>(clock::now() - from)
+            .count();
+    };
+
+    // The pipeline compiles the model once and reuses it for every
+    // scan (validation corpus + two trigger traces per bug), so the
+    // one-time compile cost is reported separately from the per-scan
+    // throughput.
+    auto compileStart = clock::now();
+    sci::CompiledModel compiled(r.model);
+    double compileTime = seconds(compileStart);
+
+    auto timeSweep = [&](auto &&scanCorpus) {
+        scanCorpus(); // warm-up
+        size_t sweeps = 0;
+        auto start = clock::now();
+        double elapsed = 0;
+        do {
+            scanCorpus();
+            ++sweeps;
+            elapsed = seconds(start);
+        } while (elapsed < 0.3);
+        return elapsed / double(sweeps);
+    };
+    double before = timeSweep([&] {
+        size_t violations = 0;
+        for (const auto &t : corpus) {
+            violations += sci::findViolations(
+                              r.model, t, sci::EvalMode::Interpreted)
+                              .size();
+        }
+        benchmark::DoNotOptimize(violations);
+    });
+    double after = timeSweep([&] {
+        size_t violations = 0;
+        for (const auto &t : corpus)
+            violations += sci::findViolations(compiled, t).size();
+        benchmark::DoNotOptimize(violations);
+    });
+
+    std::printf("\nIdentification evaluation substrate "
+                "(%zu invariants, %llu validation records, one-time "
+                "model compile %.3f s):\n",
+                r.model.size(), (unsigned long long)records,
+                compileTime);
+    TextTable table({"Substrate", "Scan (s)", "Records/s", "Speedup"});
+    table.addRow({"interpreted (before)", format("%.3f", before),
+                  format("%.3g", double(records) / before), "1.00x"});
+    table.addRow({"compiled (after)", format("%.3f", after),
+                  format("%.3g", double(records) / after),
+                  format("%.2fx", before / after)});
+    std::printf("%s\n", table.render().c_str());
+    bench::recordMetric("identification.compile_s", compileTime, "s");
+    bench::recordMetric("identification.scan_before_s", before, "s");
+    bench::recordMetric("identification.scan_after_s", after, "s");
+    bench::recordMetric("identification.scan_speedup",
+                        before / after, "x");
 }
 
 /**

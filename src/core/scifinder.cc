@@ -148,9 +148,12 @@ runPipeline(const PipelineConfig &config)
             IdentOutput out;
             auto validation = workloads::validationCorpus(
                 cfg.validationPrograms, 0x5eed, sc.pool());
+            // Compile the model once for both the validation-corpus
+            // scan and the per-bug identification sweeps.
+            sci::CompiledModel compiled(model);
             out.violations =
-                sci::corpusViolations(model, validation, sc.pool());
-            out.db = sci::identifyAll(model, resolveBugs(cfg),
+                sci::corpusViolations(compiled, validation, sc.pool());
+            out.db = sci::identifyAll(compiled, resolveBugs(cfg),
                                       out.violations, sc.pool());
             return out;
         });

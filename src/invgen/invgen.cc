@@ -8,6 +8,7 @@
 #include "support/binio.hh"
 #include "support/logging.hh"
 #include "support/threadpool.hh"
+#include "trace/columns.hh"
 
 namespace scif::invgen {
 
@@ -16,7 +17,6 @@ using expr::Invariant;
 using expr::Op2;
 using expr::Operand;
 using expr::VarRef;
-using trace::Record;
 
 bool
 InvariantSet::add(Invariant inv)
@@ -193,29 +193,24 @@ InvariantSet::loadBinary(const std::string &path)
 
 namespace {
 
-/** A slot is one column of the record matrix: (variable, pre/post). */
+/** A slot is one column of the trace matrix: (variable, pre/post). */
 struct Slot
 {
     uint16_t var;
     bool orig;
 
     VarRef ref() const { return VarRef{var, orig}; }
+    uint16_t id() const { return trace::slotId(var, orig); }
 };
 
-/** Read a slot's value from a record. */
-inline uint32_t
-slotValue(const Record &rec, const Slot &s)
-{
-    return s.orig ? rec.pre[s.var] : rec.post[s.var];
-}
+/** Rows per falsification-sweep block between early-exit checks. */
+constexpr size_t sweepBlock = 512;
 
 /** Pairwise relation evidence. */
 struct PairState
 {
     uint16_t i, j;
     bool sawLt = false, sawEq = false, sawGt = false;
-
-    bool dead() const { return sawLt && sawEq && sawGt; }
 };
 
 /** Linear candidate x_i == a * x_j + b. */
@@ -224,14 +219,6 @@ struct LinearState
     uint16_t i, j;
     uint32_t scale;
     uint32_t offset;
-    bool alive = true;
-};
-
-/** Ternary candidate x_i == x_j (+|-) x_k. */
-struct TripleState
-{
-    Slot v, w, u;
-    bool sub;
     bool alive = true;
 };
 
@@ -268,27 +255,31 @@ class Generator
   public:
     Generator(const std::vector<const trace::TraceBuffer *> &traces,
               const Config &config)
-        : traces_(traces), config_(config)
+        : config_(config)
     {
         buildSlots();
+        // Transpose the whole trace set once; every falsification
+        // loop below is a cache-order sweep down these columns.
+        std::vector<uint16_t> slotIds;
+        slotIds.reserve(slots_.size());
+        for (const auto &s : slots_)
+            slotIds.push_back(s.id());
+        cols_ = trace::ColumnSet::build(traces, slotIds);
     }
 
     InvariantSet
     run(GenStats *stats, support::ThreadPool *pool)
     {
-        groupByPoint();
         computeGlobalCardinality();
 
         // Program points are independent: fan each one out, then
-        // merge in ascending point order (the byPoint_ map order),
+        // merge in ascending point order (the column-set order),
         // which reproduces the serial loop exactly.
-        std::vector<const std::vector<const Record *> *> pointRecs;
-        std::vector<uint16_t> pointIds;
-        for (const auto &[pointId, recs] : byPoint_) {
-            if (recs.size() < config_.minSamples)
+        std::vector<trace::PointColumns *> points;
+        for (auto &pc : cols_.points()) {
+            if (pc.rows() < config_.minSamples)
                 continue;
-            pointIds.push_back(pointId);
-            pointRecs.push_back(&recs);
+            points.push_back(&pc);
         }
 
         struct PointOut
@@ -296,11 +287,10 @@ class Generator
             InvariantSet invs;
             uint64_t candidates = 0;
         };
-        std::vector<PointOut> perPoint(pointIds.size());
+        std::vector<PointOut> perPoint(points.size());
         support::parallelFor(
-            pool, pointIds.size(), [&](size_t i) {
-                processPoint(trace::Point::fromId(pointIds[i]),
-                             *pointRecs[i], perPoint[i].invs,
+            pool, points.size(), [&](size_t i) {
+                processPoint(*points[i], perPoint[i].invs,
                              perPoint[i].candidates);
             });
 
@@ -312,8 +302,8 @@ class Generator
             candidates += po.candidates;
         }
         if (stats) {
-            stats->records = totalRecords_;
-            stats->points = byPoint_.size();
+            stats->records = cols_.totalRows();
+            stats->points = cols_.points().size();
             stats->candidatesTried = candidates;
         }
         return out;
@@ -332,17 +322,6 @@ class Generator
     }
 
     void
-    groupByPoint()
-    {
-        for (const auto *buf : traces_) {
-            for (const auto &rec : buf->records()) {
-                byPoint_[rec.point.id()].push_back(&rec);
-                ++totalRecords_;
-            }
-        }
-    }
-
-    void
     computeGlobalCardinality()
     {
         constexpr size_t cap = 64;
@@ -350,17 +329,20 @@ class Generator
         globalMin_.assign(slots_.size(), 0xffffffffu);
         globalMax_.assign(slots_.size(), 0);
         std::vector<std::unordered_set<uint32_t>> seen(slots_.size());
-        for (const auto *buf : traces_) {
-            for (const auto &rec : buf->records()) {
-                for (size_t s = 0; s < slots_.size(); ++s) {
-                    uint32_t v = slotValue(rec, slots_[s]);
-                    globalMin_[s] = std::min(globalMin_[s], v);
-                    globalMax_[s] = std::max(globalMax_[s], v);
-                    auto &set = seen[s];
-                    if (set.size() >= cap)
-                        continue;
-                    set.insert(v);
+        for (const auto &pc : cols_.points()) {
+            for (size_t s = 0; s < slots_.size(); ++s) {
+                const uint32_t *col = pc.column(slots_[s].id());
+                auto &set = seen[s];
+                uint32_t mn = globalMin_[s], mx = globalMax_[s];
+                for (size_t k = 0; k < pc.rows(); ++k) {
+                    uint32_t v = col[k];
+                    mn = std::min(mn, v);
+                    mx = std::max(mx, v);
+                    if (set.size() < cap)
+                        set.insert(v);
                 }
+                globalMin_[s] = mn;
+                globalMax_[s] = mx;
             }
         }
         for (size_t s = 0; s < slots_.size(); ++s) {
@@ -397,47 +379,69 @@ class Generator
     }
 
     void
-    processPoint(trace::Point point,
-                 const std::vector<const Record *> &recs,
-                 InvariantSet &out, uint64_t &candidates) const
+    processPoint(trace::PointColumns &pc, InvariantSet &out,
+                 uint64_t &candidates) const
     {
+        trace::Point point = pc.point();
         size_t ns = slots_.size();
-        uint64_t n = recs.size();
+        size_t n = pc.rows();
 
-        // --- per-slot statistics ---
+        // Column base pointers, hoisted out of every sweep.
+        std::vector<const uint32_t *> colOf(ns);
+        for (size_t s = 0; s < ns; ++s)
+            colOf[s] = pc.column(slots_[s].id());
+
+        // --- per-slot statistics: one cache-order sweep per column ---
         std::vector<SlotStats> stats(ns);
-        std::vector<uint32_t> vals(ns);
         for (size_t s = 0; s < ns; ++s) {
+            const uint32_t *col = colOf[s];
             auto &st = stats[s];
-            st.first = slotValue(*recs[0], slots_[s]);
-            st.min = st.max = st.first;
-            st.modResidue.resize(config_.moduli.size());
-            st.modAlive.assign(config_.moduli.size(), true);
-            for (size_t m = 0; m < config_.moduli.size(); ++m)
-                st.modResidue[m] = st.first % config_.moduli[m];
-        }
+            st.n = n;
+            st.first = col[0];
 
-        for (const Record *rec : recs) {
-            for (size_t s = 0; s < ns; ++s) {
-                uint32_t v = slotValue(*rec, slots_[s]);
-                vals[s] = v;
-                auto &st = stats[s];
-                ++st.n;
-                st.min = std::min(st.min, v);
-                st.max = std::max(st.max, v);
-                if (v != st.first)
-                    st.constant = false;
-                if (st.distinct.size() <= config_.maxOneOf &&
-                    std::find(st.distinct.begin(), st.distinct.end(),
+            uint32_t mn = st.first, mx = st.first, allEq = 1;
+            for (size_t k = 0; k < n; ++k) {
+                uint32_t v = col[k];
+                mn = std::min(mn, v);
+                mx = std::max(mx, v);
+                allEq &= v == st.first ? 1u : 0u;
+            }
+            st.min = mn;
+            st.max = mx;
+            st.constant = allEq != 0;
+
+            // Distinct values in first-seen order, capped one past
+            // the membership-set limit (beyond that the slot can
+            // never yield a one-of invariant).
+            for (size_t k = 0; k < n; ++k) {
+                uint32_t v = col[k];
+                if (std::find(st.distinct.begin(), st.distinct.end(),
                               v) == st.distinct.end()) {
                     st.distinct.push_back(v);
+                    if (st.distinct.size() > config_.maxOneOf)
+                        break;
                 }
-                for (size_t m = 0; m < config_.moduli.size(); ++m) {
-                    if (st.modAlive[m] &&
-                        v % config_.moduli[m] != st.modResidue[m]) {
-                        st.modAlive[m] = false;
-                    }
+            }
+
+            // Modular residues from the precomputed mod-m columns.
+            // Constant slots are trivially alive at first % m.
+            st.modResidue.resize(config_.moduli.size());
+            st.modAlive.assign(config_.moduli.size(), true);
+            for (size_t m = 0; m < config_.moduli.size(); ++m) {
+                uint32_t mod = config_.moduli[m];
+                st.modResidue[m] = st.first % mod;
+                if (st.constant)
+                    continue;
+                const uint32_t *mc = pc.modColumn(slots_[s].id(), mod);
+                uint32_t r0 = st.modResidue[m];
+                uint32_t bad = 0;
+                size_t k = 0;
+                while (k < n && !bad) {
+                    size_t stop = std::min(n, k + sweepBlock);
+                    for (; k < stop; ++k)
+                        bad |= mc[k] != r0 ? 1u : 0u;
                 }
+                st.modAlive[m] = bad == 0;
             }
         }
 
@@ -518,8 +522,8 @@ class Generator
             for (size_t j = 0; j < ns; ++j) {
                 if (i == j || stats[j].constant)
                     continue;
-                uint32_t vi = slotValue(*recs[0], slots_[i]);
-                uint32_t vj = slotValue(*recs[0], slots_[j]);
+                uint32_t vi = colOf[i][0];
+                uint32_t vj = colOf[j][0];
                 for (uint32_t a : config_.linearScales) {
                     uint32_t b = vi - a * vj;
                     if (a == 1 && b == 0)
@@ -531,33 +535,55 @@ class Generator
             }
         }
 
-        for (const Record *rec : recs) {
-            for (size_t s = 0; s < ns; ++s)
-                vals[s] = slotValue(*rec, slots_[s]);
-
-            size_t alive = 0;
-            for (auto &p : pairs) {
-                uint32_t l = vals[p.i], r = vals[p.j];
-                if (l < r)
-                    p.sawLt = true;
-                else if (l == r)
-                    p.sawEq = true;
-                else
-                    p.sawGt = true;
-                if (!p.dead())
-                    pairs[alive++] = p;
+        // Falsify each candidate with a branch-free two-column sweep,
+        // early-exiting at block granularity once the candidate is
+        // dead (a pair that has seen <, == and > carries no relation;
+        // a linear that missed once is gone). Survivors keep their
+        // seeding order, matching the old per-record compaction.
+        size_t alive = 0;
+        for (auto &p : pairs) {
+            const uint32_t *ci = colOf[p.i];
+            const uint32_t *cj = colOf[p.j];
+            uint32_t lt = 0, eq = 0, gt = 0;
+            size_t k = 0;
+            while (k < n) {
+                size_t stop = std::min(n, k + sweepBlock);
+                for (; k < stop; ++k) {
+                    uint32_t l = ci[k], r = cj[k];
+                    lt |= l < r ? 1u : 0u;
+                    eq |= l == r ? 1u : 0u;
+                    gt |= l > r ? 1u : 0u;
+                }
+                if (lt & eq & gt)
+                    break;
             }
-            // Note: dead pairs carry no invariant; drop them.
-            pairs.resize(alive);
-
-            alive = 0;
-            for (auto &lin : linears) {
-                if (vals[lin.i] != lin.scale * vals[lin.j] + lin.offset)
-                    continue;
-                linears[alive++] = lin;
-            }
-            linears.resize(alive);
+            if (lt && eq && gt)
+                continue; // dead pairs carry no invariant
+            p.sawLt = lt != 0;
+            p.sawEq = eq != 0;
+            p.sawGt = gt != 0;
+            pairs[alive++] = p;
         }
+        pairs.resize(alive);
+
+        alive = 0;
+        for (auto &lin : linears) {
+            const uint32_t *ci = colOf[lin.i];
+            const uint32_t *cj = colOf[lin.j];
+            uint32_t bad = 0;
+            size_t k = 0;
+            while (k < n && !bad) {
+                size_t stop = std::min(n, k + sweepBlock);
+                for (; k < stop; ++k) {
+                    bad |= ci[k] != lin.scale * cj[k] + lin.offset
+                               ? 1u
+                               : 0u;
+                }
+            }
+            if (!bad)
+                linears[alive++] = lin;
+        }
+        linears.resize(alive);
 
         auto slotOperand = [&](uint16_t s) {
             return Operand::var(slots_[s].var, slots_[s].orig);
@@ -633,13 +659,13 @@ class Generator
         }
 
         // --- targeted ternary sums ---
-        processTriples(point, recs, stats, out, candidates);
+        processTriples(point, colOf, n, stats, out, candidates);
     }
 
     void
     processTriples(trace::Point point,
-                   const std::vector<const Record *> &recs,
-                   const std::vector<SlotStats> &stats,
+                   const std::vector<const uint32_t *> &colOf,
+                   size_t n, const std::vector<SlotStats> &stats,
                    InvariantSet &out, uint64_t &candidates) const
     {
         using trace::VarId;
@@ -666,7 +692,6 @@ class Generator
             return -1;
         };
 
-        uint64_t n = recs.size();
         for (const auto &spec : specs) {
             int iv = slotIndex(spec.v);
             int iw = slotIndex(spec.w);
@@ -678,19 +703,22 @@ class Generator
                 (stats[iw].constant || stats[iu].constant)) {
                 continue;
             }
+            const uint32_t *cv = colOf[iv];
+            const uint32_t *cw = colOf[iw];
+            const uint32_t *cu = colOf[iu];
             for (bool sub : {false, true}) {
                 ++candidates;
-                bool alive = true;
-                for (const Record *rec : recs) {
-                    uint32_t v = slotValue(*rec, spec.v);
-                    uint32_t w = slotValue(*rec, spec.w);
-                    uint32_t u = slotValue(*rec, spec.u);
-                    uint32_t expect = sub ? w - u : w + u;
-                    if (v != expect) {
-                        alive = false;
-                        break;
+                uint32_t bad = 0;
+                size_t k = 0;
+                while (k < n && !bad) {
+                    size_t stop = std::min(n, k + sweepBlock);
+                    for (; k < stop; ++k) {
+                        uint32_t expect =
+                            sub ? cw[k] - cu[k] : cw[k] + cu[k];
+                        bad |= cv[k] != expect ? 1u : 0u;
                     }
                 }
+                bool alive = bad == 0;
                 if (!alive ||
                     !justified(eqChance(size_t(iv), size_t(iw)), n,
                                config_.confidence)) {
@@ -708,15 +736,13 @@ class Generator
         }
     }
 
-    const std::vector<const trace::TraceBuffer *> &traces_;
     const Config &config_;
 
     std::vector<Slot> slots_;
     std::vector<size_t> cardinality_;
     std::vector<uint32_t> globalMin_;
     std::vector<uint32_t> globalMax_;
-    std::map<uint16_t, std::vector<const Record *>> byPoint_;
-    uint64_t totalRecords_ = 0;
+    trace::ColumnSet cols_;
 };
 
 } // namespace

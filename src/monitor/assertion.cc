@@ -89,10 +89,15 @@ synthesize(const invgen::InvariantSet &set,
 AssertionMonitor::AssertionMonitor(std::vector<Assertion> assertions)
     : assertions_(std::move(assertions))
 {
+    compiled_.resize(assertions_.size());
     for (size_t ai = 0; ai < assertions_.size(); ++ai) {
         const auto &members = assertions_[ai].members;
-        for (size_t mi = 0; mi < members.size(); ++mi)
+        compiled_[ai].reserve(members.size());
+        for (size_t mi = 0; mi < members.size(); ++mi) {
             index_[members[mi].point.id()].push_back({ai, mi});
+            compiled_[ai].push_back(
+                expr::CompiledInvariant::compile(members[mi]));
+        }
     }
 }
 
@@ -103,8 +108,7 @@ AssertionMonitor::record(const trace::Record &rec)
     if (it == index_.end())
         return;
     for (const auto &[ai, mi] : it->second) {
-        const expr::Invariant &inv = assertions_[ai].members[mi];
-        if (!inv.exprHolds(rec))
+        if (!compiled_[ai][mi].holdsRecord(rec))
             fired_.push_back(FiredEvent{ai, rec.index, rec.point});
     }
 }

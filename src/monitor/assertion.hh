@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "expr/compile.hh"
 #include "invgen/invgen.hh"
 #include "trace/record.hh"
 
@@ -75,6 +76,11 @@ struct FiredEvent
  * every enforced assertion at each instruction boundary, recording
  * firings (it does not halt the processor; what a system does on a
  * firing is a design choice the paper leaves open).
+ *
+ * Member expressions are compiled once at construction; the per-
+ * record check runs the flat register-machine program rather than
+ * walking the Operand tree (the interpreted path remains the oracle
+ * pinned by the differential tests).
  */
 class AssertionMonitor : public trace::TraceSink
 {
@@ -98,6 +104,8 @@ class AssertionMonitor : public trace::TraceSink
 
   private:
     std::vector<Assertion> assertions_;
+    /** Compiled member programs, parallel to assertions_[i].members. */
+    std::vector<std::vector<expr::CompiledInvariant>> compiled_;
     /** point id -> list of (assertion index, member index). */
     std::map<uint16_t, std::vector<std::pair<size_t, size_t>>> index_;
     std::vector<FiredEvent> fired_;

@@ -8,10 +8,49 @@
 
 namespace scif::sci {
 
+CompiledModel::CompiledModel(const invgen::InvariantSet &set)
+    : set_(&set)
+{
+    programs_.reserve(set.all().size());
+    std::set<uint16_t> slots;
+    for (const auto &inv : set.all()) {
+        programs_.push_back(expr::CompiledInvariant::compile(inv));
+        for (uint16_t s : programs_.back().slots())
+            slots.insert(s);
+        points_.insert(inv.point.id());
+    }
+    slots_.assign(slots.begin(), slots.end());
+}
+
 std::vector<size_t>
-findViolations(const invgen::InvariantSet &set,
+findViolations(const CompiledModel &model,
                const trace::TraceBuffer &trace)
 {
+    // Transpose only the referenced slots at the covered points:
+    // records elsewhere cannot violate anything.
+    trace::ColumnSet cols = trace::ColumnSet::build(
+        trace, model.slots(), &model.points());
+
+    std::set<size_t> violated;
+    for (const auto &pc : cols.points()) {
+        for (size_t idx : model.set().atPoint(pc.point().id())) {
+            if (model.programs()[idx].firstViolation(pc, 0,
+                                                     pc.rows()) !=
+                expr::CompiledInvariant::npos) {
+                violated.insert(idx);
+            }
+        }
+    }
+    return std::vector<size_t>(violated.begin(), violated.end());
+}
+
+std::vector<size_t>
+findViolations(const invgen::InvariantSet &set,
+               const trace::TraceBuffer &trace, EvalMode mode)
+{
+    if (mode == EvalMode::Compiled)
+        return findViolations(CompiledModel(set), trace);
+
     std::set<size_t> violated;
     const auto &invs = set.all();
     for (const auto &rec : trace.records()) {
@@ -26,13 +65,13 @@ findViolations(const invgen::InvariantSet &set,
 }
 
 std::set<size_t>
-corpusViolations(const invgen::InvariantSet &set,
+corpusViolations(const CompiledModel &model,
                  const std::vector<trace::TraceBuffer> &corpus,
                  support::ThreadPool *pool)
 {
     std::vector<std::vector<size_t>> perTrace(corpus.size());
     support::parallelFor(pool, corpus.size(), [&](size_t i) {
-        perTrace[i] = findViolations(set, corpus[i]);
+        perTrace[i] = findViolations(model, corpus[i]);
     });
     std::set<size_t> out;
     for (const auto &violations : perTrace)
@@ -40,16 +79,32 @@ corpusViolations(const invgen::InvariantSet &set,
     return out;
 }
 
-IdentificationResult
-identify(const invgen::InvariantSet &set, const bugs::Bug &bug,
-         const std::set<size_t> &knownNonInvariant)
+std::set<size_t>
+corpusViolations(const invgen::InvariantSet &set,
+                 const std::vector<trace::TraceBuffer> &corpus,
+                 support::ThreadPool *pool, EvalMode mode)
 {
-    trace::TraceBuffer buggy = bugs::runTrigger(bug, true);
-    trace::TraceBuffer clean = bugs::runTrigger(bug, false);
+    if (mode == EvalMode::Compiled)
+        return corpusViolations(CompiledModel(set), corpus, pool);
+    std::vector<std::vector<size_t>> perTrace(corpus.size());
+    support::parallelFor(pool, corpus.size(), [&](size_t i) {
+        perTrace[i] = findViolations(set, corpus[i], mode);
+    });
+    std::set<size_t> out;
+    for (const auto &violations : perTrace)
+        out.insert(violations.begin(), violations.end());
+    return out;
+}
 
-    std::vector<size_t> buggyViolations = findViolations(set, buggy);
-    std::vector<size_t> cleanViolations = findViolations(set, clean);
+namespace {
 
+/** Fold the trigger scans into one bug's result (§3.3). */
+IdentificationResult
+combineScans(const bugs::Bug &bug,
+             const std::vector<size_t> &buggyViolations,
+             std::vector<size_t> cleanViolations,
+             const std::set<size_t> &knownNonInvariant)
+{
     IdentificationResult result;
     result.bugId = bug.id;
     result.notInvariant = std::move(cleanViolations);
@@ -69,18 +124,67 @@ identify(const invgen::InvariantSet &set, const bugs::Bug &bug,
     return result;
 }
 
+} // namespace
+
+IdentificationResult
+identify(const CompiledModel &model, const bugs::Bug &bug,
+         const std::set<size_t> &knownNonInvariant)
+{
+    trace::TraceBuffer buggy = bugs::runTrigger(bug, true);
+    trace::TraceBuffer clean = bugs::runTrigger(bug, false);
+    return combineScans(bug, findViolations(model, buggy),
+                        findViolations(model, clean),
+                        knownNonInvariant);
+}
+
+IdentificationResult
+identify(const invgen::InvariantSet &set, const bugs::Bug &bug,
+         const std::set<size_t> &knownNonInvariant, EvalMode mode)
+{
+    if (mode == EvalMode::Compiled)
+        return identify(CompiledModel(set), bug, knownNonInvariant);
+    trace::TraceBuffer buggy = bugs::runTrigger(bug, true);
+    trace::TraceBuffer clean = bugs::runTrigger(bug, false);
+    return combineScans(bug, findViolations(set, buggy, mode),
+                        findViolations(set, clean, mode),
+                        knownNonInvariant);
+}
+
 SciDatabase
-identifyAll(const invgen::InvariantSet &set,
+identifyAll(const CompiledModel &model,
             const std::vector<const bugs::Bug *> &bugList,
             const std::set<size_t> &knownNonInvariant,
             support::ThreadPool *pool)
 {
-    // Each bug's identification (two trigger simulations plus the
-    // violation scans) is independent; folding the results in bug-
-    // list order keeps the database identical to the serial loop.
+    // The compiled programs are immutable and shared read-only by
+    // the per-bug workers. Each bug's identification (two trigger
+    // simulations plus the violation scans) is independent; folding
+    // the results in bug-list order keeps the database identical to
+    // the serial loop.
     std::vector<IdentificationResult> results(bugList.size());
     support::parallelFor(pool, bugList.size(), [&](size_t i) {
-        results[i] = identify(set, *bugList[i], knownNonInvariant);
+        results[i] = identify(model, *bugList[i], knownNonInvariant);
+    });
+    SciDatabase db;
+    for (const auto &result : results)
+        db.addResult(result);
+    return db;
+}
+
+SciDatabase
+identifyAll(const invgen::InvariantSet &set,
+            const std::vector<const bugs::Bug *> &bugList,
+            const std::set<size_t> &knownNonInvariant,
+            support::ThreadPool *pool, EvalMode mode)
+{
+    if (mode == EvalMode::Compiled) {
+        return identifyAll(CompiledModel(set), bugList,
+                           knownNonInvariant, pool);
+    }
+    std::vector<IdentificationResult> results(bugList.size());
+    support::parallelFor(pool, bugList.size(), [&](size_t i) {
+        results[i] =
+            identify(set, *bugList[i], knownNonInvariant, mode);
     });
     SciDatabase db;
     for (const auto &result : results)

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "bugs/registry.hh"
+#include "expr/compile.hh"
 #include "invgen/invgen.hh"
 
 namespace scif::support {
@@ -34,14 +35,57 @@ class ThreadPool;
 namespace scif::sci {
 
 /**
+ * How violation scans evaluate invariant expressions: compiled batch
+ * programs over columnar trace matrices (the default), or the
+ * interpreted Expr tree walk over AoS records (the oracle both the
+ * differential tests and the eval-throughput bench compare against).
+ */
+enum class EvalMode { Compiled, Interpreted };
+
+/**
+ * An invariant model compiled for batch violation scanning: one
+ * register-machine program per invariant plus the column
+ * materialization list (exactly the slots the model references) and
+ * the covered program points. Build once, share read-only across the
+ * per-bug / per-trace fan-outs.
+ */
+class CompiledModel
+{
+  public:
+    explicit CompiledModel(const invgen::InvariantSet &set);
+
+    const invgen::InvariantSet &set() const { return *set_; }
+    const std::vector<expr::CompiledInvariant> &programs() const
+    {
+        return programs_;
+    }
+    /** Slot ids referenced by any invariant, ascending. */
+    const std::vector<uint16_t> &slots() const { return slots_; }
+    /** Point ids with at least one invariant. */
+    const std::set<uint16_t> &points() const { return points_; }
+
+  private:
+    const invgen::InvariantSet *set_;
+    std::vector<expr::CompiledInvariant> programs_;
+    std::vector<uint16_t> slots_;
+    std::set<uint16_t> points_;
+};
+
+/**
  * Scan a trace for invariant violations.
  *
  * @param set the invariant model.
  * @param trace the execution trace.
+ * @param mode evaluation substrate; both produce identical results.
  * @return indices (into set.all()) of every invariant violated by at
  *         least one record, in ascending order.
  */
 std::vector<size_t> findViolations(const invgen::InvariantSet &set,
+                                   const trace::TraceBuffer &trace,
+                                   EvalMode mode = EvalMode::Compiled);
+
+/** Scan with a prebuilt compiled model (the hot path). */
+std::vector<size_t> findViolations(const CompiledModel &model,
                                    const trace::TraceBuffer &trace);
 
 /**
@@ -52,6 +96,13 @@ std::vector<size_t> findViolations(const invgen::InvariantSet &set,
  */
 std::set<size_t>
 corpusViolations(const invgen::InvariantSet &set,
+                 const std::vector<trace::TraceBuffer> &corpus,
+                 support::ThreadPool *pool = nullptr,
+                 EvalMode mode = EvalMode::Compiled);
+
+/** Corpus scan with a prebuilt compiled model. */
+std::set<size_t>
+corpusViolations(const CompiledModel &model,
                  const std::vector<trace::TraceBuffer> &corpus,
                  support::ThreadPool *pool = nullptr);
 
@@ -82,6 +133,12 @@ struct IdentificationResult
  */
 IdentificationResult identify(const invgen::InvariantSet &set,
                               const bugs::Bug &bug,
+                              const std::set<size_t> &knownNonInvariant,
+                              EvalMode mode = EvalMode::Compiled);
+
+/** Identify with a prebuilt compiled model (the hot path). */
+IdentificationResult identify(const CompiledModel &model,
+                              const bugs::Bug &bug,
                               const std::set<size_t> &knownNonInvariant);
 
 /**
@@ -92,6 +149,13 @@ IdentificationResult identify(const invgen::InvariantSet &set,
  */
 class SciDatabase;
 SciDatabase identifyAll(const invgen::InvariantSet &set,
+                        const std::vector<const bugs::Bug *> &bugList,
+                        const std::set<size_t> &knownNonInvariant,
+                        support::ThreadPool *pool = nullptr,
+                        EvalMode mode = EvalMode::Compiled);
+
+/** Identify all bugs with a prebuilt compiled model. */
+SciDatabase identifyAll(const CompiledModel &model,
                         const std::vector<const bugs::Bug *> &bugList,
                         const std::set<size_t> &knownNonInvariant,
                         support::ThreadPool *pool = nullptr);

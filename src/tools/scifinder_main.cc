@@ -73,7 +73,11 @@ usage()
         "\n"
         "  common [opts]: --jobs N (0 = all cores), --artifact-dir "
         "D,\n"
-        "                 --validation N (corpus size, default 24)\n"
+        "                 --validation N (corpus size, default 24),\n"
+        "                 --interpreted-eval (identify: scan with "
+        "the\n"
+        "                 interpreted oracle instead of the compiled "
+        "kernels)\n"
         "\n"
         "testing:\n"
         "  fuzz      [opts] [--seed S] [--count N] "
@@ -107,6 +111,9 @@ struct CommonOpts
     std::string artifactDir;
     size_t validationPrograms = 24;
     bool noInference = false;
+    /** Force the interpreted Expr oracle for violation scans
+     *  (identify); the default is the compiled batch kernels. */
+    bool interpretedEval = false;
 };
 
 /**
@@ -154,6 +161,8 @@ parseCommon(std::vector<std::string> &args, CommonOpts &opts)
                 return false;
         } else if (arg == "--no-inference") {
             opts.noInference = true;
+        } else if (arg == "--interpreted-eval") {
+            opts.interpretedEval = true;
         } else {
             rest.push_back(arg);
         }
@@ -451,10 +460,13 @@ cmdIdentifyPhase(const CommonOpts &opts,
         invgen::InvariantSet::loadBinary(paths.model());
     auto pool = makePool(opts);
 
+    sci::EvalMode mode = opts.interpretedEval
+                             ? sci::EvalMode::Interpreted
+                             : sci::EvalMode::Compiled;
     auto validation = workloads::validationCorpus(
         opts.validationPrograms, 0x5eed, pool.get());
     std::set<size_t> violations =
-        sci::corpusViolations(model, validation, pool.get());
+        sci::corpusViolations(model, validation, pool.get(), mode);
 
     std::vector<const bugs::Bug *> bugList;
     if (bugIds.empty()) {
@@ -463,8 +475,8 @@ cmdIdentifyPhase(const CommonOpts &opts,
         for (const auto &id : bugIds)
             bugList.push_back(&bugs::byId(id));
     }
-    sci::SciDatabase db =
-        sci::identifyAll(model, bugList, violations, pool.get());
+    sci::SciDatabase db = sci::identifyAll(model, bugList, violations,
+                                           pool.get(), mode);
 
     core::saveIndexSet(paths.violations(), violations);
     db.saveBinary(paths.sciDatabase());
@@ -488,7 +500,8 @@ cmdIdentify(const std::vector<std::string> &args_in)
     if (args.empty()) {
         std::fprintf(stderr,
                      "usage: scifinder identify [--jobs N] "
-                     "[--artifact-dir D] [bug...]\n");
+                     "[--artifact-dir D] [--interpreted-eval] "
+                     "[bug...]\n");
         return 2;
     }
     core::PipelineConfig config;

@@ -1,0 +1,157 @@
+#include "columns.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <new>
+
+#include "support/logging.hh"
+
+namespace scif::trace {
+
+void
+PointColumns::AlignedDelete::operator()(uint32_t *p) const
+{
+    ::operator delete[](p, std::align_val_t(columnAlignment));
+}
+
+PointColumns::Buffer
+PointColumns::allocate(size_t words)
+{
+    void *raw = ::operator new[](words * sizeof(uint32_t),
+                                 std::align_val_t(columnAlignment));
+    std::memset(raw, 0, words * sizeof(uint32_t));
+    return Buffer(static_cast<uint32_t *>(raw));
+}
+
+const uint32_t *
+PointColumns::modColumn(uint16_t slot, uint32_t mod)
+{
+    SCIF_ASSERT(mod != 0);
+    const uint32_t *base = column(slot);
+    SCIF_ASSERT(base != nullptr);
+
+    uint64_t key = uint64_t(slot) << 32 | mod;
+    auto it = modCache_.find(key);
+    if (it != modCache_.end())
+        return it->second.get();
+
+    Buffer buf = allocate(padded_);
+    uint32_t *out = buf.get();
+    if ((mod & (mod - 1)) == 0) {
+        uint32_t mask = mod - 1;
+        for (size_t i = 0; i < rows_; ++i)
+            out[i] = base[i] & mask;
+    } else {
+        for (size_t i = 0; i < rows_; ++i)
+            out[i] = base[i] % mod;
+    }
+    const uint32_t *result = out;
+    modCache_.emplace(key, std::move(buf));
+    return result;
+}
+
+ColumnSet
+ColumnSet::build(const std::vector<const TraceBuffer *> &traces,
+                 const std::vector<uint16_t> &slots,
+                 const std::set<uint16_t> *pointFilter)
+{
+    // Resolve the materialization list.
+    std::vector<uint16_t> wanted = slots;
+    if (wanted.empty()) {
+        wanted.resize(numSlots);
+        for (uint16_t s = 0; s < numSlots; ++s)
+            wanted[s] = s;
+    } else {
+        std::sort(wanted.begin(), wanted.end());
+        wanted.erase(std::unique(wanted.begin(), wanted.end()),
+                     wanted.end());
+        for (uint16_t s : wanted)
+            SCIF_ASSERT(s < numSlots);
+    }
+
+    // Pass 1: count rows per point.
+    std::map<uint16_t, size_t> counts;
+    for (const auto *buf : traces) {
+        for (const auto &rec : buf->records()) {
+            uint16_t id = rec.point.id();
+            if (pointFilter && !pointFilter->count(id))
+                continue;
+            ++counts[id];
+        }
+    }
+
+    ColumnSet set;
+    set.points_.reserve(counts.size());
+    std::map<uint16_t, size_t> pointPos;
+    for (const auto &[id, n] : counts) {
+        PointColumns pc;
+        pc.point_ = Point::fromId(id);
+        pc.rows_ = n;
+        pc.padded_ = (n + 15) & ~size_t(15);
+        pc.data_ = PointColumns::allocate(pc.padded_ * wanted.size());
+        pc.slotPos_.assign(numSlots, -1);
+        for (size_t i = 0; i < wanted.size(); ++i)
+            pc.slotPos_[wanted[i]] = int32_t(i);
+        pointPos[id] = set.points_.size();
+        set.points_.push_back(std::move(pc));
+    }
+
+    // Pass 2: scatter record values into the columns, preserving
+    // trace order within each point.
+    std::vector<size_t> cursor(set.points_.size(), 0);
+    for (const auto *buf : traces) {
+        for (const auto &rec : buf->records()) {
+            auto it = pointPos.find(rec.point.id());
+            if (it == pointPos.end())
+                continue;
+            PointColumns &pc = set.points_[it->second];
+            size_t row = cursor[it->second]++;
+            uint32_t *data = pc.data_.get();
+            for (uint16_t s : wanted) {
+                uint16_t var = slotVar(s);
+                uint32_t v = slotOrig(s) ? rec.pre[var] : rec.post[var];
+                data[size_t(pc.slotPos_[s]) * pc.padded_ + row] = v;
+            }
+        }
+    }
+    return set;
+}
+
+ColumnSet
+ColumnSet::build(const TraceBuffer &trace,
+                 const std::vector<uint16_t> &slots,
+                 const std::set<uint16_t> *pointFilter)
+{
+    std::vector<const TraceBuffer *> traces = {&trace};
+    return build(traces, slots, pointFilter);
+}
+
+PointColumns *
+ColumnSet::point(uint16_t pointId)
+{
+    // points_ is ascending by id (built from an ordered map).
+    auto it = std::lower_bound(points_.begin(), points_.end(), pointId,
+                               [](const PointColumns &pc, uint16_t id) {
+                                   return pc.point().id() < id;
+                               });
+    if (it == points_.end() || it->point().id() != pointId)
+        return nullptr;
+    return &*it;
+}
+
+const PointColumns *
+ColumnSet::point(uint16_t pointId) const
+{
+    return const_cast<ColumnSet *>(this)->point(pointId);
+}
+
+uint64_t
+ColumnSet::totalRows() const
+{
+    uint64_t total = 0;
+    for (const auto &pc : points_)
+        total += pc.rows();
+    return total;
+}
+
+} // namespace scif::trace

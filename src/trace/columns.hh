@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Columnar (structure-of-arrays) trace matrices.
+ *
+ * Every consumer downstream of the simulator — invariant generation,
+ * SCI identification, the assertion monitor's batch replays — reduces
+ * to "evaluate many small expressions over many trace records". The
+ * AoS Record layout is the wrong shape for that: each evaluation
+ * touches two or three of the ~160 slots but strides over the whole
+ * record. A ColumnSet transposes a trace set once into per-program-
+ * point value matrices with one contiguous, 64-byte-aligned column
+ * per (variable, pre/post) slot, so evaluation kernels stream down
+ * exactly the columns they reference in cache order.
+ *
+ * Derived `mod m` residue columns (the modular-invariant probes the
+ * generator previously recomputed per record) are built once per
+ * point on first use and cached.
+ */
+
+#ifndef SCIFINDER_TRACE_COLUMNS_HH
+#define SCIFINDER_TRACE_COLUMNS_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "trace/record.hh"
+#include "trace/schema.hh"
+
+namespace scif::trace {
+
+/** Number of value columns a full record expands to (pre + post). */
+constexpr uint16_t numSlots = uint16_t(numVars) * 2;
+
+/** Column id of (variable, pre/post). Pre ("orig") slots are even. */
+constexpr uint16_t
+slotId(uint16_t var, bool orig)
+{
+    return uint16_t(var * 2 + (orig ? 0 : 1));
+}
+
+/** @return the variable a slot belongs to. */
+constexpr uint16_t
+slotVar(uint16_t slot)
+{
+    return uint16_t(slot / 2);
+}
+
+/** @return true if the slot is the pre-state ("orig") column. */
+constexpr bool
+slotOrig(uint16_t slot)
+{
+    return (slot & 1) == 0;
+}
+
+/** Byte alignment of every column base pointer. */
+constexpr size_t columnAlignment = 64;
+
+/**
+ * The value matrix of one program point: n rows (the records observed
+ * at the point, in trace order) by one column per materialized slot.
+ *
+ * Rows are padded to a multiple of 16 so consecutive columns stay
+ * 64-byte aligned inside the single backing allocation; padding rows
+ * are zero. A PointColumns is written by ColumnSet::build and then
+ * read-only, except for the lazily built residue-column cache: the
+ * per-point fan-outs hand each point to exactly one worker, so
+ * modColumn() needs no synchronization.
+ */
+class PointColumns
+{
+  public:
+    Point point() const { return point_; }
+
+    /** @return number of records observed at this point. */
+    size_t rows() const { return rows_; }
+
+    /** @return true if the slot's column was materialized. */
+    bool has(uint16_t slot) const { return slotPos_[slot] >= 0; }
+
+    /**
+     * @return base of the slot's value column (64-byte aligned), or
+     *         nullptr if the slot was not materialized.
+     */
+    const uint32_t *
+    column(uint16_t slot) const
+    {
+        int32_t pos = slotPos_[slot];
+        return pos < 0 ? nullptr : data_.get() + size_t(pos) * padded_;
+    }
+
+    /**
+     * The derived residue column `column(slot)[i] % mod`, built on
+     * first use and cached for the lifetime of the set. @p mod must
+     * be non-zero and the slot materialized.
+     */
+    const uint32_t *modColumn(uint16_t slot, uint32_t mod);
+
+  private:
+    friend class ColumnSet;
+
+    struct AlignedDelete
+    {
+        void operator()(uint32_t *p) const;
+    };
+    using Buffer = std::unique_ptr<uint32_t[], AlignedDelete>;
+
+    static Buffer allocate(size_t words);
+
+    Point point_;
+    size_t rows_ = 0;
+    size_t padded_ = 0;
+    Buffer data_;
+    std::vector<int32_t> slotPos_;
+    std::map<uint64_t, Buffer> modCache_;
+};
+
+/**
+ * A trace set transposed into per-point column matrices.
+ *
+ * Records keep their trace order within each point (buffers in the
+ * order given, records in buffer order), so sweeping a column visits
+ * the same observations in the same order as the AoS record loop it
+ * replaces.
+ */
+class ColumnSet
+{
+  public:
+    /**
+     * Transpose @p traces.
+     *
+     * @param slots the slot ids to materialize; empty = all slots.
+     * @param pointFilter when non-null, only these point ids are
+     *        built (evaluation never touches other records).
+     */
+    static ColumnSet build(const std::vector<const TraceBuffer *> &traces,
+                           const std::vector<uint16_t> &slots = {},
+                           const std::set<uint16_t> *pointFilter = nullptr);
+
+    /** Convenience overload for a single buffer. */
+    static ColumnSet build(const TraceBuffer &trace,
+                           const std::vector<uint16_t> &slots = {},
+                           const std::set<uint16_t> *pointFilter = nullptr);
+
+    /** @return the matrix for @p pointId, or nullptr if absent. */
+    PointColumns *point(uint16_t pointId);
+    const PointColumns *point(uint16_t pointId) const;
+
+    /** All built points, ascending by point id. */
+    std::vector<PointColumns> &points() { return points_; }
+    const std::vector<PointColumns> &points() const { return points_; }
+
+    /** @return total rows across all built points. */
+    uint64_t totalRows() const;
+
+  private:
+    std::vector<PointColumns> points_;
+};
+
+} // namespace scif::trace
+
+#endif // SCIFINDER_TRACE_COLUMNS_HH

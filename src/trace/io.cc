@@ -113,6 +113,20 @@ TraceReader::next(Record &rec)
 void
 TraceReader::readAll(TraceBuffer &buffer)
 {
+    // The on-disk record size is fixed, so the bytes remaining tell
+    // us the record count; reserving up front avoids the doubling
+    // reallocations on multi-million-record traces.
+    long pos = std::ftell(file_);
+    if (pos >= 0 && std::fseek(file_, 0, SEEK_END) == 0) {
+        long end = std::ftell(file_);
+        if (std::fseek(file_, pos, SEEK_SET) != 0)
+            fatal("cannot seek in trace file");
+        constexpr long diskRecord =
+            long(sizeof(RecordHead) + 2 * sizeof(uint32_t) * numVars);
+        if (end > pos)
+            buffer.reserve(buffer.size() +
+                           size_t((end - pos) / diskRecord));
+    }
     Record rec;
     while (next(rec))
         buffer.record(rec);
@@ -162,6 +176,7 @@ loadTraceSet(const std::string &path)
         NamedTrace nt;
         nt.name = in.str(4096);
         uint64_t records = in.u64();
+        nt.trace.reserve(records);
         for (uint64_t r = 0; r < records; ++r) {
             Record rec;
             rec.point = Point::fromId(in.u16());

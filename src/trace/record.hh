@@ -123,6 +123,9 @@ class TraceBuffer : public TraceSink
     size_t size() const { return records_.size(); }
     void clear() { records_.clear(); }
 
+    /** Pre-size the backing store for @p n records. */
+    void reserve(size_t n) { records_.reserve(n); }
+
     /** Append all records of another buffer. */
     void append(const TraceBuffer &other);
 

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Columnar trace-matrix tests: the transpose must agree with the AoS
+ * record loop value-for-value and order-for-order, keep every column
+ * 64-byte aligned, honor slot and point filters, and cache residue
+ * columns.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "support/random.hh"
+#include "trace/columns.hh"
+
+namespace scif::trace {
+namespace {
+
+Record
+makeRecord(Point point, uint64_t index, uint32_t seed)
+{
+    Record rec;
+    rec.point = point;
+    rec.index = index;
+    for (uint16_t v = 0; v < numVars; ++v) {
+        rec.pre[v] = seed * 2654435761u + v;
+        rec.post[v] = seed * 2246822519u + v * 3u;
+    }
+    return rec;
+}
+
+TEST(Slots, IdRoundTrip)
+{
+    for (uint16_t v = 0; v < numVars; ++v) {
+        for (bool orig : {true, false}) {
+            uint16_t s = slotId(v, orig);
+            EXPECT_LT(s, numSlots);
+            EXPECT_EQ(slotVar(s), v);
+            EXPECT_EQ(slotOrig(s), orig);
+        }
+    }
+}
+
+TEST(Columns, ValuesMatchRecordsInOrder)
+{
+    Point add = Point::insn(isa::Mnemonic::L_ADD);
+    Point sub = Point::insn(isa::Mnemonic::L_SUB);
+    TraceBuffer buf;
+    for (uint32_t i = 0; i < 37; ++i)
+        buf.record(makeRecord(i % 3 ? add : sub, i, i));
+
+    ColumnSet cols = ColumnSet::build(buf);
+    uint64_t total = 0;
+    for (const auto &pc : cols.points())
+        total += pc.rows();
+    EXPECT_EQ(total, buf.size());
+    EXPECT_EQ(cols.totalRows(), buf.size());
+
+    // Walk the AoS records per point and compare against the columns.
+    std::map<uint16_t, size_t> rowAt;
+    for (const auto &rec : buf.records()) {
+        const PointColumns *pc = cols.point(rec.point.id());
+        ASSERT_NE(pc, nullptr);
+        size_t row = rowAt[rec.point.id()]++;
+        for (uint16_t v = 0; v < numVars; ++v) {
+            EXPECT_EQ(pc->column(slotId(v, true))[row], rec.pre[v]);
+            EXPECT_EQ(pc->column(slotId(v, false))[row], rec.post[v]);
+        }
+    }
+    for (const auto &[id, n] : rowAt)
+        EXPECT_EQ(cols.point(id)->rows(), n);
+}
+
+TEST(Columns, EveryColumnIsAligned)
+{
+    TraceBuffer buf;
+    Point p = Point::insn(isa::Mnemonic::L_XOR);
+    for (uint32_t i = 0; i < 17; ++i) // deliberately not a multiple of 16
+        buf.record(makeRecord(p, i, i + 100));
+
+    ColumnSet cols = ColumnSet::build(buf);
+    const PointColumns *pc = cols.point(p.id());
+    ASSERT_NE(pc, nullptr);
+    for (uint16_t s = 0; s < numSlots; ++s) {
+        auto addr = reinterpret_cast<uintptr_t>(pc->column(s));
+        EXPECT_EQ(addr % columnAlignment, 0u) << "slot " << s;
+    }
+}
+
+TEST(Columns, SlotFilterMaterializesOnlyRequested)
+{
+    TraceBuffer buf;
+    Point p = Point::insn(isa::Mnemonic::L_ADD);
+    for (uint32_t i = 0; i < 5; ++i)
+        buf.record(makeRecord(p, i, i));
+
+    std::vector<uint16_t> want = {slotId(3, true), slotId(7, false)};
+    ColumnSet cols = ColumnSet::build(buf, want);
+    const PointColumns *pc = cols.point(p.id());
+    ASSERT_NE(pc, nullptr);
+    for (uint16_t s = 0; s < numSlots; ++s) {
+        bool wanted = s == want[0] || s == want[1];
+        EXPECT_EQ(pc->has(s), wanted);
+        EXPECT_EQ(pc->column(s) != nullptr, wanted);
+    }
+    EXPECT_EQ(pc->column(want[0])[2], buf.records()[2].pre[3]);
+    EXPECT_EQ(pc->column(want[1])[4], buf.records()[4].post[7]);
+}
+
+TEST(Columns, PointFilterSkipsOtherPoints)
+{
+    Point add = Point::insn(isa::Mnemonic::L_ADD);
+    Point sub = Point::insn(isa::Mnemonic::L_SUB);
+    TraceBuffer buf;
+    for (uint32_t i = 0; i < 10; ++i)
+        buf.record(makeRecord(i % 2 ? add : sub, i, i));
+
+    std::set<uint16_t> only = {add.id()};
+    ColumnSet cols = ColumnSet::build(buf, {}, &only);
+    EXPECT_NE(cols.point(add.id()), nullptr);
+    EXPECT_EQ(cols.point(sub.id()), nullptr);
+    EXPECT_EQ(cols.points().size(), 1u);
+    EXPECT_EQ(cols.totalRows(), 5u);
+}
+
+TEST(Columns, MultiBufferKeepsTraceOrder)
+{
+    Point p = Point::insn(isa::Mnemonic::L_ADDI);
+    TraceBuffer a, b;
+    for (uint32_t i = 0; i < 4; ++i)
+        a.record(makeRecord(p, i, i));
+    for (uint32_t i = 0; i < 3; ++i)
+        b.record(makeRecord(p, i, i + 50));
+
+    ColumnSet cols = ColumnSet::build({&a, &b});
+    const PointColumns *pc = cols.point(p.id());
+    ASSERT_NE(pc, nullptr);
+    ASSERT_EQ(pc->rows(), 7u);
+    const uint32_t *col = pc->column(slotId(0, false));
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(col[i], a.records()[i].post[0]);
+    for (size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(col[4 + i], b.records()[i].post[0]);
+}
+
+TEST(Columns, PointsAreSortedAscending)
+{
+    TraceBuffer buf;
+    for (auto m : {isa::Mnemonic::L_XOR, isa::Mnemonic::L_ADD,
+                   isa::Mnemonic::L_SW, isa::Mnemonic::L_SUB}) {
+        buf.record(makeRecord(Point::insn(m), 0, uint32_t(m)));
+    }
+    ColumnSet cols = ColumnSet::build(buf);
+    ASSERT_EQ(cols.points().size(), 4u);
+    for (size_t i = 1; i < cols.points().size(); ++i) {
+        EXPECT_LT(cols.points()[i - 1].point().id(),
+                  cols.points()[i].point().id());
+    }
+}
+
+TEST(Columns, ModColumnsMatchAndCache)
+{
+    TraceBuffer buf;
+    Point p = Point::insn(isa::Mnemonic::L_LWZ);
+    for (uint32_t i = 0; i < 23; ++i)
+        buf.record(makeRecord(p, i, i * 7 + 1));
+
+    ColumnSet cols = ColumnSet::build(buf);
+    PointColumns *pc = cols.point(p.id());
+    ASSERT_NE(pc, nullptr);
+
+    uint16_t slot = slotId(2, false);
+    for (uint32_t mod : {2u, 3u, 4u, 5u, 8u, 10u}) {
+        const uint32_t *res = pc->modColumn(slot, mod);
+        ASSERT_NE(res, nullptr);
+        auto addr = reinterpret_cast<uintptr_t>(res);
+        EXPECT_EQ(addr % columnAlignment, 0u);
+        for (size_t i = 0; i < pc->rows(); ++i)
+            EXPECT_EQ(res[i], pc->column(slot)[i] % mod) << mod;
+        // Second request returns the cached buffer.
+        EXPECT_EQ(pc->modColumn(slot, mod), res);
+    }
+}
+
+TEST(Columns, EmptyTraceBuildsNoPoints)
+{
+    TraceBuffer buf;
+    ColumnSet cols = ColumnSet::build(buf);
+    EXPECT_TRUE(cols.points().empty());
+    EXPECT_EQ(cols.totalRows(), 0u);
+    EXPECT_EQ(cols.point(Point::insn(isa::Mnemonic::L_ADD).id()),
+              nullptr);
+}
+
+} // namespace
+} // namespace scif::trace
