@@ -18,12 +18,16 @@
 
 #include "bench/common.hh"
 #include "support/strings.hh"
+#include "trace/capture.hh"
+#include "trace/columns.hh"
+#include "workloads/workloads.hh"
 
 namespace scif {
 namespace {
 
 void threadScalingSweep();
 void evalSubstrateComparison();
+void simFrontEndComparison();
 
 std::string
 hms(double seconds)
@@ -73,8 +77,82 @@ experiment()
                 "there as here.\n",
                 total, hms(total).c_str());
 
+    simFrontEndComparison();
     evalSubstrateComparison();
     threadScalingSweep();
+}
+
+/**
+ * Before/after of the trace-generation phase's simulation front end:
+ * the interpreted fetch/decode loop with the post-hoc columnar
+ * transpose (the pre-predecode implementation, kept as the oracle
+ * behind --interpreted-sim) versus the predecoded basic-block cache
+ * with capture-time columnar tracing the phase now runs on. See
+ * bench/sim_throughput for the instruction-level sweep.
+ */
+void
+simFrontEndComparison()
+{
+    const auto &suite = workloads::all();
+    uint64_t records = 0;
+    for (const auto &w : suite)
+        records += workloads::run(w).size();
+
+    using clock = std::chrono::steady_clock;
+    auto timeSweep = [](auto &&sweep) {
+        sweep(); // warm-up
+        size_t sweeps = 0;
+        auto start = clock::now();
+        double elapsed = 0;
+        do {
+            sweep();
+            ++sweeps;
+            elapsed = std::chrono::duration<double>(clock::now() -
+                                                    start)
+                          .count();
+        } while (elapsed < 0.3);
+        return elapsed / double(sweeps);
+    };
+
+    double before = timeSweep([&] {
+        std::vector<const trace::TraceBuffer *> ptrs;
+        std::vector<trace::TraceBuffer> traces;
+        traces.reserve(suite.size());
+        for (const auto &w : suite)
+            traces.push_back(workloads::run(w, {}, true));
+        for (const auto &t : traces)
+            ptrs.push_back(&t);
+        auto cols = trace::ColumnSet::build(ptrs);
+        benchmark::DoNotOptimize(cols.totalRows());
+    });
+    double after = timeSweep([&] {
+        std::vector<trace::ColumnarCapture> caps;
+        caps.reserve(suite.size());
+        for (const auto &w : suite)
+            caps.push_back(workloads::runColumnar(w));
+        std::vector<const trace::ColumnarCapture *> ptrs;
+        for (const auto &c : caps)
+            ptrs.push_back(&c);
+        auto cols = trace::ColumnarCapture::seal(ptrs);
+        benchmark::DoNotOptimize(cols.totalRows());
+    });
+
+    std::printf("\nTrace-generation simulation front end (17 "
+                "workloads to sealed columns, %llu records):\n",
+                (unsigned long long)records);
+    TextTable table({"Front end", "Sweep (s)", "Records/s", "Speedup"});
+    table.addRow({"interpreted + transpose (before)",
+                  format("%.3f", before),
+                  format("%.3g", double(records) / before), "1.00x"});
+    table.addRow({"predecoded + capture-time (after)",
+                  format("%.3f", after),
+                  format("%.3g", double(records) / after),
+                  format("%.2fx", before / after)});
+    std::printf("%s\n", table.render().c_str());
+    bench::recordMetric("trace_generation.sweep_before_s", before, "s");
+    bench::recordMetric("trace_generation.sweep_after_s", after, "s");
+    bench::recordMetric("trace_generation.sweep_speedup",
+                        before / after, "x");
 }
 
 /**

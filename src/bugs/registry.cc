@@ -546,4 +546,39 @@ runTrigger(const Bug &bug, bool buggy)
     return buffer;
 }
 
+TriggerTraces
+runTriggers(const Bug &bug, bool interpretedSim)
+{
+    cpu::CpuConfig config = bug.config;
+    cpu::MutationSet buggy = config.mutations;
+    buggy.add(bug.mutation);
+    config.mutations = buggy;
+    config.predecode = !interpretedSim;
+    cpu::Cpu cpu(config);
+
+    assembler::Program program = assembler::assembleOrDie(bug.trigger);
+    cpu.loadProgram(program);
+    TriggerTraces out;
+    cpu.run(&out.buggy);
+
+    // Switch to the clean processor on the *same* Cpu. The block
+    // cache keys entries by the active mutation set, so the buggy
+    // run's blocks stay resident but are never dispatched here. The
+    // image is reloaded only if the buggy run dirtied memory;
+    // reset() restores everything else a fresh Cpu would have.
+    cpu.setMutations(bug.config.mutations);
+    if (cpu.memoryDirty()) {
+        cpu.loadProgram(program);
+    } else {
+        cpu.reset();
+        cpu.setPc(program.entry);
+    }
+    cpu::RunResult result = cpu.run(&out.clean);
+    if (result.reason != cpu::HaltReason::Halted) {
+        panic("clean run of trigger '%s' did not halt (reason %d)",
+              bug.id.c_str(), int(result.reason));
+    }
+    return out;
+}
+
 } // namespace scif::bugs

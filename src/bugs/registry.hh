@@ -56,6 +56,27 @@ std::vector<const Bug *> heldOut();
  */
 trace::TraceBuffer runTrigger(const Bug &bug, bool buggy);
 
+/** The buggy/clean trigger trace pair identification diffs. */
+struct TriggerTraces
+{
+    trace::TraceBuffer buggy;
+    trace::TraceBuffer clean;
+};
+
+/**
+ * Run a bug's trigger on the buggy and the clean processor using a
+ * single Cpu: the defect is toggled with setMutations() between the
+ * runs, so the predecoded block cache keeps both variants resident
+ * under their mutation keys. The program is reloaded between runs
+ * only if the buggy run dirtied memory. Traces are identical to two
+ * runTrigger() calls.
+ *
+ * @param bug the bug.
+ * @param interpretedSim force the interpreted front end (the
+ *        differential oracle for the predecoded default).
+ */
+TriggerTraces runTriggers(const Bug &bug, bool interpretedSim = false);
+
 } // namespace scif::bugs
 
 #endif // SCIFINDER_BUGS_REGISTRY_HH

@@ -89,38 +89,101 @@ runPipeline(const PipelineConfig &config)
     if (persist)
         paths.ensureDir();
 
-    // ---- phase 1a: trace generation (fans out per workload) ----
-    Stage<PipelineConfig, std::vector<trace::NamedTrace>> traceStage(
-        "trace-generation",
-        [](StageContext &sc, PipelineConfig &cfg) {
-            auto list = resolveWorkloads(cfg);
-            return support::parallelMap(
-                sc.pool(), list, [](const workloads::Workload *w) {
-                    return trace::NamedTrace{w->name,
-                                             workloads::run(*w)};
-                });
-        });
+    // ---- phase 1: trace + invariant generation ----
+    //
+    // Default front end: predecoded simulation scattering records
+    // straight into per-point columns (no AoS intermediate); the
+    // trace artifact is reconstructed from the captures on demand.
+    // --interpreted-sim keeps the classic interpreted + AoS-buffer +
+    // post-hoc-transpose path as the differential oracle. Both paths
+    // produce byte-identical artifacts and models.
     PipelineConfig cfg = config;
-    auto traces = traceStage.run(ctx, cfg);
-    for (const auto &nt : traces) {
-        result.traceRecords += nt.trace.size();
-        result.traceBytes += nt.trace.size() * sizeof(trace::Record);
-    }
-    if (persist)
-        trace::saveTraceSet(paths.traces(), traces);
+    if (config.interpretedSim) {
+        // -- phase 1a: trace generation (fans out per workload) --
+        Stage<PipelineConfig, std::vector<trace::NamedTrace>>
+            traceStage(
+                "trace-generation",
+                [](StageContext &sc, PipelineConfig &c) {
+                    auto list = resolveWorkloads(c);
+                    return support::parallelMap(
+                        sc.pool(), list,
+                        [](const workloads::Workload *w) {
+                            return trace::NamedTrace{
+                                w->name,
+                                workloads::run(*w, {},
+                                               /*interpreted=*/true)};
+                        });
+                });
+        auto traces = traceStage.run(ctx, cfg);
+        for (const auto &nt : traces) {
+            result.traceRecords += nt.trace.size();
+            result.traceBytes +=
+                nt.trace.size() * sizeof(trace::Record);
+        }
+        if (persist)
+            trace::saveTraceSet(paths.traces(), traces);
 
-    // ---- phase 1b: invariant generation (fans out per point) ----
-    Stage<std::vector<trace::NamedTrace>, invgen::InvariantSet>
-        genStage("invariant-generation",
-                 [&cfg](StageContext &sc,
-                        std::vector<trace::NamedTrace> &in) {
-                     std::vector<const trace::TraceBuffer *> ptrs;
-                     for (const auto &nt : in)
-                         ptrs.push_back(&nt.trace);
-                     return invgen::generate(ptrs, cfg.generation,
-                                             nullptr, sc.pool());
-                 });
-    result.model = genStage.run(ctx, traces);
+        // -- phase 1b: invariant generation (fans out per point) --
+        Stage<std::vector<trace::NamedTrace>, invgen::InvariantSet>
+            genStage("invariant-generation",
+                     [&cfg](StageContext &sc,
+                            std::vector<trace::NamedTrace> &in) {
+                         std::vector<const trace::TraceBuffer *> ptrs;
+                         for (const auto &nt : in)
+                             ptrs.push_back(&nt.trace);
+                         return invgen::generate(ptrs, cfg.generation,
+                                                 nullptr, sc.pool());
+                     });
+        result.model = genStage.run(ctx, traces);
+    } else {
+        // -- phase 1a: columnar trace capture (per workload) --
+        Stage<PipelineConfig, std::vector<trace::NamedCapture>>
+            traceStage(
+                "trace-generation",
+                [](StageContext &sc, PipelineConfig &c) {
+                    auto list = resolveWorkloads(c);
+                    return support::parallelMap(
+                        sc.pool(), list,
+                        [](const workloads::Workload *w) {
+                            return trace::NamedCapture{
+                                w->name, workloads::runColumnar(*w)};
+                        });
+                });
+        auto captures = traceStage.run(ctx, cfg);
+        for (const auto &nc : captures) {
+            result.traceRecords += nc.capture.size();
+            result.traceBytes +=
+                nc.capture.size() * sizeof(trace::Record);
+        }
+        if (persist) {
+            // The persisted artifact stays the AoS record stream;
+            // reconstruct it so the file is byte-identical with the
+            // interpreted-sim run.
+            std::vector<trace::NamedTrace> traces;
+            traces.reserve(captures.size());
+            for (const auto &nc : captures) {
+                traces.push_back(trace::NamedTrace{
+                    nc.name, nc.capture.toRecords()});
+            }
+            trace::saveTraceSet(paths.traces(), traces);
+        }
+
+        // -- phase 1b: invariant generation from the sealed columns
+        //    (the AoS-to-SoA transpose never happens) --
+        Stage<std::vector<trace::NamedCapture>, invgen::InvariantSet>
+            genStage("invariant-generation",
+                     [&cfg](StageContext &sc,
+                            std::vector<trace::NamedCapture> &in) {
+                         std::vector<const trace::ColumnarCapture *>
+                             caps;
+                         for (const auto &nc : in)
+                             caps.push_back(&nc.capture);
+                         return invgen::generate(
+                             trace::ColumnarCapture::seal(caps),
+                             cfg.generation, nullptr, sc.pool());
+                     });
+        result.model = genStage.run(ctx, captures);
+    }
     result.rawInvariants = result.model.size();
     result.rawVariables = result.model.variableCount();
     if (persist)
@@ -147,14 +210,16 @@ runPipeline(const PipelineConfig &config)
         [&cfg](StageContext &sc, invgen::InvariantSet &model) {
             IdentOutput out;
             auto validation = workloads::validationCorpus(
-                cfg.validationPrograms, 0x5eed, sc.pool());
+                cfg.validationPrograms, 0x5eed, sc.pool(),
+                cfg.interpretedSim);
             // Compile the model once for both the validation-corpus
             // scan and the per-bug identification sweeps.
             sci::CompiledModel compiled(model);
             out.violations =
                 sci::corpusViolations(compiled, validation, sc.pool());
             out.db = sci::identifyAll(compiled, resolveBugs(cfg),
-                                      out.violations, sc.pool());
+                                      out.violations, sc.pool(),
+                                      cfg.interpretedSim);
             return out;
         });
     IdentOutput ident = identStage.run(ctx, result.model);

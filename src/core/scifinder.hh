@@ -47,6 +47,15 @@ struct PipelineConfig
     bool runInference = true;
 
     /**
+     * Run every simulation on the interpreted (non-predecoded) front
+     * end with AoS record buffering and the post-hoc columnar
+     * transpose — the differential oracle for the default predecoded
+     * + capture-time-columnar fast path. Artifacts are byte-identical
+     * either way.
+     */
+    bool interpretedSim = false;
+
+    /**
      * Worker threads for the intra-stage fan-outs (per workload, per
      * program point, per bug). 1 = serial; 0 = all hardware threads.
      * Every fan-out merges deterministically, so the results are

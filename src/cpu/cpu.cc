@@ -1,5 +1,8 @@
 #include "cpu.hh"
 
+#include <algorithm>
+#include <cstring>
+
 #include "support/bits.hh"
 #include "support/logging.hh"
 #include "trace/derived.hh"
@@ -18,17 +21,121 @@ Cpu::Cpu(CpuConfig config)
     : config_(std::move(config)),
       mem_(config_.memBytes, config_.userBase)
 {
+    if (config_.predecode)
+        cache_ = std::make_unique<BlockCache>(config_.memBytes);
     reset();
+    refreshCacheMode();
 }
 
 void
 Cpu::loadProgram(const assembler::Program &program)
 {
-    mem_.clear();
-    for (const auto &[addr, word] : program.words)
-        mem_.debugWriteWord(addr, word);
+    if (cache_ == nullptr || cache_->empty()) {
+        // Nothing decoded yet (fresh Cpu, or the fuzzer's
+        // one-program-per-Cpu pattern): plain clear-and-write.
+        mem_.clear();
+        for (const auto &[addr, word] : program.words)
+            mem_.debugWriteWord(addr, word);
+        if (cache_)
+            invalidateCodeCache();
+    } else {
+        // Diff-aware image load: a cached block is a pure function
+        // of the words it decoded, so only addresses whose contents
+        // actually change invalidate. Reloading an identical image
+        // (trigger replays, repeated runs of one program) keeps the
+        // whole cache warm. Drop the cursor first — invalidation may
+        // park the block it points into.
+        curBlock_ = nullptr;
+        curOp_ = 0;
+
+        std::vector<uint32_t> addrs;
+        addrs.reserve(program.words.size());
+        for (const auto &[addr, word] : program.words) {
+            if (mem_.debugReadWord(addr) != word) {
+                cache_->invalidateRange(addr, 4);
+                mem_.debugWriteWord(addr, word);
+            }
+            addrs.push_back(addr);
+        }
+        std::sort(addrs.begin(), addrs.end());
+        addrs.erase(std::unique(addrs.begin(), addrs.end()),
+                    addrs.end());
+
+        // Zero every word outside the new image: eight bytes per
+        // probe, a merge walk down the sorted image addresses instead
+        // of per-word searches. The scan only needs to cover the
+        // memory dirty watermark — every byte outside it is still
+        // zero. A word is zero iff its bytes are, so the raw
+        // big-endian view needs no conversion here.
+        const uint8_t *raw = mem_.raw();
+        uint32_t size = mem_.size();
+        uint32_t lo = mem_.dirtyLo() & ~7u;
+        uint32_t hi = std::min<uint64_t>(size, (uint64_t(mem_.dirtyHi()) + 7) & ~7ull);
+        size_t next = 0;
+        for (uint32_t a = lo; a + 8 <= hi; a += 8) {
+            uint64_t chunk;
+            std::memcpy(&chunk, raw + a, 8);
+            if (chunk == 0)
+                continue;
+            for (uint32_t wa = a; wa < a + 8; wa += 4) {
+                uint32_t wordBytes;
+                std::memcpy(&wordBytes, raw + wa, 4);
+                if (wordBytes == 0)
+                    continue;
+                while (next < addrs.size() && addrs[next] < wa)
+                    ++next;
+                if (next < addrs.size() && addrs[next] == wa)
+                    continue;
+                cache_->invalidateRange(wa, 4);
+                mem_.debugWriteWord(wa, 0);
+            }
+        }
+        for (uint32_t wa = hi & ~7u; wa + 4 <= hi; wa += 4) {
+            uint32_t wordBytes;
+            std::memcpy(&wordBytes, raw + wa, 4);
+            if (wordBytes == 0)
+                continue;
+            while (next < addrs.size() && addrs[next] < wa)
+                ++next;
+            if (next < addrs.size() && addrs[next] == wa)
+                continue;
+            cache_->invalidateRange(wa, 4);
+            mem_.debugWriteWord(wa, 0);
+        }
+        cache_->purgeDead();
+    }
     reset();
     pc_ = program.entry;
+    memDirty_ = false;
+}
+
+void
+Cpu::setMutations(const MutationSet &mutations)
+{
+    config_.mutations = mutations;
+    refreshCacheMode();
+}
+
+void
+Cpu::invalidateCodeCache()
+{
+    curBlock_ = nullptr;
+    curOp_ = 0;
+    if (cache_)
+        cache_->flush();
+}
+
+void
+Cpu::refreshCacheMode()
+{
+    mutKey_ = config_.mutations.key();
+    // b11 dynamically corrupts the *fetched word*, so predecoded
+    // execution is unsound under it: fall back to the interpreted
+    // front end whenever it is active.
+    cacheOn_ = cache_ != nullptr &&
+               !has(Mutation::B11_FetchAfterLsuStall);
+    curBlock_ = nullptr;
+    curOp_ = 0;
 }
 
 void
@@ -60,6 +167,11 @@ Cpu::reset()
     wedged_ = false;
     retired_ = 0;
     irqCursor_ = 0;
+
+    // Cached blocks decode from memory, which reset() leaves alone —
+    // only the dispatch cursor drops.
+    curBlock_ = nullptr;
+    curOp_ = 0;
 }
 
 void
@@ -316,10 +428,10 @@ Cpu::maybeInterrupt(trace::TraceSink *sink, uint64_t &emitted)
 }
 
 Cpu::ExecResult
-Cpu::execute(const DecodedInsn &insn, Record &rec)
+Cpu::execute(const DecodedInsn &insn, const isa::InsnInfo &ii,
+             Record &rec)
 {
     ExecResult res;
-    const isa::InsnInfo &ii = insn.info();
     Mnemonic m = insn.mnemonic;
 
     uint32_t a = gpr_[insn.ra];
@@ -423,6 +535,9 @@ Cpu::execute(const DecodedInsn &insn, Record &rec)
             res.eear = addr;
             return;
         }
+        memDirty_ = true;
+        if (cache_)
+            cache_->invalidateRange(addr, size); // self-modifying code
         rec.post[VarId::MEMBUS] = data;
         rec.post[VarId::DMEM] = mem_.load(addr, size, true).value;
 
@@ -774,69 +889,130 @@ Cpu::execute(const DecodedInsn &insn, Record &rec)
     return res;
 }
 
-bool
-Cpu::stepInsn(trace::TraceSink *sink, uint64_t &retired,
-              uint64_t &emitted)
+const CachedOp *
+Cpu::nextCachedOp()
 {
-    Record rec;
-    rec.index = retired_;
-    snapshotState(rec.pre);
+    // Fast path: the cursor is mid-block and control flow stayed
+    // sequential (no exception, interrupt, or invalidation).
+    if (curBlock_ == nullptr || !curBlock_->alive ||
+        curOp_ >= curBlock_->ops.size() ||
+        curBlock_->ops[curOp_].pc != pc_) {
+        // The cursor was the only outstanding reference, so parked
+        // invalidated blocks can be freed now.
+        curBlock_ = nullptr;
+        cache_->purgeDead();
+        curBlock_ = cache_->lookupOrBuild(pc_, mutKey_, mem_,
+                                          config_.userBase);
+        curOp_ = 0;
+        if (curBlock_->ops.empty() || curBlock_->ops[0].pc != pc_)
+            return nullptr; // negative entry: run interpreted
+    }
+    const CachedOp &op = curBlock_->ops[curOp_++];
+    if (op.needsSuper && !supervisor()) {
+        // The fetch faults at this privilege; the interpreted path
+        // owns fault entry. The cursor self-heals on the pc change.
+        return nullptr;
+    }
+    cache_->countHit();
+    return &op;
+}
 
+bool
+Cpu::dispatchBoundary(trace::TraceSink *sink, uint64_t &retired,
+                      uint64_t &emitted)
+{
+    const CachedOp *op = cacheOn_ ? nextCachedOp() : nullptr;
+    if (sink) {
+        Record rec;
+        return stepBody<true>(rec, sink, retired, emitted, op);
+    }
+    return stepBody<false>(scratch_, nullptr, retired, emitted, op);
+}
+
+template <bool Traced>
+bool
+Cpu::stepBody(Record &rec, trace::TraceSink *sink, uint64_t &retired,
+              uint64_t &emitted, const CachedOp *op)
+{
     uint32_t insn_pc = pc_;
     fetchCorrupted_ = false;
-    // PC names the executed instruction on both record sides; the
-    // post side of NPC/NNPC is overwritten after execution.
-    rec.pre[VarId::PC] = insn_pc;
-    rec.pre[VarId::NPC] = insn_pc;
-    rec.pre[VarId::NNPC] = insn_pc + 4;
+    if constexpr (Traced) {
+        rec.index = retired_;
+        snapshotState(rec.pre);
+        // PC names the executed instruction on both record sides; the
+        // post side of NPC/NNPC is overwritten after execution.
+        rec.pre[VarId::PC] = insn_pc;
+        rec.pre[VarId::NPC] = insn_pc;
+        rec.pre[VarId::NNPC] = insn_pc + 4;
+    }
 
     auto finishRecord = [&](bool exception_entered, uint32_t next_pc) {
         if (!exception_entered)
             pc_ = next_pc;
         ppc_ = insn_pc;
-        snapshotState(rec.post);
-        rec.post[VarId::PC] = insn_pc;
-        rec.post[VarId::NPC] = pc_;
-        rec.post[VarId::NNPC] = pc_ + 4;
-        rec.post[VarId::PPC] = insn_pc;
-        rec.post[VarId::WBPC] = insn_pc;
-        rec.post[VarId::IDPC] = pc_ + 8;
-        trace::computeDerived(rec);
-        if (sink) {
-            sink->record(rec);
-            ++emitted;
+        if constexpr (Traced) {
+            snapshotState(rec.post);
+            rec.post[VarId::PC] = insn_pc;
+            rec.post[VarId::NPC] = pc_;
+            rec.post[VarId::NNPC] = pc_ + 4;
+            rec.post[VarId::PPC] = insn_pc;
+            rec.post[VarId::WBPC] = insn_pc;
+            rec.post[VarId::IDPC] = pc_ + 8;
+            trace::computeDerived(rec);
+            if (sink) {
+                sink->record(rec);
+                ++emitted;
+            }
         }
     };
 
-    // Fetch.
-    MemResult f = fetch(insn_pc, rec);
-    if (!f.ok()) {
-        rec.point = trace::Point::interrupt(f.fault);
-        enterException(f.fault, insn_pc, insn_pc + 4, insn_pc, false, 0,
-                       0);
-        finishRecord(true, 0);
-        ++retired;
-        ++retired_;
-        return true;
+    // Fetch — skipped for a predecoded boundary: the dispatcher
+    // guarantees the cached words match memory (invalidation), the
+    // fetch cannot fault (needsSuper), and no fetch-corrupting
+    // mutation is active (cacheOn_).
+    uint32_t word;
+    if (op != nullptr) {
+        word = op->word;
+        if constexpr (Traced) {
+            rec.pre[VarId::IMEM] = word;
+            rec.post[VarId::IMEM] = word;
+        }
+        lastFetched_ = word;
+    } else {
+        MemResult f = fetch(insn_pc, rec);
+        if (!f.ok()) {
+            rec.point = trace::Point::interrupt(f.fault);
+            enterException(f.fault, insn_pc, insn_pc + 4, insn_pc,
+                           false, 0, 0);
+            finishRecord(true, 0);
+            ++retired;
+            ++retired_;
+            return true;
+        }
+        word = f.value;
+    }
+    if constexpr (Traced) {
+        rec.pre[VarId::INSN] = word;
+        rec.post[VarId::INSN] = word;
     }
 
-    uint32_t word = f.value;
-    rec.pre[VarId::INSN] = word;
-    rec.post[VarId::INSN] = word;
-
-    auto decoded = isa::decode(word);
-    if (!decoded) {
-        rec.point = trace::Point::interrupt(Exception::Illegal);
-        enterException(Exception::Illegal, insn_pc, insn_pc + 4, 0,
-                       false, 0, 0);
-        finishRecord(true, 0);
-        ++retired;
-        ++retired_;
-        return true;
+    DecodedInsn decodedWord;
+    if (op == nullptr) {
+        auto decoded = isa::decode(word);
+        if (!decoded) {
+            rec.point = trace::Point::interrupt(Exception::Illegal);
+            enterException(Exception::Illegal, insn_pc, insn_pc + 4, 0,
+                           false, 0, 0);
+            finishRecord(true, 0);
+            ++retired;
+            ++retired_;
+            return true;
+        }
+        decodedWord = *decoded;
     }
-
-    DecodedInsn insn = *decoded;
-    const isa::InsnInfo &ii = insn.info();
+    const DecodedInsn &insn = op != nullptr ? op->insn : decodedWord;
+    const isa::InsnInfo &ii =
+        op != nullptr ? *op->info : insn.info();
     Mnemonic m = insn.mnemonic;
 
     // b2 / h13 wedge checks happen at issue time.
@@ -858,72 +1034,102 @@ Cpu::stepInsn(trace::TraceSink *sink, uint64_t &retired,
         return false;
     }
 
-    rec.point = trace::Point::insn(m);
-    rec.pre[VarId::IMM] = uint32_t(insn.imm);
-    rec.post[VarId::IMM] = uint32_t(insn.imm);
-    rec.pre[VarId::REGA] = insn.ra;
-    rec.post[VarId::REGA] = insn.ra;
-    rec.pre[VarId::REGB] = insn.rb;
-    rec.post[VarId::REGB] = insn.rb;
-    rec.pre[VarId::REGD] = ii.writesRd ? insn.rd : 0;
-    rec.post[VarId::REGD] = rec.pre[VarId::REGD];
-    rec.pre[VarId::OPA] = gpr_[insn.ra];
-    rec.post[VarId::OPA] = gpr_[insn.ra];
-    rec.pre[VarId::OPB] = gpr_[insn.rb];
-    rec.post[VarId::OPB] = gpr_[insn.rb];
+    if constexpr (Traced) {
+        rec.point = trace::Point::insn(m);
+        rec.pre[VarId::IMM] = uint32_t(insn.imm);
+        rec.post[VarId::IMM] = uint32_t(insn.imm);
+        rec.pre[VarId::REGA] = insn.ra;
+        rec.post[VarId::REGA] = insn.ra;
+        rec.pre[VarId::REGB] = insn.rb;
+        rec.post[VarId::REGB] = insn.rb;
+        rec.pre[VarId::REGD] = ii.writesRd ? insn.rd : 0;
+        rec.post[VarId::REGD] = rec.pre[VarId::REGD];
+        rec.pre[VarId::OPA] = gpr_[insn.ra];
+        rec.post[VarId::OPA] = gpr_[insn.ra];
+        rec.pre[VarId::OPB] = gpr_[insn.rb];
+        rec.post[VarId::OPB] = gpr_[insn.rb];
+    }
+    // execute() reads the post-side PC (branch targets, link
+    // register), so this write stays on the untraced path too.
     rec.post[VarId::PC] = insn_pc;
 
     bool halted = false;
 
     if (ii.hasDelaySlot) {
-        rec.fused = true;
-        ExecResult br = execute(insn, rec);
+        if constexpr (Traced)
+            rec.fused = true;
+        ExecResult br = execute(insn, ii, rec);
         SCIF_ASSERT(br.exception == Exception::None);
 
-        // Delay slot instruction.
+        // Delay slot instruction. A cached boundary carries its
+        // pre-decoded delay slot; pairs whose second word faults or
+        // fails to decode are never cached, so only the interpreted
+        // path needs the fault handling.
         uint32_t ds_pc = insn_pc + 4;
-        MemResult df = fetch(ds_pc, rec);
-        // Keep the *branch* word in INSN/IMEM: the record describes
-        // the fused pair under the branch's program point.
-        rec.pre[VarId::IMEM] = rec.post[VarId::IMEM] =
-            mem_.debugReadWord(insn_pc);
-        rec.pre[VarId::INSN] = rec.post[VarId::INSN] = word;
+        DecodedInsn dsLocal;
+        const DecodedInsn *dsp;
+        const isa::InsnInfo *dsii;
+        if (op != nullptr) {
+            dsp = &op->ds;
+            dsii = op->dsInfo;
+            lastFetched_ = op->dsWord;
+            // The branch word stays in INSN/IMEM: the record
+            // describes the fused pair under the branch's point.
+            if constexpr (Traced) {
+                rec.pre[VarId::IMEM] = rec.post[VarId::IMEM] = word;
+                rec.pre[VarId::INSN] = rec.post[VarId::INSN] = word;
+            }
+        } else {
+            MemResult df = fetch(ds_pc, rec);
+            // Keep the *branch* word in INSN/IMEM: the record
+            // describes the fused pair under the branch's point.
+            rec.pre[VarId::IMEM] = rec.post[VarId::IMEM] =
+                mem_.debugReadWord(insn_pc);
+            rec.pre[VarId::INSN] = rec.post[VarId::INSN] = word;
 
-        if (!df.ok()) {
-            rec.point = trace::Point::insn(m, df.fault);
-            enterException(df.fault, ds_pc, ds_pc + 4, ds_pc, true,
-                           insn_pc, br.branchTarget);
-            finishRecord(true, 0);
-            retired += 1;
-            ++retired_;
-            lastWasMac_ = false;
-            roriTaint_ = false;
-            return true;
+            if (!df.ok()) {
+                rec.point = trace::Point::insn(m, df.fault);
+                enterException(df.fault, ds_pc, ds_pc + 4, ds_pc, true,
+                               insn_pc, br.branchTarget);
+                finishRecord(true, 0);
+                retired += 1;
+                ++retired_;
+                lastWasMac_ = false;
+                roriTaint_ = false;
+                return true;
+            }
+
+            // Decode is pure, so the delay-slot word goes through the
+            // memo instead of a second full isa::decode per pair.
+            const DecodedInsn *ds_decoded = dsMemo_.lookup(df.value);
+            if (ds_decoded == nullptr ||
+                ds_decoded->info().hasDelaySlot) {
+                // Undecodable word or control flow in the delay slot.
+                rec.point = trace::Point::insn(m, Exception::Illegal);
+                enterException(Exception::Illegal, ds_pc, ds_pc + 4, 0,
+                               true, insn_pc, br.branchTarget);
+                finishRecord(true, 0);
+                retired += 1;
+                ++retired_;
+                lastWasMac_ = false;
+                roriTaint_ = false;
+                return true;
+            }
+            dsLocal = *ds_decoded;
+            dsp = &dsLocal;
+            dsii = &dsLocal.info();
         }
+        const DecodedInsn &dsInsn = *dsp;
 
-        auto ds_decoded = isa::decode(df.value);
-        if (!ds_decoded || ds_decoded->info().hasDelaySlot) {
-            // Undecodable word or control flow in the delay slot.
-            rec.point = trace::Point::insn(m, Exception::Illegal);
-            enterException(Exception::Illegal, ds_pc, ds_pc + 4, 0,
-                           true, insn_pc, br.branchTarget);
-            finishRecord(true, 0);
-            retired += 1;
-            ++retired_;
-            lastWasMac_ = false;
-            roriTaint_ = false;
-            return true;
-        }
-
-        ExecResult ds = execute(*ds_decoded, rec);
+        ExecResult ds = execute(dsInsn, *dsii, rec);
         if (wedged_)
             return false;
 
         // The rotate residue / mac history become visible only after
         // this pair completes (enterException below must still see
         // the previous instruction's residue).
-        bool new_taint = ds_decoded->mnemonic == Mnemonic::L_RORI;
-        bool new_mac = ds_decoded->mnemonic == Mnemonic::L_MAC;
+        bool new_taint = dsInsn.mnemonic == Mnemonic::L_RORI;
+        bool new_mac = dsInsn.mnemonic == Mnemonic::L_MAC;
 
         if (ds.exception != Exception::None) {
             rec.point = trace::Point::insn(m, ds.exception);
@@ -941,7 +1147,7 @@ Cpu::stepInsn(trace::TraceSink *sink, uint64_t &retired,
         retired += 2;
         retired_ += 2;
     } else {
-        ExecResult r = execute(insn, rec);
+        ExecResult r = execute(insn, ii, rec);
         if (wedged_)
             return false;
 
@@ -979,7 +1185,8 @@ Cpu::run(trace::TraceSink *sink)
         if (maybeInterrupt(sink, emitted))
             continue;
         uint64_t before = retired_;
-        bool keep_going = stepInsn(sink, result.instructions, emitted);
+        bool keep_going =
+            dispatchBoundary(sink, result.instructions, emitted);
         if (wedged_) {
             result.reason = HaltReason::Wedged;
             break;
@@ -1011,7 +1218,7 @@ Cpu::step(trace::TraceSink *sink)
         return StepStatus::Running;
 
     uint64_t insns = 0;
-    bool keep_going = stepInsn(sink, insns, emitted);
+    bool keep_going = dispatchBoundary(sink, insns, emitted);
     if (wedged_)
         return StepStatus::Wedged;
     return keep_going ? StepStatus::Running : StepStatus::Halted;

@@ -24,9 +24,11 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "asm/assembler.hh"
+#include "cpu/blockcache.hh"
 #include "cpu/memory.hh"
 #include "cpu/mutation.hh"
 #include "isa/arch.hh"
@@ -57,6 +59,14 @@ struct CpuConfig
     uint32_t userBase = 0x2000;    ///< supervisor-only boundary
     uint64_t maxInsns = 1000000;   ///< retirement budget per run()
     MutationSet mutations;         ///< injected errata
+
+    /**
+     * Use the predecoded basic-block cache (cpu/blockcache.hh). Off,
+     * every boundary fetches and decodes from memory — the
+     * interpreted oracle the differential tests compare against.
+     * Both front ends produce byte-identical traces.
+     */
+    bool predecode = true;
 
     /**
      * Microarchitectural trace extension (the paper's §5.2 future-
@@ -135,6 +145,39 @@ class Cpu
     const Memory &memory() const { return mem_; }
     const CpuConfig &config() const { return config_; }
 
+    /**
+     * Switch the active mutation set on a live processor. Cached
+     * blocks are keyed by mutation set, so entries decoded under the
+     * previous configuration stay isolated rather than flushed; the
+     * per-bug identification fan-out relies on this to run the buggy
+     * and the clean configuration on one processor.
+     */
+    void setMutations(const MutationSet &mutations);
+
+    /**
+     * Drop every predecoded block. Required after poking code memory
+     * from outside (Memory::debugWriteWord); loadProgram() and the
+     * store path invalidate automatically.
+     */
+    void invalidateCodeCache();
+
+    /** @return true if any store retired since the last loadProgram()
+     *  (i.e. memory may differ from the loaded image). */
+    bool memoryDirty() const { return memDirty_; }
+
+    /** @return block-cache statistics, or nullptr when predecode is
+     *  disabled. */
+    const BlockCache::Stats *cacheStats() const
+    {
+        return cache_ ? &cache_->stats() : nullptr;
+    }
+
+    /** @return live cached blocks (0 when predecode is disabled). */
+    size_t cachedBlocks() const
+    {
+        return cache_ ? cache_->liveBlocks() : 0;
+    }
+
   private:
     /** Result of executing one instruction. */
     struct ExecResult
@@ -148,8 +191,11 @@ class Cpu
         uint32_t rfeTarget = 0;
     };
 
-    /** Execute one decoded instruction, updating state and @p rec. */
-    ExecResult execute(const isa::DecodedInsn &insn, trace::Record &rec);
+    /** Execute one decoded instruction, updating state and @p rec.
+     *  @p ii must be insn's isa::info() (pre-resolved by the caller
+     *  so the cached dispatch path skips the table lookup). */
+    ExecResult execute(const isa::DecodedInsn &insn,
+                       const isa::InsnInfo &ii, trace::Record &rec);
 
     /** Write a GPR respecting the r0-hardwired-zero rule (and b10). */
     void writeGpr(unsigned n, uint32_t value, trace::Record &rec);
@@ -181,9 +227,35 @@ class Cpu
     /** Deliver a pending asynchronous interrupt, if any. */
     bool maybeInterrupt(trace::TraceSink *sink, uint64_t &emitted);
 
-    /** Run one instruction (or fused pair); emit its record. */
-    bool stepInsn(trace::TraceSink *sink, uint64_t &retired,
-                  uint64_t &emitted);
+    /**
+     * Run one trace boundary through the front end the configuration
+     * selects: a predecoded CachedOp when the dispatch cursor has
+     * one, the interpreted fetch+decode path otherwise.
+     */
+    bool dispatchBoundary(trace::TraceSink *sink, uint64_t &retired,
+                          uint64_t &emitted);
+
+    /**
+     * Run one instruction (or fused pair). @p op carries the
+     * predecoded boundary (skipping fetch and decode) or nullptr for
+     * the interpreted path. With Traced false, @p rec is a reusable
+     * scratch record and no snapshots, derived variables, or sink
+     * emission happen — architectural state advances identically.
+     */
+    template <bool Traced>
+    bool stepBody(trace::Record &rec, trace::TraceSink *sink,
+                  uint64_t &retired, uint64_t &emitted,
+                  const CachedOp *op);
+
+    /**
+     * The predecoded boundary at pc_, advancing the dispatch cursor;
+     * nullptr when the boundary must run interpreted (cache miss on
+     * an uncacheable word, or privilege mismatch).
+     */
+    const CachedOp *nextCachedOp();
+
+    /** Recompute cacheOn_/mutKey_ and drop the dispatch cursor. */
+    void refreshCacheMode();
 
     bool has(Mutation m) const { return config_.mutations.has(m); }
     bool supervisor() const { return (sr_ >> isa::sr::SM) & 1; }
@@ -220,6 +292,16 @@ class Cpu
 
     uint64_t retired_ = 0;
     size_t irqCursor_ = 0;
+
+    // Predecode front end (tentpole of the fast-simulation work).
+    std::unique_ptr<BlockCache> cache_; ///< null when predecode off
+    Block *curBlock_ = nullptr;         ///< dispatch cursor block
+    size_t curOp_ = 0;                  ///< next op within curBlock_
+    uint64_t mutKey_ = 0;               ///< active mutation cache key
+    bool cacheOn_ = false;              ///< predecode usable right now
+    bool memDirty_ = false;             ///< stores since loadProgram()
+    DecodeMemo dsMemo_;                 ///< interpreted-path ds decode
+    trace::Record scratch_;             ///< reused by untraced steps
 };
 
 } // namespace scif::cpu

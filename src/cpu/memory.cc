@@ -16,6 +16,8 @@ void
 Memory::clear()
 {
     std::fill(ram_.begin(), ram_.end(), 0);
+    dirtyLo_ = UINT32_MAX;
+    dirtyHi_ = 0;
 }
 
 Exception
@@ -56,6 +58,7 @@ Memory::store(uint32_t addr, unsigned size, uint32_t value,
     res.fault = check(addr, size, supervisor, false);
     if (!res.ok())
         return res;
+    touch(addr, size);
     for (unsigned i = 0; i < size; ++i) {
         ram_[addr + i] =
             uint8_t(value >> (8 * (size - 1 - i))); // big endian

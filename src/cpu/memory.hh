@@ -70,13 +70,37 @@ class Memory
     uint32_t size() const { return uint32_t(ram_.size()); }
     uint32_t userBase() const { return userBase_; }
 
+    /** Raw read-only view of RAM, for fast diff scans (program
+     *  reloads) and diagnostics. */
+    const uint8_t *raw() const { return ram_.data(); }
+
+    /**
+     * Dirty watermark: every byte written since the last clear() lies
+     * in [dirtyLo(), dirtyHi()). Both write paths (store and
+     * debugWriteWord) maintain it, so a diff scan that only covers
+     * the watermark sees every byte that can differ from zero.
+     */
+    uint32_t dirtyLo() const { return dirtyLo_; }
+    uint32_t dirtyHi() const { return dirtyHi_; }
+
   private:
+    void
+    touch(uint32_t addr, unsigned size)
+    {
+        if (addr < dirtyLo_)
+            dirtyLo_ = addr;
+        if (addr + size > dirtyHi_)
+            dirtyHi_ = addr + size;
+    }
+
     /** Check mapping, alignment, and protection. */
     isa::Exception check(uint32_t addr, unsigned size, bool supervisor,
                          bool fetch) const;
 
     std::vector<uint8_t> ram_;
     uint32_t userBase_;
+    uint32_t dirtyLo_ = UINT32_MAX;
+    uint32_t dirtyHi_ = 0;
 };
 
 } // namespace scif::cpu

@@ -98,6 +98,12 @@ class MutationSet
     bool has(Mutation m) const { return bits_.test(size_t(m)); }
     bool empty() const { return bits_.none(); }
 
+    /**
+     * The set as an integer, used to key the predecoded block cache
+     * (numMutations < 64, so the packing is exact and collision-free).
+     */
+    uint64_t key() const { return bits_.to_ullong(); }
+
   private:
     std::bitset<numMutations> bits_;
 };

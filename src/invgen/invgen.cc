@@ -267,6 +267,12 @@ class Generator
         cols_ = trace::ColumnSet::build(traces, slotIds);
     }
 
+    Generator(trace::ColumnSet cols, const Config &config)
+        : config_(config), cols_(std::move(cols))
+    {
+        buildSlots();
+    }
+
     InvariantSet
     run(GenStats *stats, support::ThreadPool *pool)
     {
@@ -762,6 +768,14 @@ generate(const trace::TraceBuffer &trace, const Config &config,
 {
     std::vector<const trace::TraceBuffer *> traces = {&trace};
     return generate(traces, config, stats);
+}
+
+InvariantSet
+generate(trace::ColumnSet cols, const Config &config, GenStats *stats,
+         support::ThreadPool *pool)
+{
+    Generator gen(std::move(cols), config);
+    return gen.run(stats, pool);
 }
 
 } // namespace scif::invgen

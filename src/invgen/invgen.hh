@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "expr/expr.hh"
+#include "trace/columns.hh"
 #include "trace/record.hh"
 
 namespace scif::support {
@@ -159,6 +160,18 @@ InvariantSet generate(const std::vector<const trace::TraceBuffer *> &traces,
 InvariantSet generate(const trace::TraceBuffer &trace,
                       const Config &config = Config(),
                       GenStats *stats = nullptr);
+
+/**
+ * Infer invariants from an already-transposed column set (the
+ * capture-time columnar front end). @p cols must materialize at
+ * least the slots the templates reference — a full-slot seal always
+ * qualifies — and yields output identical to generate() over the
+ * equivalent record stream, minus the AoS-to-SoA transpose.
+ */
+InvariantSet generate(trace::ColumnSet cols,
+                      const Config &config = Config(),
+                      GenStats *stats = nullptr,
+                      support::ThreadPool *pool = nullptr);
 
 } // namespace scif::invgen
 

@@ -128,25 +128,26 @@ combineScans(const bugs::Bug &bug,
 
 IdentificationResult
 identify(const CompiledModel &model, const bugs::Bug &bug,
-         const std::set<size_t> &knownNonInvariant)
+         const std::set<size_t> &knownNonInvariant, bool interpretedSim)
 {
-    trace::TraceBuffer buggy = bugs::runTrigger(bug, true);
-    trace::TraceBuffer clean = bugs::runTrigger(bug, false);
-    return combineScans(bug, findViolations(model, buggy),
-                        findViolations(model, clean),
+    bugs::TriggerTraces traces = bugs::runTriggers(bug, interpretedSim);
+    return combineScans(bug, findViolations(model, traces.buggy),
+                        findViolations(model, traces.clean),
                         knownNonInvariant);
 }
 
 IdentificationResult
 identify(const invgen::InvariantSet &set, const bugs::Bug &bug,
-         const std::set<size_t> &knownNonInvariant, EvalMode mode)
+         const std::set<size_t> &knownNonInvariant, EvalMode mode,
+         bool interpretedSim)
 {
-    if (mode == EvalMode::Compiled)
-        return identify(CompiledModel(set), bug, knownNonInvariant);
-    trace::TraceBuffer buggy = bugs::runTrigger(bug, true);
-    trace::TraceBuffer clean = bugs::runTrigger(bug, false);
-    return combineScans(bug, findViolations(set, buggy, mode),
-                        findViolations(set, clean, mode),
+    if (mode == EvalMode::Compiled) {
+        return identify(CompiledModel(set), bug, knownNonInvariant,
+                        interpretedSim);
+    }
+    bugs::TriggerTraces traces = bugs::runTriggers(bug, interpretedSim);
+    return combineScans(bug, findViolations(set, traces.buggy, mode),
+                        findViolations(set, traces.clean, mode),
                         knownNonInvariant);
 }
 
@@ -154,7 +155,7 @@ SciDatabase
 identifyAll(const CompiledModel &model,
             const std::vector<const bugs::Bug *> &bugList,
             const std::set<size_t> &knownNonInvariant,
-            support::ThreadPool *pool)
+            support::ThreadPool *pool, bool interpretedSim)
 {
     // The compiled programs are immutable and shared read-only by
     // the per-bug workers. Each bug's identification (two trigger
@@ -163,7 +164,8 @@ identifyAll(const CompiledModel &model,
     // the serial loop.
     std::vector<IdentificationResult> results(bugList.size());
     support::parallelFor(pool, bugList.size(), [&](size_t i) {
-        results[i] = identify(model, *bugList[i], knownNonInvariant);
+        results[i] = identify(model, *bugList[i], knownNonInvariant,
+                              interpretedSim);
     });
     SciDatabase db;
     for (const auto &result : results)
@@ -175,16 +177,17 @@ SciDatabase
 identifyAll(const invgen::InvariantSet &set,
             const std::vector<const bugs::Bug *> &bugList,
             const std::set<size_t> &knownNonInvariant,
-            support::ThreadPool *pool, EvalMode mode)
+            support::ThreadPool *pool, EvalMode mode,
+            bool interpretedSim)
 {
     if (mode == EvalMode::Compiled) {
         return identifyAll(CompiledModel(set), bugList,
-                           knownNonInvariant, pool);
+                           knownNonInvariant, pool, interpretedSim);
     }
     std::vector<IdentificationResult> results(bugList.size());
     support::parallelFor(pool, bugList.size(), [&](size_t i) {
-        results[i] =
-            identify(set, *bugList[i], knownNonInvariant, mode);
+        results[i] = identify(set, *bugList[i], knownNonInvariant,
+                              mode, interpretedSim);
     });
     SciDatabase db;
     for (const auto &result : results)

@@ -134,12 +134,19 @@ struct IdentificationResult
 IdentificationResult identify(const invgen::InvariantSet &set,
                               const bugs::Bug &bug,
                               const std::set<size_t> &knownNonInvariant,
-                              EvalMode mode = EvalMode::Compiled);
+                              EvalMode mode = EvalMode::Compiled,
+                              bool interpretedSim = false);
 
-/** Identify with a prebuilt compiled model (the hot path). */
+/**
+ * Identify with a prebuilt compiled model (the hot path). The
+ * trigger pair runs on one Cpu via bugs::runTriggers();
+ * @p interpretedSim forces the interpreted simulator front end (the
+ * differential oracle for the predecoded default).
+ */
 IdentificationResult identify(const CompiledModel &model,
                               const bugs::Bug &bug,
-                              const std::set<size_t> &knownNonInvariant);
+                              const std::set<size_t> &knownNonInvariant,
+                              bool interpretedSim = false);
 
 /**
  * Identify the SCI for a list of bugs, fanning out per bug over
@@ -152,13 +159,15 @@ SciDatabase identifyAll(const invgen::InvariantSet &set,
                         const std::vector<const bugs::Bug *> &bugList,
                         const std::set<size_t> &knownNonInvariant,
                         support::ThreadPool *pool = nullptr,
-                        EvalMode mode = EvalMode::Compiled);
+                        EvalMode mode = EvalMode::Compiled,
+                        bool interpretedSim = false);
 
 /** Identify all bugs with a prebuilt compiled model. */
 SciDatabase identifyAll(const CompiledModel &model,
                         const std::vector<const bugs::Bug *> &bugList,
                         const std::set<size_t> &knownNonInvariant,
-                        support::ThreadPool *pool = nullptr);
+                        support::ThreadPool *pool = nullptr,
+                        bool interpretedSim = false);
 
 /**
  * The accumulated identification output: which invariants are SCI

@@ -77,7 +77,13 @@ usage()
         "                 --interpreted-eval (identify: scan with "
         "the\n"
         "                 interpreted oracle instead of the compiled "
-        "kernels)\n"
+        "kernels),\n"
+        "                 --interpreted-sim (simulate on the "
+        "interpreted\n"
+        "                 front end instead of the predecoded block "
+        "cache\n"
+        "                 with capture-time columns; same "
+        "artifacts)\n"
         "\n"
         "testing:\n"
         "  fuzz      [opts] [--seed S] [--count N] "
@@ -114,6 +120,10 @@ struct CommonOpts
     /** Force the interpreted Expr oracle for violation scans
      *  (identify); the default is the compiled batch kernels. */
     bool interpretedEval = false;
+    /** Force the interpreted simulator front end (no predecoded
+     *  block cache, no capture-time columns); the differential
+     *  oracle for the fast path. Artifacts are byte-identical. */
+    bool interpretedSim = false;
 };
 
 /**
@@ -163,6 +173,8 @@ parseCommon(std::vector<std::string> &args, CommonOpts &opts)
             opts.noInference = true;
         } else if (arg == "--interpreted-eval") {
             opts.interpretedEval = true;
+        } else if (arg == "--interpreted-sim") {
+            opts.interpretedSim = true;
         } else {
             rest.push_back(arg);
         }
@@ -308,25 +320,47 @@ cmdGeneratePhase(const CommonOpts &opts,
         for (const auto &name : workloadNames)
             list.push_back(&workloads::byName(name));
     }
-    auto traces = support::parallelMap(
-        pool.get(), list, [](const workloads::Workload *w) {
-            return trace::NamedTrace{w->name, workloads::run(*w)};
-        });
-    trace::saveTraceSet(paths.traces(), traces);
-
-    std::vector<const trace::TraceBuffer *> ptrs;
-    uint64_t records = 0;
-    for (const auto &nt : traces) {
-        ptrs.push_back(&nt.trace);
-        records += nt.trace.size();
-    }
     invgen::GenStats stats;
-    invgen::InvariantSet model =
-        invgen::generate(ptrs, {}, &stats, pool.get());
+    invgen::InvariantSet model;
+    uint64_t records = 0;
+    size_t count = list.size();
+    if (opts.interpretedSim) {
+        auto traces = support::parallelMap(
+            pool.get(), list, [](const workloads::Workload *w) {
+                return trace::NamedTrace{
+                    w->name,
+                    workloads::run(*w, {}, /*interpreted=*/true)};
+            });
+        trace::saveTraceSet(paths.traces(), traces);
+        std::vector<const trace::TraceBuffer *> ptrs;
+        for (const auto &nt : traces) {
+            ptrs.push_back(&nt.trace);
+            records += nt.trace.size();
+        }
+        model = invgen::generate(ptrs, {}, &stats, pool.get());
+    } else {
+        auto captures = support::parallelMap(
+            pool.get(), list, [](const workloads::Workload *w) {
+                return trace::NamedCapture{
+                    w->name, workloads::runColumnar(*w)};
+            });
+        std::vector<trace::NamedTrace> traces;
+        traces.reserve(captures.size());
+        std::vector<const trace::ColumnarCapture *> caps;
+        for (const auto &nc : captures) {
+            traces.push_back(
+                trace::NamedTrace{nc.name, nc.capture.toRecords()});
+            caps.push_back(&nc.capture);
+            records += nc.capture.size();
+        }
+        trace::saveTraceSet(paths.traces(), traces);
+        model = invgen::generate(trace::ColumnarCapture::seal(caps),
+                                 {}, &stats, pool.get());
+    }
     model.saveBinary(paths.rawModel());
     std::printf("%zu workloads, %llu records, %llu program points, "
                 "%zu raw invariants\n",
-                traces.size(), (unsigned long long)records,
+                count, (unsigned long long)records,
                 (unsigned long long)stats.points, model.size());
     std::printf("wrote %s and %s\n", paths.traces().c_str(),
                 paths.rawModel().c_str());
@@ -464,7 +498,8 @@ cmdIdentifyPhase(const CommonOpts &opts,
                              ? sci::EvalMode::Interpreted
                              : sci::EvalMode::Compiled;
     auto validation = workloads::validationCorpus(
-        opts.validationPrograms, 0x5eed, pool.get());
+        opts.validationPrograms, 0x5eed, pool.get(),
+        opts.interpretedSim);
     std::set<size_t> violations =
         sci::corpusViolations(model, validation, pool.get(), mode);
 
@@ -475,8 +510,9 @@ cmdIdentifyPhase(const CommonOpts &opts,
         for (const auto &id : bugIds)
             bugList.push_back(&bugs::byId(id));
     }
-    sci::SciDatabase db = sci::identifyAll(model, bugList, violations,
-                                           pool.get(), mode);
+    sci::SciDatabase db =
+        sci::identifyAll(model, bugList, violations, pool.get(), mode,
+                         opts.interpretedSim);
 
     core::saveIndexSet(paths.violations(), violations);
     db.saveBinary(paths.sciDatabase());
@@ -509,6 +545,7 @@ cmdIdentify(const std::vector<std::string> &args_in)
     config.runInference = false;
     config.jobs = opts.jobs;
     config.validationPrograms = opts.validationPrograms;
+    config.interpretedSim = opts.interpretedSim;
     core::PipelineResult result = core::runPipeline(config);
     printIdentification(result.database, result.model);
     return 0;
@@ -640,6 +677,7 @@ cmdRun(const std::vector<std::string> &args_in)
     config.jobs = opts.jobs;
     config.artifactDir = opts.artifactDir;
     config.validationPrograms = opts.validationPrograms;
+    config.interpretedSim = opts.interpretedSim;
     core::PipelineResult r = core::runPipeline(config);
     std::printf("traces:      %llu records\n",
                 (unsigned long long)r.traceRecords);

@@ -100,6 +100,7 @@ class PointColumns
 
   private:
     friend class ColumnSet;
+    friend class ColumnarCapture;
 
     struct AlignedDelete
     {
@@ -156,6 +157,8 @@ class ColumnSet
     uint64_t totalRows() const;
 
   private:
+    friend class ColumnarCapture;
+
     std::vector<PointColumns> points_;
 };
 

@@ -1004,20 +1004,41 @@ byName(const std::string &name)
     panic("unknown workload '%s'", name.c_str());
 }
 
-trace::TraceBuffer
-run(const Workload &w, const cpu::MutationSet &mutations)
+namespace {
+
+void
+runInto(const Workload &w, const cpu::MutationSet &mutations,
+        bool interpreted, trace::TraceSink *sink)
 {
     cpu::CpuConfig config = w.config;
     config.mutations = mutations;
+    config.predecode = !interpreted;
     cpu::Cpu cpu(config);
     cpu.loadProgram(assembler::assembleOrDie(w.source));
-    trace::TraceBuffer buffer;
-    cpu::RunResult result = cpu.run(&buffer);
+    cpu::RunResult result = cpu.run(sink);
     if (result.reason != cpu::HaltReason::Halted && mutations.empty()) {
         panic("workload '%s' did not halt cleanly (reason %d)",
               w.name.c_str(), int(result.reason));
     }
+}
+
+} // namespace
+
+trace::TraceBuffer
+run(const Workload &w, const cpu::MutationSet &mutations,
+    bool interpreted)
+{
+    trace::TraceBuffer buffer;
+    runInto(w, mutations, interpreted, &buffer);
     return buffer;
+}
+
+trace::ColumnarCapture
+runColumnar(const Workload &w, const cpu::MutationSet &mutations)
+{
+    trace::ColumnarCapture capture;
+    runInto(w, mutations, /*interpreted=*/false, &capture);
+    return capture;
 }
 
 std::string
@@ -1177,7 +1198,7 @@ randomProgram(Rng &rng, size_t length)
 
 std::vector<trace::TraceBuffer>
 validationCorpus(size_t count, uint64_t seed,
-                 support::ThreadPool *pool)
+                 support::ThreadPool *pool, bool interpreted)
 {
     // One sequential random stream decides every program, so the
     // corpus is a pure function of (count, seed); only the runs of
@@ -1190,7 +1211,9 @@ validationCorpus(size_t count, uint64_t seed,
     }
     return support::parallelMap(
         pool, programs,
-        [](const Workload &w) { return run(w); });
+        [interpreted](const Workload &w) {
+            return run(w, {}, interpreted);
+        });
 }
 
 } // namespace scif::workloads

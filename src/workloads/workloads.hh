@@ -24,6 +24,7 @@
 
 #include "cpu/cpu.hh"
 #include "support/random.hh"
+#include "trace/capture.hh"
 #include "trace/record.hh"
 
 namespace scif::support {
@@ -52,9 +53,21 @@ const Workload &byName(const std::string &name);
  *
  * @param w the workload.
  * @param mutations injected errata (empty = clean processor).
+ * @param interpreted force the interpreted (non-predecoded) front
+ *        end; the record stream is byte-identical either way.
  */
 trace::TraceBuffer run(const Workload &w,
-                       const cpu::MutationSet &mutations = {});
+                       const cpu::MutationSet &mutations = {},
+                       bool interpreted = false);
+
+/**
+ * Run a workload, capturing straight into per-point columns (no AoS
+ * intermediate). The capture reconstructs the exact run() record
+ * stream via toRecords() and seals into the ColumnSet::build
+ * geometry.
+ */
+trace::ColumnarCapture
+runColumnar(const Workload &w, const cpu::MutationSet &mutations = {});
 
 /**
  * Generate a constrained-random program: data operations over a wide
@@ -82,7 +95,8 @@ std::string randomProgram(Rng &rng, size_t length);
  */
 std::vector<trace::TraceBuffer>
 validationCorpus(size_t count = 24, uint64_t seed = 0x5eed,
-                 support::ThreadPool *pool = nullptr);
+                 support::ThreadPool *pool = nullptr,
+                 bool interpreted = false);
 
 } // namespace scif::workloads
 

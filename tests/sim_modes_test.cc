@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Differential tests between the two simulation front ends: the
+ * default predecoded + capture-time-columnar fast path, and the
+ * interpreted + post-hoc-transpose oracle behind --interpreted-sim.
+ * The full workload suite and a fuzz corpus must produce record-
+ * identical traces in both modes; ColumnarCapture must reconstruct
+ * the exact AoS stream and seal into the exact ColumnSet::build
+ * geometry; and the staged pipeline must persist byte-identical
+ * artifacts for any (front end, --jobs) combination.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "asm/assembler.hh"
+#include "bugs/registry.hh"
+#include "core/scifinder.hh"
+#include "fuzz/progen.hh"
+#include "trace/capture.hh"
+#include "trace/columns.hh"
+#include "workloads/workloads.hh"
+
+namespace scif {
+namespace {
+
+void
+expectSameRecords(const std::vector<trace::Record> &a,
+                  const std::vector<trace::Record> &b,
+                  const std::string &what)
+{
+    ASSERT_EQ(a.size(), b.size()) << what;
+    for (size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].point.id(), b[i].point.id())
+            << what << " record " << i;
+        ASSERT_EQ(a[i].index, b[i].index) << what << " record " << i;
+        ASSERT_EQ(a[i].fused, b[i].fused) << what << " record " << i;
+        ASSERT_EQ(a[i].pre, b[i].pre) << what << " record " << i;
+        ASSERT_EQ(a[i].post, b[i].post) << what << " record " << i;
+    }
+}
+
+TEST(SimModes, AllWorkloadsTraceIdentically)
+{
+    for (const auto &w : workloads::all()) {
+        trace::TraceBuffer fast = workloads::run(w, {}, false);
+        trace::TraceBuffer slow = workloads::run(w, {}, true);
+        expectSameRecords(fast.records(), slow.records(), w.name);
+    }
+}
+
+TEST(SimModes, MutatedWorkloadsTraceIdentically)
+{
+    // A mutation that perturbs values (b6), one that perturbs
+    // control (b1), and the one that disables predecode (b11).
+    const cpu::Mutation muts[] = {
+        cpu::Mutation::B6_UnsignedCmpMsb,
+        cpu::Mutation::B1_SysDelaySlotEpcr,
+        cpu::Mutation::B11_FetchAfterLsuStall,
+    };
+    const char *names[] = {"vmlinux", "gzip", "mcf"};
+    for (cpu::Mutation m : muts) {
+        cpu::MutationSet set;
+        set.add(m);
+        for (const char *name : names) {
+            const auto &w = workloads::byName(name);
+            trace::TraceBuffer fast = workloads::run(w, set, false);
+            trace::TraceBuffer slow = workloads::run(w, set, true);
+            expectSameRecords(fast.records(), slow.records(), name);
+        }
+    }
+}
+
+TEST(SimModes, FuzzCorpusTracesIdentically)
+{
+    fuzz::GenConfig gen;
+    gen.gadgets = 24;
+    for (uint64_t seed = 0; seed < 6; ++seed) {
+        fuzz::GeneratedProgram gp = fuzz::generate(gen, 0xfee1, seed);
+        assembler::Program p = assembler::assembleOrDie(gp.source());
+
+        cpu::CpuConfig config;
+        config.memBytes = gen.memBytes;
+        config.predecode = true;
+        cpu::Cpu fast(config);
+        config.predecode = false;
+        cpu::Cpu slow(config);
+        fast.loadProgram(p);
+        slow.loadProgram(p);
+
+        trace::TraceBuffer fastTrace, slowTrace;
+        cpu::RunResult rf = fast.run(&fastTrace);
+        cpu::RunResult rs = slow.run(&slowTrace);
+        EXPECT_EQ(rf.reason, rs.reason) << gp.name;
+        EXPECT_EQ(rf.instructions, rs.instructions) << gp.name;
+        expectSameRecords(fastTrace.records(), slowTrace.records(),
+                          gp.name);
+        for (unsigned r = 0; r < isa::numGprs; ++r)
+            EXPECT_EQ(fast.gpr(r), slow.gpr(r)) << gp.name << " r" << r;
+    }
+}
+
+TEST(SimModes, ColumnarCaptureReconstructsRecordStream)
+{
+    for (const char *name : {"basicmath", "vmlinux", "quake"}) {
+        const auto &w = workloads::byName(name);
+        trace::TraceBuffer buf = workloads::run(w);
+        trace::ColumnarCapture cap = workloads::runColumnar(w);
+        ASSERT_EQ(cap.size(), buf.size()) << name;
+        expectSameRecords(cap.toRecords().records(), buf.records(),
+                          name);
+    }
+}
+
+TEST(SimModes, SealMatchesPostHocTranspose)
+{
+    const auto &w = workloads::byName("twolf");
+    trace::TraceBuffer buf = workloads::run(w);
+    trace::ColumnarCapture cap = workloads::runColumnar(w);
+
+    trace::ColumnSet direct = cap.seal();
+    trace::ColumnSet transposed = trace::ColumnSet::build(buf);
+
+    ASSERT_EQ(direct.points().size(), transposed.points().size());
+    ASSERT_EQ(direct.totalRows(), transposed.totalRows());
+    for (size_t i = 0; i < direct.points().size(); ++i) {
+        const trace::PointColumns &d = direct.points()[i];
+        const trace::PointColumns &t = transposed.points()[i];
+        ASSERT_EQ(d.point().id(), t.point().id());
+        ASSERT_EQ(d.rows(), t.rows());
+        for (uint16_t s = 0; s < trace::numSlots; ++s) {
+            ASSERT_EQ(d.has(s), t.has(s));
+            if (!d.has(s))
+                continue;
+            for (size_t r = 0; r < d.rows(); ++r) {
+                ASSERT_EQ(d.column(s)[r], t.column(s)[r])
+                    << "point " << i << " slot " << s << " row " << r;
+            }
+        }
+    }
+}
+
+TEST(SimModes, RunTriggersMatchesBothModesAndLegacy)
+{
+    for (const char *id : {"b6", "b10", "b11"}) {
+        const bugs::Bug &bug = bugs::byId(id);
+        bugs::TriggerTraces fast = bugs::runTriggers(bug, false);
+        bugs::TriggerTraces slow = bugs::runTriggers(bug, true);
+        expectSameRecords(fast.buggy.records(), slow.buggy.records(),
+                          std::string(id) + " buggy");
+        expectSameRecords(fast.clean.records(), slow.clean.records(),
+                          std::string(id) + " clean");
+
+        // The one-Cpu fan-out must equal two fresh single runs.
+        expectSameRecords(fast.buggy.records(),
+                          bugs::runTrigger(bug, true).records(),
+                          std::string(id) + " buggy vs legacy");
+        expectSameRecords(fast.clean.records(),
+                          bugs::runTrigger(bug, false).records(),
+                          std::string(id) + " clean vs legacy");
+    }
+}
+
+std::vector<char>
+slurp(const std::filesystem::path &p)
+{
+    std::ifstream in(p, std::ios::binary);
+    EXPECT_TRUE(in.good()) << p;
+    return std::vector<char>(std::istreambuf_iterator<char>(in),
+                             std::istreambuf_iterator<char>());
+}
+
+TEST(SimModes, PipelineArtifactsByteIdentical)
+{
+    auto runOnce = [](bool interpreted, size_t jobs,
+                      const std::string &dir) {
+        core::PipelineConfig config;
+        config.workloadNames = {"basicmath", "twolf"};
+        config.bugIds = {"b6", "b10"};
+        config.validationPrograms = 2;
+        config.runInference = false;
+        config.interpretedSim = interpreted;
+        config.jobs = jobs;
+        config.artifactDir = dir;
+        std::filesystem::create_directories(dir);
+        return core::runPipeline(config);
+    };
+
+    std::filesystem::path base = ::testing::TempDir();
+    std::string ref = (base / "artifacts-fast-serial").string();
+    std::string interp = (base / "artifacts-interp-serial").string();
+    std::string par = (base / "artifacts-fast-par").string();
+    auto a = runOnce(false, 1, ref);
+    auto b = runOnce(true, 1, interp);
+    auto c = runOnce(false, 4, par);
+    EXPECT_EQ(a.traceRecords, b.traceRecords);
+    EXPECT_EQ(a.traceRecords, c.traceRecords);
+
+    size_t compared = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(ref)) {
+        const std::string file = entry.path().filename().string();
+        auto want = slurp(entry.path());
+        EXPECT_EQ(slurp(std::filesystem::path(interp) / file), want)
+            << file << " differs between front ends";
+        EXPECT_EQ(slurp(std::filesystem::path(par) / file), want)
+            << file << " differs across --jobs";
+        ++compared;
+    }
+    EXPECT_GT(compared, 0u);
+}
+
+} // namespace
+} // namespace scif
