@@ -9,6 +9,7 @@
  *     traces.bin          phase 1a  the named training-trace set
  *     invariants.raw.bin  phase 1b  the unoptimized invariant model
  *     invariants.bin      phase 2   the optimized invariant model
+ *     validation.bin      phase 3   the validation-corpus trace set
  *     violations.bin      phase 3   validation-corpus violations
  *     scidb.bin           phase 3   per-bug identification results
  *     inference.txt       phase 4   final SCI report (human-readable)
@@ -40,6 +41,7 @@ class ArtifactPaths
     std::string rawModel() const { return join("invariants.raw.bin"); }
     std::string model() const { return join("invariants.bin"); }
     std::string violations() const { return join("violations.bin"); }
+    std::string validation() const { return join("validation.bin"); }
     std::string sciDatabase() const { return join("scidb.bin"); }
     std::string inference() const { return join("inference.txt"); }
     std::string analysis() const { return join("analysis.txt"); }

@@ -95,10 +95,46 @@ runPipeline(const PipelineConfig &config)
     // straight into per-point columns (no AoS intermediate); the
     // trace artifact is reconstructed from the captures on demand.
     // --interpreted-sim keeps the classic interpreted + AoS-buffer +
-    // post-hoc-transpose path as the differential oracle. Both paths
-    // produce byte-identical artifacts and models.
+    // post-hoc-transpose path as the differential oracle. With an
+    // artifact directory, both front ends instead stream: workloads
+    // seal compressed chunks into the v2 trace set as they simulate,
+    // and invariant generation folds the chunks back a window at a
+    // time. All paths produce byte-identical artifacts and models.
     PipelineConfig cfg = config;
-    if (config.interpretedSim) {
+    if (persist) {
+        // -- phase 1a: out-of-core trace generation (per workload) --
+        Stage<PipelineConfig, std::vector<uint64_t>> traceStage(
+            "trace-generation",
+            [&paths](StageContext &sc, PipelineConfig &c) {
+                auto list = resolveWorkloads(c);
+                std::vector<std::string> names;
+                names.reserve(list.size());
+                for (const auto *w : list)
+                    names.push_back(w->name);
+                return trace::buildTraceSetParallel(
+                    paths.traces(), c.traceChunkRecords, names,
+                    [&](size_t i, trace::TraceSink &sink) {
+                        workloads::runInto(*list[i], {},
+                                           c.interpretedSim, &sink);
+                    },
+                    sc.pool());
+            });
+        auto counts = traceStage.run(ctx, cfg);
+        for (uint64_t n : counts) {
+            result.traceRecords += n;
+            result.traceBytes += n * sizeof(trace::Record);
+        }
+
+        // -- phase 1b: streaming invariant generation --
+        Stage<std::vector<uint64_t>, invgen::InvariantSet> genStage(
+            "invariant-generation",
+            [&cfg, &paths](StageContext &sc, std::vector<uint64_t> &) {
+                trace::TraceSetReader reader(paths.traces());
+                return invgen::generateStreaming(
+                    reader, cfg.generation, nullptr, sc.pool());
+            });
+        result.model = genStage.run(ctx, counts);
+    } else if (config.interpretedSim) {
         // -- phase 1a: trace generation (fans out per workload) --
         Stage<PipelineConfig, std::vector<trace::NamedTrace>>
             traceStage(
@@ -120,8 +156,6 @@ runPipeline(const PipelineConfig &config)
             result.traceBytes +=
                 nt.trace.size() * sizeof(trace::Record);
         }
-        if (persist)
-            trace::saveTraceSet(paths.traces(), traces);
 
         // -- phase 1b: invariant generation (fans out per point) --
         Stage<std::vector<trace::NamedTrace>, invgen::InvariantSet>
@@ -154,18 +188,6 @@ runPipeline(const PipelineConfig &config)
             result.traceRecords += nc.capture.size();
             result.traceBytes +=
                 nc.capture.size() * sizeof(trace::Record);
-        }
-        if (persist) {
-            // The persisted artifact stays the AoS record stream;
-            // reconstruct it so the file is byte-identical with the
-            // interpreted-sim run.
-            std::vector<trace::NamedTrace> traces;
-            traces.reserve(captures.size());
-            for (const auto &nc : captures) {
-                traces.push_back(trace::NamedTrace{
-                    nc.name, nc.capture.toRecords()});
-            }
-            trace::saveTraceSet(paths.traces(), traces);
         }
 
         // -- phase 1b: invariant generation from the sealed columns
@@ -207,16 +229,32 @@ runPipeline(const PipelineConfig &config)
     };
     Stage<invgen::InvariantSet, IdentOutput> identStage(
         "identification",
-        [&cfg](StageContext &sc, invgen::InvariantSet &model) {
+        [&cfg, persist, &paths](StageContext &sc,
+                                invgen::InvariantSet &model) {
             IdentOutput out;
-            auto validation = workloads::validationCorpus(
-                cfg.validationPrograms, 0x5eed, sc.pool(),
-                cfg.interpretedSim);
             // Compile the model once for both the validation-corpus
             // scan and the per-bug identification sweeps.
             sci::CompiledModel compiled(model);
-            out.violations =
-                sci::corpusViolations(compiled, validation, sc.pool());
+            if (persist) {
+                // Stream the simulated expert's corpus through the
+                // trace store: each random program seals compressed
+                // chunks as it runs, then the scan decodes them a
+                // chunk at a time. Same violation set as the
+                // in-memory corpus scan.
+                workloads::validationCorpusToStore(
+                    paths.validation(), cfg.validationPrograms, 0x5eed,
+                    sc.pool(), cfg.interpretedSim,
+                    cfg.traceChunkRecords);
+                trace::TraceSetReader validation(paths.validation());
+                out.violations = sci::corpusViolations(
+                    compiled, validation, sc.pool());
+            } else {
+                auto validation = workloads::validationCorpus(
+                    cfg.validationPrograms, 0x5eed, sc.pool(),
+                    cfg.interpretedSim);
+                out.violations = sci::corpusViolations(
+                    compiled, validation, sc.pool());
+            }
             out.db = sci::identifyAll(compiled, resolveBugs(cfg),
                                       out.violations, sc.pool(),
                                       cfg.interpretedSim);

@@ -24,6 +24,7 @@
 #include "sci/identify.hh"
 #include "sci/infer.hh"
 #include "sci/properties.hh"
+#include "trace/store.hh"
 #include "workloads/workloads.hh"
 
 namespace scif::core {
@@ -66,9 +67,17 @@ struct PipelineConfig
     /**
      * When non-empty, each stage persists its output artifact here
      * (see core/artifacts.hh), enabling single-phase re-runs via the
-     * scifinder subcommands.
+     * scifinder subcommands. Persisting also switches trace handling
+     * to the out-of-core path: simulations seal compressed chunks as
+     * they run and the downstream phases stream them back a chunk at
+     * a time, so resident trace memory is O(chunk x jobs) instead of
+     * the whole corpus. Models and artifacts are byte-identical to
+     * the in-memory run.
      */
     std::string artifactDir;
+
+    /** Records per chunk of the persisted v2 trace sets. */
+    uint32_t traceChunkRecords = trace::defaultChunkRecords;
 };
 
 /** Wall-clock seconds per phase (Table 8). */

@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "support/memstats.hh"
 #include "support/threadpool.hh"
 
 namespace scif::core {
@@ -33,6 +34,14 @@ struct StageStats
     double seconds = 0;
     uint64_t itemsIn = 0;
     uint64_t itemsOut = 0;
+    /** Process peak RSS (KiB) sampled when the stage finished —
+     *  monotone across stages, so the first stage to print a given
+     *  value is the one that grew the process. */
+    uint64_t maxRssKb = 0;
+    /** High-water mark (bytes) of decoded trace data resident in
+     *  this stage's streaming readers/writers. Zero for stages that
+     *  never touch the trace store. */
+    uint64_t traceResidentPeak = 0;
 };
 
 /** Execution environment shared by the stages of one pipeline run. */
@@ -120,12 +129,15 @@ class Stage
         StageStats stats;
         stats.name = name_;
         stats.itemsIn = detail::countItems(in);
+        support::ResidentGauge::resetHighWater();
         auto start = std::chrono::steady_clock::now();
         Out out = fn_(ctx, in);
         auto end = std::chrono::steady_clock::now();
         stats.seconds =
             std::chrono::duration<double>(end - start).count();
         stats.itemsOut = detail::countItems(out);
+        stats.maxRssKb = support::peakRssKb();
+        stats.traceResidentPeak = support::ResidentGauge::highWater();
         ctx.record(std::move(stats));
         return out;
     }

@@ -37,6 +37,10 @@ namespace scif::support {
 class ThreadPool;
 } // namespace scif::support
 
+namespace scif::trace {
+class TraceSetReader;
+} // namespace scif::trace
+
 namespace scif::invgen {
 
 /** Tuning knobs for the generator. */
@@ -172,6 +176,21 @@ InvariantSet generate(trace::ColumnSet cols,
                       const Config &config = Config(),
                       GenStats *stats = nullptr,
                       support::ThreadPool *pool = nullptr);
+
+/**
+ * Infer invariants from a chunked v2 trace-set artifact without
+ * materializing the corpus: chunks are decompressed a window at a
+ * time (one chunk per pool worker), folded into per-point
+ * accumulators, and released, so resident trace memory is
+ * O(chunk x jobs) no matter how large the set on disk is. Every
+ * accumulator is a prefix-closed fold over the record stream, so the
+ * result is identical to generate() over the fully loaded corpus —
+ * independent of chunk size and job count.
+ */
+InvariantSet generateStreaming(const trace::TraceSetReader &reader,
+                               const Config &config = Config(),
+                               GenStats *stats = nullptr,
+                               support::ThreadPool *pool = nullptr);
 
 } // namespace scif::invgen
 

@@ -5,6 +5,7 @@
 #include "support/binio.hh"
 #include "support/logging.hh"
 #include "support/threadpool.hh"
+#include "trace/store.hh"
 
 namespace scif::sci {
 
@@ -92,6 +93,69 @@ corpusViolations(const invgen::InvariantSet &set,
     });
     std::set<size_t> out;
     for (const auto &violations : perTrace)
+        out.insert(violations.begin(), violations.end());
+    return out;
+}
+
+std::set<size_t>
+corpusViolations(const CompiledModel &model,
+                 const trace::TraceSetReader &reader,
+                 support::ThreadPool *pool)
+{
+    // One job per chunk: decode, scan, release. The union is
+    // order-independent, so the fan-out is jobs-invariant.
+    struct Job
+    {
+        size_t stream;
+        size_t chunk;
+    };
+    std::vector<Job> jobs;
+    const auto &streams = reader.streams();
+    for (size_t s = 0; s < streams.size(); ++s)
+        for (size_t c = 0; c < streams[s].chunks.size(); ++c)
+            jobs.push_back({s, c});
+
+    std::vector<std::vector<size_t>> perChunk = support::parallelMap(
+        pool, jobs, [&](const Job &job) -> std::vector<size_t> {
+            trace::TraceBuffer buffer;
+            reader.readChunk(job.stream, job.chunk, buffer);
+            return findViolations(model, buffer);
+        });
+
+    std::set<size_t> out;
+    for (const auto &violations : perChunk)
+        out.insert(violations.begin(), violations.end());
+    return out;
+}
+
+std::set<size_t>
+corpusViolations(const invgen::InvariantSet &set,
+                 const trace::TraceSetReader &reader,
+                 support::ThreadPool *pool, EvalMode mode)
+{
+    if (mode == EvalMode::Compiled)
+        return corpusViolations(CompiledModel(set), reader, pool);
+
+    struct Job
+    {
+        size_t stream;
+        size_t chunk;
+    };
+    std::vector<Job> jobs;
+    const auto &streams = reader.streams();
+    for (size_t s = 0; s < streams.size(); ++s)
+        for (size_t c = 0; c < streams[s].chunks.size(); ++c)
+            jobs.push_back({s, c});
+
+    std::vector<std::vector<size_t>> perChunk = support::parallelMap(
+        pool, jobs, [&](const Job &job) -> std::vector<size_t> {
+            trace::TraceBuffer buffer;
+            reader.readChunk(job.stream, job.chunk, buffer);
+            return findViolations(set, buffer, mode);
+        });
+
+    std::set<size_t> out;
+    for (const auto &violations : perChunk)
         out.insert(violations.begin(), violations.end());
     return out;
 }

@@ -106,6 +106,25 @@ corpusViolations(const CompiledModel &model,
                  const std::vector<trace::TraceBuffer> &corpus,
                  support::ThreadPool *pool = nullptr);
 
+/**
+ * Corpus scan over a chunked v2 trace-set artifact without
+ * materializing it: chunks are decompressed, scanned, and released
+ * independently (in parallel over @p pool), so resident trace memory
+ * is O(chunk x jobs). The violation union is order-independent and
+ * identical to scanning the fully loaded corpus.
+ */
+std::set<size_t>
+corpusViolations(const CompiledModel &model,
+                 const trace::TraceSetReader &reader,
+                 support::ThreadPool *pool = nullptr);
+
+/** Streaming corpus scan without a prebuilt model. */
+std::set<size_t>
+corpusViolations(const invgen::InvariantSet &set,
+                 const trace::TraceSetReader &reader,
+                 support::ThreadPool *pool = nullptr,
+                 EvalMode mode = EvalMode::Compiled);
+
 /** Per-bug identification outcome (one row of Table 3). */
 struct IdentificationResult
 {

@@ -1,24 +1,55 @@
 #include "binio.hh"
 
+#include <cerrno>
+#include <cstdarg>
+
+#include "support/ioerror.hh"
 #include "support/logging.hh"
 
 namespace scif::support {
 
+void
+BinWriter::fail(int errnum, const char *fmt, ...)
+{
+    char buf[512];
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    if (onError_ == OnError::Fatal)
+        fatal("%s", buf);
+    throw IoError(path_, buf, errnum);
+}
+
 BinWriter::BinWriter(const std::string &path, uint32_t magic,
-                     uint32_t version)
-    : path_(path)
+                     uint32_t version, OnError onError)
+    : path_(path), onError_(onError)
 {
     file_ = std::fopen(path.c_str(), "wb");
     if (!file_)
-        fatal("cannot open '%s' for writing", path.c_str());
-    u32(magic);
-    u32(version);
+        fail(errno, "cannot open '%s' for writing", path.c_str());
+    try {
+        u32(magic);
+        u32(version);
+    } catch (...) {
+        // The destructor will not run for a throwing constructor.
+        std::fclose(file_);
+        file_ = nullptr;
+        throw;
+    }
 }
 
 BinWriter::~BinWriter()
 {
-    if (file_)
+    if (!file_)
+        return;
+    if (onError_ == OnError::Fatal) {
         close();
+    } else {
+        // Unwinding: close best-effort, never throw from a destructor.
+        std::fclose(file_);
+        file_ = nullptr;
+    }
 }
 
 void
@@ -26,7 +57,7 @@ BinWriter::bytes(const void *data, size_t size)
 {
     SCIF_ASSERT(file_);
     if (size != 0 && std::fwrite(data, 1, size, file_) != size)
-        fatal("write to '%s' failed", path_.c_str());
+        fail(errno, "write to '%s' failed", path_.c_str());
 }
 
 void
@@ -65,24 +96,46 @@ BinWriter::close()
 {
     SCIF_ASSERT(file_);
     bool ok = std::fclose(file_) == 0;
+    int errnum = errno;
     file_ = nullptr;
     if (!ok)
-        fatal("closing '%s' failed", path_.c_str());
+        fail(errnum, "closing '%s' failed", path_.c_str());
+}
+
+void
+BinReader::fail(int errnum, const char *fmt, ...)
+{
+    char buf[512];
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    if (onError_ == OnError::Fatal)
+        fatal("%s", buf);
+    throw IoError(path_, buf, errnum);
 }
 
 BinReader::BinReader(const std::string &path, uint32_t magic,
-                     uint32_t version, const char *what)
-    : path_(path), what_(what)
+                     uint32_t version, const char *what,
+                     OnError onError)
+    : path_(path), what_(what), onError_(onError)
 {
     file_ = std::fopen(path.c_str(), "rb");
     if (!file_)
-        fatal("cannot open %s '%s'", what, path.c_str());
-    if (u32() != magic)
-        fatal("'%s' is not a %s artifact", path.c_str(), what);
-    uint32_t got = u32();
-    if (got != version) {
-        fatal("%s '%s' has version %u, this build reads %u",
-              what, path.c_str(), got, version);
+        fail(errno, "cannot open %s '%s'", what, path.c_str());
+    try {
+        if (u32() != magic)
+            fail(0, "'%s' is not a %s artifact", path.c_str(), what);
+        uint32_t got = u32();
+        if (got != version) {
+            fail(0, "%s '%s' has version %u, this build reads %u",
+                 what, path.c_str(), got, version);
+        }
+    } catch (...) {
+        // The destructor will not run for a throwing constructor.
+        std::fclose(file_);
+        file_ = nullptr;
+        throw;
     }
 }
 
@@ -97,7 +150,8 @@ BinReader::bytes(void *data, size_t size)
 {
     SCIF_ASSERT(file_);
     if (size != 0 && std::fread(data, 1, size, file_) != size)
-        fatal("%s '%s' is truncated or corrupt", what_, path_.c_str());
+        fail(0, "%s '%s' is truncated or corrupt", what_,
+             path_.c_str());
 }
 
 uint8_t
@@ -137,8 +191,8 @@ BinReader::str(size_t maxLen)
 {
     uint32_t len = u32();
     if (len > maxLen)
-        fatal("%s '%s' is corrupt (string length %u)", what_,
-              path_.c_str(), len);
+        fail(0, "%s '%s' is corrupt (string length %u)", what_,
+             path_.c_str(), len);
     std::string s(len, '\0');
     bytes(s.data(), len);
     return s;
@@ -159,7 +213,7 @@ void
 BinReader::expectEof()
 {
     if (!atEof())
-        fatal("%s '%s' has trailing garbage", what_, path_.c_str());
+        fail(0, "%s '%s' has trailing garbage", what_, path_.c_str());
 }
 
 } // namespace scif::support

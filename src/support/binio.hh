@@ -7,8 +7,10 @@
  * little-endian integers and length-prefixed strings behind a
  * (magic, version) header. These helpers centralize the encoding and
  * the failure policy: any short read/write, bad magic, or unsupported
- * version is a fatal() with the file name — artifacts are either
- * valid or rejected, never silently misparsed.
+ * version either fatal()s with the file name or throws an IoError
+ * carrying path and errno, per the OnError policy the stream was
+ * constructed with — artifacts are either valid or rejected, never
+ * silently misparsed.
  */
 
 #ifndef SCIFINDER_SUPPORT_BINIO_HH
@@ -20,14 +22,20 @@
 
 namespace scif::support {
 
+/** What to do when an I/O or format failure is detected. */
+enum class OnError {
+    Fatal, ///< print the diagnostic and exit(1) (batch-tool default)
+    Throw, ///< throw support::IoError (library/toolbelt callers)
+};
+
 /** Sequential writer for one binary artifact file. */
 class BinWriter
 {
   public:
-    /** Open @p path and emit the (magic, version) header; aborts on
-     *  I/O failure. */
-    BinWriter(const std::string &path, uint32_t magic,
-              uint32_t version);
+    /** Open @p path and emit the (magic, version) header; fails per
+     *  @p onError on I/O failure. */
+    BinWriter(const std::string &path, uint32_t magic, uint32_t version,
+              OnError onError = OnError::Fatal);
     ~BinWriter();
 
     BinWriter(const BinWriter &) = delete;
@@ -43,12 +51,15 @@ class BinWriter
 
     void bytes(const void *data, size_t size);
 
-    /** Flush and close; aborts if any buffered write failed. */
+    /** Flush and close; fails if any buffered write failed. */
     void close();
 
   private:
+    [[noreturn]] void fail(int errnum, const char *fmt, ...);
+
     std::FILE *file_ = nullptr;
     std::string path_;
+    OnError onError_;
 };
 
 /** Sequential reader for one binary artifact file. */
@@ -57,11 +68,12 @@ class BinReader
   public:
     /**
      * Open @p path and validate the header: a wrong magic or an
-     * unsupported version is fatal. @p what names the artifact kind
-     * in error messages ("invariant model", ...).
+     * unsupported version is a failure. @p what names the artifact
+     * kind in error messages ("invariant model", ...).
      */
     BinReader(const std::string &path, uint32_t magic,
-              uint32_t version, const char *what);
+              uint32_t version, const char *what,
+              OnError onError = OnError::Fatal);
     ~BinReader();
 
     BinReader(const BinReader &) = delete;
@@ -86,9 +98,12 @@ class BinReader
     void expectEof();
 
   private:
+    [[noreturn]] void fail(int errnum, const char *fmt, ...);
+
     std::FILE *file_ = nullptr;
     std::string path_;
     const char *what_;
+    OnError onError_;
 };
 
 } // namespace scif::support

@@ -1,0 +1,165 @@
+#include "compress.hh"
+
+#include <cstring>
+
+namespace scif::support {
+
+namespace {
+
+constexpr size_t hashBits = 13;
+constexpr size_t minMatch = 4;
+constexpr size_t maxOffset = 65535;
+
+uint32_t
+load32(const uint8_t *p)
+{
+    uint32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+uint32_t
+hash4(uint32_t v)
+{
+    return (v * 2654435761u) >> (32 - hashBits);
+}
+
+void
+putRunLength(std::vector<uint8_t> &out, size_t v)
+{
+    while (v >= 255) {
+        out.push_back(255);
+        v -= 255;
+    }
+    out.push_back(uint8_t(v));
+}
+
+/** One sequence: literals, then (unless final) an offset + match. */
+void
+putSequence(std::vector<uint8_t> &out, const uint8_t *lit,
+            size_t litLen, size_t offset, size_t matchLen)
+{
+    size_t litTok = litLen < 15 ? litLen : 15;
+    size_t matchTok =
+        matchLen == 0 ? 0
+                      : (matchLen - minMatch < 15 ? matchLen - minMatch
+                                                  : 15);
+    out.push_back(uint8_t(litTok << 4 | matchTok));
+    if (litTok == 15)
+        putRunLength(out, litLen - 15);
+    out.insert(out.end(), lit, lit + litLen);
+    if (matchLen != 0) {
+        out.push_back(uint8_t(offset & 0xff));
+        out.push_back(uint8_t(offset >> 8));
+        if (matchTok == 15)
+            putRunLength(out, matchLen - minMatch - 15);
+    }
+}
+
+} // namespace
+
+std::vector<uint8_t>
+lzCompress(const uint8_t *src, size_t n)
+{
+    std::vector<uint8_t> out;
+    if (n == 0)
+        return out;
+    out.reserve(n / 2 + 16);
+
+    std::vector<int64_t> table(size_t(1) << hashBits, -1);
+
+    // Matches never extend into the last 5 bytes and are not sought
+    // near the end, so the final sequence always carries literals and
+    // the decoder's end-of-input test is unambiguous.
+    const size_t matchLimit = n >= 12 ? n - 12 : 0;
+    const size_t tailGuard = n - 5;
+
+    size_t anchor = 0;
+    size_t i = 0;
+    while (i < matchLimit) {
+        uint32_t seq = load32(src + i);
+        uint32_t h = hash4(seq);
+        int64_t cand = table[h];
+        table[h] = int64_t(i);
+        if (cand < 0 || i - size_t(cand) > maxOffset ||
+            load32(src + size_t(cand)) != seq) {
+            ++i;
+            continue;
+        }
+        size_t match = size_t(cand);
+        size_t len = minMatch;
+        while (i + len < tailGuard && src[match + len] == src[i + len])
+            ++len;
+        putSequence(out, src + anchor, i - anchor, i - match, len);
+        i += len;
+        anchor = i;
+    }
+    putSequence(out, src + anchor, n - anchor, 0, 0);
+    return out;
+}
+
+namespace {
+
+bool
+readRunLength(const uint8_t *src, size_t srcLen, size_t &s, size_t &v)
+{
+    while (true) {
+        if (s >= srcLen)
+            return false;
+        uint8_t b = src[s++];
+        v += b;
+        if (b != 255)
+            return true;
+    }
+}
+
+} // namespace
+
+bool
+lzDecompress(const uint8_t *src, size_t srcLen, uint8_t *dst,
+             size_t dstLen)
+{
+    if (srcLen == 0)
+        return dstLen == 0;
+
+    size_t s = 0;
+    size_t d = 0;
+    while (true) {
+        if (s >= srcLen)
+            return false;
+        uint8_t token = src[s++];
+
+        size_t lit = token >> 4;
+        if (lit == 15 && !readRunLength(src, srcLen, s, lit))
+            return false;
+        if (lit > srcLen - s || lit > dstLen - d)
+            return false;
+        std::memcpy(dst + d, src + s, lit);
+        s += lit;
+        d += lit;
+        if (s == srcLen)
+            return d == dstLen; // final, literals-only sequence
+
+        if (srcLen - s < 2)
+            return false;
+        size_t offset = size_t(src[s]) | size_t(src[s + 1]) << 8;
+        s += 2;
+        if (offset == 0 || offset > d)
+            return false;
+
+        size_t matchLen = token & 0xf;
+        if (matchLen == 15 && !readRunLength(src, srcLen, s, matchLen))
+            return false;
+        matchLen += minMatch;
+        if (matchLen > dstLen - d)
+            return false;
+        // Byte-wise: offsets smaller than the length self-overlap
+        // (run-length encoding of repeats).
+        const uint8_t *m = dst + d - offset;
+        for (size_t k = 0; k < matchLen; ++k)
+            dst[d + k] = m[k];
+        d += matchLen;
+    }
+}
+
+} // namespace scif::support

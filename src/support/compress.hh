@@ -1,0 +1,45 @@
+/**
+ * @file
+ * A dependency-free byte-oriented LZ compressor for the chunked trace
+ * store.
+ *
+ * The format is the classic token/literals/offset sequence scheme
+ * (LZ4-style): each sequence is a token byte whose high nibble is the
+ * literal count and whose low nibble is the match length minus 4
+ * (nibble value 15 extends either count with 255-run continuation
+ * bytes), the literal bytes, and — except in the final, literals-only
+ * sequence — a 16-bit little-endian back-reference offset. Matches
+ * are found greedily through a 4-byte hash table, so compression is a
+ * single pass and decompression is a bounds-checked copy loop.
+ *
+ * The encoder is fully deterministic: the same input always produces
+ * the same bytes, which the trace store's byte-identical-artifacts
+ * contract depends on.
+ */
+
+#ifndef SCIFINDER_SUPPORT_COMPRESS_HH
+#define SCIFINDER_SUPPORT_COMPRESS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace scif::support {
+
+/** Compress @p n bytes at @p src; an empty input yields empty output. */
+std::vector<uint8_t> lzCompress(const uint8_t *src, size_t n);
+
+/**
+ * Decompress into exactly @p dstLen bytes at @p dst.
+ *
+ * @return false if the stream is malformed, references data outside
+ *         the produced output, or does not decode to exactly
+ *         @p dstLen bytes; the destination contents are then
+ *         unspecified. Never reads or writes out of bounds.
+ */
+bool lzDecompress(const uint8_t *src, size_t srcLen, uint8_t *dst,
+                  size_t dstLen);
+
+} // namespace scif::support
+
+#endif // SCIFINDER_SUPPORT_COMPRESS_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Structured I/O failure reporting.
+ *
+ * The pipeline's artifact layer historically treated every I/O
+ * failure as fatal(): correct for the batch tool, but useless for
+ * library callers and the `scifinder trace` toolbelt, which want to
+ * report the failing path (and errno) and keep going. IoError carries
+ * both; binio and the trace stores throw it when constructed with the
+ * Throw policy, and tool main()s translate it into a diagnostic plus
+ * exit status 1.
+ */
+
+#ifndef SCIFINDER_SUPPORT_IOERROR_HH
+#define SCIFINDER_SUPPORT_IOERROR_HH
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace scif::support {
+
+/** An I/O or artifact-format failure with path and errno context. */
+class IoError : public std::runtime_error
+{
+  public:
+    /**
+     * @param path the file the operation failed on.
+     * @param detail human-readable description (should mention the
+     *        path for standalone display).
+     * @param errnum the errno of the failing call, or 0 when the
+     *        failure is a format problem rather than a system error.
+     */
+    IoError(std::string path, const std::string &detail, int errnum = 0)
+        : std::runtime_error(render(detail, errnum)),
+          path_(std::move(path)), errnum_(errnum)
+    {}
+
+    /** @return the path of the file the operation failed on. */
+    const std::string &path() const { return path_; }
+
+    /** @return the errno of the failing call (0 = format error). */
+    int errnum() const { return errnum_; }
+
+  private:
+    static std::string
+    render(const std::string &detail, int errnum)
+    {
+        if (errnum == 0)
+            return detail;
+        return detail + ": " + std::strerror(errnum);
+    }
+
+    std::string path_;
+    int errnum_;
+};
+
+} // namespace scif::support
+
+#endif // SCIFINDER_SUPPORT_IOERROR_HH

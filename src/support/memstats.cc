@@ -1,0 +1,70 @@
+#include "memstats.hh"
+
+#include <atomic>
+
+#include <sys/resource.h>
+
+namespace scif::support {
+
+uint64_t
+peakRssKb()
+{
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+    // ru_maxrss is KiB on Linux.
+    return uint64_t(ru.ru_maxrss);
+}
+
+namespace {
+
+std::atomic<uint64_t> gaugeCurrent{0};
+std::atomic<uint64_t> gaugeHighWater{0};
+
+void
+raiseHighWater(uint64_t level)
+{
+    uint64_t seen = gaugeHighWater.load(std::memory_order_relaxed);
+    while (level > seen &&
+           !gaugeHighWater.compare_exchange_weak(
+               seen, level, std::memory_order_relaxed)) {
+    }
+}
+
+} // namespace
+
+void
+ResidentGauge::add(uint64_t bytes)
+{
+    uint64_t now = gaugeCurrent.fetch_add(bytes,
+                                          std::memory_order_relaxed) +
+                   bytes;
+    raiseHighWater(now);
+}
+
+void
+ResidentGauge::sub(uint64_t bytes)
+{
+    gaugeCurrent.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+uint64_t
+ResidentGauge::current()
+{
+    return gaugeCurrent.load(std::memory_order_relaxed);
+}
+
+uint64_t
+ResidentGauge::highWater()
+{
+    return gaugeHighWater.load(std::memory_order_relaxed);
+}
+
+void
+ResidentGauge::resetHighWater()
+{
+    gaugeHighWater.store(gaugeCurrent.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+}
+
+} // namespace scif::support

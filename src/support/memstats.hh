@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Memory telemetry for the out-of-core pipeline.
+ *
+ * Two complementary measurements back the "bounded resident trace
+ * memory" claim of the chunked trace store: the process peak RSS
+ * (what the OS accounts), and a process-wide gauge of trace bytes
+ * currently resident that the streaming producers and consumers
+ * update as they materialize and release chunk windows. core::Stage
+ * samples both per stage, so `scifinder run` can show that trace
+ * residency stays at O(chunk x jobs) while the corpus on disk is
+ * arbitrarily large.
+ */
+
+#ifndef SCIFINDER_SUPPORT_MEMSTATS_HH
+#define SCIFINDER_SUPPORT_MEMSTATS_HH
+
+#include <cstdint>
+
+namespace scif::support {
+
+/** @return the process peak resident-set size in KiB (0 if unknown). */
+uint64_t peakRssKb();
+
+/**
+ * Process-wide gauge of trace bytes currently materialized in memory
+ * by the streaming trace paths (writer staging, decoded chunk
+ * windows). Thread-safe; the high-water mark is reset per stage.
+ */
+class ResidentGauge
+{
+  public:
+    static void add(uint64_t bytes);
+    static void sub(uint64_t bytes);
+
+    /** @return bytes currently accounted. */
+    static uint64_t current();
+
+    /** @return the high-water mark since the last reset. */
+    static uint64_t highWater();
+
+    /** Reset the high-water mark to the current level. */
+    static void resetHighWater();
+};
+
+/**
+ * RAII accounting of one allocation's contribution to the gauge;
+ * releases its bytes on destruction or reset.
+ */
+class ResidentTracker
+{
+  public:
+    ResidentTracker() = default;
+    ~ResidentTracker() { set(0); }
+
+    ResidentTracker(const ResidentTracker &) = delete;
+    ResidentTracker &operator=(const ResidentTracker &) = delete;
+
+    /** Replace the tracked byte count. */
+    void
+    set(uint64_t bytes)
+    {
+        if (bytes_ != 0)
+            ResidentGauge::sub(bytes_);
+        bytes_ = bytes;
+        if (bytes_ != 0)
+            ResidentGauge::add(bytes_);
+    }
+
+    /** Grow the tracked byte count. */
+    void grow(uint64_t bytes) { set(bytes_ + bytes); }
+
+  private:
+    uint64_t bytes_ = 0;
+};
+
+} // namespace scif::support
+
+#endif // SCIFINDER_SUPPORT_MEMSTATS_HH

@@ -33,10 +33,12 @@
 #include "core/scifinder.hh"
 #include "fuzz/fuzzer.hh"
 #include "monitor/overhead.hh"
+#include "support/ioerror.hh"
 #include "support/strings.hh"
 #include "support/table.hh"
 #include "support/threadpool.hh"
 #include "trace/io.hh"
+#include "trace/store.hh"
 
 namespace {
 
@@ -65,14 +67,19 @@ usage()
         "errata\n"
         "  infer     --artifact-dir D\n"
         "                            phase 4: infer additional SCI\n"
-        "  analyze   [--jobs N] --artifact-dir D\n"
+        "  analyze   [--jobs N] [--audit-traces] --artifact-dir D\n"
         "                            classify the optimized model "
         "with the\n"
         "                            abstract-interpretation "
-        "analyzer\n"
+        "analyzer;\n"
+        "                            --audit-traces also scans the "
+        "persisted\n"
+        "                            training traces for violations\n"
         "\n"
         "  common [opts]: --jobs N (0 = all cores), --artifact-dir "
         "D,\n"
+        "                 --chunk-records N (v2 trace-set chunk "
+        "size),\n"
         "                 --validation N (corpus size, default 24),\n"
         "                 --interpreted-eval (identify: scan with "
         "the\n"
@@ -105,6 +112,30 @@ usage()
         "catalog\n"
         "  trace <workload> <out>    run a workload, write its "
         "binary trace\n"
+        "  trace capture <workload> <out> [--chunk-records N]\n"
+        "                            run a workload straight into a "
+        "v2 set\n"
+        "  trace dump <set> [--stream S] [--limit N] [--vars A,B]\n"
+        "                            print records of a set "
+        "artifact\n"
+        "  trace count <set> [--points]\n"
+        "                            stream/record totals (or a "
+        "per-point\n"
+        "                            histogram) of a set artifact\n"
+        "  trace diff <a> <b>        compare two set artifacts "
+        "record by\n"
+        "                            record (exit 1 on difference)\n"
+        "  trace extract <in> <out> --stream S [--from N] [--count "
+        "N]\n"
+        "                            copy one stream (or a record "
+        "range)\n"
+        "                            into a new v2 set\n"
+        "  trace merge <out> <in>...\n"
+        "                            merge set artifacts into one "
+        "v2 set\n"
+        "  trace convert <in> <out> [--v1] [--chunk-records N]\n"
+        "                            re-encode a set artifact as v2 "
+        "(or v1)\n"
         "  exec <file.s>             assemble and execute a "
         "program\n");
     return 2;
@@ -124,6 +155,8 @@ struct CommonOpts
      *  block cache, no capture-time columns); the differential
      *  oracle for the fast path. Artifacts are byte-identical. */
     bool interpretedSim = false;
+    /** Records per chunk of written v2 trace sets. */
+    size_t chunkRecords = trace::defaultChunkRecords;
 };
 
 /**
@@ -169,6 +202,15 @@ parseCommon(std::vector<std::string> &args, CommonOpts &opts)
             if (!v ||
                 !count(*v, "--validation", &opts.validationPrograms))
                 return false;
+        } else if (arg == "--chunk-records") {
+            const std::string *v = value("--chunk-records");
+            if (!v || !count(*v, "--chunk-records", &opts.chunkRecords))
+                return false;
+            if (opts.chunkRecords == 0) {
+                std::fprintf(stderr,
+                             "--chunk-records must be positive\n");
+                return false;
+            }
         } else if (arg == "--no-inference") {
             opts.noInference = true;
         } else if (arg == "--interpreted-eval") {
@@ -284,12 +326,378 @@ cmdProperties()
     return 0;
 }
 
+/** Parse a --vars list ("PC,INSN,GPR3") into slot ids. */
+bool
+parseVarList(const std::string &list, std::vector<uint16_t> *out)
+{
+    for (const auto &name : split(list, ',')) {
+        uint16_t var = trace::varByName(name);
+        if (var >= trace::numVars) {
+            std::fprintf(stderr, "unknown variable '%s'\n",
+                         name.c_str());
+            return false;
+        }
+        out->push_back(var);
+    }
+    return true;
+}
+
+/** trace capture: run a workload straight into a v2 set artifact. */
 int
-cmdTrace(const std::vector<std::string> &args)
+cmdTraceCapture(const CommonOpts &opts,
+                const std::vector<std::string> &args)
 {
     if (args.size() != 2) {
         std::fprintf(stderr,
-                     "usage: scifinder trace <workload> <out>\n");
+                     "usage: scifinder trace capture <workload> <out> "
+                     "[--chunk-records N]\n");
+        return 2;
+    }
+    const auto &w = workloads::byName(args[0]);
+    trace::TraceSetWriter writer(args[1],
+                                 uint32_t(opts.chunkRecords));
+    writer.beginStream(w.name);
+    workloads::runInto(w, {}, opts.interpretedSim, &writer);
+    writer.endStream();
+    uint64_t records = writer.totalRecords();
+    size_t chunks = writer.streams()[0].chunks.size();
+    writer.close();
+    std::printf("wrote %llu records in %zu chunks to %s\n",
+                (unsigned long long)records, chunks, args[1].c_str());
+    return 0;
+}
+
+/** trace dump: print records of a set artifact (v1 or v2). */
+int
+cmdTraceDump(const std::vector<std::string> &args_in)
+{
+    std::vector<std::string> args;
+    std::string stream;
+    size_t limit = 16;
+    std::vector<uint16_t> vars;
+    for (size_t i = 0; i < args_in.size(); ++i) {
+        const std::string &arg = args_in[i];
+        if (arg == "--stream" && i + 1 < args_in.size()) {
+            stream = args_in[++i];
+        } else if (arg == "--limit" && i + 1 < args_in.size()) {
+            limit = size_t(std::strtoull(args_in[++i].c_str(),
+                                         nullptr, 10));
+        } else if (arg == "--vars" && i + 1 < args_in.size()) {
+            if (!parseVarList(args_in[++i], &vars))
+                return 2;
+        } else {
+            args.push_back(arg);
+        }
+    }
+    if (args.size() != 1) {
+        std::fprintf(stderr,
+                     "usage: scifinder trace dump <set> [--stream S] "
+                     "[--limit N] [--vars A,B,...]\n");
+        return 2;
+    }
+    if (vars.empty()) {
+        vars = {trace::VarId::PC, trace::VarId::INSN,
+                trace::VarId::OPA, trace::VarId::OPB,
+                trace::VarId::OPDEST};
+    }
+
+    auto src = trace::TraceSetSource::open(args[0]);
+    for (size_t s = 0; s < src->streamCount(); ++s) {
+        if (!stream.empty() && src->streamName(s) != stream)
+            continue;
+        std::printf("stream %s: %llu records, %zu chunks\n",
+                    src->streamName(s).c_str(),
+                    (unsigned long long)src->streamRecords(s),
+                    src->streamChunks(s));
+        auto cur = src->cursor(s);
+        trace::Record rec;
+        for (size_t n = 0; n < limit && cur->next(rec); ++n) {
+            std::printf("  %8llu %-16s%s",
+                        (unsigned long long)rec.index,
+                        rec.point.name().c_str(),
+                        rec.fused ? " fused" : "");
+            for (uint16_t var : vars) {
+                std::printf("  %s %08x->%08x",
+                            std::string(trace::varName(var)).c_str(),
+                            rec.pre[var], rec.post[var]);
+            }
+            std::printf("\n");
+        }
+    }
+    if (!stream.empty() &&
+        src->findStream(stream) == trace::TraceSetSource::npos) {
+        std::fprintf(stderr, "no stream named '%s' in %s\n",
+                     stream.c_str(), args[0].c_str());
+        return 1;
+    }
+    return 0;
+}
+
+/** trace count: stream totals or a per-point histogram. */
+int
+cmdTraceCount(const std::vector<std::string> &args_in)
+{
+    std::vector<std::string> args;
+    bool points = false;
+    for (const auto &arg : args_in) {
+        if (arg == "--points")
+            points = true;
+        else
+            args.push_back(arg);
+    }
+    if (args.size() != 1) {
+        std::fprintf(stderr,
+                     "usage: scifinder trace count <set> "
+                     "[--points]\n");
+        return 2;
+    }
+    auto src = trace::TraceSetSource::open(args[0]);
+    if (points) {
+        std::map<uint16_t, uint64_t> histogram;
+        trace::Record rec;
+        for (size_t s = 0; s < src->streamCount(); ++s) {
+            auto cur = src->cursor(s);
+            while (cur->next(rec))
+                ++histogram[rec.point.id()];
+        }
+        TextTable table({"point", "records"});
+        for (const auto &[id, n] : histogram) {
+            table.addRow({trace::Point::fromId(id).name(),
+                          std::to_string(n)});
+        }
+        std::printf("%s", table.render().c_str());
+        return 0;
+    }
+    TextTable table({"stream", "records", "chunks"});
+    uint64_t records = 0;
+    size_t chunks = 0;
+    for (size_t s = 0; s < src->streamCount(); ++s) {
+        records += src->streamRecords(s);
+        chunks += src->streamChunks(s);
+        table.addRow({src->streamName(s),
+                      std::to_string(src->streamRecords(s)),
+                      std::to_string(src->streamChunks(s))});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("v%u set: %zu streams, %llu records, %zu chunks\n",
+                src->version(), src->streamCount(),
+                (unsigned long long)records, chunks);
+    return 0;
+}
+
+/** trace diff: record-exact comparison of two set artifacts. */
+int
+cmdTraceDiff(const std::vector<std::string> &args)
+{
+    if (args.size() != 2) {
+        std::fprintf(stderr,
+                     "usage: scifinder trace diff <a> <b>\n");
+        return 2;
+    }
+    auto a = trace::TraceSetSource::open(args[0]);
+    auto b = trace::TraceSetSource::open(args[1]);
+
+    bool differ = false;
+    for (size_t s = 0; s < a->streamCount(); ++s) {
+        size_t t = b->findStream(a->streamName(s));
+        if (t == trace::TraceSetSource::npos) {
+            std::printf("stream %s: only in %s\n",
+                        a->streamName(s).c_str(), args[0].c_str());
+            differ = true;
+            continue;
+        }
+        auto ca = a->cursor(s);
+        auto cb = b->cursor(t);
+        trace::Record ra, rb;
+        uint64_t pos = 0;
+        while (true) {
+            bool hasA = ca->next(ra);
+            bool hasB = cb->next(rb);
+            if (!hasA || !hasB) {
+                if (hasA != hasB) {
+                    std::printf("stream %s: record counts differ "
+                                "(%llu vs %llu)\n",
+                                a->streamName(s).c_str(),
+                                (unsigned long long)a->streamRecords(s),
+                                (unsigned long long)b->streamRecords(t));
+                    differ = true;
+                }
+                break;
+            }
+            if (ra.point.id() != rb.point.id() ||
+                ra.index != rb.index || ra.fused != rb.fused ||
+                ra.pre != rb.pre || ra.post != rb.post) {
+                std::printf("stream %s: first difference at record "
+                            "%llu (%s vs %s)\n",
+                            a->streamName(s).c_str(),
+                            (unsigned long long)pos,
+                            ra.point.name().c_str(),
+                            rb.point.name().c_str());
+                differ = true;
+                break;
+            }
+            ++pos;
+        }
+    }
+    for (size_t t = 0; t < b->streamCount(); ++t) {
+        if (a->findStream(b->streamName(t)) ==
+            trace::TraceSetSource::npos) {
+            std::printf("stream %s: only in %s\n",
+                        b->streamName(t).c_str(), args[1].c_str());
+            differ = true;
+        }
+    }
+    if (!differ)
+        std::printf("trace sets are identical (%zu streams)\n",
+                    a->streamCount());
+    return differ ? 1 : 0;
+}
+
+/** trace extract: copy one stream (or a range of it) to a new set. */
+int
+cmdTraceExtract(const CommonOpts &opts,
+                const std::vector<std::string> &args_in)
+{
+    std::vector<std::string> args;
+    std::string stream;
+    uint64_t from = 0;
+    uint64_t count = UINT64_MAX;
+    for (size_t i = 0; i < args_in.size(); ++i) {
+        const std::string &arg = args_in[i];
+        if (arg == "--stream" && i + 1 < args_in.size()) {
+            stream = args_in[++i];
+        } else if (arg == "--from" && i + 1 < args_in.size()) {
+            from = std::strtoull(args_in[++i].c_str(), nullptr, 10);
+        } else if (arg == "--count" && i + 1 < args_in.size()) {
+            count = std::strtoull(args_in[++i].c_str(), nullptr, 10);
+        } else {
+            args.push_back(arg);
+        }
+    }
+    if (args.size() != 2 || stream.empty()) {
+        std::fprintf(stderr,
+                     "usage: scifinder trace extract <in> <out> "
+                     "--stream S [--from N] [--count N] "
+                     "[--chunk-records N]\n");
+        return 2;
+    }
+    auto src = trace::TraceSetSource::open(args[0]);
+    size_t s = src->findStream(stream);
+    if (s == trace::TraceSetSource::npos) {
+        std::fprintf(stderr, "no stream named '%s' in %s\n",
+                     stream.c_str(), args[0].c_str());
+        return 1;
+    }
+    trace::TraceSetWriter writer(args[1],
+                                 uint32_t(opts.chunkRecords));
+    writer.beginStream(stream);
+    auto cur = src->cursor(s);
+    trace::Record rec;
+    uint64_t pos = 0, written = 0;
+    while (written < count && cur->next(rec)) {
+        if (pos++ < from)
+            continue;
+        writer.record(rec);
+        ++written;
+    }
+    writer.endStream();
+    writer.close();
+    std::printf("extracted %llu records of stream %s to %s\n",
+                (unsigned long long)written, stream.c_str(),
+                args[1].c_str());
+    return 0;
+}
+
+/** trace merge: combine several set artifacts into one v2 file. */
+int
+cmdTraceMerge(const CommonOpts &opts,
+              const std::vector<std::string> &args)
+{
+    if (args.size() < 2) {
+        std::fprintf(stderr,
+                     "usage: scifinder trace merge <out> <in>... "
+                     "[--chunk-records N]\n");
+        return 2;
+    }
+    std::vector<std::string> inputs(args.begin() + 1, args.end());
+    trace::mergeTraceSets(args[0], inputs,
+                          uint32_t(opts.chunkRecords));
+    trace::TraceSetReader reader(args[0]);
+    std::printf("merged %zu inputs into %s (%zu streams, %llu "
+                "records)\n",
+                inputs.size(), args[0].c_str(),
+                reader.streams().size(),
+                (unsigned long long)reader.totalRecords());
+    return 0;
+}
+
+/** trace convert: re-encode a set artifact as v2 (or back to v1). */
+int
+cmdTraceConvert(const CommonOpts &opts,
+                const std::vector<std::string> &args_in)
+{
+    std::vector<std::string> args;
+    uint32_t version = 2;
+    for (const auto &arg : args_in) {
+        if (arg == "--v1")
+            version = 1;
+        else if (arg == "--v2")
+            version = 2;
+        else
+            args.push_back(arg);
+    }
+    if (args.size() != 2) {
+        std::fprintf(stderr,
+                     "usage: scifinder trace convert <in> <out> "
+                     "[--v1] [--chunk-records N]\n");
+        return 2;
+    }
+    trace::convertTraceSet(args[0], args[1], version,
+                           uint32_t(opts.chunkRecords));
+    auto out = trace::TraceSetSource::open(args[1]);
+    uint64_t records = 0;
+    for (size_t s = 0; s < out->streamCount(); ++s)
+        records += out->streamRecords(s);
+    std::printf("converted %s to v%u %s (%zu streams, %llu "
+                "records)\n",
+                args[0].c_str(), version, args[1].c_str(),
+                out->streamCount(), (unsigned long long)records);
+    return 0;
+}
+
+int
+cmdTrace(const std::vector<std::string> &args_in)
+{
+    std::vector<std::string> args = args_in;
+    CommonOpts opts;
+    if (!parseCommon(args, opts))
+        return 2;
+    if (!args.empty()) {
+        std::string sub = args[0];
+        std::vector<std::string> rest(args.begin() + 1, args.end());
+        if (sub == "capture")
+            return cmdTraceCapture(opts, rest);
+        if (sub == "dump")
+            return cmdTraceDump(rest);
+        if (sub == "count")
+            return cmdTraceCount(rest);
+        if (sub == "diff")
+            return cmdTraceDiff(rest);
+        if (sub == "extract")
+            return cmdTraceExtract(opts, rest);
+        if (sub == "merge")
+            return cmdTraceMerge(opts, rest);
+        if (sub == "convert")
+            return cmdTraceConvert(opts, rest);
+    }
+
+    // Legacy mode: write one workload's per-trace binary file.
+    if (args.size() != 2) {
+        std::fprintf(stderr,
+                     "usage: scifinder trace <workload> <out>\n"
+                     "       scifinder trace "
+                     "{capture|dump|count|diff|extract|merge|convert} "
+                     "...\n");
         return 2;
     }
     const auto &w = workloads::byName(args[0]);
@@ -320,43 +728,29 @@ cmdGeneratePhase(const CommonOpts &opts,
         for (const auto &name : workloadNames)
             list.push_back(&workloads::byName(name));
     }
-    invgen::GenStats stats;
-    invgen::InvariantSet model;
+    // Out-of-core: workloads seal compressed chunks into the v2 set
+    // as they simulate, then invariant generation streams the chunks
+    // back a window at a time. Same model as the in-memory run.
+    std::vector<std::string> names;
+    names.reserve(list.size());
+    for (const auto *w : list)
+        names.push_back(w->name);
+    auto counts = trace::buildTraceSetParallel(
+        paths.traces(), uint32_t(opts.chunkRecords), names,
+        [&](size_t i, trace::TraceSink &sink) {
+            workloads::runInto(*list[i], {}, opts.interpretedSim,
+                               &sink);
+        },
+        pool.get());
     uint64_t records = 0;
+    for (uint64_t n : counts)
+        records += n;
     size_t count = list.size();
-    if (opts.interpretedSim) {
-        auto traces = support::parallelMap(
-            pool.get(), list, [](const workloads::Workload *w) {
-                return trace::NamedTrace{
-                    w->name,
-                    workloads::run(*w, {}, /*interpreted=*/true)};
-            });
-        trace::saveTraceSet(paths.traces(), traces);
-        std::vector<const trace::TraceBuffer *> ptrs;
-        for (const auto &nt : traces) {
-            ptrs.push_back(&nt.trace);
-            records += nt.trace.size();
-        }
-        model = invgen::generate(ptrs, {}, &stats, pool.get());
-    } else {
-        auto captures = support::parallelMap(
-            pool.get(), list, [](const workloads::Workload *w) {
-                return trace::NamedCapture{
-                    w->name, workloads::runColumnar(*w)};
-            });
-        std::vector<trace::NamedTrace> traces;
-        traces.reserve(captures.size());
-        std::vector<const trace::ColumnarCapture *> caps;
-        for (const auto &nc : captures) {
-            traces.push_back(
-                trace::NamedTrace{nc.name, nc.capture.toRecords()});
-            caps.push_back(&nc.capture);
-            records += nc.capture.size();
-        }
-        trace::saveTraceSet(paths.traces(), traces);
-        model = invgen::generate(trace::ColumnarCapture::seal(caps),
-                                 {}, &stats, pool.get());
-    }
+
+    invgen::GenStats stats;
+    trace::TraceSetReader reader(paths.traces());
+    invgen::InvariantSet model =
+        invgen::generateStreaming(reader, {}, &stats, pool.get());
     model.saveBinary(paths.rawModel());
     std::printf("%zu workloads, %llu records, %llu program points, "
                 "%zu raw invariants\n",
@@ -497,9 +891,14 @@ cmdIdentifyPhase(const CommonOpts &opts,
     sci::EvalMode mode = opts.interpretedEval
                              ? sci::EvalMode::Interpreted
                              : sci::EvalMode::Compiled;
-    auto validation = workloads::validationCorpus(
-        opts.validationPrograms, 0x5eed, pool.get(),
-        opts.interpretedSim);
+    // The simulated expert's corpus goes through the trace store:
+    // each random program seals compressed chunks as it runs, then
+    // the violation scan streams them back a chunk at a time.
+    workloads::validationCorpusToStore(
+        paths.validation(), opts.validationPrograms, 0x5eed,
+        pool.get(), opts.interpretedSim,
+        uint32_t(opts.chunkRecords));
+    trace::TraceSetReader validation(paths.validation());
     std::set<size_t> violations =
         sci::corpusViolations(model, validation, pool.get(), mode);
 
@@ -619,10 +1018,19 @@ cmdAnalyze(const std::vector<std::string> &args_in)
     CommonOpts opts;
     if (!parseCommon(args, opts))
         return 2;
+    bool auditTraces = false;
+    for (auto it = args.begin(); it != args.end();) {
+        if (*it == "--audit-traces") {
+            auditTraces = true;
+            it = args.erase(it);
+        } else {
+            ++it;
+        }
+    }
     if (opts.artifactDir.empty() || !args.empty()) {
         std::fprintf(stderr,
                      "usage: scifinder analyze [--jobs N] "
-                     "--artifact-dir D\n");
+                     "[--audit-traces] --artifact-dir D\n");
         return 2;
     }
     core::ArtifactPaths paths(opts.artifactDir);
@@ -634,13 +1042,49 @@ cmdAnalyze(const std::vector<std::string> &args_in)
     analysis::AnalysisReport report =
         analysis::analyze(model.all(), pool.get());
 
+    std::string audit;
+    if (auditTraces) {
+        // Cross-check the model against the persisted training
+        // traces: a violation here means an invariant the optimizer
+        // kept does not even hold on its own training corpus. The
+        // scan streams the v2 set a chunk at a time (a v1 artifact
+        // is materialized instead).
+        REQUIRE_ARTIFACT(paths.traces(), "generate");
+        sci::CompiledModel compiled(model);
+        std::set<size_t> violated;
+        if (trace::isTraceSetV2(paths.traces())) {
+            trace::TraceSetReader traces(paths.traces());
+            violated = sci::corpusViolations(compiled, traces,
+                                             pool.get());
+        } else {
+            auto named = trace::loadTraceSet(paths.traces(),
+                                             pool.get());
+            std::vector<trace::TraceBuffer> corpus;
+            corpus.reserve(named.size());
+            for (auto &nt : named)
+                corpus.push_back(std::move(nt.trace));
+            violated = sci::corpusViolations(compiled, corpus,
+                                             pool.get());
+        }
+        audit += "\n== trace audit ==\n";
+        audit += format("%zu invariants violated by the training "
+                        "traces\n",
+                        violated.size());
+        for (size_t idx : violated)
+            audit += format("%zu\t%s\n", idx,
+                            model.all()[idx].str().c_str());
+        std::printf("trace audit: %zu invariants violated by the "
+                    "training traces\n",
+                    violated.size());
+    }
+
     std::ofstream out(paths.analysis(), std::ios::binary);
     if (!out) {
         std::fprintf(stderr, "cannot open %s\n",
                      paths.analysis().c_str());
         return 1;
     }
-    std::string text = report.render();
+    std::string text = report.render() + audit;
     out << text;
 
     std::printf("%zu invariants: %zu tautology, %zu contradiction, "
@@ -698,10 +1142,14 @@ cmdRun(const std::vector<std::string> &args_in)
                 deployed.size(), overhead.logicPct,
                 overhead.powerPct);
     for (const auto &stage : r.stages) {
-        std::printf("stage %-21s %8.2fs  %llu -> %llu items\n",
+        std::printf("stage %-21s %8.2fs  %llu -> %llu items  "
+                    "rss %llu KiB  traces-resident %llu KiB\n",
                     stage.name.c_str(), stage.seconds,
                     (unsigned long long)stage.itemsIn,
-                    (unsigned long long)stage.itemsOut);
+                    (unsigned long long)stage.itemsOut,
+                    (unsigned long long)stage.maxRssKb,
+                    (unsigned long long)(stage.traceResidentPeak /
+                                         1024));
     }
     if (!opts.artifactDir.empty())
         std::printf("artifacts:   %s\n", opts.artifactDir.c_str());
@@ -832,31 +1280,36 @@ main(int argc, char **argv)
     std::string cmd = argv[1];
     std::vector<std::string> args(argv + 2, argv + argc);
 
-    if (cmd == "workloads")
-        return cmdWorkloads();
-    if (cmd == "bugs")
-        return cmdBugs();
-    if (cmd == "errata")
-        return cmdErrata();
-    if (cmd == "properties")
-        return cmdProperties();
-    if (cmd == "trace")
-        return cmdTrace(args);
-    if (cmd == "generate")
-        return cmdGenerate(args);
-    if (cmd == "optimize")
-        return cmdOptimize(args);
-    if (cmd == "identify")
-        return cmdIdentify(args);
-    if (cmd == "infer")
-        return cmdInfer(args);
-    if (cmd == "analyze")
-        return cmdAnalyze(args);
-    if (cmd == "run")
-        return cmdRun(args);
-    if (cmd == "fuzz")
-        return cmdFuzz(args);
-    if (cmd == "exec")
-        return cmdExec(args);
+    try {
+        if (cmd == "workloads")
+            return cmdWorkloads();
+        if (cmd == "bugs")
+            return cmdBugs();
+        if (cmd == "errata")
+            return cmdErrata();
+        if (cmd == "properties")
+            return cmdProperties();
+        if (cmd == "trace")
+            return cmdTrace(args);
+        if (cmd == "generate")
+            return cmdGenerate(args);
+        if (cmd == "optimize")
+            return cmdOptimize(args);
+        if (cmd == "identify")
+            return cmdIdentify(args);
+        if (cmd == "infer")
+            return cmdInfer(args);
+        if (cmd == "analyze")
+            return cmdAnalyze(args);
+        if (cmd == "run")
+            return cmdRun(args);
+        if (cmd == "fuzz")
+            return cmdFuzz(args);
+        if (cmd == "exec")
+            return cmdExec(args);
+    } catch (const support::IoError &e) {
+        std::fprintf(stderr, "scifinder: %s\n", e.what());
+        return 1;
+    }
     return usage();
 }

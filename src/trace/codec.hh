@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Column codecs for the chunked trace store.
+ *
+ * Trace columns are smooth: instruction indexes increase by small
+ * steps, register values change rarely between adjacent records of the
+ * same stream, and point ids cluster. Delta encoding against the
+ * previous row turns those columns into near-zero streams, and LEB128
+ * varints (with zigzag mapping for the signed deltas) shrink them to a
+ * byte or two per value before the general-purpose LZ pass. All
+ * arithmetic is explicitly wrapping, so encode/decode round-trips
+ * every possible value.
+ */
+
+#ifndef SCIFINDER_TRACE_CODEC_HH
+#define SCIFINDER_TRACE_CODEC_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace scif::trace {
+
+/** Append @p v as an LEB128 varint. */
+inline void
+putVarint(std::vector<uint8_t> &out, uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(uint8_t(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(uint8_t(v));
+}
+
+/**
+ * Decode one LEB128 varint at @p pos, advancing it.
+ * @return false on truncation or a varint longer than 10 bytes.
+ */
+inline bool
+getVarint(const uint8_t *src, size_t srcLen, size_t &pos, uint64_t &v)
+{
+    v = 0;
+    for (unsigned shift = 0; shift < 70; shift += 7) {
+        if (pos >= srcLen)
+            return false;
+        uint8_t b = src[pos++];
+        v |= uint64_t(b & 0x7f) << shift;
+        if (!(b & 0x80))
+            return true;
+    }
+    return false;
+}
+
+inline uint32_t
+zigzag32(uint32_t v)
+{
+    return (v << 1) ^ (uint32_t(int32_t(v) >> 31));
+}
+
+inline uint32_t
+unzigzag32(uint32_t v)
+{
+    return (v >> 1) ^ (0u - (v & 1));
+}
+
+inline uint64_t
+zigzag64(uint64_t v)
+{
+    return (v << 1) ^ (uint64_t(int64_t(v) >> 63));
+}
+
+inline uint64_t
+unzigzag64(uint64_t v)
+{
+    return (v >> 1) ^ (0ull - (v & 1));
+}
+
+/**
+ * Delta-zigzag-varint encode @p n u32 values read from @p src with
+ * stride @p stride (in elements); the first delta is against 0.
+ */
+inline void
+encodeDeltaU32(std::vector<uint8_t> &out, const uint32_t *src,
+               size_t n, size_t stride = 1)
+{
+    uint32_t prev = 0;
+    for (size_t i = 0; i < n; ++i) {
+        uint32_t v = src[i * stride];
+        putVarint(out, zigzag32(v - prev));
+        prev = v;
+    }
+}
+
+/** Decode @p n values written by encodeDeltaU32 into a stride-1 dst. */
+inline bool
+decodeDeltaU32(const uint8_t *src, size_t srcLen, size_t &pos,
+               uint32_t *dst, size_t n)
+{
+    uint32_t prev = 0;
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t raw;
+        if (!getVarint(src, srcLen, pos, raw) || raw > UINT32_MAX)
+            return false;
+        prev += unzigzag32(uint32_t(raw));
+        dst[i] = prev;
+    }
+    return true;
+}
+
+/** Delta-zigzag-varint encode @p n u64 values. */
+inline void
+encodeDeltaU64(std::vector<uint8_t> &out, const uint64_t *src, size_t n)
+{
+    uint64_t prev = 0;
+    for (size_t i = 0; i < n; ++i) {
+        putVarint(out, zigzag64(src[i] - prev));
+        prev = src[i];
+    }
+}
+
+/** Decode @p n values written by encodeDeltaU64. */
+inline bool
+decodeDeltaU64(const uint8_t *src, size_t srcLen, size_t &pos,
+               uint64_t *dst, size_t n)
+{
+    uint64_t prev = 0;
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t raw;
+        if (!getVarint(src, srcLen, pos, raw))
+            return false;
+        prev += unzigzag64(raw);
+        dst[i] = prev;
+    }
+    return true;
+}
+
+} // namespace scif::trace
+
+#endif // SCIFINDER_TRACE_CODEC_HH

@@ -1,9 +1,12 @@
 #include "io.hh"
 
+#include <cerrno>
 #include <cstring>
 
 #include "support/binio.hh"
+#include "support/ioerror.hh"
 #include "support/logging.hh"
+#include "trace/store.hh"
 
 namespace scif::trace {
 
@@ -31,14 +34,23 @@ struct RecordHead
 
 } // namespace
 
-TraceWriter::TraceWriter(const std::string &path)
+TraceWriter::TraceWriter(const std::string &path) : path_(path)
 {
     file_ = std::fopen(path.c_str(), "wb");
-    if (!file_)
-        fatal("cannot open trace file '%s' for writing", path.c_str());
+    if (!file_) {
+        throw support::IoError(
+            path, "cannot open trace file '" + path + "' for writing",
+            errno);
+    }
     Header h{magic, version, numVars, 0};
-    if (std::fwrite(&h, sizeof(h), 1, file_) != 1)
-        fatal("cannot write trace header to '%s'", path.c_str());
+    if (std::fwrite(&h, sizeof(h), 1, file_) != 1) {
+        int errnum = errno;
+        std::fclose(file_);
+        file_ = nullptr;
+        throw support::IoError(
+            path, "cannot write trace header to '" + path + "'",
+            errnum);
+    }
 }
 
 TraceWriter::~TraceWriter()
@@ -56,8 +68,14 @@ TraceWriter::record(const Record &rec)
                            file_) == numVars;
     ok = ok && std::fwrite(rec.post.data(), sizeof(uint32_t), numVars,
                            file_) == numVars;
-    if (!ok)
-        fatal("trace write failed");
+    if (!ok) {
+        int errnum = errno;
+        std::fclose(file_);
+        file_ = nullptr;
+        throw support::IoError(
+            path_, "write to trace file '" + path_ + "' failed",
+            errnum);
+    }
     ++count_;
 }
 
@@ -70,20 +88,39 @@ TraceWriter::close()
     }
 }
 
-TraceReader::TraceReader(const std::string &path)
+TraceReader::TraceReader(const std::string &path) : path_(path)
 {
     file_ = std::fopen(path.c_str(), "rb");
-    if (!file_)
-        fatal("cannot open trace file '%s'", path.c_str());
-    Header h{};
-    if (std::fread(&h, sizeof(h), 1, file_) != 1 || h.magic != magic)
-        fatal("'%s' is not a SCIFinder trace", path.c_str());
-    if (h.version != version)
-        fatal("trace version %u unsupported (want %u)", h.version,
-              version);
-    if (h.numVars != numVars)
-        fatal("trace schema has %u vars, this build has %u", h.numVars,
-              unsigned(numVars));
+    if (!file_) {
+        throw support::IoError(
+            path, "cannot open trace file '" + path + "'", errno);
+    }
+    try {
+        Header h{};
+        if (std::fread(&h, sizeof(h), 1, file_) != 1 ||
+            h.magic != magic) {
+            throw support::IoError(
+                path, "'" + path + "' is not a SCIFinder trace");
+        }
+        if (h.version != version) {
+            throw support::IoError(
+                path, "trace '" + path + "' has version " +
+                          std::to_string(h.version) +
+                          ", this build reads " +
+                          std::to_string(version));
+        }
+        if (h.numVars != numVars) {
+            throw support::IoError(
+                path, "trace '" + path + "' has " +
+                          std::to_string(h.numVars) +
+                          " vars, this build has " +
+                          std::to_string(numVars));
+        }
+    } catch (...) {
+        std::fclose(file_);
+        file_ = nullptr;
+        throw;
+    }
 }
 
 TraceReader::~TraceReader()
@@ -105,8 +142,11 @@ TraceReader::next(Record &rec)
                          file_) == numVars;
     ok = ok && std::fread(rec.post.data(), sizeof(uint32_t), numVars,
                           file_) == numVars;
-    if (!ok)
-        fatal("truncated trace record");
+    if (!ok) {
+        throw support::IoError(path_, "trace '" + path_ +
+                                          "' has a truncated trace "
+                                          "record");
+    }
     return true;
 }
 
@@ -119,8 +159,11 @@ TraceReader::readAll(TraceBuffer &buffer)
     long pos = std::ftell(file_);
     if (pos >= 0 && std::fseek(file_, 0, SEEK_END) == 0) {
         long end = std::ftell(file_);
-        if (std::fseek(file_, pos, SEEK_SET) != 0)
-            fatal("cannot seek in trace file");
+        if (std::fseek(file_, pos, SEEK_SET) != 0) {
+            throw support::IoError(path_, "cannot seek in trace file '" +
+                                              path_ + "'",
+                                   errno);
+        }
         constexpr long diskRecord =
             long(sizeof(RecordHead) + 2 * sizeof(uint32_t) * numVars);
         if (end > pos)
@@ -143,7 +186,8 @@ void
 saveTraceSet(const std::string &path,
              const std::vector<NamedTrace> &traces)
 {
-    support::BinWriter out(path, setMagic, setVersion);
+    support::BinWriter out(path, setMagic, setVersion,
+                           support::OnError::Throw);
     out.u32(numVars);
     out.u64(traces.size());
     for (const auto &nt : traces) {
@@ -161,13 +205,20 @@ saveTraceSet(const std::string &path,
 }
 
 std::vector<NamedTrace>
-loadTraceSet(const std::string &path)
+loadTraceSet(const std::string &path, support::ThreadPool *pool)
 {
-    support::BinReader in(path, setMagic, setVersion, "trace set");
+    if (isTraceSetV2(path)) {
+        TraceSetReader reader(path);
+        return reader.readAll(pool);
+    }
+    support::BinReader in(path, setMagic, setVersion, "trace set",
+                          support::OnError::Throw);
     uint32_t vars = in.u32();
     if (vars != numVars) {
-        fatal("trace set '%s' has %u vars, this build has %u",
-              path.c_str(), vars, unsigned(numVars));
+        throw support::IoError(
+            path, "trace set '" + path + "' has " +
+                      std::to_string(vars) + " vars, this build has " +
+                      std::to_string(numVars));
     }
     uint64_t count = in.u64();
     std::vector<NamedTrace> out;

@@ -5,8 +5,14 @@
  * The paper's pipeline buffers 26 GB of trace data on disk between the
  * simulation and the invariant generator; this module provides the
  * equivalent capability so large corpora need not be held in memory.
- * The format is a small header (magic, version, schema size) followed
- * by fixed-size little-endian records.
+ * The per-trace format is a small header (magic, version, schema size)
+ * followed by fixed-size little-endian records. Trace-set artifacts
+ * come in two versions: the original sequential v1 layout written by
+ * saveTraceSet(), and the chunked compressed v2 layout of
+ * trace/store.hh; loadTraceSet() sniffs the magic and reads either.
+ *
+ * All I/O and format failures throw support::IoError with the path
+ * (and errno, where applicable).
  */
 
 #ifndef SCIFINDER_TRACE_IO_HH
@@ -19,13 +25,17 @@
 
 #include "trace/record.hh"
 
+namespace scif::support {
+class ThreadPool;
+}
+
 namespace scif::trace {
 
 /** Streaming trace writer implementing the TraceSink interface. */
 class TraceWriter : public TraceSink
 {
   public:
-    /** Open @p path for writing; aborts on I/O failure. */
+    /** Open @p path for writing; throws support::IoError on failure. */
     explicit TraceWriter(const std::string &path);
     ~TraceWriter() override;
 
@@ -42,6 +52,7 @@ class TraceWriter : public TraceSink
 
   private:
     std::FILE *file_ = nullptr;
+    std::string path_;
     uint64_t count_ = 0;
 };
 
@@ -49,7 +60,8 @@ class TraceWriter : public TraceSink
 class TraceReader
 {
   public:
-    /** Open @p path; aborts on I/O failure or bad header. */
+    /** Open @p path; throws support::IoError on failure or a bad
+     *  header. */
     explicit TraceReader(const std::string &path);
     ~TraceReader();
 
@@ -67,6 +79,7 @@ class TraceReader
 
   private:
     std::FILE *file_ = nullptr;
+    std::string path_;
 };
 
 /**
@@ -80,17 +93,23 @@ struct NamedTrace
 };
 
 /**
- * Persist a whole training corpus as a single versioned artifact (the
- * phase-1 output of the staged pipeline). Unlike the per-trace
- * TraceWriter format, the set format carries the provenance names, so
- * a reloaded corpus is self-describing.
+ * Persist a whole training corpus as a single versioned v1 artifact.
+ * Unlike the per-trace TraceWriter format, the set format carries the
+ * provenance names, so a reloaded corpus is self-describing. New
+ * artifacts should prefer the chunked v2 store (trace/store.hh); this
+ * stays as the v1 compatibility writer.
  */
 void saveTraceSet(const std::string &path,
                   const std::vector<NamedTrace> &traces);
 
-/** Load a trace-set artifact; aborts on truncation, corruption, a
- *  schema mismatch, or an unsupported version. */
-std::vector<NamedTrace> loadTraceSet(const std::string &path);
+/**
+ * Load a trace-set artifact of either version; v2 chunks are
+ * decompressed on @p pool when given. Throws support::IoError on
+ * truncation, corruption, a schema mismatch, or an unsupported
+ * version.
+ */
+std::vector<NamedTrace> loadTraceSet(const std::string &path,
+                                     support::ThreadPool *pool = nullptr);
 
 } // namespace scif::trace
 

@@ -6,6 +6,7 @@
 #include "support/logging.hh"
 #include "support/strings.hh"
 #include "support/threadpool.hh"
+#include "trace/store.hh"
 
 namespace scif::workloads {
 
@@ -1004,8 +1005,6 @@ byName(const std::string &name)
     panic("unknown workload '%s'", name.c_str());
 }
 
-namespace {
-
 void
 runInto(const Workload &w, const cpu::MutationSet &mutations,
         bool interpreted, trace::TraceSink *sink)
@@ -1021,8 +1020,6 @@ runInto(const Workload &w, const cpu::MutationSet &mutations,
               w.name.c_str(), int(result.reason));
     }
 }
-
-} // namespace
 
 trace::TraceBuffer
 run(const Workload &w, const cpu::MutationSet &mutations,
@@ -1196,9 +1193,8 @@ randomProgram(Rng &rng, size_t length)
     return out;
 }
 
-std::vector<trace::TraceBuffer>
-validationCorpus(size_t count, uint64_t seed,
-                 support::ThreadPool *pool, bool interpreted)
+std::vector<Workload>
+validationPrograms(size_t count, uint64_t seed)
 {
     // One sequential random stream decides every program, so the
     // corpus is a pure function of (count, seed); only the runs of
@@ -1209,11 +1205,36 @@ validationCorpus(size_t count, uint64_t seed,
         programs[i].name = format("random-%zu", i);
         programs[i].source = randomProgram(rng, 150);
     }
+    return programs;
+}
+
+std::vector<trace::TraceBuffer>
+validationCorpus(size_t count, uint64_t seed,
+                 support::ThreadPool *pool, bool interpreted)
+{
+    std::vector<Workload> programs = validationPrograms(count, seed);
     return support::parallelMap(
         pool, programs,
         [interpreted](const Workload &w) {
             return run(w, {}, interpreted);
         });
+}
+
+std::vector<uint64_t>
+validationCorpusToStore(const std::string &path, size_t count,
+                        uint64_t seed, support::ThreadPool *pool,
+                        bool interpreted, uint32_t chunkRecords)
+{
+    std::vector<Workload> programs = validationPrograms(count, seed);
+    std::vector<std::string> names(count);
+    for (size_t i = 0; i < count; ++i)
+        names[i] = programs[i].name;
+    return trace::buildTraceSetParallel(
+        path, chunkRecords, names,
+        [&](size_t i, trace::TraceSink &sink) {
+            runInto(programs[i], {}, interpreted, &sink);
+        },
+        pool);
 }
 
 } // namespace scif::workloads

@@ -61,6 +61,15 @@ trace::TraceBuffer run(const Workload &w,
                        bool interpreted = false);
 
 /**
+ * Run a workload, emitting trace records into an arbitrary sink —
+ * the out-of-core path: with a trace::TraceSetWriter stream as the
+ * sink, records are sealed into compressed chunks as the simulation
+ * produces them and never accumulate in memory.
+ */
+void runInto(const Workload &w, const cpu::MutationSet &mutations,
+             bool interpreted, trace::TraceSink *sink);
+
+/**
  * Run a workload, capturing straight into per-point columns (no AoS
  * intermediate). The capture reconstructs the exact run() record
  * stream via toRecords() and seals into the ColumnSet::build
@@ -97,6 +106,29 @@ std::vector<trace::TraceBuffer>
 validationCorpus(size_t count = 24, uint64_t seed = 0x5eed,
                  support::ThreadPool *pool = nullptr,
                  bool interpreted = false);
+
+/**
+ * @return the validation-corpus programs themselves (the same pure
+ * function of (count, seed) validationCorpus() executes), without
+ * running them.
+ */
+std::vector<Workload> validationPrograms(size_t count = 24,
+                                         uint64_t seed = 0x5eed);
+
+/**
+ * Generate the validation corpus straight into a chunked v2
+ * trace-set artifact at @p path — the streaming counterpart of
+ * validationCorpus(): the record streams and therefore the artifact
+ * bytes are identical for any @p pool, and writer memory stays
+ * bounded by the chunk size. @return per-stream record counts, in
+ * corpus order.
+ */
+std::vector<uint64_t>
+validationCorpusToStore(const std::string &path, size_t count = 24,
+                        uint64_t seed = 0x5eed,
+                        support::ThreadPool *pool = nullptr,
+                        bool interpreted = false,
+                        uint32_t chunkRecords = 4096);
 
 } // namespace scif::workloads
 

@@ -14,6 +14,7 @@
 #include "core/artifacts.hh"
 #include "invgen/invgen.hh"
 #include "sci/identify.hh"
+#include "support/ioerror.hh"
 #include "trace/io.hh"
 #include "workloads/workloads.hh"
 
@@ -144,14 +145,22 @@ TEST(ArtifactsDeathTest, TruncatedIndexSetRejected)
                 ::testing::ExitedWithCode(1), "truncated");
 }
 
-TEST(ArtifactsDeathTest, TruncatedTraceSetRejected)
+TEST(Artifacts, TruncatedTraceSetRejected)
 {
+    // Trace-set loads report I/O failures as structured errors with
+    // the path and cause instead of aborting the process.
     auto traces = smallTraceSet();
     std::string path = tmpPath("truncated-traces.bin");
     trace::saveTraceSet(path, traces);
     truncateFile(path, std::filesystem::file_size(path) / 2);
-    EXPECT_EXIT(trace::loadTraceSet(path),
-                ::testing::ExitedWithCode(1), "truncated");
+    try {
+        trace::loadTraceSet(path);
+        FAIL() << "expected support::IoError";
+    } catch (const support::IoError &e) {
+        EXPECT_NE(std::string(e.what()).find("truncated"),
+                  std::string::npos);
+        EXPECT_EQ(e.path(), path);
+    }
 }
 
 TEST(ArtifactsDeathTest, TruncatedModelRejected)
@@ -174,13 +183,19 @@ TEST(ArtifactsDeathTest, WrongMagicRejected)
                 ::testing::ExitedWithCode(1), "not a");
 }
 
-TEST(ArtifactsDeathTest, WrongKindRejected)
+TEST(Artifacts, WrongKindRejected)
 {
-    // An index-set artifact is not a trace set: magic must mismatch.
+    // An index-set artifact is not a trace set: magic must mismatch,
+    // reported as a structured error rather than a process abort.
     std::string path = tmpPath("kind-mismatch.bin");
     core::saveIndexSet(path, {1});
-    EXPECT_EXIT(trace::loadTraceSet(path),
-                ::testing::ExitedWithCode(1), "not a");
+    try {
+        trace::loadTraceSet(path);
+        FAIL() << "expected support::IoError";
+    } catch (const support::IoError &e) {
+        EXPECT_NE(std::string(e.what()).find("not a"),
+                  std::string::npos);
+    }
 }
 
 TEST(ArtifactsDeathTest, TrailingGarbageRejected)

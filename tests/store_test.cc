@@ -1,0 +1,536 @@
+/**
+ * @file
+ * Tests for the chunked compressed trace-set store (format v2): the
+ * varint/delta codec, the LZ compressor, chunk-boundary round trips,
+ * corruption rejection, v1 interoperability, parallel-read
+ * determinism, and the streaming consumers (invariant generation,
+ * violation scans, the full pipeline) whose outputs must be identical
+ * to the in-memory paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <random>
+
+#include "core/scifinder.hh"
+#include "invgen/invgen.hh"
+#include "sci/identify.hh"
+#include "support/compress.hh"
+#include "support/ioerror.hh"
+#include "support/threadpool.hh"
+#include "trace/codec.hh"
+#include "trace/io.hh"
+#include "trace/store.hh"
+#include "workloads/workloads.hh"
+
+namespace scif {
+namespace {
+
+std::string
+tmpPath(const std::string &name)
+{
+    return (std::filesystem::path(::testing::TempDir()) / name)
+        .string();
+}
+
+std::vector<uint8_t>
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                                std::istreambuf_iterator<char>());
+}
+
+/** Deterministic synthetic record: realistic column shapes. */
+trace::Record
+makeRecord(uint64_t i)
+{
+    trace::Record rec;
+    rec.point = trace::Point::insn(isa::Mnemonic(i % 7));
+    rec.index = i;
+    rec.fused = (i % 5) == 0;
+    for (uint16_t v = 0; v < trace::numVars; ++v) {
+        rec.pre[v] = uint32_t(0x1000 + 4 * i + v);
+        rec.post[v] = uint32_t(0x1000 + 4 * (i + 1) + v);
+    }
+    return rec;
+}
+
+std::vector<trace::NamedTrace>
+syntheticSet(const std::vector<size_t> &counts)
+{
+    std::vector<trace::NamedTrace> out;
+    uint64_t seq = 0;
+    for (size_t s = 0; s < counts.size(); ++s) {
+        trace::NamedTrace nt;
+        nt.name = "stream-" + std::to_string(s);
+        for (size_t i = 0; i < counts[s]; ++i)
+            nt.trace.record(makeRecord(seq++));
+        out.push_back(std::move(nt));
+    }
+    return out;
+}
+
+void
+expectSameRecords(const std::vector<trace::NamedTrace> &a,
+                  const std::vector<trace::NamedTrace> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t s = 0; s < a.size(); ++s) {
+        EXPECT_EQ(a[s].name, b[s].name);
+        ASSERT_EQ(a[s].trace.size(), b[s].trace.size());
+        for (size_t i = 0; i < a[s].trace.size(); ++i) {
+            const auto &ra = a[s].trace.records()[i];
+            const auto &rb = b[s].trace.records()[i];
+            ASSERT_EQ(ra.point.id(), rb.point.id());
+            ASSERT_EQ(ra.index, rb.index);
+            ASSERT_EQ(ra.fused, rb.fused);
+            ASSERT_EQ(ra.pre, rb.pre);
+            ASSERT_EQ(ra.post, rb.post);
+        }
+    }
+}
+
+TEST(Codec, VarintRoundTrip)
+{
+    std::vector<uint8_t> buf;
+    std::vector<uint64_t> values = {0,       1,          127,
+                                    128,     16383,      16384,
+                                    1 << 20, UINT32_MAX, UINT64_MAX};
+    for (uint64_t v : values)
+        trace::putVarint(buf, v);
+    size_t pos = 0;
+    for (uint64_t v : values) {
+        uint64_t got = 0;
+        ASSERT_TRUE(
+            trace::getVarint(buf.data(), buf.size(), pos, got));
+        EXPECT_EQ(got, v);
+    }
+    EXPECT_EQ(pos, buf.size());
+}
+
+TEST(Codec, ZigzagRoundTrip)
+{
+    for (int64_t v : {int64_t(0), int64_t(-1), int64_t(1),
+                      int64_t(INT32_MIN), int64_t(INT32_MAX),
+                      int64_t(INT64_MIN), int64_t(INT64_MAX)}) {
+        EXPECT_EQ(trace::unzigzag64(trace::zigzag64(v)), v);
+    }
+    for (int32_t v :
+         {0, -1, 1, INT32_MIN, INT32_MAX, 42, -12345}) {
+        EXPECT_EQ(trace::unzigzag32(trace::zigzag32(v)), v);
+    }
+}
+
+TEST(Codec, DeltaColumnRoundTrip)
+{
+    std::vector<uint32_t> col = {100, 104, 108, 4,          0,
+                                 100, 0,   1,   UINT32_MAX, 7};
+    std::vector<uint8_t> buf;
+    trace::encodeDeltaU32(buf, col.data(), col.size(), 1);
+    std::vector<uint32_t> out(col.size());
+    size_t pos = 0;
+    ASSERT_TRUE(trace::decodeDeltaU32(buf.data(), buf.size(), pos,
+                                      out.data(), out.size()));
+    EXPECT_EQ(out, col);
+    EXPECT_EQ(pos, buf.size());
+}
+
+TEST(Compress, RoundTrip)
+{
+    std::mt19937 rng(1234);
+    std::vector<std::vector<uint8_t>> inputs;
+    inputs.push_back({});                            // empty
+    inputs.push_back(std::vector<uint8_t>(10000, 0)); // all zero
+    std::vector<uint8_t> text;
+    for (int i = 0; i < 500; ++i)
+        for (char c : std::string("the quick brown fox "))
+            text.push_back(uint8_t(c));
+    inputs.push_back(text); // repetitive
+    std::vector<uint8_t> random(8192);
+    for (auto &b : random)
+        b = uint8_t(rng());
+    inputs.push_back(random); // incompressible
+    std::vector<uint8_t> small = {1, 2, 3};
+    inputs.push_back(small); // below the match threshold
+
+    for (const auto &input : inputs) {
+        auto packed = support::lzCompress(input.data(), input.size());
+        std::vector<uint8_t> out(input.size());
+        ASSERT_TRUE(support::lzDecompress(packed.data(), packed.size(),
+                                          out.data(), out.size()));
+        EXPECT_EQ(out, input);
+    }
+
+    // The compressible inputs must actually shrink.
+    auto zeros = support::lzCompress(inputs[1].data(),
+                                     inputs[1].size());
+    EXPECT_LT(zeros.size(), inputs[1].size() / 10);
+}
+
+TEST(TraceStoreV2, ChunkBoundaryRoundTrip)
+{
+    // Chunk size 7 against streams of 0, 1, 6, 7, 8, 14, and 20
+    // records: partial, exact-multiple, and empty chunks all round
+    // trip.
+    auto traces = syntheticSet({0, 1, 6, 7, 8, 14, 20});
+    std::string path = tmpPath("boundary.v2");
+    trace::saveTraceSetV2(path, traces, 7);
+
+    ASSERT_TRUE(trace::isTraceSetV2(path));
+    trace::TraceSetReader reader(path);
+    EXPECT_EQ(reader.chunkRecords(), 7u);
+    ASSERT_EQ(reader.streams().size(), traces.size());
+    EXPECT_EQ(reader.streams()[0].chunks.size(), 0u);
+    EXPECT_EQ(reader.streams()[3].chunks.size(), 1u);
+    EXPECT_EQ(reader.streams()[4].chunks.size(), 2u);
+    EXPECT_EQ(reader.totalRecords(), 56u);
+
+    expectSameRecords(reader.readAll(nullptr), traces);
+
+    // The generic loader sniffs the v2 magic.
+    expectSameRecords(trace::loadTraceSet(path), traces);
+}
+
+TEST(TraceStoreV2, EmptySet)
+{
+    std::string path = tmpPath("empty.v2");
+    trace::saveTraceSetV2(path, {}, 4);
+    trace::TraceSetReader reader(path);
+    EXPECT_EQ(reader.streams().size(), 0u);
+    EXPECT_TRUE(reader.readAll(nullptr).empty());
+}
+
+TEST(TraceStoreV2, ParallelReadDeterminism)
+{
+    auto traces = syntheticSet({100, 3, 250, 0, 57});
+    std::string path = tmpPath("parallel.v2");
+    trace::saveTraceSetV2(path, traces, 16);
+
+    trace::TraceSetReader reader(path);
+    auto serial = reader.readAll(nullptr);
+    support::ThreadPool pool(4);
+    auto parallel = reader.readAll(&pool);
+    expectSameRecords(serial, parallel);
+    expectSameRecords(serial, traces);
+}
+
+TEST(TraceStoreV2, ParallelBuildByteIdentical)
+{
+    auto traces = syntheticSet({90, 33, 120, 7});
+    std::vector<std::string> names;
+    for (const auto &nt : traces)
+        names.push_back(nt.name);
+    auto produce = [&](size_t i, trace::TraceSink &sink) {
+        for (const auto &rec : traces[i].trace.records())
+            sink.record(rec);
+    };
+
+    std::string serialPath = tmpPath("build-serial.v2");
+    auto serialCounts = trace::buildTraceSetParallel(
+        serialPath, 16, names, produce, nullptr);
+
+    support::ThreadPool pool(4);
+    std::string poolPath = tmpPath("build-pool.v2");
+    auto poolCounts = trace::buildTraceSetParallel(poolPath, 16, names,
+                                                   produce, &pool);
+
+    EXPECT_EQ(serialCounts, poolCounts);
+    EXPECT_EQ(serialCounts,
+              (std::vector<uint64_t>{90, 33, 120, 7}));
+    EXPECT_EQ(readFile(serialPath), readFile(poolPath));
+}
+
+TEST(TraceStoreV2, ConvertRoundTrip)
+{
+    auto traces = syntheticSet({40, 11});
+    std::string v1 = tmpPath("convert.v1");
+    trace::saveTraceSet(v1, traces);
+
+    // v1 -> v2 preserves every record.
+    std::string v2 = tmpPath("convert.v2");
+    trace::convertTraceSet(v1, v2, 2, 8);
+    trace::TraceSetReader reader(v2);
+    expectSameRecords(reader.readAll(nullptr), traces);
+
+    // v2 -> v1 reproduces the original file byte for byte.
+    std::string back = tmpPath("convert-back.v1");
+    trace::convertTraceSet(v2, back, 1);
+    EXPECT_EQ(readFile(back), readFile(v1));
+
+    // ...so v1 -> v2 -> v1 round-trips exactly, and re-encoding the
+    // v2 file is idempotent.
+    std::string again = tmpPath("convert-again.v2");
+    trace::convertTraceSet(v2, again, 2, 8);
+    EXPECT_EQ(readFile(again), readFile(v2));
+}
+
+TEST(TraceStoreV2, SourceReadsBothVersions)
+{
+    auto traces = syntheticSet({13, 5});
+    std::string v1 = tmpPath("source.v1");
+    std::string v2 = tmpPath("source.v2");
+    trace::saveTraceSet(v1, traces);
+    trace::saveTraceSetV2(v2, traces, 4);
+
+    for (const auto &path : {v1, v2}) {
+        auto src = trace::TraceSetSource::open(path);
+        ASSERT_EQ(src->streamCount(), 2u);
+        EXPECT_EQ(src->streamName(0), "stream-0");
+        EXPECT_EQ(src->streamRecords(0), 13u);
+        EXPECT_EQ(src->findStream("stream-1"), 1u);
+        EXPECT_EQ(src->findStream("nope"),
+                  trace::TraceSetSource::npos);
+        size_t n = 0;
+        trace::Record rec;
+        auto cur = src->cursor(0);
+        while (cur->next(rec)) {
+            const auto &want = traces[0].trace.records()[n++];
+            ASSERT_EQ(rec.index, want.index);
+            ASSERT_EQ(rec.pre, want.pre);
+        }
+        EXPECT_EQ(n, 13u);
+    }
+    EXPECT_EQ(trace::TraceSetSource::open(v1)->version(), 1u);
+    EXPECT_EQ(trace::TraceSetSource::open(v2)->version(), 2u);
+}
+
+TEST(TraceStoreV2, MergePreservesStreams)
+{
+    auto setA = syntheticSet({21, 9});
+    auto setB = syntheticSet({4});
+    setB[0].name = "other";
+    std::string a = tmpPath("merge-a.v2");
+    std::string b = tmpPath("merge-b.v1");
+    trace::saveTraceSetV2(a, setA, 8);
+    trace::saveTraceSet(b, setB); // v1 input is re-encoded
+
+    std::string merged = tmpPath("merged.v2");
+    trace::mergeTraceSets(merged, {a, b}, 8);
+    trace::TraceSetReader reader(merged);
+    auto all = reader.readAll(nullptr);
+    ASSERT_EQ(all.size(), 3u);
+    std::vector<trace::NamedTrace> want = std::move(setA);
+    want.push_back(std::move(setB[0]));
+    expectSameRecords(all, want);
+
+    // Duplicate stream names across inputs are an error.
+    EXPECT_THROW(trace::mergeTraceSets(tmpPath("dup.v2"), {a, a}, 8),
+                 support::IoError);
+}
+
+TEST(TraceStoreV2, CorruptionRejected)
+{
+    auto traces = syntheticSet({64});
+    std::string path = tmpPath("corrupt.v2");
+    trace::saveTraceSetV2(path, traces, 16);
+    auto pristine = readFile(path);
+
+    auto writeBytes = [&](const std::vector<uint8_t> &bytes) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(reinterpret_cast<const char *>(bytes.data()),
+                  std::streamsize(bytes.size()));
+    };
+
+    // Truncation anywhere: mid-trailer, mid-footer, mid-chunk.
+    for (size_t keep :
+         {pristine.size() - 4, pristine.size() - 20, size_t(40),
+          size_t(17), size_t(3)}) {
+        auto cut = pristine;
+        cut.resize(keep);
+        writeBytes(cut);
+        EXPECT_THROW(trace::TraceSetReader r(path), support::IoError)
+            << "kept " << keep;
+    }
+
+    // Wrong magic.
+    auto bad = pristine;
+    bad[0] ^= 0xff;
+    writeBytes(bad);
+    EXPECT_THROW(trace::TraceSetReader r(path), support::IoError);
+
+    // A flipped byte inside a chunk blob passes directory validation
+    // but fails the chunk checksum on read.
+    bad = pristine;
+    bad[20] ^= 0x01;
+    writeBytes(bad);
+    {
+        trace::TraceSetReader reader(path);
+        trace::TraceBuffer out;
+        EXPECT_THROW(reader.readChunk(0, 0, out), support::IoError);
+    }
+
+    // Trailing garbage after the trailer.
+    bad = pristine;
+    bad.push_back(0);
+    writeBytes(bad);
+    EXPECT_THROW(trace::TraceSetReader r(path), support::IoError);
+
+    // Restore and make sure the pristine file still loads.
+    writeBytes(pristine);
+    trace::TraceSetReader reader(path);
+    expectSameRecords(reader.readAll(nullptr), traces);
+}
+
+TEST(TraceStoreV2, WriterErrorsAreStructured)
+{
+    EXPECT_THROW(trace::TraceSetWriter w("/nonexistent-dir/x.v2"),
+                 support::IoError);
+    EXPECT_THROW(trace::TraceSetReader r(tmpPath("missing.v2")),
+                 support::IoError);
+}
+
+/** Real workload traces: the paper's streams, not synthetic ones. */
+std::vector<trace::NamedTrace>
+workloadSet()
+{
+    std::vector<trace::NamedTrace> out;
+    for (const char *name : {"basicmath", "gzip", "mcf"}) {
+        out.push_back(trace::NamedTrace{
+            name, workloads::run(workloads::byName(name))});
+    }
+    return out;
+}
+
+TEST(TraceStoreStreaming, GenerateMatchesBatch)
+{
+    auto traces = workloadSet();
+    std::string path = tmpPath("gen.v2");
+    trace::saveTraceSetV2(path, traces, 512); // force many chunks
+
+    std::vector<const trace::TraceBuffer *> ptrs;
+    for (const auto &nt : traces)
+        ptrs.push_back(&nt.trace);
+    invgen::GenStats batchStats;
+    auto batch = invgen::generate(ptrs, {}, &batchStats);
+
+    trace::TraceSetReader reader(path);
+    invgen::GenStats streamStats;
+    auto streamed =
+        invgen::generateStreaming(reader, {}, &streamStats);
+    EXPECT_EQ(streamed.keys(), batch.keys());
+    EXPECT_EQ(streamStats.records, batchStats.records);
+    EXPECT_EQ(streamStats.points, batchStats.points);
+    EXPECT_EQ(streamStats.candidatesTried,
+              batchStats.candidatesTried);
+
+    // Chunk windows are folded in parallel too; the model must not
+    // depend on the job count.
+    support::ThreadPool pool(4);
+    invgen::GenStats poolStats;
+    auto pooled =
+        invgen::generateStreaming(reader, {}, &poolStats, &pool);
+    EXPECT_EQ(pooled.keys(), batch.keys());
+    EXPECT_EQ(poolStats.candidatesTried, batchStats.candidatesTried);
+}
+
+TEST(TraceStoreStreaming, CorpusViolationsMatchInMemory)
+{
+    // Train on one workload, scan others: the streaming chunk scan
+    // must report exactly the in-memory violation set.
+    auto training = workloads::run(workloads::byName("basicmath"));
+    auto model = invgen::generate({&training}, {}, nullptr, nullptr);
+
+    std::vector<trace::TraceBuffer> corpus;
+    std::vector<trace::NamedTrace> named;
+    for (const char *name : {"gzip", "mcf", "quake"}) {
+        corpus.push_back(workloads::run(workloads::byName(name)));
+        named.push_back(trace::NamedTrace{name, corpus.back()});
+    }
+    std::string path = tmpPath("scan.v2");
+    trace::saveTraceSetV2(path, named, 256);
+
+    sci::CompiledModel compiled(model);
+    auto inMemory = sci::corpusViolations(compiled, corpus, nullptr);
+    EXPECT_FALSE(inMemory.empty());
+
+    trace::TraceSetReader reader(path);
+    EXPECT_EQ(sci::corpusViolations(compiled, reader, nullptr),
+              inMemory);
+    support::ThreadPool pool(4);
+    EXPECT_EQ(sci::corpusViolations(compiled, reader, &pool),
+              inMemory);
+    EXPECT_EQ(sci::corpusViolations(model, reader, &pool,
+                                    sci::EvalMode::Interpreted),
+              inMemory);
+}
+
+TEST(TraceStoreStreaming, PipelineMatchesInMemory)
+{
+    // The persisted (out-of-core) pipeline must produce the same
+    // model and identification results as the in-memory run, for any
+    // chunk size and job count.
+    core::PipelineConfig base;
+    base.workloadNames = {"basicmath", "gzip"};
+    base.bugIds = {"b1", "b4"};
+    base.validationPrograms = 4;
+    base.runInference = false;
+
+    core::PipelineResult inMemory = core::runPipeline(base);
+
+    core::PipelineConfig persisted = base;
+    persisted.artifactDir = tmpPath("stream-artifacts");
+    persisted.traceChunkRecords = 300; // force several chunks
+    core::PipelineResult streamed = core::runPipeline(persisted);
+
+    EXPECT_EQ(streamed.model.keys(), inMemory.model.keys());
+    EXPECT_EQ(streamed.traceRecords, inMemory.traceRecords);
+    EXPECT_EQ(streamed.validationViolations,
+              inMemory.validationViolations);
+    EXPECT_EQ(streamed.database.sciIndices(),
+              inMemory.database.sciIndices());
+
+    core::PipelineConfig parallel = persisted;
+    parallel.artifactDir = tmpPath("stream-artifacts-jobs");
+    parallel.jobs = 4;
+    core::PipelineResult pooled = core::runPipeline(parallel);
+    EXPECT_EQ(pooled.model.keys(), inMemory.model.keys());
+    EXPECT_EQ(pooled.validationViolations,
+              inMemory.validationViolations);
+
+    // The persisted trace artifacts of the two runs are themselves
+    // byte-identical, jobs or not.
+    EXPECT_EQ(readFile(persisted.artifactDir + "/traces.bin"),
+              readFile(parallel.artifactDir + "/traces.bin"));
+    EXPECT_EQ(readFile(persisted.artifactDir + "/validation.bin"),
+              readFile(parallel.artifactDir + "/validation.bin"));
+
+    // Streaming stages record their resident-trace high water.
+    bool sawGauge = false;
+    for (const auto &stage : streamed.stages) {
+        EXPECT_GT(stage.maxRssKb, 0u) << stage.name;
+        if (stage.traceResidentPeak > 0)
+            sawGauge = true;
+    }
+    EXPECT_TRUE(sawGauge);
+}
+
+TEST(TraceStoreStreaming, ValidationCorpusToStoreMatchesInMemory)
+{
+    auto inMemory = workloads::validationCorpus(3, 0x5eed, nullptr);
+    std::string path = tmpPath("validation.v2");
+    auto counts =
+        workloads::validationCorpusToStore(path, 3, 0x5eed, nullptr);
+    ASSERT_EQ(counts.size(), 3u);
+
+    trace::TraceSetReader reader(path);
+    auto stored = reader.readAll(nullptr);
+    ASSERT_EQ(stored.size(), 3u);
+    for (size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(stored[i].name,
+                  "random-" + std::to_string(i));
+        ASSERT_EQ(stored[i].trace.size(), inMemory[i].size());
+        EXPECT_EQ(counts[i], inMemory[i].size());
+        for (size_t r = 0; r < stored[i].trace.size(); ++r) {
+            ASSERT_EQ(stored[i].trace.records()[r].pre,
+                      inMemory[i].records()[r].pre);
+        }
+    }
+}
+
+} // namespace
+} // namespace scif
