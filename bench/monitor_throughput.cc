@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Checking-service throughput: events/second through
+ * monitor::CheckService with the paper-scale deployed assertion set
+ * (14 assertions, the Table 9 "Initial SCI" shape) while >= 64
+ * sessions stream concurrently. This is the software dual of the
+ * paper's hardware overhead claim: the checker must keep up with
+ * retirement streams without becoming the bottleneck.
+ *
+ * The run replays a real workload retirement stream into 64 open
+ * sessions interleaved across several client threads, exactly the
+ * `scifinder serve` shape. Every report is cross-checked against the
+ * sequential AssertionMonitor (the bench fails on any mismatch), so
+ * the number measured is *checked* events per second, not a
+ * drop-the-work upper bound.
+ *
+ * Flags (on top of the common bench flags):
+ *   --require-speedup <x>  fail (exit 1) unless the service sustains
+ *                          at least x million checked events/second
+ *                          (CI uses 1.0: the 1M events/s floor).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hh"
+#include "monitor/service.hh"
+#include "support/logging.hh"
+#include "support/strings.hh"
+#include "workloads/workloads.hh"
+
+namespace scif {
+namespace {
+
+constexpr size_t kSessions = 64;
+constexpr size_t kClients = 4;
+constexpr size_t kPostChunk = 512;
+
+/** The deployment-sized assertion set (monitor_test's paper-scale
+ *  list), synthesized without running the full pipeline. */
+std::shared_ptr<const monitor::CompiledAssertionSet>
+paperScaleSet()
+{
+    invgen::InvariantSet set;
+    for (const char *text : {
+             "l.add -> GPR0 == 0",
+             "l.rfe -> SR == orig(ESR0)",
+             "l.sys@syscall -> NPC == 0xc00",
+             "l.sys@syscall -> EPCR0 == PC + 4",
+             "l.jal -> GPR9 == PC + 8",
+             "l.sfltu -> FLAGOK == 1",
+             "l.lwz -> MEMBUS == DMEM",
+             "l.sb -> MEMOK == 1",
+             "l.mtspr -> SPRV == orig(OPB)",
+             "l.lwz -> MEMADDR == (IMM + orig(OPA))",
+             "l.j@alignment -> DSX == 1",
+             "l.add -> IMEM == INSN",
+             "l.add@range -> EPCR0 == PC",
+             "l.mtspr -> SM == 1",
+         }) {
+        set.add(expr::Invariant::parse(text));
+    }
+    std::vector<size_t> indices(set.size());
+    for (size_t i = 0; i < indices.size(); ++i)
+        indices[i] = i;
+    return std::make_shared<const monitor::CompiledAssertionSet>(
+        monitor::synthesize(set, indices));
+}
+
+/** The event stream every session replays. */
+const trace::TraceBuffer &
+benchTrace()
+{
+    static trace::TraceBuffer trace =
+        workloads::run(workloads::byName("twolf"));
+    return trace;
+}
+
+/** What the sequential monitor says about the bench stream. */
+std::string
+sequentialRender(
+    const std::shared_ptr<const monitor::CompiledAssertionSet> &set,
+    const std::string &name, const trace::TraceBuffer &trace)
+{
+    monitor::AssertionMonitor mon(set);
+    for (const auto &rec : trace.records())
+        mon.record(rec);
+    return monitor::sequentialReport(name, mon, trace.size())
+        .render(set->assertions());
+}
+
+/**
+ * One measured round: kSessions sessions interleaved across kClients
+ * client threads, each session replaying the bench stream once.
+ * @return seconds of wall clock for the round.
+ */
+double
+serveRound(monitor::CheckService &service,
+           std::vector<monitor::SessionReport> &reports)
+{
+    const trace::TraceBuffer &trace = benchTrace();
+    reports.assign(kSessions, {});
+    auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            // Client c owns sessions c, c+kClients, ... — all open at
+            // once, fed round-robin in kPostChunk runs so the shard
+            // sees a genuinely interleaved mix.
+            std::vector<size_t> mine;
+            for (size_t s = c; s < kSessions; s += kClients)
+                mine.push_back(s);
+            std::vector<monitor::CheckService::SessionId> ids;
+            for (size_t s : mine)
+                ids.push_back(
+                    service.open("s" + std::to_string(s)));
+            const auto *recs = trace.records().data();
+            size_t total = trace.size();
+            for (size_t pos = 0; pos < total; pos += kPostChunk) {
+                size_t n = std::min(kPostChunk, total - pos);
+                for (auto id : ids)
+                    service.post(id, recs + pos, n);
+            }
+            for (size_t i = 0; i < mine.size(); ++i)
+                reports[mine[i]] = service.close(ids[i]);
+        });
+    }
+    for (auto &t : clients)
+        t.join();
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+void
+experiment()
+{
+    bench::printHeader(
+        "Checking-service throughput: 64 concurrent sessions",
+        "deployment substrate for Zhang et al., ASPLOS'17 (§4.2)");
+
+    auto set = paperScaleSet();
+    const trace::TraceBuffer &trace = benchTrace();
+    std::string expected = sequentialRender(set, "ref", trace);
+
+    // Sequential baseline: the single-trace monitor, one stream.
+    double seqSeconds;
+    {
+        using clock = std::chrono::steady_clock;
+        monitor::AssertionMonitor mon(set);
+        for (const auto &rec : trace.records()) // warm up
+            mon.record(rec);
+        size_t sweeps = 0;
+        auto start = clock::now();
+        double elapsed = 0;
+        do {
+            mon.clearFirings();
+            for (const auto &rec : trace.records())
+                mon.record(rec);
+            ++sweeps;
+            elapsed =
+                std::chrono::duration<double>(clock::now() - start)
+                    .count();
+        } while (elapsed < 0.5);
+        seqSeconds = elapsed / double(sweeps);
+    }
+    double seqRate = double(trace.size()) / seqSeconds;
+
+    // Service: repeat rounds until the measurement is stable. Large
+    // micro-batches keep queue traffic (and, on small machines,
+    // context switches) far below the event rate.
+    monitor::ServiceConfig config;
+    config.shards = 0; // one per hardware thread
+    config.batchRecords = 4096;
+    monitor::CheckService service(set, config);
+    std::vector<monitor::SessionReport> reports;
+    serveRound(service, reports); // warm up
+    double serveSeconds = 0;
+    size_t rounds = 0;
+    do {
+        serveSeconds += serveRound(service, reports);
+        ++rounds;
+    } while (serveSeconds < 1.0);
+
+    // Checked, not just counted: every session's report must match
+    // the sequential monitor byte for byte.
+    for (size_t s = 0; s < kSessions; ++s) {
+        std::string got = reports[s].render(set->assertions());
+        std::string want = sequentialRender(
+            set, "s" + std::to_string(s), trace);
+        if (got != want)
+            fatal("service report for session %zu diverges from "
+                  "the sequential monitor",
+                  s);
+    }
+
+    uint64_t eventsPerRound = uint64_t(kSessions) * trace.size();
+    double serveRate =
+        double(rounds) * double(eventsPerRound) / serveSeconds;
+    auto telemetry = service.telemetry();
+
+    TextTable table({"Mode", "Streams", "Events/s", "vs sequential"});
+    table.addRow({"sequential monitor", "1", format("%.3g", seqRate),
+                  "1.00x"});
+    table.addRow({"check service", std::to_string(kSessions),
+                  format("%.3g", serveRate),
+                  format("%.2fx", serveRate / seqRate)});
+    std::printf("%s\n", table.render().c_str());
+    std::printf("%zu shard(s), %llu batches, queue high water %llu "
+                "batch(es)\n\n",
+                service.shards(),
+                (unsigned long long)telemetry.batches,
+                (unsigned long long)(telemetry.shards.empty()
+                                         ? 0
+                                         : telemetry.shards[0]
+                                               .queueHighWater));
+
+    bench::recordMetric("service.events_per_sec", serveRate,
+                        "events/s");
+    bench::recordMetric("service.sessions", double(kSessions), "");
+    bench::recordMetric("service.shards", double(service.shards()),
+                        "");
+    bench::recordMetric("sequential.events_per_sec", seqRate,
+                        "events/s");
+    bench::recordMetric("service.vs_sequential", serveRate / seqRate,
+                        "x");
+
+    double gate = bench::options().requireSpeedup;
+    if (gate > 0 && serveRate < gate * 1e6) {
+        bench::failBench(format(
+            "service sustained %.3g events/s across %zu sessions, "
+            "below the required %.2fM events/s",
+            serveRate, kSessions, gate));
+    }
+}
+
+/** Micro-benchmark: one whole trace checked as one session. */
+void
+serviceCheck(benchmark::State &state)
+{
+    static auto set = paperScaleSet();
+    const trace::TraceBuffer &trace = benchTrace();
+    monitor::CheckService service(set);
+    for (auto _ : state) {
+        auto report = service.check("bench", trace);
+        benchmark::DoNotOptimize(report.firings);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(trace.size()));
+}
+BENCHMARK(serviceCheck)->Unit(benchmark::kMillisecond);
+
+/** Micro-benchmark twin: the sequential monitor on the same trace. */
+void
+sequentialMonitor(benchmark::State &state)
+{
+    static auto set = paperScaleSet();
+    const trace::TraceBuffer &trace = benchTrace();
+    monitor::AssertionMonitor mon(set);
+    for (auto _ : state) {
+        mon.clearFirings();
+        for (const auto &rec : trace.records())
+            mon.record(rec);
+        benchmark::DoNotOptimize(mon.anyFired());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(trace.size()));
+}
+BENCHMARK(sequentialMonitor)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace scif
+
+SCIF_BENCH_MAIN(scif::experiment)

@@ -10,10 +10,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 
 #include "bench/common.hh"
 #include "monitor/overhead.hh"
+#include "monitor/service.hh"
 #include "support/strings.hh"
 
 namespace scif {
@@ -61,6 +63,59 @@ experiment()
                     a.pointCount(),
                     a.representative.exprKey().c_str());
     }
+
+    // Software dual of the hardware table: what the same final set
+    // costs to check in software, sequentially and through the
+    // checking service (micro-batched columnar kernels).
+    auto rate = [](double seconds, uint64_t events) {
+        return double(events) / seconds;
+    };
+    auto measure = [](auto &&sweep) {
+        using clock = std::chrono::steady_clock;
+        sweep(); // warm up
+        size_t sweeps = 0;
+        auto start = clock::now();
+        double elapsed = 0;
+        do {
+            sweep();
+            ++sweeps;
+            elapsed =
+                std::chrono::duration<double>(clock::now() - start)
+                    .count();
+        } while (elapsed < 0.2);
+        return elapsed / double(sweeps);
+    };
+
+    auto shared = std::make_shared<const monitor::CompiledAssertionSet>(
+        std::vector<monitor::Assertion>(final_set));
+    trace::TraceBuffer trace =
+        workloads::run(workloads::byName("twolf"));
+
+    monitor::AssertionMonitor mon(shared);
+    double seqSeconds = measure([&] {
+        mon.clearFirings();
+        for (const auto &rec : trace.records())
+            mon.record(rec);
+    });
+
+    monitor::CheckService service(shared);
+    double serviceSeconds = measure(
+        [&] { service.check("table9", trace); });
+
+    TextTable sw({"", "Sequential", "Service"});
+    sw.addRow({"Check rate",
+               format("%.3g rec/s", rate(seqSeconds, trace.size())),
+               format("%.3g rec/s",
+                      rate(serviceSeconds, trace.size()))});
+    sw.addRow({"Relative", "1.00x",
+               format("%.2fx", seqSeconds / serviceSeconds)});
+    std::printf("\nSoftware checking (final set, twolf stream):\n%s\n",
+                sw.render().c_str());
+    bench::recordMetric("monitor.sequential_rec_per_sec",
+                        rate(seqSeconds, trace.size()), "records/s");
+    bench::recordMetric("monitor.service_rec_per_sec",
+                        rate(serviceSeconds, trace.size()),
+                        "records/s");
 }
 
 /** Micro-benchmark: monitor evaluation cost per record. */
@@ -82,6 +137,25 @@ monitorEvaluation(benchmark::State &state)
                             int64_t(trace.size()));
 }
 BENCHMARK(monitorEvaluation)->Unit(benchmark::kMillisecond);
+
+/** Micro-benchmark: the same stream through the checking service. */
+void
+serviceEvaluation(benchmark::State &state)
+{
+    const auto &r = bench::pipeline();
+    auto shared = std::make_shared<const monitor::CompiledAssertionSet>(
+        core::deployedAssertions(r, r.finalSci()));
+    monitor::CheckService service(shared);
+    trace::TraceBuffer trace =
+        workloads::run(workloads::byName("twolf"));
+    for (auto _ : state) {
+        auto report = service.check("bench", trace);
+        benchmark::DoNotOptimize(report.firings);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(trace.size()));
+}
+BENCHMARK(serviceEvaluation)->Unit(benchmark::kMillisecond);
 
 } // namespace
 } // namespace scif

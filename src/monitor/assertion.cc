@@ -86,29 +86,46 @@ synthesize(const invgen::InvariantSet &set,
     return out;
 }
 
-AssertionMonitor::AssertionMonitor(std::vector<Assertion> assertions)
+CompiledAssertionSet::CompiledAssertionSet(
+    std::vector<Assertion> assertions)
     : assertions_(std::move(assertions))
 {
+    std::set<uint16_t> slotSet;
     compiled_.resize(assertions_.size());
     for (size_t ai = 0; ai < assertions_.size(); ++ai) {
         const auto &members = assertions_[ai].members;
         compiled_[ai].reserve(members.size());
         for (size_t mi = 0; mi < members.size(); ++mi) {
             index_[members[mi].point.id()].push_back({ai, mi});
+            points_.insert(members[mi].point.id());
             compiled_[ai].push_back(
                 expr::CompiledInvariant::compile(members[mi]));
+            for (uint16_t slot : compiled_[ai].back().slots())
+                slotSet.insert(slot);
+            ++memberCount_;
         }
     }
+    slots_.assign(slotSet.begin(), slotSet.end());
 }
+
+AssertionMonitor::AssertionMonitor(std::vector<Assertion> assertions)
+    : set_(std::make_shared<const CompiledAssertionSet>(
+          std::move(assertions)))
+{}
+
+AssertionMonitor::AssertionMonitor(
+    std::shared_ptr<const CompiledAssertionSet> set)
+    : set_(std::move(set))
+{}
 
 void
 AssertionMonitor::record(const trace::Record &rec)
 {
-    auto it = index_.find(rec.point.id());
-    if (it == index_.end())
+    const auto *members = set_->membersAt(rec.point.id());
+    if (!members)
         return;
-    for (const auto &[ai, mi] : it->second) {
-        if (!compiled_[ai][mi].holdsRecord(rec))
+    for (const auto &[ai, mi] : *members) {
+        if (!set_->compiled(ai, mi).holdsRecord(rec))
             fired_.push_back(FiredEvent{ai, rec.index, rec.point});
     }
 }

@@ -24,6 +24,8 @@
 #define SCIFINDER_MONITOR_ASSERTION_HH
 
 #include <map>
+#include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -72,6 +74,61 @@ struct FiredEvent
 };
 
 /**
+ * An assertion set with every member expression compiled to its flat
+ * register-machine program, plus the point-dispatch index derived
+ * from the members. Immutable after construction, so one instance is
+ * safely shared — without copies — between a sequential
+ * AssertionMonitor and every worker shard of a monitor::CheckService.
+ */
+class CompiledAssertionSet
+{
+  public:
+    explicit CompiledAssertionSet(std::vector<Assertion> assertions);
+
+    const std::vector<Assertion> &assertions() const
+    {
+        return assertions_;
+    }
+
+    /** Compiled program for assertions()[ai].members[mi]. */
+    const expr::CompiledInvariant &compiled(size_t ai, size_t mi) const
+    {
+        return compiled_[ai][mi];
+    }
+
+    /**
+     * Members enforced at a point, as (assertion, member) pairs in
+     * ascending lexicographic order — the order the sequential
+     * monitor fires them in. Null when nothing watches the point.
+     */
+    const std::vector<std::pair<size_t, size_t>> *
+    membersAt(uint16_t pointId) const
+    {
+        auto it = index_.find(pointId);
+        return it == index_.end() ? nullptr : &it->second;
+    }
+
+    /** Every watched point id (columnar batch filter). */
+    const std::set<uint16_t> &points() const { return points_; }
+
+    /** Union of value slots read by any member program. */
+    const std::vector<uint16_t> &slots() const { return slots_; }
+
+    /** Total member count across all assertions. */
+    size_t memberCount() const { return memberCount_; }
+
+  private:
+    std::vector<Assertion> assertions_;
+    /** Compiled member programs, parallel to assertions_[i].members. */
+    std::vector<std::vector<expr::CompiledInvariant>> compiled_;
+    /** point id -> list of (assertion index, member index). */
+    std::map<uint16_t, std::vector<std::pair<size_t, size_t>>> index_;
+    std::set<uint16_t> points_;
+    std::vector<uint16_t> slots_;
+    size_t memberCount_ = 0;
+};
+
+/**
  * The execution monitor: attach as a trace sink and it evaluates
  * every enforced assertion at each instruction boundary, recording
  * firings (it does not halt the processor; what a system does on a
@@ -86,12 +143,19 @@ class AssertionMonitor : public trace::TraceSink
 {
   public:
     explicit AssertionMonitor(std::vector<Assertion> assertions);
+    /** Share an already-compiled set (no recompilation). */
+    explicit AssertionMonitor(
+        std::shared_ptr<const CompiledAssertionSet> set);
 
     void record(const trace::Record &rec) override;
 
     const std::vector<Assertion> &assertions() const
     {
-        return assertions_;
+        return set_->assertions();
+    }
+    const std::shared_ptr<const CompiledAssertionSet> &set() const
+    {
+        return set_;
     }
     const std::vector<FiredEvent> &fired() const { return fired_; }
     bool anyFired() const { return !fired_.empty(); }
@@ -103,11 +167,7 @@ class AssertionMonitor : public trace::TraceSink
     void clearFirings();
 
   private:
-    std::vector<Assertion> assertions_;
-    /** Compiled member programs, parallel to assertions_[i].members. */
-    std::vector<std::vector<expr::CompiledInvariant>> compiled_;
-    /** point id -> list of (assertion index, member index). */
-    std::map<uint16_t, std::vector<std::pair<size_t, size_t>>> index_;
+    std::shared_ptr<const CompiledAssertionSet> set_;
     std::vector<FiredEvent> fired_;
 };
 

@@ -33,6 +33,7 @@
 #include "core/scifinder.hh"
 #include "fuzz/fuzzer.hh"
 #include "monitor/overhead.hh"
+#include "monitor/service.hh"
 #include "support/ioerror.hh"
 #include "support/strings.hh"
 #include "support/table.hh"
@@ -102,6 +103,18 @@ usage()
         "interpreter;\n"
         "                            optionally score mutation kill "
         "rates\n"
+        "  serve     --artifact-dir D [--shards N] [--queue-batches "
+        "N]\n"
+        "            [--batch-records N] [--stats] [--workloads]\n"
+        "            [--fuzz N [--seed S]] [set.bin...]\n"
+        "                            enforce the identified-SCI "
+        "assertion set\n"
+        "                            on concurrent sessions: "
+        "trace-set streams,\n"
+        "                            live workload replays, fuzz "
+        "programs\n"
+        "                            (exit 1 if any assertion "
+        "fired)\n"
         "\n"
         "catalogs and utilities:\n"
         "  workloads                 list the 17 training workloads\n"
@@ -124,7 +137,8 @@ usage()
         "                            histogram) of a set artifact\n"
         "  trace diff <a> <b>        compare two set artifacts "
         "record by\n"
-        "                            record (exit 1 on difference)\n"
+        "                            record (exit 1 = differ, 3 = "
+        "I/O error)\n"
         "  trace extract <in> <out> --stream S [--from N] [--count "
         "N]\n"
         "                            copy one stream (or a record "
@@ -433,10 +447,30 @@ cmdTraceDump(const std::vector<std::string> &args_in)
     return 0;
 }
 
+/**
+ * Structured I/O diagnostic for the trace toolbelt: path and file
+ * offset as separate fields, exit status 3 — distinct from "traces
+ * differ" (1) and usage errors (2), so CI scripts can tell a flaky
+ * filesystem from a real regression.
+ */
+int
+ioErrorExit(const support::IoError &e)
+{
+    std::fprintf(stderr, "scifinder: I/O error: %s\n", e.what());
+    std::fprintf(stderr, "  path:   %s\n", e.path().c_str());
+    if (e.hasOffset())
+        std::fprintf(stderr, "  offset: %llu\n",
+                     (unsigned long long)e.offset());
+    if (e.errnum())
+        std::fprintf(stderr, "  errno:  %d (%s)\n", e.errnum(),
+                     std::strerror(e.errnum()));
+    return 3;
+}
+
 /** trace count: stream totals or a per-point histogram. */
 int
 cmdTraceCount(const std::vector<std::string> &args_in)
-{
+try {
     std::vector<std::string> args;
     bool points = false;
     for (const auto &arg : args_in) {
@@ -483,12 +517,17 @@ cmdTraceCount(const std::vector<std::string> &args_in)
                 src->version(), src->streamCount(),
                 (unsigned long long)records, chunks);
     return 0;
+} catch (const support::IoError &e) {
+    return ioErrorExit(e);
 }
 
-/** trace diff: record-exact comparison of two set artifacts. */
+/**
+ * trace diff: record-exact comparison of two set artifacts.
+ * Exit 0 = identical, 1 = traces differ, 2 = usage, 3 = I/O error.
+ */
 int
 cmdTraceDiff(const std::vector<std::string> &args)
-{
+try {
     if (args.size() != 2) {
         std::fprintf(stderr,
                      "usage: scifinder trace diff <a> <b>\n");
@@ -551,6 +590,8 @@ cmdTraceDiff(const std::vector<std::string> &args)
         std::printf("trace sets are identical (%zu streams)\n",
                     a->streamCount());
     return differ ? 1 : 0;
+} catch (const support::IoError &e) {
+    return ioErrorExit(e);
 }
 
 /** trace extract: copy one stream (or a range of it) to a new set. */
@@ -1223,6 +1264,223 @@ cmdFuzz(const std::vector<std::string> &args_in)
     return result.ok() ? 0 : 1;
 }
 
+/**
+ * serve: the always-on checking service. Sessions come from trace-set
+ * streams, live workload replays, or fuzzer-generated programs; every
+ * session's retirement stream is enforced against the identified-SCI
+ * assertion set by a monitor::CheckService.
+ *
+ * Exit status: 0 when every session is clean, 1 when any assertion
+ * fired, 2 on usage errors.
+ */
+int
+cmdServe(const std::vector<std::string> &args_in)
+{
+    std::vector<std::string> args = args_in;
+    CommonOpts opts;
+    if (!parseCommon(args, opts))
+        return 2;
+
+    monitor::ServiceConfig config;
+    bool useWorkloads = false;
+    uint64_t fuzzCount = 0;
+    uint64_t fuzzSeed = 1;
+    bool stats = false;
+    std::vector<std::string> sets;
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        auto value = [&](const char *flag) -> const std::string * {
+            if (i + 1 >= args.size()) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                return nullptr;
+            }
+            return &args[++i];
+        };
+        auto number = [](const std::string &s, const char *flag,
+                         uint64_t *out) {
+            char *end = nullptr;
+            unsigned long long v = std::strtoull(s.c_str(), &end, 0);
+            if (s.empty() || *end != '\0') {
+                std::fprintf(stderr, "%s expects a number, got '%s'\n",
+                             flag, s.c_str());
+                return false;
+            }
+            *out = v;
+            return true;
+        };
+        uint64_t n = 0;
+        if (arg == "--shards") {
+            const std::string *v = value("--shards");
+            if (!v || !number(*v, "--shards", &n))
+                return 2;
+            config.shards = size_t(n);
+        } else if (arg == "--queue-batches") {
+            const std::string *v = value("--queue-batches");
+            if (!v || !number(*v, "--queue-batches", &n) || n == 0)
+                return 2;
+            config.queueBatches = size_t(n);
+        } else if (arg == "--batch-records") {
+            const std::string *v = value("--batch-records");
+            if (!v || !number(*v, "--batch-records", &n) || n == 0)
+                return 2;
+            config.batchRecords = size_t(n);
+        } else if (arg == "--workloads") {
+            useWorkloads = true;
+        } else if (arg == "--fuzz") {
+            const std::string *v = value("--fuzz");
+            if (!v || !number(*v, "--fuzz", &fuzzCount))
+                return 2;
+        } else if (arg == "--seed") {
+            const std::string *v = value("--seed");
+            if (!v || !number(*v, "--seed", &fuzzSeed))
+                return 2;
+        } else if (arg == "--stats") {
+            stats = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            return 2;
+        } else {
+            sets.push_back(arg);
+        }
+    }
+    if (opts.artifactDir.empty() ||
+        (sets.empty() && !useWorkloads && fuzzCount == 0)) {
+        std::fprintf(
+            stderr,
+            "usage: scifinder serve --artifact-dir D [--jobs N] "
+            "[--shards N]\n"
+            "                 [--queue-batches N] [--batch-records N] "
+            "[--stats]\n"
+            "                 [--workloads] [--fuzz N [--seed S]] "
+            "[set.bin...]\n");
+        return 2;
+    }
+
+    // The deployed set: assertions synthesized from the SCI the
+    // pipeline identified (54 SCI -> 14 assertions in the paper).
+    core::ArtifactPaths paths(opts.artifactDir);
+    REQUIRE_ARTIFACT(paths.model(), "optimize");
+    REQUIRE_ARTIFACT(paths.sciDatabase(), "identify");
+    invgen::InvariantSet model =
+        invgen::InvariantSet::loadBinary(paths.model());
+    sci::SciDatabase db =
+        sci::SciDatabase::loadBinary(paths.sciDatabase());
+    std::vector<monitor::Assertion> assertions =
+        monitor::synthesize(model, db.sciIndices());
+    if (assertions.empty()) {
+        std::fprintf(stderr, "no SCI identified in %s; nothing to "
+                             "enforce\n",
+                     opts.artifactDir.c_str());
+        return 1;
+    }
+
+    monitor::CheckService service(assertions, config);
+
+    // One session per source stream. Each session is fed by exactly
+    // one client task; sessions fan out over the pool.
+    struct Source
+    {
+        std::string name;
+        std::function<void(monitor::SessionSink &)> feed;
+    };
+    std::vector<Source> sources;
+
+    std::vector<std::shared_ptr<trace::TraceSetSource>> open;
+    for (const auto &path : sets) {
+        std::shared_ptr<trace::TraceSetSource> src =
+            trace::TraceSetSource::open(path);
+        for (size_t s = 0; s < src->streamCount(); ++s) {
+            Source source;
+            source.name = path + ":" + src->streamName(s);
+            source.feed = [src, s](monitor::SessionSink &sink) {
+                auto cur = src->cursor(s);
+                trace::Record rec;
+                while (cur->next(rec))
+                    sink.record(rec);
+            };
+            sources.push_back(std::move(source));
+        }
+        open.push_back(std::move(src));
+    }
+    if (useWorkloads) {
+        for (const auto &w : workloads::all()) {
+            Source source;
+            source.name = "workload:" + w.name;
+            source.feed = [&w](monitor::SessionSink &sink) {
+                workloads::runInto(w, {}, false, &sink);
+            };
+            sources.push_back(std::move(source));
+        }
+    }
+    for (uint64_t i = 0; i < fuzzCount; ++i) {
+        fuzz::GenConfig gen;
+        Source source;
+        source.name = format("fuzz-%llu-%llu",
+                             (unsigned long long)fuzzSeed,
+                             (unsigned long long)i);
+        source.feed = [gen, fuzzSeed, i](monitor::SessionSink &sink) {
+            fuzz::GeneratedProgram prog =
+                fuzz::generate(gen, fuzzSeed, uint32_t(i));
+            auto asmResult = assembler::assemble(prog.source());
+            if (!asmResult.ok)
+                return;
+            cpu::CpuConfig cc;
+            cc.memBytes = gen.memBytes;
+            cpu::Cpu cpu(cc);
+            cpu.loadProgram(asmResult.program);
+            cpu.run(&sink);
+        };
+        sources.push_back(std::move(source));
+    }
+
+    // Feed concurrently, report in source order (deterministic for
+    // any --jobs/--shards combination).
+    auto pool = makePool(opts);
+    std::vector<monitor::SessionReport> reports(sources.size());
+    support::parallelFor(pool.get(), sources.size(), [&](size_t i) {
+        monitor::SessionSink sink(service, sources[i].name);
+        sources[i].feed(sink);
+        reports[i] = sink.close();
+    });
+
+    uint64_t totalEvents = 0, totalFirings = 0;
+    for (const auto &r : reports) {
+        std::printf("%s", r.render(service.set().assertions()).c_str());
+        totalEvents += r.events;
+        totalFirings += r.firings;
+    }
+    std::printf("served %zu sessions: %llu events, %llu firings, "
+                "%zu assertions enforced\n",
+                reports.size(), (unsigned long long)totalEvents,
+                (unsigned long long)totalFirings,
+                service.set().assertions().size());
+    if (stats) {
+        monitor::ServiceTelemetry t = service.telemetry();
+        std::printf("throughput:  %.0f events/s over %.2fs (%llu "
+                    "batches)\n",
+                    t.eventsPerSecond, t.elapsedSeconds,
+                    (unsigned long long)t.batches);
+        for (size_t i = 0; i < t.shards.size(); ++i) {
+            const auto &sh = t.shards[i];
+            std::printf("shard %-2zu     %llu events in %llu batches "
+                        "(max %llu), queue high-water %llu, busy "
+                        "%.2fs\n",
+                        i, (unsigned long long)sh.events,
+                        (unsigned long long)sh.batches,
+                        (unsigned long long)sh.maxBatchRecords,
+                        (unsigned long long)sh.queueHighWater,
+                        sh.busySeconds);
+        }
+        for (const auto &stage : service.stageStats()) {
+            std::printf("stage %-21s %8.2fs  %llu -> %llu items\n",
+                        stage.name.c_str(), stage.seconds,
+                        (unsigned long long)stage.itemsIn,
+                        (unsigned long long)stage.itemsOut);
+        }
+    }
+    return totalFirings ? 1 : 0;
+}
+
 int
 cmdExec(const std::vector<std::string> &args)
 {
@@ -1305,6 +1563,8 @@ main(int argc, char **argv)
             return cmdRun(args);
         if (cmd == "fuzz")
             return cmdFuzz(args);
+        if (cmd == "serve")
+            return cmdServe(args);
         if (cmd == "exec")
             return cmdExec(args);
     } catch (const support::IoError &e) {

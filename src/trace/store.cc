@@ -294,10 +294,11 @@ TraceSetWriter::totalRecords() const
 // TraceSetReader
 
 void
-TraceSetReader::corrupt(const std::string &why) const
+TraceSetReader::corrupt(const std::string &why, uint64_t offset) const
 {
     throw support::IoError(path_,
-                           "trace set '" + path_ + "' " + why);
+                           "trace set '" + path_ + "' " + why, 0,
+                           offset);
 }
 
 namespace {
@@ -353,15 +354,19 @@ TraceSetReader::TraceSetReader(const std::string &path) : path_(path)
         }
         if (head[1] != versionV2) {
             corrupt("has version " + std::to_string(head[1]) +
-                    ", this build reads " + std::to_string(versionV2));
+                        ", this build reads " +
+                        std::to_string(versionV2),
+                    4);
         }
         if (head[2] != numVars) {
             corrupt("has " + std::to_string(head[2]) +
-                    " vars, this build has " + std::to_string(numVars));
+                        " vars, this build has " +
+                        std::to_string(numVars),
+                    8);
         }
         chunkRecords_ = head[3];
         if (chunkRecords_ == 0)
-            corrupt("is truncated or corrupt");
+            corrupt("is truncated or corrupt", 12);
 
         uint8_t trailer[trailerBytes];
         preadFully(fd_, path_, trailer, sizeof(trailer),
@@ -371,52 +376,71 @@ TraceSetReader::TraceSetReader(const std::string &path) : path_(path)
         std::memcpy(&footerOffset, trailer, 8);
         std::memcpy(&footMagic, trailer + 8, 4);
         if (footMagic != footerMagic)
-            corrupt("is truncated or corrupt");
+            corrupt("is truncated or corrupt (bad trailer magic)",
+                    fileSize_ - trailerBytes + 8);
         if (footerOffset < headerBytes ||
             footerOffset > fileSize_ - trailerBytes - 8)
-            corrupt("is truncated or corrupt");
+            corrupt("is truncated or corrupt (bad footer offset)",
+                    fileSize_ - trailerBytes);
 
         size_t footerLen =
             size_t(fileSize_ - trailerBytes - footerOffset);
         std::vector<uint8_t> footer(footerLen);
         preadFully(fd_, path_, footer.data(), footerLen, footerOffset);
 
+        // Directory parse failures report the absolute file offset
+        // of the bad footer field, so a corrupted artifact can be
+        // located with a hex dump.
         ByteCursor cur{footer.data(), footerLen};
+        auto at = [&] { return footerOffset + cur.pos; };
         uint64_t streamCount;
         if (!cur.u64(streamCount) || streamCount > maxStreams)
-            corrupt("is truncated or corrupt");
+            corrupt("is truncated or corrupt (bad stream count)",
+                    at());
         streams_.resize(size_t(streamCount));
         for (auto &s : streams_) {
             uint32_t nameLen;
             if (!cur.u32(nameLen) || nameLen > maxNameLen)
-                corrupt("is truncated or corrupt");
+                corrupt("is truncated or corrupt (bad stream name)",
+                        at());
             s.name.resize(nameLen);
             if (!cur.bytes(s.name.data(), nameLen))
-                corrupt("is truncated or corrupt");
+                corrupt("is truncated or corrupt (bad stream name)",
+                        at());
             uint64_t chunkCount;
             if (!cur.u64(s.records) || !cur.u64(chunkCount) ||
                 chunkCount > maxChunksPerStream)
-                corrupt("is truncated or corrupt");
+                corrupt("is truncated or corrupt (bad chunk count)",
+                        at());
             s.chunks.resize(size_t(chunkCount));
             uint64_t total = 0;
             for (auto &c : s.chunks) {
+                uint64_t entry = at();
                 if (!cur.u64(c.offset) || !cur.u64(c.storedBytes) ||
                     !cur.u64(c.encodedBytes) || !cur.u64(c.checksum) ||
                     !cur.u32(c.records))
-                    corrupt("is truncated or corrupt");
+                    corrupt("is truncated or corrupt (bad chunk "
+                            "directory entry)",
+                            entry);
                 if (c.records == 0 || c.storedBytes == 0 ||
                     c.offset < headerBytes ||
                     c.offset > footerOffset ||
                     c.storedBytes > footerOffset - c.offset ||
                     c.encodedBytes > maxEncodedBytes(c.records))
-                    corrupt("is truncated or corrupt");
+                    corrupt("is truncated or corrupt (bad chunk "
+                            "directory entry)",
+                            entry);
                 total += c.records;
             }
             if (total != s.records)
-                corrupt("is truncated or corrupt");
+                corrupt("is truncated or corrupt (stream/chunk "
+                        "record mismatch)",
+                        at());
         }
         if (cur.pos != footerLen)
-            corrupt("is truncated or corrupt");
+            corrupt("is truncated or corrupt (trailing footer "
+                    "bytes)",
+                    at());
     } catch (...) {
         ::close(fd_);
         fd_ = -1;
@@ -460,9 +484,13 @@ TraceSetReader::readChunk(size_t stream, size_t chunk,
     std::vector<uint8_t> enc(size_t(ref.encodedBytes));
     if (!support::lzDecompress(stored.data(), stored.size(),
                                enc.data(), enc.size()))
-        corrupt("is truncated or corrupt (chunk failed to decompress)");
+        corrupt("is truncated or corrupt (chunk failed to "
+                "decompress)",
+                ref.offset);
     if (fnv1a64(enc.data(), enc.size()) != ref.checksum)
-        corrupt("is truncated or corrupt (chunk checksum mismatch)");
+        corrupt("is truncated or corrupt (chunk checksum "
+                "mismatch)",
+                ref.offset);
 
     size_t n = ref.records;
     size_t pos = 0;
@@ -470,40 +498,50 @@ TraceSetReader::readChunk(size_t stream, size_t chunk,
     std::vector<uint32_t> col(n);
 
     if (!decodeDeltaU32(enc.data(), enc.size(), pos, col.data(), n))
-        corrupt("is truncated or corrupt (bad chunk payload)");
+        corrupt("is truncated or corrupt (bad chunk payload)",
+                ref.offset);
     for (size_t i = 0; i < n; ++i) {
         if (col[i] > UINT16_MAX)
-            corrupt("is truncated or corrupt (bad chunk payload)");
+            corrupt("is truncated or corrupt (bad chunk "
+                    "payload)",
+                    ref.offset);
         recs[i].point = Point::fromId(uint16_t(col[i]));
     }
 
     size_t bitBytes = (n + 7) / 8;
     if (bitBytes > enc.size() - pos)
-        corrupt("is truncated or corrupt (bad chunk payload)");
+        corrupt("is truncated or corrupt (bad chunk payload)",
+                ref.offset);
     for (size_t i = 0; i < n; ++i)
         recs[i].fused = (enc[pos + i / 8] >> (i % 8)) & 1;
     pos += bitBytes;
 
     std::vector<uint64_t> idx(n);
     if (!decodeDeltaU64(enc.data(), enc.size(), pos, idx.data(), n))
-        corrupt("is truncated or corrupt (bad chunk payload)");
+        corrupt("is truncated or corrupt (bad chunk payload)",
+                ref.offset);
     for (size_t i = 0; i < n; ++i)
         recs[i].index = idx[i];
 
     for (size_t var = 0; var < numVars; ++var) {
         if (!decodeDeltaU32(enc.data(), enc.size(), pos, col.data(), n))
-            corrupt("is truncated or corrupt (bad chunk payload)");
+            corrupt("is truncated or corrupt (bad chunk "
+                    "payload)",
+                    ref.offset);
         for (size_t i = 0; i < n; ++i)
             recs[i].pre[var] = col[i];
     }
     for (size_t var = 0; var < numVars; ++var) {
         if (!decodeDeltaU32(enc.data(), enc.size(), pos, col.data(), n))
-            corrupt("is truncated or corrupt (bad chunk payload)");
+            corrupt("is truncated or corrupt (bad chunk "
+                    "payload)",
+                    ref.offset);
         for (size_t i = 0; i < n; ++i)
             recs[i].post[var] = col[i];
     }
     if (pos != enc.size())
-        corrupt("is truncated or corrupt (bad chunk payload)");
+        corrupt("is truncated or corrupt (bad chunk payload)",
+                ref.offset);
 
     out.reserve(out.size() + n);
     for (const auto &rec : recs)

@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "support/ioerror.hh"
 #include "support/memstats.hh"
 #include "trace/io.hh"
 #include "trace/record.hh"
@@ -169,7 +170,9 @@ class TraceSetReader
     std::vector<NamedTrace> readAll(support::ThreadPool *pool) const;
 
   private:
-    [[noreturn]] void corrupt(const std::string &why) const;
+    [[noreturn]] void
+    corrupt(const std::string &why,
+            uint64_t offset = support::IoError::noOffset) const;
 
     int fd_ = -1;
     std::string path_;

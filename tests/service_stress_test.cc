@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Checking-service concurrency stress tests, split out of
+ * service_test so ctest can label them `stress` and the tier-1
+ * selection (`ctest -L tier1`) can skip them. They still run in the
+ * default `ctest` invocation and in the TSan CI job.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <thread>
+
+#include "bugs/registry.hh"
+#include "monitor/service.hh"
+#include "workloads/workloads.hh"
+
+namespace scif::monitor {
+namespace {
+
+using expr::Invariant;
+
+invgen::InvariantSet
+makeSet(std::initializer_list<const char *> texts)
+{
+    invgen::InvariantSet set;
+    for (const char *t : texts)
+        set.add(Invariant::parse(t));
+    return set;
+}
+
+std::vector<size_t>
+allIndices(const invgen::InvariantSet &set)
+{
+    std::vector<size_t> out(set.size());
+    for (size_t i = 0; i < out.size(); ++i)
+        out[i] = i;
+    return out;
+}
+
+/** The deployment-sized set of Overhead.PaperScaleSanity. */
+std::shared_ptr<const CompiledAssertionSet>
+paperScaleSet()
+{
+    auto set = makeSet({
+        "l.add -> GPR0 == 0",
+        "l.rfe -> SR == orig(ESR0)",
+        "l.sys@syscall -> NPC == 0xc00",
+        "l.sys@syscall -> EPCR0 == PC + 4",
+        "l.jal -> GPR9 == PC + 8",
+        "l.sfltu -> FLAGOK == 1",
+        "l.lwz -> MEMBUS == DMEM",
+        "l.sb -> MEMOK == 1",
+        "l.mtspr -> SPRV == orig(OPB)",
+        "l.lwz -> MEMADDR == (IMM + orig(OPA))",
+        "l.j@alignment -> DSX == 1",
+        "l.add -> IMEM == INSN",
+        "l.add@range -> EPCR0 == PC",
+        "l.mtspr -> SM == 1",
+    });
+    return std::make_shared<const CompiledAssertionSet>(
+        synthesize(set, allIndices(set)));
+}
+
+/** The oracle: what the sequential monitor reports for a stream. */
+std::string
+sequentialRender(const std::shared_ptr<const CompiledAssertionSet> &set,
+                 const std::string &name,
+                 const trace::TraceBuffer &trace)
+{
+    AssertionMonitor mon(set);
+    for (const auto &rec : trace.records())
+        mon.record(rec);
+    return sequentialReport(name, mon, trace.size())
+        .render(set->assertions());
+}
+
+TEST(ServiceStress, HundredsOfInterleavedSessions)
+{
+    // Hundreds of sessions fed from several client threads with
+    // seeded-random chunk sizes and mid-stream session turnover, on
+    // a deliberately tiny queue so producers hit backpressure. Every
+    // report must still be byte-identical to the sequential monitor.
+    auto set = paperScaleSet();
+
+    std::vector<trace::TraceBuffer> bases;
+    bases.push_back(
+        workloads::run(workloads::byName("vmlinux")));
+    bases.push_back(workloads::run(workloads::byName("fft")));
+    bases.push_back(
+        bugs::runTrigger(*bugs::table1().front(), true));
+
+    constexpr size_t numSessions = 240;
+    constexpr size_t numClients = 4;
+    std::vector<std::string> expected(numSessions);
+    for (size_t i = 0; i < numSessions; ++i) {
+        expected[i] = sequentialRender(
+            set, "s" + std::to_string(i), bases[i % bases.size()]);
+    }
+
+    ServiceConfig config;
+    config.shards = 3;
+    config.queueBatches = 2; // force queue-full backpressure
+    config.batchRecords = 64;
+    CheckService service(set, config);
+
+    std::vector<std::string> got(numSessions);
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < numClients; ++c) {
+        clients.emplace_back([&, c] {
+            std::mt19937 rng(uint32_t(1000 + c));
+            // Keep several sessions open at once and feed them in
+            // random interleavings; open new ones as old ones close.
+            struct Open
+            {
+                size_t index;
+                CheckService::SessionId id;
+                size_t pos = 0;
+            };
+            std::vector<Open> open;
+            size_t next = c; // this client owns i % numClients == c
+            while (!open.empty() || next < numSessions) {
+                bool canOpen = next < numSessions && open.size() < 6;
+                if (canOpen && (open.empty() || rng() % 3 == 0)) {
+                    open.push_back(
+                        {next, service.open("s" + std::to_string(next)),
+                         0});
+                    next += numClients;
+                    continue;
+                }
+                size_t k = rng() % open.size();
+                Open &o = open[k];
+                const auto &recs =
+                    bases[o.index % bases.size()].records();
+                size_t chunk = 1 + rng() % 300;
+                chunk = std::min(chunk, recs.size() - o.pos);
+                service.post(o.id, recs.data() + o.pos, chunk);
+                o.pos += chunk;
+                if (o.pos == recs.size()) {
+                    got[o.index] = service.close(o.id).render(
+                        set->assertions());
+                    open.erase(open.begin() + k);
+                }
+            }
+        });
+    }
+    for (auto &t : clients)
+        t.join();
+
+    for (size_t i = 0; i < numSessions; ++i)
+        EXPECT_EQ(got[i], expected[i]) << "session " << i;
+
+    // Telemetry must account for every event, and the queue bound
+    // must have held.
+    ServiceTelemetry t = service.telemetry();
+    uint64_t fed = 0;
+    for (size_t i = 0; i < numSessions; ++i)
+        fed += bases[i % bases.size()].size();
+    EXPECT_EQ(t.events, fed);
+    EXPECT_EQ(t.sessionsOpened, numSessions);
+    EXPECT_EQ(t.sessionsClosed, numSessions);
+    ASSERT_EQ(t.shards.size(), 3u);
+    for (const auto &sh : t.shards)
+        EXPECT_LE(sh.queueHighWater, config.queueBatches);
+}
+
+TEST(ServiceStress, ShardCountInvariance)
+{
+    // The same concurrent feed, checked under 1 and 6 shards, must
+    // produce identical report sets.
+    auto set = paperScaleSet();
+    trace::TraceBuffer base =
+        workloads::run(workloads::byName("vmlinux"));
+
+    auto runWith = [&](size_t shards) {
+        ServiceConfig config;
+        config.shards = shards;
+        config.batchRecords = 128;
+        CheckService service(set, config);
+        std::vector<std::string> out(40);
+        std::vector<std::thread> clients;
+        for (size_t c = 0; c < 4; ++c) {
+            clients.emplace_back([&, c] {
+                for (size_t i = c; i < out.size(); i += 4) {
+                    out[i] = service
+                                 .check("s" + std::to_string(i), base)
+                                 .render(set->assertions());
+                }
+            });
+        }
+        for (auto &t : clients)
+            t.join();
+        return out;
+    };
+
+    EXPECT_EQ(runWith(1), runWith(6));
+}
+
+} // namespace
+} // namespace scif::monitor
