@@ -249,6 +249,80 @@ AnalysisReport::render() const
     return out;
 }
 
+namespace {
+
+/** Minimal JSON string escaping (quotes, backslash, control). */
+std::string
+jsonString(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (uint8_t(c) < 0x20)
+                out += format("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    out += "\"";
+    return out;
+}
+
+} // namespace
+
+std::string
+AnalysisReport::renderJson() const
+{
+    std::string out;
+    out += "{\n";
+    out += format("  \"invariants\": %zu,\n", entries.size());
+    out += "  \"counts\": {\n";
+    out += format("    \"tautology\": %zu,\n",
+                  counts[size_t(Verdict::Tautology)]);
+    out += format("    \"contradiction\": %zu,\n",
+                  counts[size_t(Verdict::Contradiction)]);
+    out += format("    \"isa_implied\": %zu,\n",
+                  counts[size_t(Verdict::IsaImplied)]);
+    out += format("    \"structural_implied\": %zu,\n",
+                  structuralImplied);
+    out += format("    \"contingent\": %zu\n",
+                  counts[size_t(Verdict::Contingent)]);
+    out += "  },\n";
+    out += "  \"entries\": [\n";
+    for (size_t i = 0; i < entries.size(); ++i) {
+        const Entry &e = entries[i];
+        out += "    {\"verdict\": ";
+        out += jsonString(std::string(verdictName(e.cls.verdict)));
+        if (e.cls.verdict == Verdict::IsaImplied ||
+            e.cls.verdict == Verdict::Contradiction) {
+            out += ", \"tier\": ";
+            out += e.cls.structural ? "\"structural\""
+                                    : "\"architectural\"";
+        }
+        out += ", \"invariant\": ";
+        out += jsonString(e.invariant);
+        out += i + 1 < entries.size() ? "},\n" : "}\n";
+    }
+    out += "  ],\n";
+    out += "  \"implications\": [\n";
+    for (size_t i = 0; i < implications.size(); ++i) {
+        const Implication &imp = implications[i];
+        out += "    {\"antecedent\": ";
+        out += jsonString(imp.antecedent);
+        out += ", \"consequent\": ";
+        out += jsonString(imp.consequent);
+        out += i + 1 < implications.size() ? "},\n" : "}\n";
+    }
+    out += "  ]\n";
+    out += "}\n";
+    return out;
+}
+
 AnalysisReport
 analyze(const std::vector<expr::Invariant> &invs,
         support::ThreadPool *pool)

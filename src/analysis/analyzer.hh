@@ -125,6 +125,14 @@ struct AnalysisReport
      * invariant set regardless of thread count.
      */
     std::string render() const;
+
+    /**
+     * Render the report as a JSON document: the verdict tallies, one
+     * entry object per invariant (input order), and the proven
+     * implications. Deterministic the same way render() is —
+     * byte-identical across thread counts.
+     */
+    std::string renderJson() const;
 };
 
 /**

@@ -1,0 +1,665 @@
+#include "secflow.hh"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "isa/arch.hh"
+#include "isa/insn.hh"
+#include "support/logging.hh"
+
+namespace scif::analysis {
+
+using trace::VarId;
+
+std::string_view
+secClassName(SecClass c)
+{
+    switch (c) {
+    case SecClass::Privilege:
+        return "privilege-escalation";
+    case SecClass::MemoryProtection:
+        return "memory-protection";
+    case SecClass::ExceptionHandling:
+        return "exception-handling";
+    case SecClass::ControlFlow:
+        return "control-flow-integrity";
+    }
+    panic("bad SecClass %d", int(c));
+}
+
+namespace {
+
+/** Short class tags used by the compact renderings. */
+constexpr const char *shortNames[numSecClasses] = {"priv", "mem",
+                                                   "exc", "cfi"};
+
+constexpr SecClass allClasses[numSecClasses] = {
+    SecClass::Privilege,
+    SecClass::MemoryProtection,
+    SecClass::ExceptionHandling,
+    SecClass::ControlFlow,
+};
+
+} // namespace
+
+std::string
+SecClassSet::str() const
+{
+    std::string out;
+    for (size_t i = 0; i < numSecClasses; ++i) {
+        if (!has(allClasses[i]))
+            continue;
+        if (!out.empty())
+            out += '|';
+        out += shortNames[i];
+    }
+    return out.empty() ? "-" : out;
+}
+
+SecClassSet
+varSecurityClasses(uint16_t var)
+{
+    switch (var) {
+    // Privilege: the supervision register with its mode bit, and the
+    // SPR access pair (reaching an SPR at all requires SR[SM]).
+    case VarId::SR:
+    case VarId::SM:
+    case VarId::SPRA:
+    case VarId::SPRV:
+        return {SecClass::Privilege};
+
+    // Memory protection: the LSU address/data path and its oracles.
+    case VarId::MEMADDR:
+    case VarId::MEMBUS:
+    case VarId::DMEM:
+    case VarId::EA:
+    case VarId::MEMOK:
+        return {SecClass::MemoryProtection};
+
+    // Exception handling: the exception save registers and the
+    // delay-slot exception bit.
+    case VarId::EPCR0:
+    case VarId::ESR0:
+    case VarId::EEAR0:
+    case VarId::DSX:
+        return {SecClass::ExceptionHandling};
+
+    // Control-flow integrity: the PC chain and its pipeline shadows,
+    // the branch flag and its correctness oracle, the jump target,
+    // the fetched instruction stream, and the link register.
+    case VarId::PC:
+    case VarId::NPC:
+    case VarId::NNPC:
+    case VarId::PPC:
+    case VarId::WBPC:
+    case VarId::IDPC:
+    case VarId::JEA:
+    case VarId::SF:
+    case VarId::FLAGOK:
+    case VarId::INSN:
+    case VarId::IMEM:
+        return {SecClass::ControlFlow};
+
+    default:
+        if (var == trace::gprVar(isa::linkReg))
+            return {SecClass::ControlFlow};
+        return {};
+    }
+}
+
+namespace {
+
+/** One def-use flow: the value of from can flow into to. */
+struct Edge
+{
+    uint16_t from;
+    uint16_t to;
+};
+
+/** The source operand latches one instruction can read. */
+std::vector<uint16_t>
+insnSources(const isa::InsnInfo &ii)
+{
+    std::vector<uint16_t> srcs;
+    if (ii.readsRa)
+        srcs.push_back(VarId::OPA);
+    if (ii.readsRb)
+        srcs.push_back(VarId::OPB);
+    if (ii.readsFlag)
+        srcs.push_back(VarId::SF);
+    switch (ii.format) {
+    case isa::Format::J:
+    case isa::Format::RRI:
+    case isa::Format::RIA:
+    case isa::Format::RI:
+    case isa::Format::RRL:
+    case isa::Format::LOAD:
+    case isa::Format::STORE:
+    case isa::Format::MTSPR:
+        srcs.push_back(VarId::IMM);
+        break;
+    default:
+        break;
+    }
+    return srcs;
+}
+
+/** SPR-backed schema variables an l.mfspr/l.mtspr can touch. */
+constexpr uint16_t sprVars[] = {
+    VarId::SR,    VarId::ESR0,  VarId::EPCR0, VarId::EEAR0,
+    VarId::MACLO, VarId::MACHI, VarId::NPC,   VarId::PPC,
+};
+
+/**
+ * The def-use edges of one instruction: the semantic value flows its
+ * execution creates between schema variables, derived from the
+ * decoder metadata. Shared by the state-graph construction and by
+ * pointDefUse() so the two can never disagree.
+ */
+void
+insnEdges(const isa::InsnInfo &ii, std::vector<Edge> &out)
+{
+    const std::vector<uint16_t> srcs = insnSources(ii);
+    auto flow = [&out](const std::vector<uint16_t> &from,
+                       std::initializer_list<uint16_t> to) {
+        for (uint16_t f : from)
+            for (uint16_t t : to)
+                out.push_back({f, t});
+    };
+
+    switch (ii.kind) {
+    case isa::InsnKind::Arith:
+        flow(srcs, {VarId::OPDEST, VarId::CY, VarId::OV});
+        if (ii.mnemonic == isa::Mnemonic::L_ADDC ||
+            ii.mnemonic == isa::Mnemonic::L_ADDIC)
+            flow({VarId::CY}, {VarId::OPDEST});
+        break;
+
+    case isa::InsnKind::Logic:
+    case isa::InsnKind::Extend:
+        flow(srcs, {VarId::OPDEST});
+        break;
+
+    case isa::InsnKind::Shift:
+        flow(srcs, {VarId::OPDEST});
+        if (ii.mnemonic == isa::Mnemonic::L_ROR ||
+            ii.mnemonic == isa::Mnemonic::L_RORI) {
+            flow(srcs, {VarId::ROR});
+            flow({VarId::ROR}, {VarId::OPDEST});
+        }
+        break;
+
+    case isa::InsnKind::Compare:
+        flow(srcs, {VarId::SF, VarId::FLAGOK});
+        flow({VarId::SF}, {VarId::FLAGOK});
+        break;
+
+    case isa::InsnKind::MulDiv:
+        flow(srcs, {VarId::OPDEST, VarId::OV});
+        if (ii.mnemonic == isa::Mnemonic::L_DIV ||
+            ii.mnemonic == isa::Mnemonic::L_DIVU) {
+            flow(srcs, {VarId::DIV});
+            flow({VarId::DIV}, {VarId::OPDEST});
+        }
+        break;
+
+    case isa::InsnKind::Mac:
+        if (ii.mnemonic == isa::Mnemonic::L_MACRC) {
+            flow({VarId::MACLO, VarId::MACHI}, {VarId::OPDEST});
+        } else {
+            flow(srcs, {VarId::MACLO, VarId::MACHI});
+            flow({VarId::MACLO, VarId::MACHI},
+                 {VarId::MACLO, VarId::MACHI});
+        }
+        break;
+
+    case isa::InsnKind::Load:
+        flow(srcs, {VarId::MEMADDR, VarId::EA});
+        flow({VarId::MEMADDR, VarId::DMEM}, {VarId::MEMBUS});
+        flow({VarId::MEMBUS}, {VarId::OPDEST, VarId::MEMOK});
+        flow({VarId::OPDEST}, {VarId::MEMOK});
+        break;
+
+    case isa::InsnKind::Store:
+        flow(srcs, {VarId::MEMADDR, VarId::EA});
+        flow({VarId::OPB}, {VarId::MEMBUS});
+        flow({VarId::MEMADDR, VarId::MEMBUS}, {VarId::DMEM});
+        flow({VarId::MEMBUS}, {VarId::MEMOK});
+        break;
+
+    case isa::InsnKind::Jump:
+        // Target: the 26-bit displacement or rB, relative to PC.
+        flow(srcs, {VarId::NPC, VarId::NNPC, VarId::JEA});
+        flow({VarId::PC}, {VarId::NPC, VarId::NNPC, VarId::JEA});
+        if (ii.mnemonic == isa::Mnemonic::L_JAL ||
+            ii.mnemonic == isa::Mnemonic::L_JALR)
+            flow({VarId::PC},
+                 {trace::gprVar(isa::linkReg), VarId::OPDEST});
+        break;
+
+    case isa::InsnKind::Branch:
+        flow(srcs, {VarId::NPC, VarId::NNPC, VarId::JEA});
+        flow({VarId::PC, VarId::SF},
+             {VarId::NPC, VarId::NNPC, VarId::JEA});
+        break;
+
+    case isa::InsnKind::System:
+        if (ii.mnemonic == isa::Mnemonic::L_RFE) {
+            flow({VarId::ESR0}, {VarId::SR});
+            flow({VarId::EPCR0}, {VarId::NPC, VarId::PC});
+        }
+        // l.sys / l.trap raise exceptions; their state flows are the
+        // exception-entry edges added for qualified points.
+        break;
+
+    case isa::InsnKind::SprMove:
+        if (ii.mnemonic == isa::Mnemonic::L_MOVHI) {
+            flow({VarId::IMM}, {VarId::OPDEST});
+        } else if (ii.mnemonic == isa::Mnemonic::L_MFSPR) {
+            flow(srcs, {VarId::SPRA});
+            for (uint16_t spr : sprVars)
+                out.push_back({spr, VarId::SPRV});
+            flow({VarId::SPRV}, {VarId::OPDEST});
+        } else { // l.mtspr
+            flow({VarId::OPA, VarId::IMM}, {VarId::SPRA});
+            flow({VarId::OPB}, {VarId::SPRV});
+            for (uint16_t spr : sprVars)
+                out.push_back({VarId::SPRV, spr});
+        }
+        break;
+    }
+}
+
+/**
+ * Exception-entry flows: saving the return context into the
+ * exception registers and redirecting fetch. Apply to every
+ * exception-qualified point and to the interrupt pseudo points.
+ */
+void
+exceptionEdges(std::vector<Edge> &out)
+{
+    out.push_back({VarId::PC, VarId::EPCR0});
+    out.push_back({VarId::NPC, VarId::EPCR0});
+    out.push_back({VarId::SR, VarId::ESR0});
+    out.push_back({VarId::MEMADDR, VarId::EEAR0});
+    out.push_back({VarId::EA, VarId::EEAR0});
+    // Entry forces supervisor mode, clears DSX into play, and
+    // redirects NPC to the vector; SR is both read (saved) and
+    // rewritten.
+    out.push_back({VarId::SR, VarId::SM});
+    out.push_back({VarId::SR, VarId::DSX});
+}
+
+/** Extra defs of exception entry that have no single value source. */
+constexpr uint16_t exceptionDefs[] = {
+    VarId::EPCR0, VarId::ESR0, VarId::EEAR0, VarId::SR,
+    VarId::SM,    VarId::DSX,  VarId::NPC,
+};
+
+void
+sortUnique(std::vector<uint16_t> &v)
+{
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+} // namespace
+
+DefUse
+pointDefUse(trace::Point point)
+{
+    std::vector<Edge> edges;
+    if (!point.isInterrupt())
+        insnEdges(isa::info(point.mnemonic()), edges);
+    bool exceptional =
+        point.isInterrupt() || point.exception() != isa::Exception::None;
+    if (exceptional)
+        exceptionEdges(edges);
+
+    DefUse du;
+    for (const Edge &e : edges) {
+        du.uses.push_back(e.from);
+        du.defs.push_back(e.to);
+    }
+    if (exceptional)
+        du.defs.insert(du.defs.end(), std::begin(exceptionDefs),
+                       std::end(exceptionDefs));
+    sortUnique(du.uses);
+    sortUnique(du.defs);
+    return du;
+}
+
+StateGraph::StateGraph()
+{
+    std::vector<Edge> edges;
+
+    // Structural flows the trace layer and decoder enforce on every
+    // record: instruction sequencing and the pipeline PC shadows,
+    // fetch and operand decode, the GPR <-> operand latches, and the
+    // SR <-> unpacked flag-bit aliasing.
+    auto edge = [&edges](uint16_t f, uint16_t t) {
+        edges.push_back({f, t});
+    };
+    for (uint16_t t : {uint16_t(VarId::NPC), uint16_t(VarId::PPC),
+                       uint16_t(VarId::WBPC), uint16_t(VarId::IDPC),
+                       uint16_t(VarId::IMEM)})
+        edge(VarId::PC, t);
+    edge(VarId::NPC, VarId::PC);
+    edge(VarId::NPC, VarId::NNPC);
+    edge(VarId::NNPC, VarId::NPC);
+    edge(VarId::IMEM, VarId::INSN);
+    for (uint16_t t : {uint16_t(VarId::IMM), uint16_t(VarId::REGA),
+                       uint16_t(VarId::REGB), uint16_t(VarId::REGD)})
+        edge(VarId::INSN, t);
+    edge(VarId::REGA, VarId::OPA);
+    edge(VarId::REGB, VarId::OPB);
+    edge(VarId::REGD, VarId::OPDEST);
+    for (unsigned n = 0; n < isa::numGprs; ++n) {
+        edge(trace::gprVar(n), VarId::OPA);
+        edge(trace::gprVar(n), VarId::OPB);
+        edge(VarId::OPDEST, trace::gprVar(n));
+    }
+    for (uint16_t bit : {uint16_t(VarId::SF), uint16_t(VarId::SM),
+                         uint16_t(VarId::CY), uint16_t(VarId::OV),
+                         uint16_t(VarId::DSX), uint16_t(VarId::FO)}) {
+        edge(VarId::SR, bit);
+        edge(bit, VarId::SR);
+    }
+
+    // Union of every instruction's semantic flows, plus the
+    // exception-entry flows any instruction can take.
+    for (const isa::InsnInfo &ii : isa::allInsns())
+        insnEdges(ii, edges);
+    exceptionEdges(edges);
+
+    for (const Edge &e : edges) {
+        succ_[e.from].push_back(e.to);
+        pred_[e.to].push_back(e.from);
+    }
+    for (uint16_t v = 0; v < trace::numVars; ++v) {
+        sortUnique(succ_[v]);
+        sortUnique(pred_[v]);
+    }
+}
+
+bool
+StateGraph::hasEdge(uint16_t from, uint16_t to) const
+{
+    const auto &s = succ_[from];
+    return std::binary_search(s.begin(), s.end(), to);
+}
+
+const StateGraph &
+StateGraph::instance()
+{
+    static const StateGraph graph;
+    return graph;
+}
+
+DistMap
+reachableFrom(const StateGraph &graph,
+              const std::vector<uint16_t> &seeds)
+{
+    DistMap dist;
+    dist.fill(unreachableDist);
+    std::deque<uint16_t> queue;
+    for (uint16_t s : seeds) {
+        if (dist[s] != 0) {
+            dist[s] = 0;
+            queue.push_back(s);
+        }
+    }
+    while (!queue.empty()) {
+        uint16_t v = queue.front();
+        queue.pop_front();
+        for (uint16_t w : graph.successors(v)) {
+            if (dist[w] == unreachableDist) {
+                dist[w] = dist[v] + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    return dist;
+}
+
+namespace {
+
+/** The distinct schema variables an invariant's operands mention. */
+std::vector<uint16_t>
+invariantVars(const expr::Invariant &inv)
+{
+    std::vector<uint16_t> vars;
+    for (const expr::VarRef &r : inv.lhs.vars())
+        vars.push_back(r.var);
+    if (inv.op != expr::CmpOp::In)
+        for (const expr::VarRef &r : inv.rhs.vars())
+            vars.push_back(r.var);
+    sortUnique(vars);
+    return vars;
+}
+
+/** Classes the program point itself embodies. */
+SecClassSet
+pointClasses(trace::Point point)
+{
+    SecClassSet cs;
+    if (point.isInterrupt() ||
+        point.exception() != isa::Exception::None) {
+        cs.add(SecClass::ExceptionHandling);
+        if (!point.isInterrupt())
+            return cs; // the exception dominates the base insn
+    }
+    if (point.isInterrupt())
+        return cs;
+    const isa::InsnInfo &ii = isa::info(point.mnemonic());
+    switch (ii.kind) {
+    case isa::InsnKind::Load:
+    case isa::InsnKind::Store:
+        cs.add(SecClass::MemoryProtection);
+        break;
+    case isa::InsnKind::Jump:
+    case isa::InsnKind::Branch:
+        cs.add(SecClass::ControlFlow);
+        break;
+    case isa::InsnKind::System:
+        if (ii.mnemonic != isa::Mnemonic::L_NOP) {
+            cs.add(SecClass::ExceptionHandling);
+            if (ii.mnemonic == isa::Mnemonic::L_RFE)
+                cs.add(SecClass::Privilege);
+        }
+        break;
+    case isa::InsnKind::SprMove:
+        if (ii.mnemonic != isa::Mnemonic::L_MOVHI)
+            cs.add(SecClass::Privilege);
+        break;
+    default:
+        break;
+    }
+    return cs;
+}
+
+} // namespace
+
+SecClassSet
+SecSignature::within(uint32_t k) const
+{
+    SecClassSet cs;
+    for (size_t i = 0; i < numSecClasses; ++i) {
+        if (dist[i] != unreachableDist && dist[i] <= k)
+            cs.add(allClasses[i]);
+    }
+    return cs;
+}
+
+std::string
+SecSignature::str() const
+{
+    std::string out;
+    for (size_t i = 0; i < numSecClasses; ++i) {
+        if (dist[i] == unreachableDist)
+            continue;
+        if (!out.empty())
+            out += ' ';
+        out += shortNames[i];
+        out += '@';
+        out += std::to_string(dist[i]);
+    }
+    return out.empty() ? "-" : out;
+}
+
+SecSignature
+invariantSignature(const StateGraph &graph, const expr::Invariant &inv)
+{
+    SecSignature sig;
+    DistMap dist = reachableFrom(graph, invariantVars(inv));
+    for (uint16_t v = 0; v < trace::numVars; ++v) {
+        if (dist[v] == unreachableDist)
+            continue;
+        SecClassSet cs = varSecurityClasses(v);
+        for (size_t i = 0; i < numSecClasses; ++i) {
+            if (cs.has(allClasses[i]))
+                sig.dist[i] = std::min(sig.dist[i], dist[v]);
+        }
+    }
+    SecClassSet pc = pointClasses(inv.point);
+    for (size_t i = 0; i < numSecClasses; ++i) {
+        if (pc.has(allClasses[i]))
+            sig.dist[i] = 0;
+    }
+    return sig;
+}
+
+std::vector<uint16_t>
+mutationFootprint(cpu::Mutation m)
+{
+    using cpu::Mutation;
+    auto gprs = [] {
+        std::vector<uint16_t> v;
+        for (unsigned n = 0; n < isa::numGprs; ++n)
+            v.push_back(trace::gprVar(n));
+        v.push_back(VarId::OPDEST);
+        return v;
+    };
+    switch (m) {
+    case Mutation::B1_SysDelaySlotEpcr:
+    case Mutation::B5_RangeEpcrWrong:
+    case Mutation::B9_IllegalEpcrWrong:
+    case Mutation::B15_TrapEpcrWrong:
+    case Mutation::H1_IntrEpcrOff:
+    case Mutation::H10_SysEpcrSelf:
+        return {VarId::EPCR0};
+    case Mutation::B2_MacrcAfterMacStall:
+    case Mutation::H13_PrefetchStall:
+    case Mutation::H14_StoreMerge:
+        return {VarId::USTALL};
+    case Mutation::B3_ExtwWrong:
+        return {VarId::OPDEST};
+    case Mutation::B4_DsxNotImplemented:
+        return {VarId::SR, VarId::DSX, VarId::ESR0};
+    case Mutation::B6_UnsignedCmpMsb:
+    case Mutation::B7_SfltuWrong:
+    case Mutation::H9_SfgesEqWrong:
+        return {VarId::SF};
+    case Mutation::B8_RoriVector:
+        return {VarId::ROR, VarId::OPDEST, VarId::NPC};
+    case Mutation::B10_Gpr0Writable:
+        return {trace::gprVar(0)};
+    case Mutation::B11_FetchAfterLsuStall:
+        return {VarId::IMEM, VarId::INSN};
+    case Mutation::B12_MtsprDropped:
+        return {VarId::SPRV,  VarId::SR,    VarId::ESR0, VarId::EPCR0,
+                VarId::EEAR0, VarId::MACLO, VarId::MACHI};
+    case Mutation::B13_JalLargeDispLr:
+    case Mutation::H4_JalrLrWrong:
+        return {trace::gprVar(isa::linkReg), VarId::OPDEST};
+    case Mutation::B14_ByteStoreCorrupt:
+        return {VarId::MEMBUS, VarId::DMEM};
+    case Mutation::B16_LoadExtendWrong:
+        return {VarId::OPDEST, VarId::MEMOK};
+    case Mutation::B17_StoreForwardClobber:
+        return {VarId::OPDEST, VarId::MEMBUS};
+    case Mutation::H2_MovhiClearsFlag:
+        return {VarId::SF, VarId::SR};
+    case Mutation::H3_StoreAddrBit:
+        return {VarId::MEMADDR, VarId::DMEM};
+    case Mutation::H5_MfsprEsrAlias:
+        return {VarId::SPRV, VarId::OPDEST};
+    case Mutation::H6_RfeDropsFo:
+        return {VarId::SR, VarId::FO};
+    case Mutation::H7_RfeKeepsSm:
+        return {VarId::SR, VarId::SM};
+    case Mutation::H8_LoadRotated:
+        return {VarId::MEMBUS, VarId::OPDEST};
+    case Mutation::H11_CompareClobbersReg:
+        return gprs();
+    case Mutation::H12_AlignSuppressed:
+        return {VarId::MEMADDR, VarId::EA, VarId::EPCR0, VarId::ESR0,
+                VarId::EEAR0, VarId::NPC};
+    case Mutation::NumMutations:
+        break;
+    }
+    panic("bad Mutation %d", int(m));
+}
+
+BugReach
+bugReach(const StateGraph &graph, cpu::Mutation m)
+{
+    BugReach reach;
+    reach.footprint = mutationFootprint(m);
+    reach.dist = reachableFrom(graph, reach.footprint);
+    return reach;
+}
+
+uint32_t
+invariantDistance(const BugReach &reach, const expr::Invariant &inv)
+{
+    std::vector<uint16_t> vars = invariantVars(inv);
+    if (vars.empty()) {
+        // Degenerate constant comparison: fall back to the program
+        // point's defs, the state whose behaviour the point records.
+        vars = pointDefUse(inv.point).defs;
+    }
+    uint32_t best = unreachableDist;
+    for (uint16_t v : vars)
+        best = std::min(best, reach.dist[v]);
+    return best;
+}
+
+TriageOrder
+triageOrder(const StateGraph &graph,
+            const std::vector<expr::Invariant> &invs, cpu::Mutation m)
+{
+    BugReach reach = bugReach(graph, m);
+    TriageOrder t;
+    t.distance.reserve(invs.size());
+    for (const expr::Invariant &inv : invs)
+        t.distance.push_back(invariantDistance(reach, inv));
+    t.order.resize(invs.size());
+    for (size_t i = 0; i < invs.size(); ++i)
+        t.order[i] = i;
+    std::stable_sort(t.order.begin(), t.order.end(),
+                     [&t](size_t a, size_t b) {
+                         return t.distance[a] < t.distance[b];
+                     });
+    return t;
+}
+
+double
+rankQuality(const std::vector<size_t> &order,
+            const std::vector<size_t> &sci)
+{
+    if (sci.empty())
+        return 1.0;
+    if (order.size() <= 1)
+        return 1.0;
+    std::vector<size_t> rank(order.size(), 0);
+    for (size_t pos = 0; pos < order.size(); ++pos)
+        rank[order[pos]] = pos;
+    double sum = 0.0;
+    for (size_t idx : sci)
+        sum += double(rank[idx]) / double(order.size() - 1);
+    return 1.0 - sum / double(sci.size());
+}
+
+} // namespace scif::analysis

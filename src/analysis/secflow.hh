@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Static security-dataflow analysis over the ISA model (the paper's
+ * §2 bug classes, made static).
+ *
+ * The dynamic pipeline decides security-criticality by injecting a
+ * Table 1 bug and watching which invariants fire; the inference phase
+ * decides it lexically. Nothing in between knows *why* an invariant
+ * is security relevant — that `SR[SM]`, `EPCR0`, or the SPR file are
+ * the state that makes it so. This module computes that statically:
+ *
+ *  - a **security lattice**: every trace-schema variable is tagged
+ *    with the subset of the paper's four bug classes it embodies
+ *    (privilege escalation, memory protection, exception handling,
+ *    control-flow integrity);
+ *  - a **def-use state graph**: per-instruction value flow between
+ *    schema variables, derived from the same decoder facts
+ *    (`isa::InsnInfo`) the tracer and `analysis/isafacts` are built
+ *    on, plus the structural fetch/decode/aliasing flows the trace
+ *    layer enforces;
+ *  - a **security signature** per invariant: for each class, the
+ *    minimum number of def-use steps from any operand variable to
+ *    state tagged with that class (0 = the invariant constrains the
+ *    security state directly);
+ *  - a **mutation footprint** per injected defect: the schema
+ *    variables the erratum can corrupt directly, and the forward
+ *    reachability (taint) closure of that footprint;
+ *  - a **triage order**: invariants sorted by taint distance from a
+ *    bug's footprint, so identification runs the expensive
+ *    differential checks for the statically-implicated invariants
+ *    first, plus a rank-quality metric locating the dynamically
+ *    identified SCI inside that order.
+ *
+ * Soundness contract (gtest-enforced): every dynamically identified
+ * SCI must be statically reachable from its bug's footprint — the
+ * propagation is deliberately may-analysis-generous, so an
+ * unreachable violation indicates a missing def-use edge.
+ */
+
+#ifndef SCIFINDER_ANALYSIS_SECFLOW_HH
+#define SCIFINDER_ANALYSIS_SECFLOW_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cpu/mutation.hh"
+#include "expr/expr.hh"
+#include "trace/record.hh"
+#include "trace/schema.hh"
+
+namespace scif::analysis {
+
+/** The paper's security bug classes (§2, Table 1 "class" column). */
+enum class SecClass : uint8_t {
+    Privilege,         ///< privilege escalation (SR[SM], SPR access)
+    MemoryProtection,  ///< memory protection (LSU address/data path)
+    ExceptionHandling, ///< exception handling (EPCR/ESR/EEAR, DSX)
+    ControlFlow,       ///< control-flow integrity (PC chain, flag, LR)
+};
+
+/** Number of security classes. */
+constexpr size_t numSecClasses = 4;
+
+/** Long printable class name ("privilege-escalation", ...). */
+std::string_view secClassName(SecClass c);
+
+/** A subset of the four security classes (the lattice elements). */
+class SecClassSet
+{
+  public:
+    constexpr SecClassSet() = default;
+
+    constexpr SecClassSet(std::initializer_list<SecClass> cs)
+    {
+        for (SecClass c : cs)
+            add(c);
+    }
+
+    constexpr void add(SecClass c) { bits_ |= mask(c); }
+    constexpr bool has(SecClass c) const { return bits_ & mask(c); }
+    constexpr bool empty() const { return bits_ == 0; }
+
+    constexpr SecClassSet &
+    operator|=(SecClassSet o)
+    {
+        bits_ |= o.bits_;
+        return *this;
+    }
+
+    constexpr bool
+    intersects(SecClassSet o) const
+    {
+        return (bits_ & o.bits_) != 0;
+    }
+
+    constexpr bool operator==(const SecClassSet &) const = default;
+
+    /** Compact rendering: "priv|exc", or "-" for the empty set. */
+    std::string str() const;
+
+  private:
+    static constexpr uint8_t mask(SecClass c)
+    {
+        return uint8_t(1u << unsigned(c));
+    }
+
+    uint8_t bits_ = 0;
+};
+
+/**
+ * The lattice seeds: the classes variable @p var embodies directly
+ * (SR and the SPR access pair are privilege state, the LSU
+ * address/data path is memory-protection state, ...). Most variables
+ * map to the empty set; they acquire relevance only through flow.
+ */
+SecClassSet varSecurityClasses(uint16_t var);
+
+/** Def-use facts of one program point, at schema-variable level. */
+struct DefUse
+{
+    std::vector<uint16_t> uses; ///< variables the point reads
+    std::vector<uint16_t> defs; ///< variables the point writes
+};
+
+/**
+ * The def-use facts for @p point, derived from the decoder metadata
+ * (`isa::InsnInfo`: format, kind, register/flag read-write bits) plus
+ * the exception-entry defs for exception-qualified and interrupt
+ * points. Both vectors are sorted and duplicate free.
+ */
+DefUse pointDefUse(trace::Point point);
+
+/**
+ * The value-flow graph over the trace schema: edge u -> v means the
+ * value of u can flow into (or select) the value of v in one retired
+ * instruction. The union of every instruction's def-use edges plus
+ * the structural fetch/decode/writeback and aliasing flows
+ * (GPR <-> operand latches, SR <-> unpacked flag bits, PC chain).
+ * Immutable once built; share via instance().
+ */
+class StateGraph
+{
+  public:
+    StateGraph();
+
+    /** Out-neighbours of @p var, ascending. */
+    const std::vector<uint16_t> &
+    successors(uint16_t var) const
+    {
+        return succ_[var];
+    }
+
+    /** In-neighbours of @p var, ascending. */
+    const std::vector<uint16_t> &
+    predecessors(uint16_t var) const
+    {
+        return pred_[var];
+    }
+
+    /** @return true if the edge from -> to exists. */
+    bool hasEdge(uint16_t from, uint16_t to) const;
+
+    /** The process-wide immutable instance. */
+    static const StateGraph &instance();
+
+  private:
+    std::array<std::vector<uint16_t>, trace::numVars> succ_;
+    std::array<std::vector<uint16_t>, trace::numVars> pred_;
+};
+
+/** Distance value for unreachable variables. */
+constexpr uint32_t unreachableDist = 0xffffffffu;
+
+/** Per-variable BFS distance map. */
+using DistMap = std::array<uint32_t, trace::numVars>;
+
+/**
+ * Forward taint propagation to fixed point: BFS over the graph's
+ * successor edges from @p seeds. dist[v] is the minimum number of
+ * def-use steps from a seed to v (0 for the seeds themselves),
+ * unreachableDist if no path exists.
+ */
+DistMap reachableFrom(const StateGraph &graph,
+                      const std::vector<uint16_t> &seeds);
+
+/**
+ * The security signature of an invariant: for every class, the
+ * minimum number of def-use steps from one of its operand variables
+ * to state tagged with that class. 0 means the invariant constrains
+ * security state of that class directly — either an operand variable
+ * is tagged, or the program point itself is security relevant (an
+ * exception-qualified point, an SPR move, a jump/branch, a memory
+ * access).
+ */
+struct SecSignature
+{
+    std::array<uint32_t, numSecClasses> dist{unreachableDist,
+                                             unreachableDist,
+                                             unreachableDist,
+                                             unreachableDist};
+
+    /** Classes at distance 0 (directly constrained). */
+    SecClassSet direct() const { return within(0); }
+
+    /** Classes reachable within @p k steps. */
+    SecClassSet within(uint32_t k) const;
+
+    /** Rendering: "priv@0 cfi@2", or "-" when nothing is reachable. */
+    std::string str() const;
+};
+
+/** Compute the signature of @p inv over @p graph. */
+SecSignature invariantSignature(const StateGraph &graph,
+                                const expr::Invariant &inv);
+
+/**
+ * The mutation footprint: the schema variables defect @p m corrupts
+ * directly (the wrong defs it introduces). A static property of the
+ * mutation, independent of any trigger program. Microarchitecture-
+ * only defects (b2, h13, h14) map to the USTALL counter, which has no
+ * outgoing def-use edges — nothing ISA-visible is reachable, matching
+ * their empty dynamic SCI sets.
+ */
+std::vector<uint16_t> mutationFootprint(cpu::Mutation m);
+
+/** A bug's footprint plus its forward taint closure. */
+struct BugReach
+{
+    std::vector<uint16_t> footprint;
+    DistMap dist; ///< taint distance from the footprint
+};
+
+/** Compute footprint + closure for mutation @p m. */
+BugReach bugReach(const StateGraph &graph, cpu::Mutation m);
+
+/**
+ * Taint distance from @p reach's footprint to invariant @p inv: the
+ * minimum distance over its operand variables (over the def-use facts
+ * of its program point when the expression mentions no variable).
+ * unreachableDist means the defect cannot influence the invariant —
+ * it is statically cleared for this bug.
+ */
+uint32_t invariantDistance(const BugReach &reach,
+                           const expr::Invariant &inv);
+
+/** A static scan priority for one bug over an invariant list. */
+struct TriageOrder
+{
+    /** Invariant indices, closest-to-the-footprint first; ties and
+     *  the unreachable tail keep ascending index order. */
+    std::vector<size_t> order;
+    /** Per-invariant taint distance, indexed like the input list. */
+    std::vector<uint32_t> distance;
+};
+
+/** Compute the triage order of @p invs for mutation @p m. */
+TriageOrder triageOrder(const StateGraph &graph,
+                        const std::vector<expr::Invariant> &invs,
+                        cpu::Mutation m);
+
+/**
+ * Rank quality of @p order w.r.t. the dynamically identified SCI
+ * @p sci (indices into the invariant list): 1 - the mean normalized
+ * rank of the SCI. 1.0 = every SCI leads the order, 0.5 = no better
+ * than a random permutation, 0.0 = every SCI trails. Returns 1.0 for
+ * an empty @p sci (nothing to find, any order is perfect).
+ */
+double rankQuality(const std::vector<size_t> &order,
+                   const std::vector<size_t> &sci);
+
+} // namespace scif::analysis
+
+#endif // SCIFINDER_ANALYSIS_SECFLOW_HH

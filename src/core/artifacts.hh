@@ -14,6 +14,7 @@
  *     scidb.bin           phase 3   per-bug identification results
  *     inference.txt       phase 4   final SCI report (human-readable)
  *     analysis.txt        analyze   static invariant classification
+ *     audit.txt           audit     security-dataflow bug audit
  *
  * The serializers themselves live with their types (trace/io.hh,
  * invgen::InvariantSet, sci::SciDatabase); this module owns the
@@ -45,6 +46,7 @@ class ArtifactPaths
     std::string sciDatabase() const { return join("scidb.bin"); }
     std::string inference() const { return join("inference.txt"); }
     std::string analysis() const { return join("analysis.txt"); }
+    std::string audit() const { return join("audit.txt"); }
 
     /** Create the directory (and parents) if missing; fatal on
      *  failure. */

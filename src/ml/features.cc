@@ -1,5 +1,6 @@
 #include "features.hh"
 
+#include "analysis/secflow.hh"
 #include "support/logging.hh"
 #include "trace/schema.hh"
 
@@ -19,6 +20,12 @@ const char *const opNames[] = {
 };
 constexpr size_t numOps = sizeof(opNames) / sizeof(opNames[0]);
 
+/** Semantic feature tags, in analysis::SecClass order. */
+const char *const secTags[] = {"PRIV", "MEM", "EXC", "CFI"};
+
+/** "Near" radius: security state within this many def-use steps. */
+constexpr uint32_t nearSteps = 2;
+
 } // namespace
 
 FeatureExtractor::FeatureExtractor()
@@ -34,6 +41,12 @@ FeatureExtractor::FeatureExtractor()
         names_.emplace_back(op);
     constIdx_ = names_.size();
     names_.emplace_back("CONST");
+    // Semantic security-signature features: direct, then near.
+    secBase_ = names_.size();
+    for (const char *tag : secTags)
+        names_.push_back(std::string("SEC_") + tag);
+    for (const char *tag : secTags)
+        names_.push_back(std::string("SEC_") + tag + "_NEAR");
 }
 
 std::vector<double>
@@ -88,6 +101,16 @@ FeatureExtractor::extract(const Invariant &inv) const
         x[constIdx_] = 1.0;
     else
         markOperand(inv.rhs);
+
+    analysis::SecSignature sig = analysis::invariantSignature(
+        analysis::StateGraph::instance(), inv);
+    for (size_t c = 0; c < analysis::numSecClasses; ++c) {
+        if (sig.dist[c] == 0)
+            x[secBase_ + c] = 1.0;
+        if (sig.dist[c] != analysis::unreachableDist &&
+            sig.dist[c] <= nearSteps)
+            x[secBase_ + analysis::numSecClasses + c] = 1.0;
+    }
     return x;
 }
 

@@ -8,6 +8,13 @@
  * one feature per variable in post state, one per variable in orig()
  * state, one per comparison/combination operator, and one for the
  * presence of an immediate constant (the paper's CONST feature).
+ *
+ * The lexical features are augmented with *semantic* ones from the
+ * static security-dataflow analyzer (analysis/secflow): per security
+ * class, whether the invariant constrains state of that class
+ * directly (SEC_*) or within two def-use steps (SEC_*_NEAR) — the
+ * signal the paper's surface features can only approximate through
+ * variable names.
  */
 
 #ifndef SCIFINDER_ML_FEATURES_HH
@@ -39,6 +46,7 @@ class FeatureExtractor
     std::vector<std::string> names_;
     size_t opBase_;    ///< index of the first operator feature
     size_t constIdx_;  ///< index of the CONST feature
+    size_t secBase_;   ///< index of the first semantic feature
 };
 
 } // namespace scif::ml

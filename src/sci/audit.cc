@@ -1,0 +1,201 @@
+#include "audit.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/threadpool.hh"
+#include "trace/schema.hh"
+
+namespace scif::sci {
+
+namespace {
+
+/** Fixed-format rendering of a rank-quality value. */
+std::string
+fmtQuality(double q)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", q);
+    return buf;
+}
+
+/** Number of triage-leading guards listed per bug. */
+constexpr size_t topGuardCount = 5;
+
+BugAudit
+auditBug(const invgen::InvariantSet &set, const bugs::Bug &bug,
+         const SciDatabase *db)
+{
+    const analysis::StateGraph &graph =
+        analysis::StateGraph::instance();
+
+    BugAudit a;
+    a.bugId = bug.id;
+    a.synopsis = bug.synopsis;
+
+    analysis::BugReach reach = analysis::bugReach(graph, bug.mutation);
+    a.footprint = reach.footprint;
+    for (uint16_t v = 0; v < trace::numVars; ++v) {
+        if (reach.dist[v] == analysis::unreachableDist)
+            continue;
+        if (analysis::varSecurityClasses(v).empty())
+            continue;
+        a.reachable.emplace_back(v, reach.dist[v]);
+    }
+    std::sort(a.reachable.begin(), a.reachable.end(),
+              [](const auto &x, const auto &y) {
+                  return x.second != y.second ? x.second < y.second
+                                              : x.first < y.first;
+              });
+
+    analysis::TriageOrder triage =
+        analysis::triageOrder(graph, set.all(), bug.mutation);
+    for (uint32_t d : triage.distance) {
+        if (d == analysis::unreachableDist)
+            continue;
+        ++a.guarded;
+        if (d == 0)
+            ++a.guardedDirect;
+    }
+    for (size_t idx : triage.order) {
+        if (a.topGuards.size() >= topGuardCount)
+            break;
+        if (triage.distance[idx] == analysis::unreachableDist)
+            break;
+        a.topGuards.push_back(idx);
+    }
+
+    if (db == nullptr)
+        return a;
+    for (const IdentificationResult &res : db->results()) {
+        if (res.bugId != bug.id)
+            continue;
+        a.checked = true;
+        a.dynamicSci = res.trueSci.size();
+        a.rankQuality =
+            analysis::rankQuality(triage.order, res.trueSci);
+        std::vector<size_t> rank(triage.order.size(), 0);
+        for (size_t pos = 0; pos < triage.order.size(); ++pos)
+            rank[triage.order[pos]] = pos;
+        a.firstSciRank = triage.order.size();
+        for (size_t idx : res.trueSci) {
+            a.firstSciRank = std::min(a.firstSciRank, rank[idx]);
+            if (triage.distance[idx] == analysis::unreachableDist)
+                a.unsound.push_back(idx);
+        }
+        break;
+    }
+    return a;
+}
+
+} // namespace
+
+bool
+AuditReport::sound() const
+{
+    for (const BugAudit &a : bugs_)
+        if (!a.unsound.empty())
+            return false;
+    return true;
+}
+
+double
+AuditReport::meanRankQuality() const
+{
+    double sum = 0.0;
+    size_t n = 0;
+    for (const BugAudit &a : bugs_) {
+        if (!a.checked || a.dynamicSci == 0)
+            continue;
+        sum += a.rankQuality;
+        ++n;
+    }
+    return n == 0 ? 1.0 : sum / double(n);
+}
+
+std::string
+AuditReport::render() const
+{
+    std::string out;
+    out += "SCIFinder security-dataflow audit\n";
+    out += "=================================\n";
+    out += "model: " + std::to_string(set_->size()) + " invariants; ";
+    out += "bugs audited: " + std::to_string(bugs_.size()) + "\n";
+
+    for (const BugAudit &a : bugs_) {
+        out += "\n== " + a.bugId + ": " + a.synopsis + " ==\n";
+
+        out += "mutated defs:";
+        for (uint16_t v : a.footprint)
+            out += " " + std::string(trace::varName(v));
+        out += "\n";
+
+        out += "reachable security state:\n";
+        if (a.reachable.empty())
+            out += "  (none: the defect is not ISA-visible)\n";
+        for (const auto &[v, dist] : a.reachable) {
+            out += "  @" + std::to_string(dist) + " " +
+                   std::string(trace::varName(v)) + " [" +
+                   analysis::varSecurityClasses(v).str() + "]\n";
+        }
+
+        out += "static guards: " + std::to_string(a.guarded) +
+               " invariants (" + std::to_string(a.guardedDirect) +
+               " direct)\n";
+        for (size_t idx : a.topGuards) {
+            out += "  [" + std::to_string(idx) + "] " +
+                   set_->all()[idx].str() + "\n";
+        }
+
+        if (!a.checked) {
+            out += "dynamic cross-check: (no identification result)\n";
+            continue;
+        }
+        out += "dynamic cross-check: " + std::to_string(a.dynamicSci) +
+               " SCI";
+        if (a.dynamicSci != 0) {
+            out += "; rank quality " + fmtQuality(a.rankQuality) +
+                   "; first SCI at rank " +
+                   std::to_string(a.firstSciRank);
+        }
+        out += "\n";
+        if (a.unsound.empty()) {
+            out += "soundness: OK\n";
+        } else {
+            out += "soundness: UNSOUND — dynamically identified SCI "
+                   "not statically reachable:\n";
+            for (size_t idx : a.unsound) {
+                out += "  [" + std::to_string(idx) + "] " +
+                       set_->all()[idx].str() + "\n";
+            }
+        }
+    }
+
+    size_t checked = 0;
+    for (const BugAudit &a : bugs_)
+        checked += a.checked;
+    out += "\noverall: ";
+    out += sound() ? "sound" : "UNSOUND";
+    out += " (" + std::to_string(checked) + "/" +
+           std::to_string(bugs_.size()) + " bugs cross-checked)";
+    if (checked != 0)
+        out += "; mean rank quality " + fmtQuality(meanRankQuality());
+    out += "\n";
+    return out;
+}
+
+AuditReport
+audit(const invgen::InvariantSet &set,
+      const std::vector<const bugs::Bug *> &bugList,
+      const SciDatabase *db, support::ThreadPool *pool)
+{
+    AuditReport report;
+    report.set_ = &set;
+    report.bugs_ = support::parallelMap(
+        pool, bugList, [&](const bugs::Bug *bug) {
+            return auditBug(set, *bug, db);
+        });
+    return report;
+}
+
+} // namespace scif::sci

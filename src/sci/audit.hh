@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The static bug-footprint audit: for every Table 1 bug, what state
+ * its injected defect corrupts, which security state that corruption
+ * can reach through the def-use state graph, and which invariants of
+ * the model statically guard that state — cross-checked against the
+ * dynamic identification result when one is available.
+ *
+ * The cross-check is the module's soundness contract: every
+ * dynamically identified SCI must be statically reachable from its
+ * bug's mutation footprint. A violation means the secflow state
+ * graph is missing a real value flow and is reported as unsound (the
+ * audit renders it and `scifinder audit` exits nonzero).
+ */
+
+#ifndef SCIFINDER_SCI_AUDIT_HH
+#define SCIFINDER_SCI_AUDIT_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/secflow.hh"
+#include "bugs/registry.hh"
+#include "invgen/invgen.hh"
+#include "sci/identify.hh"
+
+namespace scif::support {
+class ThreadPool;
+} // namespace scif::support
+
+namespace scif::sci {
+
+/** The audit of one bug. */
+struct BugAudit
+{
+    std::string bugId;
+    std::string synopsis;
+    /** Schema variables the defect corrupts directly. */
+    std::vector<uint16_t> footprint;
+    /** Security-tagged variables reachable from the footprint, with
+     *  their taint distance; sorted by (distance, variable). */
+    std::vector<std::pair<uint16_t, uint32_t>> reachable;
+    /** Invariants with a finite taint distance (static guards). */
+    size_t guarded = 0;
+    /** Static guards at distance 0 (operands in the footprint's
+     *  direct blast radius). */
+    size_t guardedDirect = 0;
+    /** The first few guards in triage order (model indices). */
+    std::vector<size_t> topGuards;
+
+    // Dynamic cross-check (only filled when a database is given).
+    bool checked = false; ///< database had a result for this bug
+    size_t dynamicSci = 0;
+    double rankQuality = 1.0; ///< where the SCI land in the order
+    size_t firstSciRank = 0;  ///< triage rank of the earliest SCI
+    /** Dynamic SCI *not* statically reachable: soundness bugs. */
+    std::vector<size_t> unsound;
+};
+
+/** The full audit: per-bug sections plus the soundness verdict. */
+class AuditReport
+{
+  public:
+    const std::vector<BugAudit> &bugs() const { return bugs_; }
+
+    /** @return true if no bug has an unsound dynamic SCI. */
+    bool sound() const;
+
+    /** Mean rank quality over the checked bugs with at least one
+     *  dynamic SCI (1.0 when none were checked). */
+    double meanRankQuality() const;
+
+    /**
+     * Render the deterministic text artifact. Byte-identical for
+     * identical inputs regardless of the thread count the audit ran
+     * with.
+     */
+    std::string render() const;
+
+  private:
+    friend AuditReport audit(const invgen::InvariantSet &,
+                             const std::vector<const bugs::Bug *> &,
+                             const SciDatabase *,
+                             support::ThreadPool *);
+
+    const invgen::InvariantSet *set_ = nullptr;
+    std::vector<BugAudit> bugs_;
+};
+
+/**
+ * Audit @p bugList against the invariant model @p set. When @p db is
+ * non-null, each bug's dynamic identification result is cross-checked
+ * against the static reachability. Bugs fan out over @p pool when one
+ * is given; the report is identical either way.
+ */
+AuditReport audit(const invgen::InvariantSet &set,
+                  const std::vector<const bugs::Bug *> &bugList,
+                  const SciDatabase *db = nullptr,
+                  support::ThreadPool *pool = nullptr);
+
+} // namespace scif::sci
+
+#endif // SCIFINDER_SCI_AUDIT_HH

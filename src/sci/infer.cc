@@ -2,10 +2,35 @@
 
 #include <algorithm>
 
+#include "analysis/secflow.hh"
 #include "support/logging.hh"
 #include "support/random.hh"
 
 namespace scif::sci {
+
+namespace {
+
+/**
+ * True when the static security signature justifies a lower
+ * recommendation bar: the invariant relates two pieces of live state
+ * (no constant, no value-set enumeration) and at least one operand
+ * is directly security-classed. Constant pins like "SPRV == 0" stay
+ * on the plain statistical threshold — they are overwhelmingly
+ * artifacts of the trace corpus, not security properties.
+ */
+bool
+semanticallyImplicated(const expr::Invariant &inv)
+{
+    if (inv.op == expr::CmpOp::In || inv.lhs.isConst ||
+        inv.rhs.isConst)
+        return false;
+    return !analysis::invariantSignature(
+                analysis::StateGraph::instance(), inv)
+                .direct()
+                .empty();
+}
+
+} // namespace
 
 InferenceResult
 infer(const invgen::InvariantSet &set, const SciDatabase &db,
@@ -70,8 +95,13 @@ infer(const invgen::InvariantSet &set, const SciDatabase &db,
             continue;
         auto x = result.features.extract(set.all()[idx]);
         double pSci = 1.0 - result.model.predict(x);
-        if (pSci >= config.recommendThreshold)
+        if (pSci >= config.recommendThreshold) {
             result.recommended.push_back(idx);
+        } else if (pSci >= config.semanticThreshold &&
+                   semanticallyImplicated(set.all()[idx])) {
+            result.recommended.push_back(idx);
+            ++result.semanticRecommended;
+        }
     }
 
     // The expert pass: recommended invariants the validation corpus

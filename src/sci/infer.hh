@@ -36,6 +36,17 @@ struct InferConfig
      * borderline cases.
      */
     double recommendThreshold = 0.6;
+
+    /**
+     * Lower posterior bar for invariants the security-dataflow
+     * analysis marks as directly security-classed (a relational
+     * invariant whose operands read state in one of the four §2 bug
+     * classes, e.g. "l.mfspr -> OPDEST == SPRV"). The static
+     * signature acts as a semantic prior: such invariants need less
+     * statistical evidence than lexically similar but
+     * security-irrelevant ones.
+     */
+    double semanticThreshold = 0.4;
 };
 
 /** Output of the inference phase. */
@@ -50,6 +61,9 @@ struct InferenceResult
 
     /** Unlabeled invariants the model recommends as SCI. */
     std::vector<size_t> recommended;
+    /** Of those, admitted by the semantic prior (below the plain
+     *  posterior threshold but directly security-classed). */
+    size_t semanticRecommended = 0;
     /** Of those, exposed as non-invariant by validation (the paper's
      *  852 "clear false positives"). */
     std::vector<size_t> clearFalsePositives;

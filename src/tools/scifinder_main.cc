@@ -34,6 +34,7 @@
 #include "fuzz/fuzzer.hh"
 #include "monitor/overhead.hh"
 #include "monitor/service.hh"
+#include "sci/audit.hh"
 #include "support/ioerror.hh"
 #include "support/strings.hh"
 #include "support/table.hh"
@@ -68,14 +69,26 @@ usage()
         "errata\n"
         "  infer     --artifact-dir D\n"
         "                            phase 4: infer additional SCI\n"
-        "  analyze   [--jobs N] [--audit-traces] --artifact-dir D\n"
+        "  analyze   [--jobs N] [--json] [--audit-traces] "
+        "--artifact-dir D\n"
         "                            classify the optimized model "
         "with the\n"
         "                            abstract-interpretation "
         "analyzer;\n"
+        "                            --json emits the report as JSON "
+        "on stdout;\n"
         "                            --audit-traces also scans the "
         "persisted\n"
         "                            training traces for violations\n"
+        "  audit     [--jobs N] --artifact-dir D [bug...]\n"
+        "                            security-dataflow audit: per-bug "
+        "mutated\n"
+        "                            defs, reachable security state, "
+        "and static\n"
+        "                            invariant guards, cross-checked "
+        "against the\n"
+        "                            phase-3 identification (exit 1 "
+        "= unsound)\n"
         "\n"
         "  common [opts]: --jobs N (0 = all cores), --artifact-dir "
         "D,\n"
@@ -356,11 +369,31 @@ parseVarList(const std::string &list, std::vector<uint16_t> *out)
     return true;
 }
 
+/**
+ * Structured I/O diagnostic for the trace toolbelt: path and file
+ * offset as separate fields, exit status 3 — distinct from "traces
+ * differ" (1) and usage errors (2), so CI scripts can tell a flaky
+ * filesystem from a real regression.
+ */
+int
+ioErrorExit(const support::IoError &e)
+{
+    std::fprintf(stderr, "scifinder: I/O error: %s\n", e.what());
+    std::fprintf(stderr, "  path:   %s\n", e.path().c_str());
+    if (e.hasOffset())
+        std::fprintf(stderr, "  offset: %llu\n",
+                     (unsigned long long)e.offset());
+    if (e.errnum())
+        std::fprintf(stderr, "  errno:  %d (%s)\n", e.errnum(),
+                     std::strerror(e.errnum()));
+    return 3;
+}
+
 /** trace capture: run a workload straight into a v2 set artifact. */
 int
 cmdTraceCapture(const CommonOpts &opts,
                 const std::vector<std::string> &args)
-{
+try {
     if (args.size() != 2) {
         std::fprintf(stderr,
                      "usage: scifinder trace capture <workload> <out> "
@@ -379,12 +412,14 @@ cmdTraceCapture(const CommonOpts &opts,
     std::printf("wrote %llu records in %zu chunks to %s\n",
                 (unsigned long long)records, chunks, args[1].c_str());
     return 0;
+} catch (const support::IoError &e) {
+    return ioErrorExit(e);
 }
 
 /** trace dump: print records of a set artifact (v1 or v2). */
 int
 cmdTraceDump(const std::vector<std::string> &args_in)
-{
+try {
     std::vector<std::string> args;
     std::string stream;
     size_t limit = 16;
@@ -445,26 +480,8 @@ cmdTraceDump(const std::vector<std::string> &args_in)
         return 1;
     }
     return 0;
-}
-
-/**
- * Structured I/O diagnostic for the trace toolbelt: path and file
- * offset as separate fields, exit status 3 — distinct from "traces
- * differ" (1) and usage errors (2), so CI scripts can tell a flaky
- * filesystem from a real regression.
- */
-int
-ioErrorExit(const support::IoError &e)
-{
-    std::fprintf(stderr, "scifinder: I/O error: %s\n", e.what());
-    std::fprintf(stderr, "  path:   %s\n", e.path().c_str());
-    if (e.hasOffset())
-        std::fprintf(stderr, "  offset: %llu\n",
-                     (unsigned long long)e.offset());
-    if (e.errnum())
-        std::fprintf(stderr, "  errno:  %d (%s)\n", e.errnum(),
-                     std::strerror(e.errnum()));
-    return 3;
+} catch (const support::IoError &e) {
+    return ioErrorExit(e);
 }
 
 /** trace count: stream totals or a per-point histogram. */
@@ -598,7 +615,7 @@ try {
 int
 cmdTraceExtract(const CommonOpts &opts,
                 const std::vector<std::string> &args_in)
-{
+try {
     std::vector<std::string> args;
     std::string stream;
     uint64_t from = 0;
@@ -647,13 +664,15 @@ cmdTraceExtract(const CommonOpts &opts,
                 (unsigned long long)written, stream.c_str(),
                 args[1].c_str());
     return 0;
+} catch (const support::IoError &e) {
+    return ioErrorExit(e);
 }
 
 /** trace merge: combine several set artifacts into one v2 file. */
 int
 cmdTraceMerge(const CommonOpts &opts,
               const std::vector<std::string> &args)
-{
+try {
     if (args.size() < 2) {
         std::fprintf(stderr,
                      "usage: scifinder trace merge <out> <in>... "
@@ -670,13 +689,15 @@ cmdTraceMerge(const CommonOpts &opts,
                 reader.streams().size(),
                 (unsigned long long)reader.totalRecords());
     return 0;
+} catch (const support::IoError &e) {
+    return ioErrorExit(e);
 }
 
 /** trace convert: re-encode a set artifact as v2 (or back to v1). */
 int
 cmdTraceConvert(const CommonOpts &opts,
                 const std::vector<std::string> &args_in)
-{
+try {
     std::vector<std::string> args;
     uint32_t version = 2;
     for (const auto &arg : args_in) {
@@ -704,6 +725,8 @@ cmdTraceConvert(const CommonOpts &opts,
                 args[0].c_str(), version, args[1].c_str(),
                 out->streamCount(), (unsigned long long)records);
     return 0;
+} catch (const support::IoError &e) {
+    return ioErrorExit(e);
 }
 
 int
@@ -950,13 +973,43 @@ cmdIdentifyPhase(const CommonOpts &opts,
         for (const auto &id : bugIds)
             bugList.push_back(&bugs::byId(id));
     }
-    sci::SciDatabase db =
-        sci::identifyAll(model, bugList, violations, pool.get(), mode,
-                         opts.interpretedSim);
+    // The compiled path scans in static triage order (secflow): the
+    // statically implicated invariants run their differential checks
+    // first, and the per-bug rank quality of the dynamically
+    // identified SCI is reported below. The violation sets — and so
+    // every persisted artifact — are unchanged by the ordering.
+    std::vector<sci::TriageReport> triage;
+    sci::SciDatabase db;
+    if (mode == sci::EvalMode::Compiled) {
+        sci::CompiledModel compiled(model);
+        db = sci::identifyAll(compiled, bugList, violations,
+                              pool.get(), opts.interpretedSim,
+                              &triage);
+    } else {
+        db = sci::identifyAll(model, bugList, violations, pool.get(),
+                              mode, opts.interpretedSim);
+    }
 
     core::saveIndexSet(paths.violations(), violations);
     db.saveBinary(paths.sciDatabase());
     printIdentification(db, model);
+    double qualitySum = 0.0;
+    size_t qualityBugs = 0;
+    for (size_t i = 0; i < triage.size(); ++i) {
+        const sci::IdentificationResult &res = db.results()[i];
+        if (res.trueSci.empty())
+            continue;
+        std::printf("triage %s: rank quality %.3f, first SCI at "
+                    "rank %zu/%zu\n",
+                    res.bugId.c_str(), triage[i].quality,
+                    triage[i].firstSciRank, triage[i].order.size());
+        qualitySum += triage[i].quality;
+        ++qualityBugs;
+    }
+    if (qualityBugs != 0)
+        std::printf("triage mean rank quality: %.3f over %zu "
+                    "detected bugs\n",
+                    qualitySum / double(qualityBugs), qualityBugs);
     std::printf("wrote %s and %s\n", paths.violations().c_str(),
                 paths.sciDatabase().c_str());
     return 0;
@@ -1025,6 +1078,9 @@ cmdInfer(const std::vector<std::string> &args_in)
                 inference.inferredSci.size(),
                 100 * inference.testAccuracy,
                 inference.clearFalsePositives.size());
+    std::printf("semantic prior admitted %zu below the posterior "
+                "threshold\n",
+                inference.semanticRecommended);
 
     std::ofstream out(paths.inference());
     if (!out) {
@@ -1060,9 +1116,13 @@ cmdAnalyze(const std::vector<std::string> &args_in)
     if (!parseCommon(args, opts))
         return 2;
     bool auditTraces = false;
+    bool json = false;
     for (auto it = args.begin(); it != args.end();) {
         if (*it == "--audit-traces") {
             auditTraces = true;
+            it = args.erase(it);
+        } else if (*it == "--json") {
+            json = true;
             it = args.erase(it);
         } else {
             ++it;
@@ -1070,7 +1130,7 @@ cmdAnalyze(const std::vector<std::string> &args_in)
     }
     if (opts.artifactDir.empty() || !args.empty()) {
         std::fprintf(stderr,
-                     "usage: scifinder analyze [--jobs N] "
+                     "usage: scifinder analyze [--jobs N] [--json] "
                      "[--audit-traces] --artifact-dir D\n");
         return 2;
     }
@@ -1128,6 +1188,13 @@ cmdAnalyze(const std::vector<std::string> &args_in)
     std::string text = report.render() + audit;
     out << text;
 
+    if (json) {
+        // Machine-readable mode: emit only the JSON document on
+        // stdout (deterministic across --jobs; the text artifact is
+        // still written above).
+        std::fputs(report.renderJson().c_str(), stdout);
+        return 0;
+    }
     std::printf("%zu invariants: %zu tautology, %zu contradiction, "
                 "%zu isa-implied (%zu structural), %zu contingent; "
                 "%zu implications\n",
@@ -1144,6 +1211,69 @@ cmdAnalyze(const std::vector<std::string> &args_in)
                 report.implications.size());
     std::printf("wrote %s\n", paths.analysis().c_str());
     return 0;
+}
+
+/**
+ * Security-dataflow audit over the optimized model: for every Table 1
+ * bug (or the bugs named on the command line), the state its injected
+ * defect corrupts, the security state that corruption can reach
+ * through the def-use state graph, and the invariants that statically
+ * guard it. When a phase-3 database exists the static reachability is
+ * cross-checked against the dynamic identification: every dynamic SCI
+ * must be statically reachable from its bug's footprint.
+ *
+ * Exit status: 0 sound, 1 when the cross-check found a dynamic SCI
+ * with no static flow (a missing edge in the state graph), 2 on usage
+ * errors. The report is byte-identical across --jobs values.
+ */
+int
+cmdAudit(const std::vector<std::string> &args_in)
+{
+    std::vector<std::string> args = args_in;
+    CommonOpts opts;
+    if (!parseCommon(args, opts))
+        return 2;
+    if (opts.artifactDir.empty()) {
+        std::fprintf(stderr,
+                     "usage: scifinder audit [--jobs N] "
+                     "--artifact-dir D [bug...]\n");
+        return 2;
+    }
+    core::ArtifactPaths paths(opts.artifactDir);
+    REQUIRE_ARTIFACT(paths.model(), "optimize");
+    invgen::InvariantSet model =
+        invgen::InvariantSet::loadBinary(paths.model());
+
+    // The dynamic cross-check is best-effort: without a phase-3
+    // database the audit still reports footprints and static guards.
+    std::unique_ptr<sci::SciDatabase> db;
+    if (core::ArtifactPaths::exists(paths.sciDatabase()))
+        db = std::make_unique<sci::SciDatabase>(
+            sci::SciDatabase::loadBinary(paths.sciDatabase()));
+
+    std::vector<const bugs::Bug *> bugList;
+    if (args.empty()) {
+        bugList = bugs::table1();
+    } else {
+        for (const auto &id : args)
+            bugList.push_back(&bugs::byId(id));
+    }
+
+    auto pool = makePool(opts);
+    sci::AuditReport report =
+        sci::audit(model, bugList, db.get(), pool.get());
+
+    std::string text = report.render();
+    std::ofstream out(paths.audit(), std::ios::binary);
+    if (!out) {
+        std::fprintf(stderr, "cannot open %s\n",
+                     paths.audit().c_str());
+        return 1;
+    }
+    out << text;
+    std::printf("%s", text.c_str());
+    std::printf("\nwrote %s\n", paths.audit().c_str());
+    return report.sound() ? 0 : 1;
 }
 
 int
@@ -1559,6 +1689,8 @@ main(int argc, char **argv)
             return cmdInfer(args);
         if (cmd == "analyze")
             return cmdAnalyze(args);
+        if (cmd == "audit")
+            return cmdAudit(args);
         if (cmd == "run")
             return cmdRun(args);
         if (cmd == "fuzz")

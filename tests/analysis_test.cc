@@ -8,10 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "analysis/analyzer.hh"
 #include "analysis/domain.hh"
 #include "analysis/isafacts.hh"
 #include "expr/expr.hh"
+#include "support/random.hh"
 #include "workloads/workloads.hh"
 
 namespace scif::analysis {
@@ -176,6 +179,160 @@ TEST(Compare, DecidableForms)
     EXPECT_EQ(compare(CmpOp::In, hi, {}, {0, 1}), Truth::False);
 }
 
+// ---- randomized soundness fuzz ----
+
+/**
+ * A random operand over a small variable pool so environment facts
+ * actually constrain the tree. Covers every grammar production:
+ * constants, bare and orig() references, the four binary combiners,
+ * negation, scaling, modulus, and offsets.
+ */
+Operand
+randomOperand(Rng &rng)
+{
+    static const uint16_t pool[] = {
+        uint16_t(VarId::OPA),    uint16_t(VarId::OPB),
+        uint16_t(VarId::OPDEST), uint16_t(VarId::SF),
+        uint16_t(VarId::MEMADDR),
+    };
+    if (rng.chance(0.15))
+        return Operand::imm(uint32_t(rng.next()));
+    Operand o;
+    o.a = {pool[rng.below(5)], rng.chance(0.3)};
+    if (rng.chance(0.4)) {
+        o.op2 = Op2(1 + rng.below(4));
+        o.b = {pool[rng.below(5)], rng.chance(0.3)};
+    }
+    o.negate = rng.chance(0.2);
+    if (rng.chance(0.25))
+        o.mulImm = uint32_t(rng.range(2, 9));
+    if (rng.chance(0.25))
+        o.modImm = uint32_t(rng.range(1, 33));
+    if (rng.chance(0.4))
+        o.addImm = uint32_t(rng.next());
+    return o;
+}
+
+/** A random concrete record; small values half the time so modulus
+ *  and comparisons exercise their decidable regions. */
+trace::Record
+randomRecord(Rng &rng)
+{
+    trace::Record rec;
+    rec.point = trace::Point::insn(isa::Mnemonic::L_ADD);
+    for (uint16_t v = 0; v < trace::numVars; ++v) {
+        rec.pre[v] = rng.chance(0.5) ? uint32_t(rng.below(16))
+                                     : uint32_t(rng.next());
+        rec.post[v] = rng.chance(0.5) ? uint32_t(rng.below(16))
+                                      : uint32_t(rng.next());
+    }
+    return rec;
+}
+
+/** Constrain @p env with random facts that all contain the concrete
+ *  value the record assigns to @p ref. */
+void
+constrainAround(Env &env, const expr::VarRef &ref,
+                const trace::Record &rec, Rng &rng)
+{
+    uint32_t c = ref.orig ? rec.pre[ref.var] : rec.post[ref.var];
+    if (rng.chance(0.5)) {
+        uint32_t lo = c - uint32_t(rng.below(8));
+        uint32_t hi = c + uint32_t(rng.below(8));
+        if (lo <= c && c <= hi)
+            env.constrain(ref, AbstractValue::fromRange(lo, hi));
+    }
+    if (rng.chance(0.5)) {
+        // Reveal a random subset of the concrete value's bits.
+        uint32_t mask = uint32_t(rng.next());
+        env.constrain(ref,
+                      AbstractValue::fromBits(~c & mask, c & mask));
+    }
+}
+
+TEST(Fuzz, AbstractEvalContainsConcreteEval)
+{
+    // The soundness obligation of the whole analyzer: for any
+    // operand tree, any concrete record, and any environment whose
+    // facts admit that record, the abstract evaluation must contain
+    // the concrete one.
+    Rng rng(0x5ec0f0221ull);
+    for (int iter = 0; iter < 4000; ++iter) {
+        Operand op = randomOperand(rng);
+        trace::Record rec = randomRecord(rng);
+        Env env;
+        if (!op.isConst) {
+            constrainAround(env, op.a, rec, rng);
+            if (op.op2 != Op2::None)
+                constrainAround(env, op.b, rec, rng);
+        }
+        uint32_t concrete = op.eval(rec);
+        AbstractValue abs = evalOperand(op, env);
+        ASSERT_TRUE(abs.contains(concrete))
+            << "iteration " << iter << ": " << op.str() << " = "
+            << concrete << " escapes " << abs.str();
+    }
+}
+
+TEST(Fuzz, InvariantTruthNeverContradictsConcrete)
+{
+    // A decided abstract truth value must agree with the concrete
+    // evaluation whenever the environment admits the record.
+    Rng rng(0xdec1deull);
+    int decided = 0;
+    for (int iter = 0; iter < 4000; ++iter) {
+        Invariant inv;
+        inv.point = trace::Point::insn(isa::Mnemonic::L_ADD);
+        inv.op = CmpOp(rng.below(7));
+        inv.lhs = randomOperand(rng);
+        trace::Record rec = randomRecord(rng);
+        uint32_t l = inv.lhs.eval(rec);
+        bool truth;
+        if (inv.op == CmpOp::In) {
+            inv.rhs = Operand::imm(0);
+            for (int k = int(rng.range(1, 4)); k > 0; --k)
+                inv.set.push_back(uint32_t(rng.below(16)));
+            std::sort(inv.set.begin(), inv.set.end());
+            inv.set.erase(
+                std::unique(inv.set.begin(), inv.set.end()),
+                inv.set.end());
+            truth = std::binary_search(inv.set.begin(),
+                                       inv.set.end(), l);
+        } else {
+            inv.rhs = randomOperand(rng);
+            uint32_t r = inv.rhs.eval(rec);
+            switch (inv.op) {
+              case CmpOp::Eq: truth = l == r; break;
+              case CmpOp::Ne: truth = l != r; break;
+              case CmpOp::Lt: truth = l < r; break;
+              case CmpOp::Le: truth = l <= r; break;
+              case CmpOp::Gt: truth = l > r; break;
+              default: truth = l >= r; break;
+            }
+        }
+        Env env;
+        auto admit = [&](const Operand &o) {
+            if (o.isConst)
+                return;
+            constrainAround(env, o.a, rec, rng);
+            if (o.op2 != Op2::None)
+                constrainAround(env, o.b, rec, rng);
+        };
+        admit(inv.lhs);
+        admit(inv.rhs);
+        Truth t = evalInvariant(inv, env);
+        if (t == Truth::Unknown)
+            continue;
+        ++decided;
+        EXPECT_EQ(t == Truth::True, truth)
+            << "iteration " << iter << ": " << inv.str();
+    }
+    // The environments are tight enough that a healthy fraction of
+    // draws must be decidable — an all-Unknown analyzer is sound but
+    // useless, and this guard would catch that regression.
+    EXPECT_GT(decided, 400);
+}
+
 // ---- verdicts ----
 
 Invariant
@@ -310,6 +467,41 @@ TEST(Analyze, ProvesImplicationsDrMisses)
               "l.add -> OPB in {0x2, 0x4}");
     EXPECT_EQ(report.implications[1].consequent,
               "l.add -> OPB <= 4");
+}
+
+TEST(Analyze, ProvesInSetImplications)
+{
+    // In-set antecedents and consequents exercise the value-set
+    // abstraction end to end: membership must follow from the
+    // reduced bits-and-range product, never from the DR reduction.
+    std::vector<Invariant> invs = {
+        parsed("l.add -> OPA in {4, 8}"),
+        parsed("l.add -> OPA >= 4"),
+        parsed("l.sub -> OPB == 8"),
+        parsed("l.sub -> OPB in {8, 9, 10}"),
+        parsed("l.and -> OPDEST in {2, 4}"),
+        parsed("l.and -> OPDEST in {2, 3, 4}"),
+    };
+    AnalysisReport report = analyze(invs);
+    auto proved = [&](const char *ante, const char *cons) {
+        for (const auto &imp : report.implications) {
+            if (imp.antecedent == ante && imp.consequent == cons)
+                return true;
+        }
+        return false;
+    };
+    EXPECT_TRUE(proved("l.add -> OPA in {0x4, 0x8}",
+                       "l.add -> OPA >= 4"));
+    EXPECT_TRUE(proved("l.sub -> OPB == 8",
+                       "l.sub -> OPB in {0x8, 0x9, 0xa}"));
+    EXPECT_TRUE(proved("l.and -> OPDEST in {0x2, 0x4}",
+                       "l.and -> OPDEST in {0x2, 0x3, 0x4}"));
+    // The converse directions are not implications and must not be
+    // claimed: {8,9,10} admits 9 and 10, {2,3,4} admits 3.
+    EXPECT_FALSE(proved("l.sub -> OPB in {0x8, 0x9, 0xa}",
+                        "l.sub -> OPB == 8"));
+    EXPECT_FALSE(proved("l.and -> OPDEST in {0x2, 0x3, 0x4}",
+                        "l.and -> OPDEST in {0x2, 0x4}"));
 }
 
 TEST(Analyze, ReportTalliesAndRender)

@@ -9,8 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/secflow.hh"
 #include "core/scifinder.hh"
 #include "monitor/overhead.hh"
+#include "sci/audit.hh"
 
 namespace scif::core {
 namespace {
@@ -23,6 +25,16 @@ pipeline()
     return result;
 }
 
+/** The static audit of the full-pipeline result, computed once. */
+const sci::AuditReport &
+auditReport()
+{
+    static const sci::AuditReport report =
+        sci::audit(pipeline().model, bugs::table1(),
+                   &pipeline().database);
+    return report;
+}
+
 TEST(Pipeline, PhasesProduceOutput)
 {
     const auto &r = pipeline();
@@ -32,6 +44,9 @@ TEST(Pipeline, PhasesProduceOutput)
     EXPECT_EQ(r.optimizationStats.size(), 4u);
     EXPECT_EQ(r.database.results().size(), 17u);
     EXPECT_GT(r.inference.testAccuracy, 0.7);
+    // The security-dataflow semantic prior must be live: some
+    // recommended invariants clear only the lowered bar.
+    EXPECT_GT(r.inference.semanticRecommended, 0u);
 }
 
 TEST(Pipeline, SixteenOfSeventeenBugsIdentified)
@@ -144,6 +159,37 @@ TEST(Pipeline, DeploymentShapesLikeTable9)
     EXPECT_LT(ohFinal.logicPct, 10.0);
     EXPECT_LT(ohFinal.powerPct, 1.0);
     EXPECT_EQ(ohFinal.delayPct, 0.0);
+}
+
+TEST(Pipeline, StaticAuditIsSoundForEveryTableOneBug)
+{
+    // The secflow soundness contract: every dynamically identified
+    // SCI must be statically reachable from its bug's mutation
+    // footprint. An unsound bug means the state graph is missing a
+    // real value flow.
+    const sci::AuditReport &report = auditReport();
+    ASSERT_EQ(report.bugs().size(), 17u);
+    for (const sci::BugAudit &a : report.bugs()) {
+        EXPECT_TRUE(a.checked) << a.bugId;
+        EXPECT_TRUE(a.unsound.empty())
+            << a.bugId << ": " << a.unsound.size()
+            << " dynamic SCI with no static flow";
+    }
+    EXPECT_TRUE(report.sound());
+}
+
+TEST(Pipeline, StaticTriageBeatsRandomOrdering)
+{
+    // Rank quality 0.5 = the static order is no better than random;
+    // the footprint-distance triage must do measurably better on
+    // average, and must not bury any bug's SCI in the far tail.
+    const sci::AuditReport &report = auditReport();
+    EXPECT_GT(report.meanRankQuality(), 0.55);
+    for (const sci::BugAudit &a : report.bugs()) {
+        if (!a.checked || a.dynamicSci == 0)
+            continue;
+        EXPECT_GT(a.rankQuality, 0.25) << a.bugId;
+    }
 }
 
 TEST(Pipeline, ValidationCorpusIsDeterministic)

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Security-dataflow analysis tests: the lattice seeds, the def-use
+ * state graph, taint propagation, invariant signatures, mutation
+ * footprints, triage ordering, rank quality, and the determinism of
+ * the audit report across thread counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/secflow.hh"
+#include "bugs/registry.hh"
+#include "invgen/invgen.hh"
+#include "sci/audit.hh"
+#include "support/threadpool.hh"
+
+namespace scif::analysis {
+namespace {
+
+using trace::VarId;
+
+TEST(SecLattice, SeedsMatchArchitecturalRoles)
+{
+    EXPECT_TRUE(varSecurityClasses(VarId::SR).has(SecClass::Privilege));
+    EXPECT_TRUE(varSecurityClasses(VarId::SPRV)
+                    .has(SecClass::Privilege));
+    EXPECT_TRUE(varSecurityClasses(VarId::EPCR0)
+                    .has(SecClass::ExceptionHandling));
+    EXPECT_TRUE(varSecurityClasses(VarId::ESR0)
+                    .has(SecClass::ExceptionHandling));
+    EXPECT_TRUE(varSecurityClasses(VarId::PC)
+                    .has(SecClass::ControlFlow));
+    EXPECT_TRUE(varSecurityClasses(VarId::DMEM)
+                    .has(SecClass::MemoryProtection));
+    EXPECT_TRUE(varSecurityClasses(VarId::MEMADDR)
+                    .has(SecClass::MemoryProtection));
+    // The link register is control-flow state; other GPRs are not.
+    EXPECT_TRUE(varSecurityClasses(trace::gprVar(isa::linkReg))
+                    .has(SecClass::ControlFlow));
+    EXPECT_TRUE(varSecurityClasses(trace::gprVar(1)).empty());
+    EXPECT_TRUE(varSecurityClasses(VarId::USTALL).empty());
+}
+
+TEST(SecLattice, SetOperationsAndRendering)
+{
+    SecClassSet s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.str(), "-");
+    s.add(SecClass::Privilege);
+    s.add(SecClass::ExceptionHandling);
+    EXPECT_TRUE(s.has(SecClass::Privilege));
+    EXPECT_FALSE(s.has(SecClass::MemoryProtection));
+    EXPECT_EQ(s.str(), "priv|exc");
+
+    SecClassSet t{SecClass::MemoryProtection};
+    EXPECT_FALSE(s.intersects(t));
+    t |= s;
+    EXPECT_TRUE(t.intersects(s));
+    EXPECT_EQ(t.str(), "priv|mem|exc");
+}
+
+TEST(StateGraph, CarriesSemanticAndStructuralEdges)
+{
+    const StateGraph &g = StateGraph::instance();
+    // l.rfe restores state from the exception SPRs.
+    EXPECT_TRUE(g.hasEdge(VarId::ESR0, VarId::SR));
+    EXPECT_TRUE(g.hasEdge(VarId::EPCR0, VarId::NPC));
+    // Exception entry saves the interrupted context.
+    EXPECT_TRUE(g.hasEdge(VarId::PC, VarId::EPCR0));
+    EXPECT_TRUE(g.hasEdge(VarId::SR, VarId::ESR0));
+    // Structural fetch/decode and register-file aliasing.
+    EXPECT_TRUE(g.hasEdge(VarId::IMEM, VarId::INSN));
+    EXPECT_TRUE(g.hasEdge(trace::gprVar(3), VarId::OPA));
+    EXPECT_TRUE(g.hasEdge(VarId::OPDEST, trace::gprVar(5)));
+    // The store datapath: operand B -> bus -> memory.
+    EXPECT_TRUE(g.hasEdge(VarId::OPB, VarId::MEMBUS));
+    EXPECT_TRUE(g.hasEdge(VarId::MEMBUS, VarId::DMEM));
+    // No flow out of the microarchitectural stall counter.
+    EXPECT_TRUE(g.successors(VarId::USTALL).empty());
+    // Adjacency lists are sorted (binary-searchable).
+    for (uint16_t v = 0; v < trace::numVars; ++v) {
+        const auto &succ = g.successors(v);
+        EXPECT_TRUE(std::is_sorted(succ.begin(), succ.end()));
+    }
+}
+
+TEST(StateGraph, PredecessorsMirrorSuccessors)
+{
+    const StateGraph &g = StateGraph::instance();
+    for (uint16_t u = 0; u < trace::numVars; ++u) {
+        for (uint16_t v : g.successors(u)) {
+            const auto &pred = g.predecessors(v);
+            EXPECT_TRUE(std::binary_search(pred.begin(), pred.end(),
+                                           u))
+                << trace::varName(u) << " -> " << trace::varName(v);
+        }
+    }
+}
+
+TEST(DefUseFacts, ArithmeticAndExceptionPoints)
+{
+    DefUse add = pointDefUse(trace::Point::insn(isa::Mnemonic::L_ADD));
+    auto has = [](const std::vector<uint16_t> &v, uint16_t var) {
+        return std::binary_search(v.begin(), v.end(), var);
+    };
+    EXPECT_TRUE(has(add.uses, VarId::OPA));
+    EXPECT_TRUE(has(add.uses, VarId::OPB));
+    EXPECT_TRUE(has(add.defs, VarId::OPDEST));
+    EXPECT_TRUE(has(add.defs, VarId::CY));
+    EXPECT_FALSE(has(add.defs, VarId::EPCR0));
+
+    // The exception-qualified point additionally defines the
+    // exception-entry state.
+    DefUse sys = pointDefUse(trace::Point::insn(
+        isa::Mnemonic::L_SYS, isa::Exception::Syscall));
+    EXPECT_TRUE(has(sys.defs, VarId::EPCR0));
+    EXPECT_TRUE(has(sys.defs, VarId::ESR0));
+
+    DefUse tick =
+        pointDefUse(trace::Point::interrupt(isa::Exception::Tick));
+    EXPECT_TRUE(has(tick.defs, VarId::EPCR0));
+}
+
+TEST(TaintPropagation, BfsDistancesToFixedPoint)
+{
+    const StateGraph &g = StateGraph::instance();
+    DistMap dist = reachableFrom(g, {VarId::EPCR0});
+    EXPECT_EQ(dist[VarId::EPCR0], 0u);
+    EXPECT_EQ(dist[VarId::NPC], 1u); // l.rfe
+    EXPECT_EQ(dist[VarId::USTALL], unreachableDist);
+    // Monotone: every reachable non-seed has a predecessor one
+    // step closer.
+    for (uint16_t v = 0; v < trace::numVars; ++v) {
+        if (dist[v] == unreachableDist || dist[v] == 0)
+            continue;
+        bool supported = false;
+        for (uint16_t u : g.predecessors(v))
+            supported |= dist[u] == dist[v] - 1;
+        EXPECT_TRUE(supported) << trace::varName(v);
+    }
+}
+
+TEST(Signatures, RfeInvariantIsDirectlyPrivileged)
+{
+    auto inv = expr::Invariant::parse("l.rfe -> SR == orig(ESR0)");
+    SecSignature sig =
+        invariantSignature(StateGraph::instance(), inv);
+    EXPECT_EQ(sig.dist[size_t(SecClass::Privilege)], 0u);
+    EXPECT_EQ(sig.dist[size_t(SecClass::ExceptionHandling)], 0u);
+    EXPECT_TRUE(sig.direct().has(SecClass::Privilege));
+    // The flag unpacking puts control-flow state one step away.
+    uint32_t cfi = sig.dist[size_t(SecClass::ControlFlow)];
+    EXPECT_NE(cfi, unreachableDist);
+    EXPECT_GE(cfi, 1u);
+    EXPECT_NE(sig.str(), "-");
+}
+
+TEST(Signatures, PlainArithmeticIsOnlyNearSecurityState)
+{
+    auto inv =
+        expr::Invariant::parse("l.add -> OPDEST == OPA + OPB");
+    SecSignature sig =
+        invariantSignature(StateGraph::instance(), inv);
+    EXPECT_TRUE(sig.direct().empty());
+    // The writeback path reaches tagged state within a few hops.
+    EXPECT_FALSE(sig.within(3).empty());
+}
+
+TEST(Footprints, EveryMutationCorruptsSomething)
+{
+    for (const bugs::Bug &bug : bugs::all()) {
+        EXPECT_FALSE(mutationFootprint(bug.mutation).empty())
+            << bug.id;
+    }
+    // The pipeline-stall defect is microarchitecture-only.
+    EXPECT_EQ(mutationFootprint(cpu::Mutation::B2_MacrcAfterMacStall),
+              std::vector<uint16_t>{VarId::USTALL});
+}
+
+TEST(Triage, FootprintOperandsLeadTheOrder)
+{
+    invgen::InvariantSet set;
+    set.add(expr::Invariant::parse("l.add -> OPDEST == OPA + OPB"));
+    set.add(expr::Invariant::parse("l.rfe -> SR == orig(ESR0)"));
+    set.add(expr::Invariant::parse("l.sw -> MEMADDR mod 4 == 0"));
+
+    // b4 corrupts SR/DSX/ESR0: the rfe invariant reads that state
+    // directly and must come first.
+    TriageOrder order =
+        triageOrder(StateGraph::instance(), set.all(),
+                    cpu::Mutation::B4_DsxNotImplemented);
+    ASSERT_EQ(order.order.size(), 3u);
+    ASSERT_EQ(order.distance.size(), 3u);
+    EXPECT_EQ(order.order[0], 1u);
+    EXPECT_EQ(order.distance[1], 0u);
+    // Ties and the tail keep ascending index order (stable).
+    EXPECT_LT(order.order[1], order.order[2]);
+}
+
+TEST(Triage, RankQualityEndpoints)
+{
+    std::vector<size_t> order = {0, 1, 2, 3, 4};
+    EXPECT_DOUBLE_EQ(rankQuality(order, {0}), 1.0);
+    EXPECT_DOUBLE_EQ(rankQuality(order, {4}), 0.0);
+    EXPECT_DOUBLE_EQ(rankQuality(order, {2}), 0.5);
+    EXPECT_DOUBLE_EQ(rankQuality(order, {}), 1.0);
+    // Reversing the order flips the quality.
+    std::vector<size_t> rev = {4, 3, 2, 1, 0};
+    EXPECT_DOUBLE_EQ(rankQuality(rev, {0}), 0.0);
+}
+
+TEST(Audit, ReportIsThreadCountInvariant)
+{
+    invgen::InvariantSet set;
+    set.add(expr::Invariant::parse("l.rfe -> SR == orig(ESR0)"));
+    set.add(expr::Invariant::parse("l.add -> OPDEST == OPA + OPB"));
+    set.add(expr::Invariant::parse("l.sw -> MEMADDR mod 4 == 0"));
+    set.add(expr::Invariant::parse("l.jal -> GPR9 == PC + 8"));
+
+    sci::AuditReport serial = sci::audit(set, bugs::table1());
+    support::ThreadPool pool(4);
+    sci::AuditReport parallel =
+        sci::audit(set, bugs::table1(), nullptr, &pool);
+    EXPECT_EQ(serial.render(), parallel.render());
+    EXPECT_EQ(serial.bugs().size(), 17u);
+    // Without a database nothing is cross-checked, so the report is
+    // vacuously sound.
+    EXPECT_TRUE(serial.sound());
+}
+
+TEST(Audit, FootprintSectionsAreCoherent)
+{
+    invgen::InvariantSet set;
+    set.add(expr::Invariant::parse("l.rfe -> SR == orig(ESR0)"));
+    sci::AuditReport report = sci::audit(set, bugs::table1());
+    for (const sci::BugAudit &a : report.bugs()) {
+        EXPECT_FALSE(a.footprint.empty()) << a.bugId;
+        EXPECT_LE(a.guardedDirect, a.guarded) << a.bugId;
+        EXPECT_LE(a.topGuards.size(), a.guarded) << a.bugId;
+        // Reachable list is sorted by (distance, variable) and only
+        // contains security-tagged variables.
+        for (size_t i = 1; i < a.reachable.size(); ++i)
+            EXPECT_LE(a.reachable[i - 1].second,
+                      a.reachable[i].second);
+        for (const auto &[v, dist] : a.reachable) {
+            EXPECT_FALSE(varSecurityClasses(v).empty())
+                << trace::varName(v);
+            EXPECT_NE(dist, unreachableDist);
+        }
+        // b2 corrupts only the stall counter: nothing ISA-visible.
+        if (a.bugId == "b2") {
+            EXPECT_TRUE(a.reachable.empty());
+        }
+    }
+}
+
+} // namespace
+} // namespace scif::analysis
