@@ -1,24 +1,28 @@
 /**
  * @file
  * Simulation front-end throughput: instructions/second of the
- * predecoded basic-block cache versus the interpreted
- * fetch-decode-execute loop, over the full 17-program training suite.
- * Both front ends are measured traced (records emitted to an AoS
- * buffer) and untraced (the fuzzing and trigger-replay regime); every
- * sweep reloads the program image, so the cached numbers include the
- * predecode cost itself. A second table times the trace-to-columns
- * path: capture-time columnar scattering plus seal against the
- * classic record buffer plus post-hoc transpose.
+ * chained predecoded block cache versus the plain (unchained) block
+ * cache versus the interpreted fetch-decode-execute loop, over the
+ * full 17-program training suite. Every front end is measured traced
+ * (records emitted to an AoS buffer) and untraced (the fuzzing and
+ * trigger-replay regime); every sweep reloads the program image, so
+ * the cached numbers include the predecode cost itself. The three
+ * front ends are sampled round-robin, best of three passes each, to
+ * keep scheduler noise out of the reported ratios. A second
+ * table times the trace-to-columns path: capture-time columnar
+ * scattering plus seal against the classic record buffer plus
+ * post-hoc transpose.
  *
  * Flags (on top of the common bench flags):
- *   --require-speedup <x>  fail (exit 1) unless the predecoded front
- *                          end beats the interpreter by at least x on
- *                          the untraced suite sweep (CI smoke uses
- *                          1.0; the design target is 2.0).
+ *   --require-speedup <x>  fail (exit 1) unless superblock chaining
+ *                          beats the unchained block cache by at
+ *                          least x on the untraced suite sweep (CI
+ *                          smoke uses 1.0; the design target is 1.3).
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -83,16 +87,19 @@ sweepsPerSecond(Fn &&sweep)
  *
  * @param progs the assembled suite.
  * @param predecode block-cache front end (false = interpreted).
+ * @param chain superblock chaining (only meaningful with predecode).
  * @param traced emit records into an AoS buffer (false = the
  *        untraced fuzz/replay regime).
  */
 double
-suiteRate(std::vector<Prepared> &progs, bool predecode, bool traced)
+suiteRate(std::vector<Prepared> &progs, bool predecode, bool chain,
+          bool traced)
 {
     std::vector<std::unique_ptr<cpu::Cpu>> cpus;
     for (auto &p : progs) {
         cpu::CpuConfig config = p.config;
         config.predecode = predecode;
+        config.chain = chain;
         cpus.push_back(std::make_unique<cpu::Cpu>(config));
     }
 
@@ -176,23 +183,42 @@ experiment()
     auto progs = prepare();
 
     TextTable table({"Mode", "Interpreted (insn/s)",
-                     "Predecoded (insn/s)", "Speedup"});
-    double speedups[2];
+                     "Predecoded (insn/s)", "Chained (insn/s)",
+                     "Chain speedup", "Total speedup"});
+    double chainSpeedups[2];
     const char *modes[2] = {"untraced", "traced"};
     for (int traced = 0; traced < 2; ++traced) {
-        double interp = suiteRate(progs, false, traced != 0);
-        double cached = suiteRate(progs, true, traced != 0);
-        double speedup = cached / interp;
-        speedups[traced] = speedup;
+        // Round-robin the three front ends and keep each one's best
+        // pass: on a loaded host a throughput sample is only ever
+        // noise-floored (a stall can make a pass slower, never
+        // faster), so best-of-N interleaved passes is the honest
+        // comparator for the chained/unchained ratio.
+        double interp = 0, cached = 0, chained = 0;
+        for (int rep = 0; rep < 3; ++rep) {
+            interp = std::max(
+                interp, suiteRate(progs, false, false, traced != 0));
+            cached = std::max(
+                cached, suiteRate(progs, true, false, traced != 0));
+            chained = std::max(
+                chained, suiteRate(progs, true, true, traced != 0));
+        }
+        double chainSpeedup = chained / cached;
+        chainSpeedups[traced] = chainSpeedup;
         table.addRow({modes[traced], format("%.3g", interp),
-                      format("%.3g", cached),
-                      format("%.2fx", speedup)});
+                      format("%.3g", cached), format("%.3g", chained),
+                      format("%.2fx", chainSpeedup),
+                      format("%.2fx", chained / interp)});
         bench::recordMetric(format("sim.%s.interpreted", modes[traced]),
                             interp, "insn/s");
         bench::recordMetric(format("sim.%s.predecoded", modes[traced]),
                             cached, "insn/s");
+        bench::recordMetric(format("sim.%s.chained", modes[traced]),
+                            chained, "insn/s");
+        bench::recordMetric(
+            format("sim.%s.chain_speedup", modes[traced]),
+            chainSpeedup, "x");
         bench::recordMetric(format("sim.%s.speedup", modes[traced]),
-                            speedup, "x");
+                            chained / interp, "x");
     }
     std::printf("%s\n", table.render().c_str());
 
@@ -209,22 +235,23 @@ experiment()
     bench::recordMetric("columns.speedup", direct / transpose, "x");
 
     double gate = bench::options().requireSpeedup;
-    if (gate > 0 && speedups[0] < gate) {
+    if (gate > 0 && chainSpeedups[0] < gate) {
         bench::failBench(format(
-            "untraced predecoded speedup %.2fx below the required "
-            "%.2fx",
-            speedups[0], gate));
+            "untraced chain speedup %.2fx below the required %.2fx",
+            chainSpeedups[0], gate));
     }
 }
 
 /** Micro-benchmark twins of the table, for --benchmark_filter runs. */
 void
-simFrontEnd(benchmark::State &state, bool predecode, bool traced)
+simFrontEnd(benchmark::State &state, bool predecode, bool chain,
+            bool traced)
 {
     const auto &w = workloads::byName("gzip");
     assembler::Program program = assembler::assembleOrDie(w.source);
     cpu::CpuConfig config = w.config;
     config.predecode = predecode;
+    config.chain = chain;
     cpu::Cpu cpu(config);
     trace::TraceBuffer buf;
     uint64_t insns = 0;
@@ -246,23 +273,30 @@ simFrontEnd(benchmark::State &state, bool predecode, bool traced)
 void
 simInterpreted(benchmark::State &state)
 {
-    simFrontEnd(state, false, false);
+    simFrontEnd(state, false, false, false);
 }
 BENCHMARK(simInterpreted)->Unit(benchmark::kMicrosecond);
 
 void
 simPredecoded(benchmark::State &state)
 {
-    simFrontEnd(state, true, false);
+    simFrontEnd(state, true, false, false);
 }
 BENCHMARK(simPredecoded)->Unit(benchmark::kMicrosecond);
 
 void
-simPredecodedTraced(benchmark::State &state)
+simChained(benchmark::State &state)
 {
-    simFrontEnd(state, true, true);
+    simFrontEnd(state, true, true, false);
 }
-BENCHMARK(simPredecodedTraced)->Unit(benchmark::kMicrosecond);
+BENCHMARK(simChained)->Unit(benchmark::kMicrosecond);
+
+void
+simChainedTraced(benchmark::State &state)
+{
+    simFrontEnd(state, true, true, true);
+}
+BENCHMARK(simChainedTraced)->Unit(benchmark::kMicrosecond);
 
 } // namespace
 } // namespace scif

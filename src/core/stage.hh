@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "support/memstats.hh"
+#include "support/simstats.hh"
 #include "support/threadpool.hh"
 
 namespace scif::core {
@@ -42,6 +43,15 @@ struct StageStats
      *  this stage's streaming readers/writers. Zero for stages that
      *  never touch the trace store. */
     uint64_t traceResidentPeak = 0;
+    /** Simulation front-end behavior during this stage (deltas of
+     *  the process-wide counters every dying BlockCache flushes):
+     *  boundaries dispatched through a chained block transition,
+     *  chain links severed by code-store invalidation, and
+     *  boundaries handed back to the interpreted path. All zero for
+     *  stages that never simulate. */
+    uint64_t chainHits = 0;
+    uint64_t chainSevers = 0;
+    uint64_t cacheFallbacks = 0;
 };
 
 /** Execution environment shared by the stages of one pipeline run. */
@@ -130,6 +140,7 @@ class Stage
         stats.name = name_;
         stats.itemsIn = detail::countItems(in);
         support::ResidentGauge::resetHighWater();
+        auto front = support::FrontEndCounters::snapshot();
         auto start = std::chrono::steady_clock::now();
         Out out = fn_(ctx, in);
         auto end = std::chrono::steady_clock::now();
@@ -138,6 +149,10 @@ class Stage
         stats.itemsOut = detail::countItems(out);
         stats.maxRssKb = support::peakRssKb();
         stats.traceResidentPeak = support::ResidentGauge::highWater();
+        auto after = support::FrontEndCounters::snapshot();
+        stats.chainHits = after.chainHits - front.chainHits;
+        stats.chainSevers = after.chainSevers - front.chainSevers;
+        stats.cacheFallbacks = after.fallbacks - front.fallbacks;
         ctx.record(std::move(stats));
         return out;
     }

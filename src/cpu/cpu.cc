@@ -5,6 +5,7 @@
 
 #include "support/bits.hh"
 #include "support/logging.hh"
+#include "trace/capture.hh"
 #include "trace/derived.hh"
 
 namespace scif::cpu {
@@ -16,6 +17,22 @@ using isa::InsnKind;
 using isa::Mnemonic;
 using trace::Record;
 using trace::VarId;
+
+namespace {
+bool chainDefault_ = true;
+} // namespace
+
+bool
+chainDefaultEnabled()
+{
+    return chainDefault_;
+}
+
+void
+setChainDefault(bool enabled)
+{
+    chainDefault_ = enabled;
+}
 
 Cpu::Cpu(CpuConfig config)
     : config_(std::move(config)),
@@ -134,8 +151,13 @@ Cpu::refreshCacheMode()
     // front end whenever it is active.
     cacheOn_ = cache_ != nullptr &&
                !has(Mutation::B11_FetchAfterLsuStall);
+    // A mutation-key change must never extend an existing chain:
+    // links only connect same-key blocks, and dropping the cursor
+    // here leaves no predecessor to link the next lookup from.
+    chainOn_ = cacheOn_ && config_.chain;
     curBlock_ = nullptr;
     curOp_ = 0;
+    chainBreak_ = false;
 }
 
 void
@@ -167,11 +189,13 @@ Cpu::reset()
     wedged_ = false;
     retired_ = 0;
     irqCursor_ = 0;
+    irqQuiet_ = false;
 
     // Cached blocks decode from memory, which reset() leaves alone —
     // only the dispatch cursor drops.
     curBlock_ = nullptr;
     curOp_ = 0;
+    chainBreak_ = false;
 }
 
 void
@@ -207,6 +231,10 @@ Cpu::readSpr(uint16_t addr) const
 void
 Cpu::writeSpr(uint16_t addr, uint32_t value)
 {
+    // An SPR write can arm the timer, raise or unmask a PIC line, or
+    // set SR.IEE/TEE — any of which ends the interrupt-quiescent
+    // regime the run loop relies on to skip per-insn checks.
+    irqQuiet_ = false;
     switch (addr) {
       case isa::spr::SR:
         // FO always reads one.
@@ -348,6 +376,11 @@ Cpu::enterException(Exception e, uint32_t fault_pc, uint32_t next_pc,
     if (roriTaint_ && has(Mutation::B8_RoriVector))
         vector ^= 0x400; // rotate residue corrupts the vector mux
     pc_ = vector;
+
+    // Exception entry severs the dispatch chain: the next boundary
+    // must neither follow a link into the handler nor install a
+    // faulting-edge link a clean re-run would never take.
+    chainBreak_ = true;
 }
 
 MemResult
@@ -627,6 +660,7 @@ Cpu::execute(const DecodedInsn &insn, const isa::InsnInfo &ii,
         if (has(Mutation::H7_RfeKeepsSm))
             restored |= 1u << isa::sr::SM;
         sr_ = restored;
+        irqQuiet_ = false; // ESR may restore IEE/TEE
         res.isRfe = true;
         res.rfeTarget = epcr_;
         break;
@@ -897,41 +931,81 @@ Cpu::nextCachedOp()
     if (curBlock_ == nullptr || !curBlock_->alive ||
         curOp_ >= curBlock_->ops.size() ||
         curBlock_->ops[curOp_].pc != pc_) {
-        // The cursor was the only outstanding reference, so parked
-        // invalidated blocks can be freed now.
-        curBlock_ = nullptr;
-        cache_->purgeDead();
-        curBlock_ = cache_->lookupOrBuild(pc_, mutKey_, mem_,
-                                          config_.userBase);
-        curOp_ = 0;
-        if (curBlock_->ops.empty() || curBlock_->ops[0].pc != pc_)
-            return nullptr; // negative entry: run interpreted
+        // A live block the cursor ran off the end of is a resolved
+        // block transition: the superblock dispatch either follows
+        // an installed successor link (no cursor drop, no lookup
+        // round trip) or remembers the block so the slow path below
+        // can install one. An exception entry since the last
+        // boundary (chainBreak_) disqualifies the transition — the
+        // handler edge must stay unchained.
+        Block *prev = nullptr;
+        bool followed = false;
+        if (chainOn_ && !chainBreak_ && curBlock_ != nullptr &&
+            curBlock_->alive && curOp_ >= curBlock_->ops.size()) {
+            Block *next = curBlock_->succFall;
+            if (next == nullptr || next->pc != pc_)
+                next = curBlock_->succTaken;
+            if (next != nullptr && next->pc == pc_ && next->alive) {
+                // Threaded dispatch: linked blocks always hold ops
+                // (negative entries are never linked) and share the
+                // active mutation key.
+                cache_->countChainHit();
+                curBlock_ = next;
+                curOp_ = 0;
+                followed = true;
+            } else {
+                prev = curBlock_;
+            }
+        }
+        chainBreak_ = false;
+        if (!followed) {
+            // The cursor was the only outstanding reference, so
+            // parked invalidated blocks can be freed now. (A live
+            // chain predecessor is never parked — only invalidated
+            // blocks enter the graveyard.)
+            curBlock_ = nullptr;
+            cache_->purgeDead();
+            curBlock_ = cache_->lookupOrBuild(pc_, mutKey_, mem_,
+                                              config_.userBase);
+            curOp_ = 0;
+            if (curBlock_->ops.empty() ||
+                curBlock_->ops[0].pc != pc_) {
+                cache_->countFallback();
+                return nullptr; // negative entry: run interpreted
+            }
+            if (prev != nullptr && prev->alive) {
+                cache_->link(prev, curBlock_,
+                             pc_ == prev->pc + prev->bytes);
+            }
+        }
     }
     const CachedOp &op = curBlock_->ops[curOp_++];
     if (op.needsSuper && !supervisor()) {
         // The fetch faults at this privilege; the interpreted path
         // owns fault entry. The cursor self-heals on the pc change.
+        cache_->countFallback();
         return nullptr;
     }
     cache_->countHit();
     return &op;
 }
 
+template <typename Sink>
 bool
-Cpu::dispatchBoundary(trace::TraceSink *sink, uint64_t &retired,
-                      uint64_t &emitted)
+Cpu::dispatchBoundary(Sink *sink, uint64_t &retired, uint64_t &emitted)
 {
     const CachedOp *op = cacheOn_ ? nextCachedOp() : nullptr;
     if (sink) {
         Record rec;
-        return stepBody<true>(rec, sink, retired, emitted, op);
+        return stepBody<true, Sink>(rec, sink, retired, emitted, op);
     }
-    return stepBody<false>(scratch_, nullptr, retired, emitted, op);
+    return stepBody<false, Sink>(scratch_, nullptr, retired, emitted,
+                                 op);
 }
 
-template <bool Traced>
+template <bool Traced, typename Sink>
 bool
-Cpu::stepBody(Record &rec, trace::TraceSink *sink, uint64_t &retired,
+Cpu::stepBody(Record &rec, Sink *sink, uint64_t &retired,
               uint64_t &emitted, const CachedOp *op)
 {
     uint32_t insn_pc = pc_;
@@ -1174,16 +1248,43 @@ Cpu::stepBody(Record &rec, trace::TraceSink *sink, uint64_t &retired,
 RunResult
 Cpu::run(trace::TraceSink *sink)
 {
+    // The capture-time columnar sink is the pipeline's default trace
+    // destination; selecting its concrete type here once lets every
+    // per-record emission inside the dispatch loop bind directly
+    // (ColumnarCapture is final) instead of through the vtable.
+    if (auto *columns = dynamic_cast<trace::ColumnarCapture *>(sink))
+        return runLoop(columns);
+    return runLoop(sink);
+}
+
+template <typename Sink>
+RunResult
+Cpu::runLoop(Sink *sink)
+{
     RunResult result;
     uint64_t emitted = 0;
 
+    // Wedging inside the loop is caught right after the dispatch that
+    // caused it, so the per-iteration check reduces to this entry one.
+    if (wedged_) {
+        result.reason = HaltReason::Wedged;
+        result.instructions = retired_;
+        return result;
+    }
+
     while (retired_ < config_.maxInsns) {
-        if (wedged_) {
-            result.reason = HaltReason::Wedged;
-            break;
+        if (!irqQuiet_) {
+            if (maybeInterrupt(sink, emitted))
+                continue;
+            // Nothing is deliverable, the IRQ schedule is drained,
+            // and the tick timer is stopped. Exception entry only
+            // ever clears IEE/TEE, so from here only an SPR write
+            // (l.mtspr, l.rfe) can make an interrupt deliverable —
+            // those writers drop the flag, and until one runs the
+            // per-insn interrupt check is skipped.
+            irqQuiet_ = irqCursor_ >= config_.irqSchedule.size() &&
+                        bits(ttmr_, 31, 30) == 0;
         }
-        if (maybeInterrupt(sink, emitted))
-            continue;
         uint64_t before = retired_;
         bool keep_going =
             dispatchBoundary(sink, result.instructions, emitted);

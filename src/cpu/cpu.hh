@@ -52,6 +52,16 @@ struct RunResult
     HaltReason reason = HaltReason::MaxInsns;
 };
 
+/**
+ * Process-wide default for CpuConfig::chain. `scifinder --no-chain`
+ * flips it once at startup (before any simulation threads exist) so
+ * every subsequently constructed configuration runs unchained; tests
+ * and benches that need explicit control set CpuConfig::chain
+ * directly instead.
+ */
+bool chainDefaultEnabled();
+void setChainDefault(bool enabled);
+
 /** Static configuration of a simulated system. */
 struct CpuConfig
 {
@@ -67,6 +77,16 @@ struct CpuConfig
      * Both front ends produce byte-identical traces.
      */
     bool predecode = true;
+
+    /**
+     * Chain predecoded blocks across resolved control flow
+     * (superblock / threaded dispatch): block transitions follow a
+     * stored successor pointer instead of re-entering the cache
+     * lookup. Traces and architectural state are byte-identical with
+     * chaining on or off; off reproduces the plain block-cache
+     * dispatch (the perf baseline).
+     */
+    bool chain = chainDefaultEnabled();
 
     /**
      * Microarchitectural trace extension (the paper's §5.2 future-
@@ -230,10 +250,18 @@ class Cpu
     /**
      * Run one trace boundary through the front end the configuration
      * selects: a predecoded CachedOp when the dispatch cursor has
-     * one, the interpreted fetch+decode path otherwise.
+     * one, the interpreted fetch+decode path otherwise. Templated on
+     * the concrete sink type so the per-record emission into the
+     * capture-time columnar sink devirtualizes inside the dispatch
+     * loop (run() selects the instantiation once per run).
      */
-    bool dispatchBoundary(trace::TraceSink *sink, uint64_t &retired,
+    template <typename Sink>
+    bool dispatchBoundary(Sink *sink, uint64_t &retired,
                           uint64_t &emitted);
+
+    /** The run() loop body, instantiated per concrete sink type. */
+    template <typename Sink>
+    RunResult runLoop(Sink *sink);
 
     /**
      * Run one instruction (or fused pair). @p op carries the
@@ -242,10 +270,9 @@ class Cpu
      * scratch record and no snapshots, derived variables, or sink
      * emission happen — architectural state advances identically.
      */
-    template <bool Traced>
-    bool stepBody(trace::Record &rec, trace::TraceSink *sink,
-                  uint64_t &retired, uint64_t &emitted,
-                  const CachedOp *op);
+    template <bool Traced, typename Sink>
+    bool stepBody(trace::Record &rec, Sink *sink, uint64_t &retired,
+                  uint64_t &emitted, const CachedOp *op);
 
     /**
      * The predecoded boundary at pc_, advancing the dispatch cursor;
@@ -292,6 +319,10 @@ class Cpu
 
     uint64_t retired_ = 0;
     size_t irqCursor_ = 0;
+    bool irqQuiet_ = false; ///< no interrupt can become deliverable
+                            ///< without an SPR write (mtspr / rfe);
+                            ///< lets the run loop skip the per-insn
+                            ///< interrupt check
 
     // Predecode front end (tentpole of the fast-simulation work).
     std::unique_ptr<BlockCache> cache_; ///< null when predecode off
@@ -299,6 +330,10 @@ class Cpu
     size_t curOp_ = 0;                  ///< next op within curBlock_
     uint64_t mutKey_ = 0;               ///< active mutation cache key
     bool cacheOn_ = false;              ///< predecode usable right now
+    bool chainOn_ = false;              ///< superblock chaining active
+    bool chainBreak_ = false;           ///< exception entered: do not
+                                        ///< follow or install a link
+                                        ///< at the next boundary
     bool memDirty_ = false;             ///< stores since loadProgram()
     DecodeMemo dsMemo_;                 ///< interpreted-path ds decode
     trace::Record scratch_;             ///< reused by untraced steps

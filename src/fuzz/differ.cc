@@ -89,6 +89,8 @@ diffProgram(const assembler::Program &program, const DiffConfig &config)
     cc.userBase = config.userBase;
     cc.maxInsns = config.maxInsns;
     cc.mutations = config.mutations;
+    cc.predecode = config.predecode;
+    cc.chain = config.chain;
     cpu::Cpu c(cc);
     c.loadProgram(program);
 

@@ -34,6 +34,15 @@ struct DiffConfig
     uint32_t userBase = 0x2000;
     uint64_t maxInsns = 20000;  ///< retirement budget per side
     uint64_t maxSteps = 40000;  ///< lockstep boundary limit
+
+    /** Cpu-side front end: predecoded block cache (the default) or
+     *  the interpreted fetch-decode loop. The reference interpreter
+     *  is independent of both, so the differ doubles as the oracle
+     *  for the front ends themselves. */
+    bool predecode = true;
+    /** Superblock chaining on the Cpu side (ignored when predecode
+     *  is off). */
+    bool chain = true;
 };
 
 /** First mismatch found by a co-simulation run. */

@@ -1,0 +1,322 @@
+#include "fleet.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bugs/registry.hh"
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace scif::fuzz {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Shared divergence-signature table: fixed size, linear probing,
+ *  sized far above any plausible distinct-signature count so the
+ *  probe-exhaustion fallback is a correctness backstop, not a
+ *  working mode. */
+constexpr size_t tableSlots = size_t(1) << 14;
+constexpr size_t maxProbes = 64;
+constexpr uint32_t noIndex = 0xffffffffu;
+
+struct SigSlot
+{
+    std::atomic<uint64_t> sig{0};
+    std::atomic<uint32_t> index{noIndex};
+};
+
+/**
+ * Dedup key of a divergence: FNV-1a over the mismatching state
+ * element (the text before the first colon of the mismatch
+ * description). The concrete values differ per seed; the element a
+ * bug corrupts rarely does, so one signature stands for one
+ * observable failure mode of the corpus.
+ */
+uint64_t
+signatureOf(const Divergence &d)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (char c : d.what) {
+        if (c == ':')
+            break;
+        h ^= uint8_t(c);
+        h *= 0x100000001b3ull;
+    }
+    return h != 0 ? h : 1; // 0 marks an empty slot
+}
+
+/**
+ * Publish one divergence into the shared table — the mutex-free fast
+ * path. A slot is claimed by CAS on the signature; the canonical
+ * (lowest) corpus index is maintained with a CAS-min loop, so the
+ * final table contents are independent of shard interleaving. Probe
+ * exhaustion raises @p overflow, switching the merge to the exact
+ * per-shard lists.
+ */
+void
+publish(std::vector<SigSlot> &table, std::atomic<bool> &overflow,
+        uint64_t sig, uint32_t index)
+{
+    size_t at = size_t(sig) & (tableSlots - 1);
+    for (size_t probe = 0; probe < maxProbes; ++probe) {
+        SigSlot &slot = table[at];
+        uint64_t cur = slot.sig.load(std::memory_order_acquire);
+        if (cur == 0 &&
+            slot.sig.compare_exchange_strong(
+                cur, sig, std::memory_order_acq_rel)) {
+            cur = sig;
+        }
+        if (cur == sig) {
+            uint32_t seen = slot.index.load(std::memory_order_relaxed);
+            while (index < seen &&
+                   !slot.index.compare_exchange_weak(
+                       seen, index, std::memory_order_acq_rel)) {
+            }
+            return;
+        }
+        at = (at + 1) & (tableSlots - 1);
+    }
+    overflow.store(true, std::memory_order_relaxed);
+}
+
+/** Results one shard accumulates privately during the scan. */
+struct ShardState
+{
+    std::vector<std::pair<uint64_t, uint32_t>> found; ///< (sig, index)
+    std::vector<uint32_t> kills;
+    std::vector<int64_t> firstKiller;
+    uint64_t claims = 0;
+};
+
+void
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("cannot write '%s'", path.c_str());
+    out << text;
+}
+
+void
+ensureDir(const std::string &dir)
+{
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+        fatal("cannot create directory '%s': %s", dir.c_str(),
+              ec.message().c_str());
+    }
+}
+
+void
+shardMain(const FleetConfig &config, const DiffConfig &dc,
+          const MutCovConfig &mc, const std::string &corpusDir,
+          std::atomic<uint32_t> &cursor, std::vector<SigSlot> &table,
+          std::atomic<bool> &overflow, ShardState &state)
+{
+    const uint32_t count = config.fuzz.count;
+    const uint32_t grain = std::max<uint32_t>(config.grain, 1);
+    for (;;) {
+        // Work stealing: every shard pulls the next unclaimed seed
+        // range; nothing about the results depends on which shard
+        // wins a pull.
+        uint32_t begin =
+            cursor.fetch_add(grain, std::memory_order_relaxed);
+        if (begin >= count)
+            break;
+        ++state.claims;
+        uint32_t end = std::min(count, begin + grain);
+        for (uint32_t i = begin; i < end; ++i) {
+            GeneratedProgram gen =
+                generate(config.fuzz.gen, config.fuzz.seed, i);
+            std::string source = gen.source();
+            assembler::Result assembled = assembler::assemble(source);
+            if (!assembled.ok)
+                fatal("fleet program %u does not assemble", i);
+            if (!corpusDir.empty()) {
+                writeFile(format("%s/prog_%04u.s", corpusDir.c_str(), i),
+                          source);
+            }
+
+            Divergence d = diffProgram(assembled.program, dc);
+            if (d) {
+                uint64_t sig = signatureOf(d);
+                publish(table, overflow, sig, i);
+                state.found.emplace_back(sig, i);
+            }
+
+            if (config.fuzz.mutationCoverage) {
+                uint64_t mask = killMask(assembled.program, mc);
+                for (size_t m = 0; m < cpu::numMutations; ++m) {
+                    if (!(mask >> m & 1))
+                        continue;
+                    ++state.kills[m];
+                    if (state.firstKiller[m] < 0 ||
+                        int64_t(i) < state.firstKiller[m]) {
+                        state.firstKiller[m] = int64_t(i);
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+FleetResult
+runFleet(const FleetConfig &config)
+{
+    SCIF_ASSERT(config.fuzz.replayDir.empty());
+
+    unsigned shards = config.shards;
+    if (shards == 0)
+        shards = std::max(1u, std::thread::hardware_concurrency());
+
+    DiffConfig dc;
+    dc.memBytes = config.fuzz.gen.memBytes;
+    dc.maxInsns = config.fuzz.maxInsns;
+    dc.maxSteps = config.fuzz.maxInsns * 2;
+    dc.mutations = config.mutations;
+
+    MutCovConfig mc;
+    mc.memBytes = config.fuzz.gen.memBytes;
+    mc.maxInsns = config.fuzz.maxInsns;
+
+    std::string corpusDir;
+    if (!config.fuzz.artifactDir.empty()) {
+        corpusDir = config.fuzz.artifactDir + "/corpus";
+        ensureDir(corpusDir);
+    }
+
+    std::vector<SigSlot> table(tableSlots);
+    std::atomic<bool> overflow{false};
+    std::atomic<uint32_t> cursor{0};
+    std::vector<ShardState> states(shards);
+    for (ShardState &s : states) {
+        s.kills.assign(cpu::numMutations, 0);
+        s.firstKiller.assign(cpu::numMutations, -1);
+    }
+
+    {
+        std::vector<std::thread> threads;
+        threads.reserve(shards);
+        for (unsigned s = 0; s < shards; ++s) {
+            threads.emplace_back([&, s] {
+                shardMain(config, dc, mc, corpusDir, cursor, table,
+                          overflow, states[s]);
+            });
+        }
+        for (std::thread &t : threads)
+            t.join();
+    }
+
+    FleetResult out;
+    out.shardsUsed = shards;
+    for (const ShardState &s : states) {
+        out.claims += s.claims;
+        out.divergences += s.found.size();
+    }
+
+    // Canonical divergence per signature (lowest corpus index). The
+    // table already holds exactly that; the exact rebuild from the
+    // per-shard lists only runs after a probe overflow, and computes
+    // the identical map.
+    std::map<uint64_t, uint32_t> canon;
+    if (overflow.load()) {
+        for (const ShardState &s : states) {
+            for (auto [sig, index] : s.found) {
+                auto [it, fresh] = canon.emplace(sig, index);
+                if (!fresh && index < it->second)
+                    it->second = index;
+            }
+        }
+    } else {
+        for (const SigSlot &slot : table) {
+            uint64_t sig = slot.sig.load(std::memory_order_relaxed);
+            if (sig != 0) {
+                canon.emplace(sig,
+                              slot.index.load(
+                                  std::memory_order_relaxed));
+            }
+        }
+    }
+    out.dedupDropped = out.divergences - canon.size();
+
+    // Shrink only the canonical representative of each signature,
+    // lowest corpus index first (a diffProgram run reports a single
+    // first mismatch, so distinct signatures never share an index).
+    std::vector<uint32_t> indices;
+    indices.reserve(canon.size());
+    for (auto [sig, index] : canon)
+        indices.push_back(index);
+    std::sort(indices.begin(), indices.end());
+
+    FuzzResult &result = out.result;
+    result.programs = config.fuzz.count;
+    for (uint32_t index : indices) {
+        GeneratedProgram gen =
+            generate(config.fuzz.gen, config.fuzz.seed, index);
+        ShrinkResult minimal = shrink(gen, dc);
+        Repro repro;
+        repro.index = index;
+        repro.name = gen.name;
+        repro.divergence = minimal.divergence;
+        repro.source = minimal.source;
+        result.repros.push_back(std::move(repro));
+    }
+
+    if (config.fuzz.mutationCoverage) {
+        CoverageReport &report = result.coverage;
+        report.scores.resize(cpu::numMutations);
+        for (const bugs::Bug &bug : bugs::all()) {
+            MutationScore &score = report.scores[size_t(bug.mutation)];
+            score.mutation = bug.mutation;
+            score.bugId = bug.id;
+            score.synopsis = bug.synopsis;
+            score.heldOut = bug.heldOut;
+            score.programs = config.fuzz.count;
+        }
+        for (size_t m = 0; m < cpu::numMutations; ++m) {
+            MutationScore &score = report.scores[m];
+            for (const ShardState &s : states) {
+                score.kills += s.kills[m];
+                if (s.firstKiller[m] >= 0 &&
+                    (score.firstKiller < 0 ||
+                     s.firstKiller[m] < score.firstKiller)) {
+                    score.firstKiller = s.firstKiller[m];
+                }
+            }
+        }
+        result.coverageRan = true;
+    }
+
+    if (!config.fuzz.artifactDir.empty()) {
+        const std::string &dir = config.fuzz.artifactDir;
+        ensureDir(dir);
+        writeFile(dir + "/fuzz_report.txt", result.render());
+        for (const Repro &r : result.repros) {
+            writeFile(format("%s/repro_%04u.s", dir.c_str(), r.index),
+                      r.source);
+        }
+        if (result.coverageRan) {
+            writeFile(dir + "/mutation_coverage.txt",
+                      result.coverage.render());
+            std::string survivors;
+            for (const std::string &id : result.coverage.survivors())
+                survivors += id + "\n";
+            writeFile(dir + "/surviving_mutants.txt", survivors);
+        }
+    }
+
+    return out;
+}
+
+} // namespace scif::fuzz

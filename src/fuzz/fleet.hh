@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Work-stealing fuzzing fleet: the scale-out mode of the
+ * differential fuzzer.
+ *
+ * runFuzz() (fuzzer.hh) materializes the whole corpus up front and
+ * fans the diff pass over a thread pool. The fleet instead streams:
+ * N shard threads pull seed ranges from a shared atomic cursor
+ * (work-stealing — a shard that finishes its range early claims the
+ * next one), generate + assemble + co-simulate each seed in place,
+ * and dedup discovered divergences against a shared signature table
+ * with a mutex-free CAS fast path. Per-shard mutation kill tallies
+ * merge by sum (kills) and min (first killer) after the scan.
+ *
+ * Determinism contract: every report and artifact byte is identical
+ * for any fleet width (and any claim interleaving). The signature
+ * table is order-free by construction — a slot is claimed with a CAS
+ * on the signature and its canonical index maintained with a CAS-min
+ * loop, so the final table contents are a pure function of the set
+ * of discovered divergences; shrinking runs only on the canonical
+ * (lowest-index) representative of each signature, after the scan.
+ */
+
+#ifndef SCIFINDER_FUZZ_FLEET_HH
+#define SCIFINDER_FUZZ_FLEET_HH
+
+#include <cstdint>
+
+#include "cpu/mutation.hh"
+#include "fuzz/fuzzer.hh"
+
+namespace scif::fuzz {
+
+/** One fleet campaign's parameters. */
+struct FleetConfig
+{
+    /** Base campaign: seed, count, generator shape, budgets,
+     *  artifact directory, optional mutation coverage. The replay
+     *  mode is not available in fleet runs. */
+    FuzzConfig fuzz;
+
+    /** Mutations injected into the Cpu side of every co-simulation
+     *  (empty = clean CPU vs reference). Non-empty turns the fleet
+     *  into a mutant detector — which is also how the determinism
+     *  tests force a stream of divergences to dedup. */
+    cpu::MutationSet mutations;
+
+    /** Fleet width: shard threads (0 = all hardware threads). */
+    unsigned shards = 1;
+
+    /** Seeds claimed per cursor pull. Granularity only changes which
+     *  shard runs a seed, never any result. */
+    uint32_t grain = 16;
+};
+
+/** Results of one fleet campaign. */
+struct FleetResult
+{
+    /** The campaign outcome; render() and ok() are byte-compatible
+     *  with the single-threaded fuzzer's report, and identical for
+     *  any fleet width. */
+    FuzzResult result;
+
+    unsigned shardsUsed = 0;    ///< shard threads that ran
+    uint64_t claims = 0;        ///< cursor pulls across all shards
+    uint64_t divergences = 0;   ///< raw divergences before dedup
+    uint64_t dedupDropped = 0;  ///< divergences deduped away
+};
+
+/** Run one fleet campaign. */
+FleetResult runFleet(const FleetConfig &config);
+
+} // namespace scif::fuzz
+
+#endif // SCIFINDER_FUZZ_FLEET_HH

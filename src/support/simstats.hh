@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Process-wide simulation front-end telemetry.
+ *
+ * The predecode front end keeps its counters per BlockCache (one per
+ * Cpu), but the pipeline wants per-stage totals: how many boundaries
+ * dispatched through a chained block transition, how many links
+ * invalidation severed, and how often the dispatcher fell back to the
+ * interpreted path. Every BlockCache flushes its lifetime counters
+ * into these process-wide atomics when it dies — Cpus are scoped to
+ * the stage functions that create them, so core::Stage can sample the
+ * totals around a stage body and report the deltas (the same pattern
+ * ResidentGauge uses for trace residency).
+ */
+
+#ifndef SCIFINDER_SUPPORT_SIMSTATS_HH
+#define SCIFINDER_SUPPORT_SIMSTATS_HH
+
+#include <atomic>
+#include <cstdint>
+
+namespace scif::support {
+
+/** Accumulated front-end counters of every dead BlockCache. */
+class FrontEndCounters
+{
+  public:
+    struct Snapshot
+    {
+        uint64_t chainHits = 0;
+        uint64_t chainSevers = 0;
+        uint64_t fallbacks = 0;
+    };
+
+    /** Fold one cache's lifetime counters into the process totals. */
+    static void
+    add(uint64_t chainHits, uint64_t chainSevers, uint64_t fallbacks)
+    {
+        chainHits_.fetch_add(chainHits, std::memory_order_relaxed);
+        chainSevers_.fetch_add(chainSevers, std::memory_order_relaxed);
+        fallbacks_.fetch_add(fallbacks, std::memory_order_relaxed);
+    }
+
+    /** @return the current process totals (monotone). */
+    static Snapshot
+    snapshot()
+    {
+        Snapshot s;
+        s.chainHits = chainHits_.load(std::memory_order_relaxed);
+        s.chainSevers = chainSevers_.load(std::memory_order_relaxed);
+        s.fallbacks = fallbacks_.load(std::memory_order_relaxed);
+        return s;
+    }
+
+  private:
+    inline static std::atomic<uint64_t> chainHits_{0};
+    inline static std::atomic<uint64_t> chainSevers_{0};
+    inline static std::atomic<uint64_t> fallbacks_{0};
+};
+
+} // namespace scif::support
+
+#endif // SCIFINDER_SUPPORT_SIMSTATS_HH

@@ -31,6 +31,7 @@
 #include "bugs/classification.hh"
 #include "core/artifacts.hh"
 #include "core/scifinder.hh"
+#include "fuzz/fleet.hh"
 #include "fuzz/fuzzer.hh"
 #include "monitor/overhead.hh"
 #include "monitor/service.hh"
@@ -104,12 +105,21 @@ usage()
         "                 front end instead of the predecoded block "
         "cache\n"
         "                 with capture-time columns; same "
-        "artifacts)\n"
+        "artifacts),\n"
+        "                 --no-chain (keep the block cache but "
+        "disable\n"
+        "                 superblock chaining; same artifacts)\n"
         "\n"
         "testing:\n"
         "  fuzz      [opts] [--seed S] [--count N] "
         "[--mutation-coverage]\n"
-        "            [--replay D]\n"
+        "            [--replay D] [--fleet N] [--grain N]\n"
+        "                            --fleet runs N work-stealing "
+        "shards\n"
+        "                            (0 = all cores; artifacts "
+        "byte-identical\n"
+        "                            for any width; not with "
+        "--replay)\n"
         "                            differential fuzz the simulator "
         "against\n"
         "                            the independent reference "
@@ -244,6 +254,10 @@ parseCommon(std::vector<std::string> &args, CommonOpts &opts)
             opts.interpretedEval = true;
         } else if (arg == "--interpreted-sim") {
             opts.interpretedSim = true;
+        } else if (arg == "--no-chain") {
+            // Process-wide: every simulation this invocation runs
+            // uses the plain (unchained) block-cache dispatch.
+            cpu::setChainDefault(false);
         } else {
             rest.push_back(arg);
         }
@@ -1314,13 +1328,22 @@ cmdRun(const std::vector<std::string> &args_in)
                 overhead.powerPct);
     for (const auto &stage : r.stages) {
         std::printf("stage %-21s %8.2fs  %llu -> %llu items  "
-                    "rss %llu KiB  traces-resident %llu KiB\n",
+                    "rss %llu KiB  traces-resident %llu KiB",
                     stage.name.c_str(), stage.seconds,
                     (unsigned long long)stage.itemsIn,
                     (unsigned long long)stage.itemsOut,
                     (unsigned long long)stage.maxRssKb,
                     (unsigned long long)(stage.traceResidentPeak /
                                          1024));
+        if (stage.chainHits != 0 || stage.chainSevers != 0 ||
+            stage.cacheFallbacks != 0) {
+            std::printf("  chain-hits %llu  chain-severs %llu  "
+                        "fallbacks %llu",
+                        (unsigned long long)stage.chainHits,
+                        (unsigned long long)stage.chainSevers,
+                        (unsigned long long)stage.cacheFallbacks);
+        }
+        std::printf("\n");
     }
     if (!opts.artifactDir.empty())
         std::printf("artifacts:   %s\n", opts.artifactDir.c_str());
@@ -1342,6 +1365,9 @@ cmdFuzz(const std::vector<std::string> &args_in)
 
     fuzz::FuzzConfig config;
     config.artifactDir = opts.artifactDir;
+    bool fleet = false;
+    unsigned fleetShards = 0;
+    uint32_t fleetGrain = 16;
     for (size_t i = 0; i < args.size(); ++i) {
         const std::string &arg = args[i];
         auto value = [&](const char *flag) -> const std::string * {
@@ -1380,10 +1406,51 @@ cmdFuzz(const std::vector<std::string> &args_in)
             if (!v)
                 return 2;
             config.replayDir = *v;
+        } else if (arg == "--fleet") {
+            const std::string *v = value("--fleet");
+            uint64_t n = 0;
+            if (!v || !number(*v, "--fleet", &n))
+                return 2;
+            fleet = true;
+            fleetShards = unsigned(n);
+        } else if (arg == "--grain") {
+            const std::string *v = value("--grain");
+            uint64_t n = 0;
+            if (!v || !number(*v, "--grain", &n))
+                return 2;
+            if (n == 0) {
+                std::fprintf(stderr,
+                             "--grain must be at least 1\n");
+                return 2;
+            }
+            fleetGrain = uint32_t(n);
         } else {
             std::fprintf(stderr, "unknown option %s\n", arg.c_str());
             return 2;
         }
+    }
+
+    if (fleet) {
+        if (!config.replayDir.empty()) {
+            std::fprintf(stderr,
+                         "--fleet cannot replay a directory; drop "
+                         "--replay\n");
+            return 2;
+        }
+        fuzz::FleetConfig fc;
+        fc.fuzz = config;
+        fc.shards = fleetShards;
+        fc.grain = fleetGrain;
+        fuzz::FleetResult fr = fuzz::runFleet(fc);
+        std::printf("%s", fr.result.render().c_str());
+        std::printf("fleet: %u shards, %llu claims, %llu raw "
+                    "divergences (%llu deduped)\n",
+                    fr.shardsUsed, (unsigned long long)fr.claims,
+                    (unsigned long long)fr.divergences,
+                    (unsigned long long)fr.dedupDropped);
+        if (!opts.artifactDir.empty())
+            std::printf("artifacts:   %s\n", opts.artifactDir.c_str());
+        return fr.result.ok() ? 0 : 1;
     }
 
     auto pool = makePool(opts);

@@ -31,8 +31,11 @@
 
 namespace scif::trace {
 
-/** A TraceSink that builds per-point columns as records arrive. */
-class ColumnarCapture : public TraceSink
+/** A TraceSink that builds per-point columns as records arrive.
+ *  Final so the simulator's columnar dispatch loop, which selects
+ *  this concrete type once per run, emits records through a direct
+ *  call instead of the TraceSink vtable. */
+class ColumnarCapture final : public TraceSink
 {
   public:
     void record(const Record &rec) override;

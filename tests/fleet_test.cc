@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Work-stealing fleet tests: the determinism contract (reports,
+ * artifacts, and kill tallies byte-identical for any fleet width),
+ * dedup of mutation-forced divergences to the lowest-index canonical
+ * repro, and agreement with the single-threaded fuzzer on a clean
+ * campaign.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "fuzz/fleet.hh"
+#include "fuzz/fuzzer.hh"
+#include "support/strings.hh"
+
+namespace scif::fuzz {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Campaign with mutation-forced divergences to dedup. */
+FleetConfig
+buggyCampaign()
+{
+    FleetConfig fc;
+    fc.fuzz.seed = 77;
+    fc.fuzz.count = 20;
+    fc.mutations = {cpu::Mutation::B10_Gpr0Writable};
+    fc.grain = 4;
+    return fc;
+}
+
+std::map<std::string, std::string>
+slurpDir(const fs::path &dir)
+{
+    std::map<std::string, std::string> files;
+    for (const auto &entry : fs::recursive_directory_iterator(dir)) {
+        if (!entry.is_regular_file())
+            continue;
+        std::ifstream in(entry.path(), std::ios::binary);
+        std::ostringstream text;
+        text << in.rdbuf();
+        files[fs::relative(entry.path(), dir).string()] = text.str();
+    }
+    return files;
+}
+
+TEST(Fleet, WidthsProduceIdenticalReports)
+{
+    FleetConfig fc = buggyCampaign();
+
+    fc.shards = 1;
+    FleetResult one = runFleet(fc);
+    ASSERT_GT(one.divergences, 0u)
+        << "B10 exposed no divergence; the campaign tests nothing";
+    ASSERT_FALSE(one.result.repros.empty());
+    EXPECT_EQ(one.dedupDropped,
+              one.divergences - one.result.repros.size());
+    EXPECT_EQ(one.shardsUsed, 1u);
+
+    for (unsigned width : {3u, 8u}) {
+        fc.shards = width;
+        FleetResult wide = runFleet(fc);
+        EXPECT_EQ(wide.shardsUsed, width);
+        EXPECT_EQ(wide.divergences, one.divergences) << width;
+        EXPECT_EQ(wide.dedupDropped, one.dedupDropped) << width;
+        EXPECT_EQ(wide.result.render(), one.result.render()) << width;
+        ASSERT_EQ(wide.result.repros.size(), one.result.repros.size());
+        for (size_t i = 0; i < one.result.repros.size(); ++i) {
+            const Repro &a = one.result.repros[i];
+            const Repro &b = wide.result.repros[i];
+            EXPECT_EQ(a.index, b.index);
+            EXPECT_EQ(a.name, b.name);
+            EXPECT_EQ(a.source, b.source);
+            EXPECT_EQ(a.divergence.what, b.divergence.what);
+        }
+    }
+}
+
+TEST(Fleet, CanonicalReproIsLowestIndex)
+{
+    FleetConfig fc = buggyCampaign();
+    fc.shards = 4;
+    FleetResult fr = runFleet(fc);
+
+    // Every diverging index at or below a repro's index with the same
+    // failure mode deduped into it, so each repro must be the lowest
+    // index of its kind — in particular the first repro is the first
+    // diverging program of the whole campaign.
+    ASSERT_FALSE(fr.result.repros.empty());
+    uint32_t first = fr.result.repros.front().index;
+    DiffConfig dc;
+    dc.mutations = fc.mutations;
+    for (uint32_t i = 0; i < first; ++i) {
+        GeneratedProgram gp = generate(fc.fuzz.gen, fc.fuzz.seed, i);
+        auto r = assembler::assemble(gp.source());
+        ASSERT_TRUE(r.ok);
+        EXPECT_FALSE(diffProgram(r.program, dc))
+            << "program " << i << " diverges but repro starts at "
+            << first;
+    }
+}
+
+TEST(Fleet, ArtifactsIdenticalAcrossWidths)
+{
+    fs::path base = fs::temp_directory_path() /
+                    format("scif_fleet_test_%d", getpid());
+    fs::remove_all(base);
+
+    FleetConfig fc = buggyCampaign();
+    fc.fuzz.count = 12;
+    fc.grain = 2;
+
+    fc.shards = 1;
+    fc.fuzz.artifactDir = (base / "w1").string();
+    FleetResult one = runFleet(fc);
+    fc.shards = 5;
+    fc.fuzz.artifactDir = (base / "w5").string();
+    FleetResult five = runFleet(fc);
+    EXPECT_EQ(one.result.render(), five.result.render());
+
+    auto a = slurpDir(base / "w1");
+    auto b = slurpDir(base / "w5");
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+    EXPECT_TRUE(a.count("fuzz_report.txt"));
+    EXPECT_TRUE(a.count("corpus/prog_0000.s"));
+    EXPECT_TRUE(a.count("corpus/prog_0011.s"));
+
+    fs::remove_all(base);
+}
+
+TEST(Fleet, MatchesSingleThreadedFuzzerOnCleanCampaign)
+{
+    // A clean fleet (no mutations) runs the same campaign as
+    // runFuzz(): same corpus, no divergences, and — with coverage on
+    // — the identical merged kill tally, so the rendered reports
+    // must match byte for byte.
+    FleetConfig fc;
+    fc.fuzz.seed = 31337;
+    fc.fuzz.count = 16;
+    fc.fuzz.mutationCoverage = true;
+    fc.shards = 3;
+    fc.grain = 4;
+    FleetResult fleet = runFleet(fc);
+    EXPECT_EQ(fleet.divergences, 0u);
+    EXPECT_EQ(fleet.claims, 4u);
+
+    FuzzResult serial = runFuzz(fc.fuzz, nullptr);
+    EXPECT_TRUE(serial.ok());
+    EXPECT_EQ(fleet.result.render(), serial.render());
+}
+
+} // namespace
+} // namespace scif::fuzz

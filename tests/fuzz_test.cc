@@ -237,6 +237,78 @@ TEST(Corpus, MinimizedRegressionsStayConvergent)
     EXPECT_GE(replayed, 1u);
 }
 
+TEST(Corpus, FrontEndsAgreeOverCorpusAndGenerated)
+{
+    // Lockstep the three Cpu front ends — chained block cache,
+    // unchained block cache, interpreted — over the checked-in corpus
+    // plus a slice of generated programs: none may diverge from the
+    // reference, and all three traces must be byte-identical.
+    std::vector<std::pair<std::string, assembler::Program>> programs;
+    for (const auto &entry : fs::directory_iterator(
+             SCIF_TEST_CORPUS_DIR)) {
+        if (entry.path().extension() != ".s")
+            continue;
+        std::ifstream in(entry.path());
+        ASSERT_TRUE(in.good()) << entry.path();
+        std::ostringstream text;
+        text << in.rdbuf();
+        auto r = assembler::assemble(text.str());
+        ASSERT_TRUE(r.ok) << entry.path();
+        programs.emplace_back(entry.path().string(), r.program);
+    }
+    GenConfig gc;
+    for (uint32_t i = 0; i < 8; ++i) {
+        GeneratedProgram gp = generate(gc, 909, i);
+        programs.emplace_back(gp.name, assembleGenerated(gp));
+    }
+
+    struct FrontEnd
+    {
+        const char *name;
+        bool predecode;
+        bool chain;
+    };
+    const FrontEnd frontEnds[] = {
+        {"chained", true, true},
+        {"unchained", true, false},
+        {"interpreted", false, false},
+    };
+
+    for (const auto &[name, program] : programs) {
+        std::vector<trace::TraceBuffer> traces(3);
+        for (size_t f = 0; f < 3; ++f) {
+            DiffConfig dc;
+            dc.memBytes = gc.memBytes;
+            dc.predecode = frontEnds[f].predecode;
+            dc.chain = frontEnds[f].chain;
+            Divergence d = diffProgram(program, dc);
+            EXPECT_FALSE(d) << name << " (" << frontEnds[f].name
+                            << "): step " << d.step << ", " << d.what;
+
+            cpu::CpuConfig cc;
+            cc.memBytes = gc.memBytes;
+            cc.predecode = frontEnds[f].predecode;
+            cc.chain = frontEnds[f].chain;
+            cpu::Cpu c(cc);
+            c.loadProgram(program);
+            c.run(&traces[f]);
+        }
+        for (size_t f = 1; f < 3; ++f) {
+            ASSERT_EQ(traces[f].size(), traces[0].size()) << name;
+            for (size_t i = 0; i < traces[0].size(); ++i) {
+                const trace::Record &a = traces[0].records()[i];
+                const trace::Record &b = traces[f].records()[i];
+                ASSERT_EQ(a.point.id(), b.point.id())
+                    << name << " record " << i;
+                ASSERT_EQ(a.index, b.index) << name << " record " << i;
+                ASSERT_EQ(a.fused, b.fused) << name << " record " << i;
+                ASSERT_EQ(a.pre, b.pre) << name << " record " << i;
+                ASSERT_EQ(a.post, b.post) << name << " record " << i;
+            }
+        }
+    }
+}
+
 TEST(Corpus, AddcRegressionSetsOverflowFromCarry)
 {
     std::ifstream in(std::string(SCIF_TEST_CORPUS_DIR) +
