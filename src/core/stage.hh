@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "support/evalstats.hh"
 #include "support/memstats.hh"
 #include "support/simstats.hh"
 #include "support/threadpool.hh"
@@ -52,6 +53,16 @@ struct StageStats
     uint64_t chainHits = 0;
     uint64_t chainSevers = 0;
     uint64_t cacheFallbacks = 0;
+    /** Fused-evaluation behavior during this stage (deltas of the
+     *  process-wide support::EvalCounters): candidate programs fused
+     *  into batch DAGs, structural duplicates collapsed by the
+     *  value-numbering, members retired live mid-sweep, and sweep
+     *  re-compactions. All zero for stages that never evaluate
+     *  invariants — and under --no-fused-eval. */
+    uint64_t fusedMembers = 0;
+    uint64_t fusedDeduped = 0;
+    uint64_t fusedRetired = 0;
+    uint64_t fusedCompactions = 0;
 };
 
 /** Execution environment shared by the stages of one pipeline run. */
@@ -141,6 +152,7 @@ class Stage
         stats.itemsIn = detail::countItems(in);
         support::ResidentGauge::resetHighWater();
         auto front = support::FrontEndCounters::snapshot();
+        auto eval = support::EvalCounters::snapshot();
         auto start = std::chrono::steady_clock::now();
         Out out = fn_(ctx, in);
         auto end = std::chrono::steady_clock::now();
@@ -153,6 +165,12 @@ class Stage
         stats.chainHits = after.chainHits - front.chainHits;
         stats.chainSevers = after.chainSevers - front.chainSevers;
         stats.cacheFallbacks = after.fallbacks - front.fallbacks;
+        auto evalAfter = support::EvalCounters::snapshot();
+        stats.fusedMembers = evalAfter.fusedMembers - eval.fusedMembers;
+        stats.fusedDeduped = evalAfter.fusedDeduped - eval.fusedDeduped;
+        stats.fusedRetired = evalAfter.fusedRetired - eval.fusedRetired;
+        stats.fusedCompactions =
+            evalAfter.fusedCompactions - eval.fusedCompactions;
         ctx.record(std::move(stats));
         return out;
     }

@@ -96,10 +96,18 @@ class CompiledInvariant
     /** @return true if every referenced column is materialized. */
     bool compatible(const trace::PointColumns &cols) const;
 
-    /** Slot ids of every column the program loads. */
+    /** Slot ids of every column the program loads, sorted and
+     *  deduplicated (fused-group column planning and compatible()
+     *  checks count each referenced column once). */
     std::vector<uint16_t> slots() const;
 
     const std::vector<Insn> &program() const { return program_; }
+
+    /** Register holding the final truth value after the program. */
+    uint8_t resultReg() const { return resultReg_; }
+
+    /** The sorted membership set an InSet instruction tests. */
+    const std::vector<uint32_t> &inSet() const { return set_; }
 
   private:
     /** Execute over one block; r[resultReg_][k] = holds(row begin+k). */

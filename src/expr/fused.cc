@@ -1,0 +1,759 @@
+#include "fused.hh"
+
+#include <algorithm>
+
+#include "support/evalstats.hh"
+#include "support/logging.hh"
+
+namespace scif::expr {
+
+namespace {
+
+bool fusedDefault_ = true;
+
+/** Source-operand count of an instruction kind. */
+int
+arity(OpCode op)
+{
+    switch (op) {
+      case OpCode::LoadCol:
+      case OpCode::LoadImm:
+        return 0;
+      case OpCode::Not:
+      case OpCode::MulImm:
+      case OpCode::AndImm:
+      case OpCode::ModImm:
+      case OpCode::AddImm:
+      case OpCode::InSet:
+        return 1;
+      case OpCode::And:
+      case OpCode::Or:
+      case OpCode::Add:
+      case OpCode::Sub:
+      case OpCode::CmpEq:
+      case OpCode::CmpNe:
+      case OpCode::CmpGt:
+      case OpCode::CmpGe:
+        return 2;
+    }
+    return 0;
+}
+
+/** Operand order does not change the result, so sources are sorted
+ *  to make the value-numbering key canonical. */
+bool
+commutative(OpCode op)
+{
+    switch (op) {
+      case OpCode::And:
+      case OpCode::Or:
+      case OpCode::Add:
+      case OpCode::CmpEq:
+      case OpCode::CmpNe:
+        return true;
+      default:
+        return false;
+    }
+}
+
+uint64_t
+hashValue(OpCode op, uint32_t src1, uint32_t src2, uint32_t imm)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](uint64_t x) {
+        h ^= x;
+        h *= 0x100000001b3ull;
+    };
+    mix(uint64_t(uint8_t(op)));
+    mix(src1);
+    mix(src2);
+    mix(imm);
+    return h;
+}
+
+/** Rows between accumulator checks in the reduce-mode kernels.
+ *  Falsified members are the common case in a generation sweep —
+ *  most candidates die within their first few rows — so the
+ *  reduction peeks at its accumulator every subchunk and bails out
+ *  as soon as a failure lands instead of finishing the block. */
+constexpr size_t kReduceChunk = 16;
+
+/**
+ * Reduce-mode kernel: AND of a compare over the whole block without
+ * storing per-row results.
+ * @return the first failing index, or npos when every row passes.
+ */
+template <typename Cmp>
+size_t
+cmpFirstBadT(const uint32_t *r1, const uint32_t *r2, size_t len,
+             Cmp cmp)
+{
+    for (size_t k = 0; k < len;) {
+        size_t lim = std::min(k + kReduceChunk, len);
+        uint32_t all = 1;
+        for (size_t j = k; j < lim; ++j)
+            all &= cmp(r1[j], r2[j]) ? 1u : 0u;
+        if (!all) {
+            for (size_t j = k; j < lim; ++j) {
+                if (!cmp(r1[j], r2[j]))
+                    return j;
+            }
+        }
+        k = lim;
+    }
+    return size_t(-1);
+}
+
+size_t
+cmpFirstBad(OpCode op, const uint32_t *r1, const uint32_t *r2,
+            size_t len)
+{
+    switch (op) {
+      case OpCode::CmpEq:
+        return cmpFirstBadT(r1, r2, len,
+                            [](uint32_t a, uint32_t b) { return a == b; });
+      case OpCode::CmpNe:
+        return cmpFirstBadT(r1, r2, len,
+                            [](uint32_t a, uint32_t b) { return a != b; });
+      case OpCode::CmpGt:
+        return cmpFirstBadT(r1, r2, len,
+                            [](uint32_t a, uint32_t b) { return a > b; });
+      case OpCode::CmpGe:
+        return cmpFirstBadT(r1, r2, len,
+                            [](uint32_t a, uint32_t b) { return a >= b; });
+      default:
+        return size_t(-1);
+    }
+}
+
+} // namespace
+
+bool
+fusedEvalDefault()
+{
+    return fusedDefault_;
+}
+
+void
+setFusedEvalDefault(bool enabled)
+{
+    fusedDefault_ = enabled;
+}
+
+uint32_t
+FusedProgram::intern(const Value &v)
+{
+    if (table_.empty())
+        table_.assign(1024, 0);
+    size_t mask = table_.size() - 1;
+    size_t idx = hashValue(v.op, v.src1, v.src2, v.imm) & mask;
+    while (table_[idx]) {
+        const Value &w = values_[table_[idx] - 1];
+        if (w.op == v.op && w.src1 == v.src1 && w.src2 == v.src2 &&
+            w.imm == v.imm) {
+            return table_[idx] - 1;
+        }
+        idx = (idx + 1) & mask;
+    }
+    uint32_t id = uint32_t(values_.size());
+    values_.push_back(v);
+    table_[idx] = id + 1;
+    if ((values_.size() + 1) * 4 > table_.size() * 3) {
+        std::vector<uint32_t> old = std::move(table_);
+        table_.assign(old.size() * 2, 0);
+        size_t grown = table_.size() - 1;
+        for (uint32_t slot : old) {
+            if (!slot)
+                continue;
+            const Value &w = values_[slot - 1];
+            size_t j =
+                hashValue(w.op, w.src1, w.src2, w.imm) & grown;
+            while (table_[j])
+                j = (j + 1) & grown;
+            table_[j] = slot;
+        }
+    }
+    return id;
+}
+
+uint32_t
+FusedProgram::loadCol(uint16_t slot)
+{
+    SCIF_ASSERT(!sealed_);
+    Value v;
+    v.op = OpCode::LoadCol;
+    v.imm = slot;
+    return intern(v);
+}
+
+uint32_t
+FusedProgram::loadImm(uint32_t value)
+{
+    SCIF_ASSERT(!sealed_);
+    Value v;
+    v.op = OpCode::LoadImm;
+    v.imm = value;
+    return intern(v);
+}
+
+uint32_t
+FusedProgram::apply(OpCode op, uint32_t src1, uint32_t imm)
+{
+    SCIF_ASSERT(!sealed_);
+    SCIF_ASSERT(arity(op) == 1);
+    Value v;
+    v.op = op;
+    v.src1 = src1;
+    v.imm = imm;
+    return intern(v);
+}
+
+uint32_t
+FusedProgram::apply2(OpCode op, uint32_t src1, uint32_t src2)
+{
+    SCIF_ASSERT(!sealed_);
+    SCIF_ASSERT(arity(op) == 2);
+    Value v;
+    v.op = op;
+    v.src1 = src1;
+    v.src2 = src2;
+    if (commutative(op) && v.src1 > v.src2)
+        std::swap(v.src1, v.src2);
+    return intern(v);
+}
+
+uint32_t
+FusedProgram::compare(CmpOp op, uint32_t lhs, uint32_t rhs)
+{
+    // Mirrors the per-invariant compiler: < and <= become > and >=
+    // with swapped sources.
+    switch (op) {
+      case CmpOp::Eq:
+        return apply2(OpCode::CmpEq, lhs, rhs);
+      case CmpOp::Ne:
+        return apply2(OpCode::CmpNe, lhs, rhs);
+      case CmpOp::Gt:
+        return apply2(OpCode::CmpGt, lhs, rhs);
+      case CmpOp::Ge:
+        return apply2(OpCode::CmpGe, lhs, rhs);
+      case CmpOp::Lt:
+        return apply2(OpCode::CmpGt, rhs, lhs);
+      case CmpOp::Le:
+        return apply2(OpCode::CmpGe, rhs, lhs);
+      case CmpOp::In:
+        break;
+    }
+    fatal("CmpOp::In has no direct-builder lowering; use add()");
+}
+
+size_t
+FusedProgram::addRoot(uint32_t value)
+{
+    SCIF_ASSERT(!sealed_);
+    SCIF_ASSERT(value < values_.size());
+    memberRoot_.push_back(value);
+    return memberRoot_.size() - 1;
+}
+
+size_t
+FusedProgram::add(const CompiledInvariant &prog)
+{
+    SCIF_ASSERT(!sealed_);
+
+    // Symbolically execute the member's four-register program: each
+    // physical register holds a value id, and every instruction
+    // interns a (canonicalized) DAG node over those ids.
+    uint32_t regVal[4] = {0, 0, 0, 0};
+    for (const Insn &insn : prog.program()) {
+        Value v;
+        v.op = insn.op;
+        v.imm = insn.imm;
+        switch (arity(insn.op)) {
+          case 0:
+            break;
+          case 1:
+            v.src1 = regVal[insn.src1];
+            if (insn.op == OpCode::InSet) {
+                // Sets are interned so the value key stays a triple.
+                const auto &set = prog.inSet();
+                uint32_t si = 0;
+                while (si < sets_.size() && sets_[si] != set)
+                    ++si;
+                if (si == sets_.size())
+                    sets_.push_back(set);
+                v.imm = si;
+            }
+            break;
+          default:
+            v.src1 = regVal[insn.src1];
+            v.src2 = regVal[insn.src2];
+            if (commutative(insn.op) && v.src1 > v.src2)
+                std::swap(v.src1, v.src2);
+            break;
+        }
+        regVal[insn.dst] = intern(v);
+    }
+    memberRoot_.push_back(regVal[prog.resultReg()]);
+    return memberRoot_.size() - 1;
+}
+
+void
+FusedProgram::seal()
+{
+    SCIF_ASSERT(!sealed_);
+    sealed_ = true;
+    table_.clear();
+    table_.shrink_to_fit();
+
+    size_t n = values_.size();
+
+    // Structurally identical candidates collapsed onto one root.
+    {
+        std::vector<uint32_t> roots = memberRoot_;
+        std::sort(roots.begin(), roots.end());
+        size_t distinct = size_t(
+            std::unique(roots.begin(), roots.end()) - roots.begin());
+        deduped_ = memberRoot_.size() - distinct;
+    }
+
+    // Sinks in CSR form: members reduced right after their root's
+    // defining step (value-id order is a topological order, so the
+    // root is complete there and its register frees immediately).
+    sinkStart_.assign(n + 1, 0);
+    for (uint32_t root : memberRoot_)
+        ++sinkStart_[root + 1];
+    for (size_t v = 0; v < n; ++v)
+        sinkStart_[v + 1] += sinkStart_[v];
+    sinkMembers_.resize(memberRoot_.size());
+    {
+        std::vector<uint32_t> cursor(sinkStart_.begin(),
+                                     sinkStart_.end() - 1);
+        for (uint32_t m = 0; m < memberRoot_.size(); ++m)
+            sinkMembers_[cursor[memberRoot_[m]]++] = m;
+    }
+
+    // Liveness: a value dies at its last consumer — or at its own
+    // definition when only sinks read it.
+    std::vector<uint32_t> lastUse(n);
+    for (size_t v = 0; v < n; ++v)
+        lastUse[v] = uint32_t(v);
+    for (size_t v = 0; v < n; ++v) {
+        const Value &val = values_[v];
+        int a = arity(val.op);
+        if (a >= 1)
+            lastUse[val.src1] = uint32_t(v);
+        if (a == 2)
+            lastUse[val.src2] = uint32_t(v);
+    }
+
+    // Linear-scan allocation with a free list: dying sources free
+    // before the destination allocates, so elementwise ops compute in
+    // place. InSet allocates its destination first — its kernel
+    // zeroes the destination before sweeping the input, so the two
+    // must never alias.
+    steps_.resize(n);
+    std::vector<uint32_t> regOf(n, 0);
+    std::vector<uint32_t> freeRegs;
+    numRegs_ = 0;
+    auto alloc = [&]() -> uint32_t {
+        if (!freeRegs.empty()) {
+            uint32_t r = freeRegs.back();
+            freeRegs.pop_back();
+            return r;
+        }
+        return uint32_t(numRegs_++);
+    };
+    for (size_t v = 0; v < n; ++v) {
+        const Value &val = values_[v];
+        int a = arity(val.op);
+        uint32_t dst;
+        if (val.op == OpCode::InSet) {
+            dst = alloc();
+            if (lastUse[val.src1] == v)
+                freeRegs.push_back(regOf[val.src1]);
+        } else {
+            if (a >= 1 && lastUse[val.src1] == v)
+                freeRegs.push_back(regOf[val.src1]);
+            if (a == 2 && val.src2 != val.src1 &&
+                lastUse[val.src2] == v) {
+                freeRegs.push_back(regOf[val.src2]);
+            }
+            dst = alloc();
+        }
+        regOf[v] = dst;
+        Step &step = steps_[v];
+        step.op = val.op;
+        step.dst = dst;
+        step.src1 = a >= 1 ? regOf[val.src1] : 0;
+        step.src2 = a == 2 ? regOf[val.src2] : 0;
+        step.imm = val.imm;
+        // Roots consumed only by their sinks die at definition; the
+        // sinks run before the next step, so the register recycles.
+        if (lastUse[v] == v)
+            freeRegs.push_back(dst);
+    }
+
+    // Sink-only compares run in reduce mode: the violation sweep
+    // folds the block's AND-reduction into the compare, reads plain
+    // LoadCol sources straight from the trace matrix, and skips the
+    // register store entirely.
+    for (size_t v = 0; v < n; ++v) {
+        Step &step = steps_[v];
+        bool cmp = step.op == OpCode::CmpEq ||
+                   step.op == OpCode::CmpNe ||
+                   step.op == OpCode::CmpGt ||
+                   step.op == OpCode::CmpGe;
+        if (!cmp || lastUse[v] != v ||
+            sinkStart_[v] == sinkStart_[v + 1]) {
+            continue;
+        }
+        step.reduce = true;
+        const Value &val = values_[v];
+        if (values_[val.src1].op == OpCode::LoadCol)
+            step.col1 = uint16_t(values_[val.src1].imm);
+        if (values_[val.src2].op == OpCode::LoadCol)
+            step.col2 = uint16_t(values_[val.src2].imm);
+    }
+
+    std::vector<uint16_t> slots;
+    for (const Value &val : values_) {
+        if (val.op == OpCode::LoadCol)
+            slots.push_back(uint16_t(val.imm));
+    }
+    std::sort(slots.begin(), slots.end());
+    slots.erase(std::unique(slots.begin(), slots.end()), slots.end());
+    slots_ = std::move(slots);
+
+    support::EvalCounters::addBuild(memberRoot_.size(), deduped_);
+}
+
+void
+FusedProgram::buildActive(const uint8_t *alive,
+                          std::vector<uint32_t> &active,
+                          std::vector<uint8_t> &triad) const
+{
+    // Backward reachability from the alive roots: every step only
+    // dead members need is dropped from the sweep. A reduce compare
+    // reads LoadCol sources directly from the matrix, so those loads
+    // are staged only when some other consumer needs them.
+    std::vector<uint8_t> needed(values_.size(), 0);
+    for (size_t m = 0; m < memberRoot_.size(); ++m) {
+        if (alive[m])
+            needed[memberRoot_[m]] = 1;
+    }
+    for (size_t v = values_.size(); v-- > 0;) {
+        if (!needed[v])
+            continue;
+        const Value &val = values_[v];
+        const Step &step = steps_[v];
+        int a = arity(val.op);
+        if (a >= 1 && !(step.reduce && step.col1 != colNone))
+            needed[val.src1] = 1;
+        if (a == 2 && !(step.reduce && step.col2 != colNone))
+            needed[val.src2] = 1;
+    }
+    active.clear();
+    for (size_t v = 0; v < values_.size(); ++v) {
+        if (needed[v])
+            active.push_back(uint32_t(v));
+    }
+
+    // Pair-relation triads: the binary-relation template family
+    // compares the same two columns three ways (a >= b, a != b,
+    // b >= a), and the three compares land adjacently in the stream.
+    // Marking the head lets the sweep feed all three reductions from
+    // one traversal of the two columns instead of three.
+    triad.assign(active.size(), 0);
+    for (size_t i = 0; i + 2 < active.size(); ++i) {
+        const Step &s0 = steps_[active[i]];
+        const Step &s1 = steps_[active[i + 1]];
+        const Step &s2 = steps_[active[i + 2]];
+        if (!s0.reduce || !s1.reduce || !s2.reduce)
+            continue;
+        if (s0.op != OpCode::CmpGe || s1.op != OpCode::CmpNe ||
+            s2.op != OpCode::CmpGe)
+            continue;
+        if (s0.col1 == colNone || s0.col2 == colNone)
+            continue;
+        if (s2.col1 != s0.col2 || s2.col2 != s0.col1)
+            continue;
+        bool neSame = (s1.col1 == s0.col1 && s1.col2 == s0.col2) ||
+                      (s1.col1 == s0.col2 && s1.col2 == s0.col1);
+        if (!neSame)
+            continue;
+        triad[i] = 1;
+        triad[i + 1] = triad[i + 2] = 2;
+        i += 2;
+    }
+}
+
+void
+FusedProgram::execStep(const Step &step,
+                       const trace::PointColumns &cols, size_t begin,
+                       size_t len, uint32_t *regs) const
+{
+    uint32_t *rd = regs + size_t(step.dst) * kBlock;
+    const uint32_t *r1 = regs + size_t(step.src1) * kBlock;
+    const uint32_t *r2 = regs + size_t(step.src2) * kBlock;
+    switch (step.op) {
+      case OpCode::LoadCol: {
+        const uint32_t *col = cols.column(uint16_t(step.imm));
+        SCIF_ASSERT(col != nullptr);
+        const uint32_t *src = col + begin;
+        for (size_t k = 0; k < len; ++k)
+            rd[k] = src[k];
+        break;
+      }
+      case OpCode::LoadImm:
+        for (size_t k = 0; k < len; ++k)
+            rd[k] = step.imm;
+        break;
+      case OpCode::And:
+        for (size_t k = 0; k < len; ++k)
+            rd[k] = r1[k] & r2[k];
+        break;
+      case OpCode::Or:
+        for (size_t k = 0; k < len; ++k)
+            rd[k] = r1[k] | r2[k];
+        break;
+      case OpCode::Add:
+        for (size_t k = 0; k < len; ++k)
+            rd[k] = r1[k] + r2[k];
+        break;
+      case OpCode::Sub:
+        for (size_t k = 0; k < len; ++k)
+            rd[k] = r1[k] - r2[k];
+        break;
+      case OpCode::Not:
+        for (size_t k = 0; k < len; ++k)
+            rd[k] = ~r1[k];
+        break;
+      case OpCode::MulImm:
+        for (size_t k = 0; k < len; ++k)
+            rd[k] = r1[k] * step.imm;
+        break;
+      case OpCode::AndImm:
+        for (size_t k = 0; k < len; ++k)
+            rd[k] = r1[k] & step.imm;
+        break;
+      case OpCode::ModImm:
+        for (size_t k = 0; k < len; ++k)
+            rd[k] = r1[k] % step.imm;
+        break;
+      case OpCode::AddImm:
+        for (size_t k = 0; k < len; ++k)
+            rd[k] = r1[k] + step.imm;
+        break;
+      case OpCode::CmpEq:
+        for (size_t k = 0; k < len; ++k)
+            rd[k] = r1[k] == r2[k] ? 1u : 0u;
+        break;
+      case OpCode::CmpNe:
+        for (size_t k = 0; k < len; ++k)
+            rd[k] = r1[k] != r2[k] ? 1u : 0u;
+        break;
+      case OpCode::CmpGt:
+        for (size_t k = 0; k < len; ++k)
+            rd[k] = r1[k] > r2[k] ? 1u : 0u;
+        break;
+      case OpCode::CmpGe:
+        for (size_t k = 0; k < len; ++k)
+            rd[k] = r1[k] >= r2[k] ? 1u : 0u;
+        break;
+      case OpCode::InSet: {
+        const std::vector<uint32_t> &set = sets_[step.imm];
+        if (set.size() <= 8) {
+            for (size_t k = 0; k < len; ++k)
+                rd[k] = 0;
+            for (uint32_t s : set) {
+                for (size_t k = 0; k < len; ++k)
+                    rd[k] |= r1[k] == s ? 1u : 0u;
+            }
+        } else {
+            for (size_t k = 0; k < len; ++k) {
+                rd[k] = std::binary_search(set.begin(), set.end(),
+                                           r1[k])
+                            ? 1u
+                            : 0u;
+            }
+        }
+        break;
+      }
+    }
+}
+
+void
+FusedProgram::sweepViolations(const trace::PointColumns &cols,
+                              size_t begin, size_t end,
+                              size_t *firstViolation,
+                              uint8_t *alive) const
+{
+    SCIF_ASSERT(sealed_);
+    size_t m = memberRoot_.size();
+    for (size_t i = 0; i < m; ++i)
+        firstViolation[i] = npos;
+    if (m == 0 || begin >= end)
+        return;
+
+    std::vector<uint8_t> aliveLocal;
+    if (alive == nullptr) {
+        aliveLocal.assign(m, 1);
+        alive = aliveLocal.data();
+    }
+    size_t aliveCount = 0;
+    for (size_t i = 0; i < m; ++i)
+        aliveCount += alive[i] ? 1 : 0;
+    if (aliveCount == 0)
+        return;
+
+    std::vector<uint32_t> active;
+    std::vector<uint8_t> triad;
+    buildActive(alive, active, triad);
+
+    uint64_t retired = 0;
+    uint64_t compactions = 0;
+    size_t retiredSinceCompact = 0;
+    // Re-compaction is a single O(values) reachability pass — far
+    // cheaper than even one block of a retired member's arithmetic —
+    // so it pays off almost immediately.
+    auto threshold = [](size_t aliveNow) {
+        return std::max<size_t>(8, aliveNow / 32);
+    };
+    size_t compactAt = threshold(aliveCount);
+
+    auto retire = [&](uint32_t v, size_t firstBad) {
+        for (uint32_t si = sinkStart_[v]; si < sinkStart_[v + 1];
+             ++si) {
+            uint32_t member = sinkMembers_[si];
+            if (!alive[member])
+                continue;
+            alive[member] = 0;
+            firstViolation[member] = firstBad;
+            ++retired;
+            ++retiredSinceCompact;
+            --aliveCount;
+        }
+    };
+
+    std::vector<uint32_t> regs(numRegs_ * kBlock);
+    for (size_t pos = begin; pos < end && aliveCount; pos += kBlock) {
+        size_t len = std::min(kBlock, end - pos);
+        for (size_t i = 0; i < active.size(); ++i) {
+            uint32_t v = active[i];
+            const Step &step = steps_[v];
+            if (triad[i] == 1) {
+                // One traversal of the two columns feeds all three
+                // pair-relation reductions; the pass stops early once
+                // every relation has a failure on record.
+                const uint32_t *x = cols.column(step.col1) + pos;
+                const uint32_t *y = cols.column(step.col2) + pos;
+                uint32_t allGe = 1, allNe = 1, allLe = 1;
+                for (size_t k = 0; k < len;) {
+                    size_t lim = std::min(k + kReduceChunk, len);
+                    for (; k < lim; ++k) {
+                        uint32_t a = x[k], b = y[k];
+                        allGe &= a >= b ? 1u : 0u;
+                        allNe &= a != b ? 1u : 0u;
+                        allLe &= b >= a ? 1u : 0u;
+                    }
+                    if (!(allGe | allNe | allLe))
+                        break;
+                }
+                uint32_t all3[3] = {allGe, allNe, allLe};
+                for (size_t t = 0; t < 3; ++t) {
+                    if (all3[t])
+                        continue;
+                    uint32_t w = active[i + t];
+                    const Step &ws = steps_[w];
+                    size_t bad =
+                        cmpFirstBad(ws.op, cols.column(ws.col1) + pos,
+                                    cols.column(ws.col2) + pos, len);
+                    retire(w, pos + bad);
+                }
+                i += 2;
+                continue;
+            }
+            size_t bad = npos;
+            if (step.reduce) {
+                const uint32_t *r1 =
+                    step.col1 != colNone
+                        ? cols.column(step.col1) + pos
+                        : regs.data() + size_t(step.src1) * kBlock;
+                const uint32_t *r2 =
+                    step.col2 != colNone
+                        ? cols.column(step.col2) + pos
+                        : regs.data() + size_t(step.src2) * kBlock;
+                bad = cmpFirstBad(step.op, r1, r2, len);
+            } else {
+                execStep(step, cols, pos, len, regs.data());
+                uint32_t sb = sinkStart_[v], se = sinkStart_[v + 1];
+                if (sb == se)
+                    continue;
+                const uint32_t *res =
+                    regs.data() + size_t(step.dst) * kBlock;
+                uint32_t all = 1;
+                for (size_t k = 0; k < len; ++k)
+                    all &= res[k];
+                if (all)
+                    continue;
+                for (size_t k = 0; k < len; ++k) {
+                    if (!res[k]) {
+                        bad = k;
+                        break;
+                    }
+                }
+            }
+            if (bad != npos)
+                retire(v, pos + bad);
+        }
+        if (aliveCount && retiredSinceCompact >= compactAt) {
+            buildActive(alive, active, triad);
+            compactions++;
+            retiredSinceCompact = 0;
+            compactAt = threshold(aliveCount);
+        }
+    }
+    support::EvalCounters::addSweep(retired, compactions);
+}
+
+void
+FusedProgram::evalMasks(const trace::PointColumns &cols, size_t begin,
+                        size_t end, uint8_t *out, size_t stride) const
+{
+    SCIF_ASSERT(sealed_);
+    if (memberRoot_.empty() || begin >= end)
+        return;
+    SCIF_ASSERT(stride >= end - begin);
+
+    std::vector<uint32_t> regs(numRegs_ * kBlock);
+    for (size_t pos = begin; pos < end; pos += kBlock) {
+        size_t len = std::min(kBlock, end - pos);
+        for (size_t v = 0; v < steps_.size(); ++v) {
+            execStep(steps_[v], cols, pos, len, regs.data());
+            uint32_t sb = sinkStart_[v], se = sinkStart_[v + 1];
+            if (sb == se)
+                continue;
+            const uint32_t *res =
+                regs.data() + size_t(steps_[v].dst) * kBlock;
+            for (uint32_t si = sb; si < se; ++si) {
+                uint8_t *dst =
+                    out + size_t(sinkMembers_[si]) * stride +
+                    (pos - begin);
+                for (size_t k = 0; k < len; ++k)
+                    dst[k] = uint8_t(res[k]);
+            }
+        }
+    }
+}
+
+bool
+FusedProgram::compatible(const trace::PointColumns &cols) const
+{
+    for (uint16_t slot : slots_) {
+        if (!cols.has(slot))
+            return false;
+    }
+    return true;
+}
+
+} // namespace scif::expr

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Fused batch evaluation of many invariants at one program point.
+ *
+ * The generation, identification, and serving sweeps all evaluate
+ * large candidate sets against the same columnar trace matrix, and a
+ * per-candidate kernel (expr/compile.hh) re-traverses that matrix —
+ * and re-executes every shared column load and subexpression — once
+ * per candidate. A FusedProgram value-numbers all candidate programs
+ * at a point into one shared instruction DAG: structurally identical
+ * subexpressions (and whole candidates) collapse to a single node, so
+ * each column load and each common subexpression executes once per
+ * row block and the matrix is traversed once per sweep.
+ *
+ * The register model is widened past the per-candidate uint8_t file:
+ * DAG nodes are virtual registers, and a liveness-based linear
+ * allocator maps them onto a compact physical arena with spill-free
+ * reuse (each member's result is consumed by a sink placed directly
+ * after its defining instruction, so peak pressure tracks the live
+ * columns, not the member count).
+ *
+ * Members retire live: a violation-sweep caller passes an alive mask,
+ * falsified members stop being reduced immediately, and once enough
+ * members have retired the sweep re-compacts — it drops every
+ * instruction only dead candidates need (backward reachability from
+ * the alive roots) and keeps sweeping the survivors.
+ *
+ * Results are bit-identical to the per-candidate kernels: fusion only
+ * changes *when* each candidate's unchanged arithmetic runs, never
+ * what it computes. The per-candidate path stays behind the
+ * --no-fused-eval flag as the differential oracle.
+ */
+
+#ifndef SCIFINDER_EXPR_FUSED_HH
+#define SCIFINDER_EXPR_FUSED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "expr/compile.hh"
+#include "trace/columns.hh"
+
+namespace scif::expr {
+
+/**
+ * Process-wide default for whether the hot consumers (invgen
+ * falsification, sci identification scans, the checking service's
+ * batch path) evaluate through fused programs. The scifinder
+ * --no-fused-eval flag flips this to route every consumer through the
+ * per-invariant kernels (the differential oracle).
+ */
+bool fusedEvalDefault();
+void setFusedEvalDefault(bool enabled);
+
+/**
+ * Many invariants at one trace point, value-numbered into one shared
+ * DAG and compiled to a register-allocated batch program. Build with
+ * add() (one call per member, in the order the caller wants results),
+ * then seal() once; a sealed program is immutable and safe to share
+ * across threads — every sweep keeps its scratch state on the stack.
+ */
+class FusedProgram
+{
+  public:
+    static constexpr size_t npos = size_t(-1);
+
+    /** Rows per inner-kernel block (same as the scalar kernels).
+     *  Results are block-size independent — a member's first
+     *  violation is an absolute row index either way — and narrow
+     *  blocks retire falsified members with less wasted work. */
+    static constexpr size_t kBlock = CompiledInvariant::kBlock;
+
+    FusedProgram() = default;
+
+    /**
+     * Fuse one candidate into the DAG.
+     * @return the member index (== number of prior add() calls).
+     */
+    size_t add(const CompiledInvariant &prog);
+    size_t add(const Invariant &inv)
+    {
+        return add(CompiledInvariant::compile(inv));
+    }
+
+    /**
+     * Direct DAG construction — the allocation-free path for callers
+     * that synthesize members from templates (the generation
+     * falsifier) instead of from Invariant objects. The returned
+     * value ids feed further nodes; node construction mirrors the
+     * per-invariant compiler's lowering exactly (including the
+     * power-of-two modulus strength reduction and the Lt/Le operand
+     * swap), so a member built directly is the same DAG — and the
+     * same arithmetic — as one routed through add().
+     */
+    uint32_t loadCol(uint16_t slot);
+    uint32_t loadImm(uint32_t value);
+    /** Unary / immediate node (Not, MulImm, AndImm, ModImm, AddImm). */
+    uint32_t apply(OpCode op, uint32_t src1, uint32_t imm = 0);
+    /** Binary node (And, Or, Add, Sub and the compare kinds). */
+    uint32_t apply2(OpCode op, uint32_t src1, uint32_t src2);
+    /** Comparison with the compiler's Lt/Le -> swapped Gt/Ge lowering
+     *  (CmpOp::In has no direct-builder form; use add()). */
+    uint32_t compare(CmpOp op, uint32_t lhs, uint32_t rhs);
+    /** Register @p value as the next member's result.
+     *  @return the member index. */
+    size_t addRoot(uint32_t value);
+
+    /** Allocate registers and freeze the program. */
+    void seal();
+
+    bool sealed() const { return sealed_; }
+    size_t members() const { return memberRoot_.size(); }
+
+    /** Members whose root collapsed onto an earlier member's root —
+     *  structurally identical candidates, evaluated once. */
+    size_t dedupedMembers() const { return deduped_; }
+
+    /** Distinct DAG nodes (virtual registers) after CSE. */
+    size_t valueCount() const { return values_.size(); }
+
+    /** Physical registers the allocator needed (peak liveness). */
+    size_t registerCount() const { return numRegs_; }
+
+    /**
+     * Violation sweep over rows [begin, end): one matrix traversal
+     * for every member. firstViolation[m] receives the first row
+     * index where member m's expression is false (npos if it holds
+     * everywhere it was evaluated). Members falsified mid-sweep
+     * retire immediately; once enough retire the instruction stream
+     * re-compacts to the alive survivors.
+     *
+     * @param alive optional in/out per-member byte mask: members
+     *        entering with alive[m] == 0 are never evaluated (their
+     *        firstViolation stays npos), and members falsified by
+     *        this sweep leave with alive[m] == 0. Null means all
+     *        members start alive (and retirement state is local).
+     */
+    void sweepViolations(const trace::PointColumns &cols, size_t begin,
+                         size_t end, size_t *firstViolation,
+                         uint8_t *alive = nullptr) const;
+
+    /**
+     * Mask sweep over rows [begin, end): one matrix traversal, one
+     * byte per row per member (1 = holds), member m's mask written to
+     * out[m * stride ...]. @p stride must be >= end - begin.
+     */
+    void evalMasks(const trace::PointColumns &cols, size_t begin,
+                   size_t end, uint8_t *out, size_t stride) const;
+
+    /** @return true if every referenced column is materialized. */
+    bool compatible(const trace::PointColumns &cols) const;
+
+    /** Slot ids of every column the DAG loads, sorted, deduplicated. */
+    const std::vector<uint16_t> &slots() const { return slots_; }
+
+  private:
+    /** One DAG node: op over value ids (not registers). */
+    struct Value
+    {
+        OpCode op;
+        uint32_t src1 = 0;
+        uint32_t src2 = 0;
+        uint32_t imm = 0; ///< immediate, slot id, or set index
+    };
+
+    /** The node's executable form after register allocation. The
+     *  defining step of value v is steps_[v] (emission is in value-id
+     *  order, a valid topological order of the DAG). */
+    struct Step
+    {
+        OpCode op;
+        uint32_t dst = 0;
+        uint32_t src1 = 0;
+        uint32_t src2 = 0;
+        uint32_t imm = 0;
+        /** Compare consumed only by sinks: the violation sweep folds
+         *  the AND-reduction into the compare and skips the store. */
+        bool reduce = false;
+        /** Column ids when a reduce compare's sources are plain
+         *  LoadCol nodes — the sweep then reads the trace matrix
+         *  directly instead of a staged copy (colNone = staged). */
+        uint16_t col1 = colNone;
+        uint16_t col2 = colNone;
+    };
+    static constexpr uint16_t colNone = 0xffff;
+
+    uint32_t intern(const Value &v);
+    /** Collect the steps alive members still need, plus a parallel
+     *  marker vector flagging pair-relation triad heads (see the
+     *  implementation) for the sweep's batched compare pass. */
+    void buildActive(const uint8_t *alive, std::vector<uint32_t> &active,
+                     std::vector<uint8_t> &triad) const;
+    void execStep(const Step &step, const trace::PointColumns &cols,
+                  size_t begin, size_t len, uint32_t *regs) const;
+
+    std::vector<Value> values_;
+    std::vector<Step> steps_;
+    /** Interned membership sets (sorted), indexed by Value::imm. */
+    std::vector<std::vector<uint32_t>> sets_;
+    /** Member index -> root value id. */
+    std::vector<uint32_t> memberRoot_;
+    /** CSR index: members sunk after value v are
+     *  sinkMembers_[sinkStart_[v] .. sinkStart_[v+1]). */
+    std::vector<uint32_t> sinkStart_;
+    std::vector<uint32_t> sinkMembers_;
+    std::vector<uint16_t> slots_;
+
+    /** Open-addressed intern table: id + 1, 0 = empty slot. The
+     *  table is transient build state, released by seal(). */
+    std::vector<uint32_t> table_;
+    size_t deduped_ = 0;
+    size_t numRegs_ = 0;
+    bool sealed_ = false;
+};
+
+} // namespace scif::expr
+
+#endif // SCIFINDER_EXPR_FUSED_HH

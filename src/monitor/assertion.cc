@@ -106,6 +106,15 @@ CompiledAssertionSet::CompiledAssertionSet(
         }
     }
     slots_.assign(slotSet.begin(), slotSet.end());
+
+    if (expr::fusedEvalDefault()) {
+        for (const auto &[pid, members] : index_) {
+            expr::FusedProgram &fp = fused_[pid];
+            for (const auto &[ai, mi] : members)
+                fp.add(compiled_[ai][mi]);
+            fp.seal();
+        }
+    }
 }
 
 AssertionMonitor::AssertionMonitor(std::vector<Assertion> assertions)

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "expr/compile.hh"
+#include "expr/fused.hh"
 #include "invgen/invgen.hh"
 #include "trace/record.hh"
 
@@ -117,6 +118,19 @@ class CompiledAssertionSet
     /** Total member count across all assertions. */
     size_t memberCount() const { return memberCount_; }
 
+    /**
+     * The point's enforced members as one fused batch program —
+     * member m is membersAt(pointId)[m] — or null when fused
+     * evaluation (expr::fusedEvalDefault()) was off at construction.
+     * Its masks are bit-identical to the per-member evalMask()
+     * output, so a columnar batch sweep reduces to the same firings.
+     */
+    const expr::FusedProgram *fusedAt(uint16_t pointId) const
+    {
+        auto it = fused_.find(pointId);
+        return it == fused_.end() ? nullptr : &it->second;
+    }
+
   private:
     std::vector<Assertion> assertions_;
     /** Compiled member programs, parallel to assertions_[i].members. */
@@ -125,6 +139,8 @@ class CompiledAssertionSet
     std::map<uint16_t, std::vector<std::pair<size_t, size_t>>> index_;
     std::set<uint16_t> points_;
     std::vector<uint16_t> slots_;
+    /** point id -> fused member program (when enabled). */
+    std::map<uint16_t, expr::FusedProgram> fused_;
     size_t memberCount_ = 0;
 };
 

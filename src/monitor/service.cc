@@ -303,12 +303,29 @@ CheckService::processBatch(Session &s, const trace::TraceBuffer &batch)
     for (auto &pc : cols.points()) {
         const auto &rows = positions[pc.point().id()];
         const auto *members = set_->membersAt(pc.point().id());
-        for (const auto &[ai, mi] : *members) {
-            const auto &prog = set_->compiled(ai, mi);
-            mask.resize(pc.rows());
-            prog.evalMask(pc, 0, pc.rows(), mask.data());
+        // With a fused program the point's matrix is traversed once
+        // for every member; the masks are bit-identical to the
+        // per-member kernels, so the reduction below — and therefore
+        // the report — cannot tell the difference.
+        const expr::FusedProgram *fp =
+            set_->fusedAt(pc.point().id());
+        if (fp != nullptr) {
+            mask.resize(members->size() * pc.rows());
+            fp->evalMasks(pc, 0, pc.rows(), mask.data(), pc.rows());
+        }
+        for (size_t m = 0; m < members->size(); ++m) {
+            const auto &[ai, mi] = (*members)[m];
+            const uint8_t *memberMask;
+            if (fp != nullptr) {
+                memberMask = mask.data() + m * pc.rows();
+            } else {
+                mask.resize(pc.rows());
+                set_->compiled(ai, mi).evalMask(pc, 0, pc.rows(),
+                                                mask.data());
+                memberMask = mask.data();
+            }
             for (size_t row = 0; row < rows.size(); ++row) {
-                if (mask[row])
+                if (memberMask[row])
                     continue;
                 ++r.perAssertion[ai];
                 ++r.firings;

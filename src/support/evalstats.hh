@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Process-wide fused-evaluation telemetry.
+ *
+ * Fused programs are built and swept deep inside the generation,
+ * identification, and serving hot loops — often one per program point
+ * per trace window, on whatever worker thread owns that point. The
+ * pipeline wants per-stage totals: how many candidate programs were
+ * fused, how many were structural duplicates of an already-fused
+ * candidate, how many retired live mid-sweep, and how often a sweep
+ * re-compacted its instruction stream. Every FusedProgram folds its
+ * counts into these process-wide atomics (the same pattern
+ * FrontEndCounters uses for the simulation front end), so core::Stage
+ * can sample the totals around a stage body and report the deltas.
+ */
+
+#ifndef SCIFINDER_SUPPORT_EVALSTATS_HH
+#define SCIFINDER_SUPPORT_EVALSTATS_HH
+
+#include <atomic>
+#include <cstdint>
+
+namespace scif::support {
+
+/** Accumulated counters of every fused-program build and sweep. */
+class EvalCounters
+{
+  public:
+    struct Snapshot
+    {
+        uint64_t fusedMembers = 0;
+        uint64_t fusedDeduped = 0;
+        uint64_t fusedRetired = 0;
+        uint64_t fusedCompactions = 0;
+    };
+
+    /** Fold one sealed program's build counts into the totals. */
+    static void
+    addBuild(uint64_t members, uint64_t deduped)
+    {
+        members_.fetch_add(members, std::memory_order_relaxed);
+        deduped_.fetch_add(deduped, std::memory_order_relaxed);
+    }
+
+    /** Fold one sweep's retirement behavior into the totals. */
+    static void
+    addSweep(uint64_t retired, uint64_t compactions)
+    {
+        retired_.fetch_add(retired, std::memory_order_relaxed);
+        compactions_.fetch_add(compactions,
+                               std::memory_order_relaxed);
+    }
+
+    /** @return the current process totals (monotone). */
+    static Snapshot
+    snapshot()
+    {
+        Snapshot s;
+        s.fusedMembers = members_.load(std::memory_order_relaxed);
+        s.fusedDeduped = deduped_.load(std::memory_order_relaxed);
+        s.fusedRetired = retired_.load(std::memory_order_relaxed);
+        s.fusedCompactions =
+            compactions_.load(std::memory_order_relaxed);
+        return s;
+    }
+
+  private:
+    inline static std::atomic<uint64_t> members_{0};
+    inline static std::atomic<uint64_t> deduped_{0};
+    inline static std::atomic<uint64_t> retired_{0};
+    inline static std::atomic<uint64_t> compactions_{0};
+};
+
+} // namespace scif::support
+
+#endif // SCIFINDER_SUPPORT_EVALSTATS_HH

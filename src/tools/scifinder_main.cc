@@ -108,7 +108,11 @@ usage()
         "artifacts),\n"
         "                 --no-chain (keep the block cache but "
         "disable\n"
-        "                 superblock chaining; same artifacts)\n"
+        "                 superblock chaining; same artifacts),\n"
+        "                 --no-fused-eval (evaluate invariants "
+        "one\n"
+        "                 kernel at a time instead of fused batch\n"
+        "                 programs; same artifacts)\n"
         "\n"
         "testing:\n"
         "  fuzz      [opts] [--seed S] [--count N] "
@@ -258,6 +262,12 @@ parseCommon(std::vector<std::string> &args, CommonOpts &opts)
             // Process-wide: every simulation this invocation runs
             // uses the plain (unchained) block-cache dispatch.
             cpu::setChainDefault(false);
+        } else if (arg == "--no-fused-eval") {
+            // Process-wide: generation falsification, identification
+            // scans and the checking service all fall back to the
+            // per-invariant kernels (the differential oracle for the
+            // fused batch programs). Artifacts are byte-identical.
+            expr::setFusedEvalDefault(false);
         } else {
             rest.push_back(arg);
         }
@@ -834,6 +844,9 @@ cmdGeneratePhase(const CommonOpts &opts,
                 "%zu raw invariants\n",
                 count, (unsigned long long)records,
                 (unsigned long long)stats.points, model.size());
+    if (stats.candidatesDeduped != 0)
+        std::printf("%llu structurally duplicate candidates fused\n",
+                    (unsigned long long)stats.candidatesDeduped);
     std::printf("wrote %s and %s\n", paths.traces().c_str(),
                 paths.rawModel().c_str());
     return 0;
@@ -887,6 +900,9 @@ cmdGenerate(const std::vector<std::string> &args_in)
                 "optimization\n",
                 (unsigned long long)stats.points,
                 optStats[0].invariantsBefore, set.size());
+    if (stats.candidatesDeduped != 0)
+        std::printf("%llu structurally duplicate candidates fused\n",
+                    (unsigned long long)stats.candidatesDeduped);
     if (!outPath.empty()) {
         set.saveText(outPath);
         std::printf("wrote the invariant model to %s\n",
@@ -1342,6 +1358,14 @@ cmdRun(const std::vector<std::string> &args_in)
                         (unsigned long long)stage.chainHits,
                         (unsigned long long)stage.chainSevers,
                         (unsigned long long)stage.cacheFallbacks);
+        }
+        if (stage.fusedMembers != 0) {
+            std::printf("  fused %llu  deduped %llu  retired %llu  "
+                        "compactions %llu",
+                        (unsigned long long)stage.fusedMembers,
+                        (unsigned long long)stage.fusedDeduped,
+                        (unsigned long long)stage.fusedRetired,
+                        (unsigned long long)stage.fusedCompactions);
         }
         std::printf("\n");
     }

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 
 #include "expr/compile.hh"
@@ -138,6 +139,34 @@ TEST(Compile, FuzzedDifferentialAgainstInterpreter)
                                           numRecords),
                       firstFalse + 1);
         }
+    }
+}
+
+TEST(Compile, SlotsAreSortedAndDeduplicated)
+{
+    // slots() is an interface contract: fused-group column planning
+    // and ColumnSet::build(buf, slots) assume each referenced column
+    // appears once, in ascending order, however the expression
+    // repeats or reorders its variable references.
+    Invariant inv;
+    inv.point = fuzzPoint;
+    inv.op = CmpOp::Eq;
+    inv.lhs = Operand::var(5, false);        // slot 11
+    inv.lhs.op2 = Op2::Add;
+    inv.lhs.b = VarRef{2, true};             // slot 4
+    inv.rhs = Operand::var(5, false);        // slot 11 again
+    inv.rhs.op2 = Op2::Sub;
+    inv.rhs.b = VarRef{0, true};             // slot 0
+    CompiledInvariant prog = CompiledInvariant::compile(inv);
+    EXPECT_EQ(prog.slots(), (std::vector<uint16_t>{0, 4, 11}));
+
+    for (size_t n = 0; n < 300; ++n) {
+        Rng rng(n);
+        std::vector<uint16_t> slots =
+            CompiledInvariant::compile(randomInvariant(rng)).slots();
+        EXPECT_TRUE(std::is_sorted(slots.begin(), slots.end()));
+        EXPECT_EQ(std::adjacent_find(slots.begin(), slots.end()),
+                  slots.end());
     }
 }
 

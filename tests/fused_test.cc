@@ -1,0 +1,409 @@
+/**
+ * @file
+ * Fused batch-evaluation tests (expr/fused.hh).
+ *
+ * The contract under test: fusing any set of candidate programs at a
+ * point changes *when* their arithmetic runs, never what it computes.
+ * Masks, first-violation indices, identification scans, and
+ * generation results must be bit-identical to the per-invariant
+ * kernels — which are themselves pinned to the interpreted Expr
+ * oracle by compile_test — for any member mix, any block-unaligned
+ * sweep range, and any retirement interleaving.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "expr/compile.hh"
+#include "expr/fused.hh"
+#include "invgen/invgen.hh"
+#include "sci/identify.hh"
+#include "support/random.hh"
+#include "trace/columns.hh"
+#include "workloads/workloads.hh"
+
+namespace scif::expr {
+namespace {
+
+using scif::Rng;
+
+const trace::Point fuzzPoint = trace::Point::insn(isa::Mnemonic::L_ADD);
+
+/** Mirrors compile_test: tiny values so comparisons go both ways,
+ *  full-range noise so arithmetic wraps. */
+trace::Record
+randomRecord(Rng &rng, uint64_t index)
+{
+    trace::Record rec;
+    rec.point = fuzzPoint;
+    rec.index = index;
+    for (uint16_t v = 0; v < trace::numVars; ++v) {
+        rec.pre[v] = rng.chance(0.5) ? uint32_t(rng.below(8))
+                                     : uint32_t(rng.next());
+        rec.post[v] = rng.chance(0.5) ? uint32_t(rng.below(8))
+                                      : uint32_t(rng.next());
+    }
+    return rec;
+}
+
+Operand
+randomOperand(Rng &rng)
+{
+    if (rng.chance(0.15))
+        return Operand::imm(rng.chance(0.5) ? uint32_t(rng.below(8))
+                                            : uint32_t(rng.next()));
+    Operand o = Operand::var(uint16_t(rng.below(trace::numVars)),
+                             rng.chance(0.5));
+    if (rng.chance(0.3)) {
+        o.op2 = Op2(1 + rng.below(4));
+        o.b = VarRef{uint16_t(rng.below(trace::numVars)),
+                     rng.chance(0.5)};
+    }
+    if (rng.chance(0.15))
+        o.negate = true;
+    if (rng.chance(0.2))
+        o.mulImm = 1 + uint32_t(rng.below(4));
+    if (rng.chance(0.25)) {
+        static const uint32_t mods[] = {2, 3, 4, 5, 7, 8, 16, 10};
+        o.modImm = mods[rng.below(8)];
+    }
+    if (rng.chance(0.2))
+        o.addImm = uint32_t(rng.below(100));
+    return o;
+}
+
+Invariant
+randomInvariant(Rng &rng)
+{
+    Invariant inv;
+    inv.point = fuzzPoint;
+    inv.op = CmpOp(rng.below(7));
+    inv.lhs = randomOperand(rng);
+    if (inv.op == CmpOp::In) {
+        size_t n = 1 + rng.below(6);
+        for (size_t i = 0; i < n; ++i)
+            inv.set.push_back(uint32_t(rng.below(8)));
+        inv.canonicalize();
+    }
+    else {
+        inv.rhs = randomOperand(rng);
+    }
+    return inv;
+}
+
+/** A columnar matrix of @p rows fuzz records (plus the AoS buffer). */
+struct Matrix
+{
+    trace::TraceBuffer buf;
+    trace::ColumnSet cols;
+    trace::PointColumns *pc = nullptr;
+
+    Matrix(Rng &rng, size_t rows)
+    {
+        for (size_t i = 0; i < rows; ++i)
+            buf.record(randomRecord(rng, i));
+        cols = trace::ColumnSet::build(buf);
+        pc = cols.point(fuzzPoint.id());
+    }
+};
+
+TEST(Fused, FuzzedDifferentialAgainstPerInvariantKernels)
+{
+    Rng rng(0xf05ed);
+    // Rows chosen so every sweep crosses block boundaries and ends on
+    // a partial tail (kBlock = 128).
+    Matrix m(rng, 331);
+    ASSERT_NE(m.pc, nullptr);
+    const size_t rows = m.pc->rows();
+
+    for (size_t round = 0; round < 300; ++round) {
+        // A batch of mixed random candidates, fused into one program.
+        size_t count = 1 + rng.below(40);
+        std::vector<Invariant> invs;
+        std::vector<CompiledInvariant> progs;
+        FusedProgram fp;
+        for (size_t i = 0; i < count; ++i) {
+            invs.push_back(randomInvariant(rng));
+            progs.push_back(CompiledInvariant::compile(invs.back()));
+            ASSERT_EQ(fp.add(progs.back()), i);
+        }
+        fp.seal();
+        ASSERT_TRUE(fp.sealed());
+        ASSERT_EQ(fp.members(), count);
+        ASSERT_TRUE(fp.compatible(*m.pc));
+
+        // Block-unaligned sub-range, including empty.
+        size_t begin = rng.below(rows);
+        size_t end = begin + rng.below(rows - begin + 1);
+
+        // Mask sweep == per-invariant masks, byte for byte.
+        size_t stride = end - begin + rng.below(16);
+        std::vector<uint8_t> fusedMask(count * std::max(stride, size_t(1)));
+        fp.evalMasks(*m.pc, begin, end, fusedMask.data(), stride);
+        std::vector<uint8_t> oneMask(rows);
+        for (size_t i = 0; i < count; ++i) {
+            progs[i].evalMask(*m.pc, begin, end, oneMask.data());
+            for (size_t r = 0; r < end - begin; ++r) {
+                ASSERT_EQ(fusedMask[i * stride + r] != 0,
+                          oneMask[r] != 0)
+                    << invs[i].str() << " @ row " << begin + r;
+            }
+        }
+
+        // Violation sweep == per-invariant first violations.
+        std::vector<size_t> firstBad(count);
+        fp.sweepViolations(*m.pc, begin, end, firstBad.data());
+        for (size_t i = 0; i < count; ++i) {
+            ASSERT_EQ(firstBad[i],
+                      progs[i].firstViolation(*m.pc, begin, end))
+                << invs[i].str() << " in [" << begin << ", " << end
+                << ")";
+        }
+    }
+}
+
+TEST(Fused, PairRelationTriadsMatchScalarKernels)
+{
+    // The generation falsifier emits pair relations as consecutive
+    // (>=, !=, <=) members over the same two columns — the shape the
+    // sweep batches into one three-output compare pass. The batched
+    // pass must report the same per-member first violations as the
+    // standalone kernels.
+    Rng rng(0x731ad);
+    Matrix m(rng, 700);
+    ASSERT_NE(m.pc, nullptr);
+
+    for (size_t round = 0; round < 100; ++round) {
+        FusedProgram fp;
+        std::vector<CompiledInvariant> progs;
+        size_t pairs = 1 + rng.below(12);
+        for (size_t p = 0; p < pairs; ++p) {
+            uint16_t a = uint16_t(rng.below(trace::numVars));
+            uint16_t b = uint16_t(rng.below(trace::numVars));
+            bool aOrig = rng.chance(0.5), bOrig = rng.chance(0.5);
+            uint32_t va = fp.loadCol(trace::slotId(a, aOrig));
+            uint32_t vb = fp.loadCol(trace::slotId(b, bOrig));
+            for (CmpOp op : {CmpOp::Ge, CmpOp::Ne, CmpOp::Le}) {
+                fp.addRoot(fp.compare(op, va, vb));
+                Invariant inv;
+                inv.point = fuzzPoint;
+                inv.op = op;
+                inv.lhs = Operand::var(a, aOrig);
+                inv.rhs = Operand::var(b, bOrig);
+                progs.push_back(CompiledInvariant::compile(inv));
+            }
+        }
+        fp.seal();
+        ASSERT_EQ(fp.members(), progs.size());
+
+        std::vector<size_t> firstBad(fp.members());
+        fp.sweepViolations(*m.pc, 0, m.pc->rows(), firstBad.data());
+        for (size_t i = 0; i < progs.size(); ++i) {
+            ASSERT_EQ(firstBad[i],
+                      progs[i].firstViolation(*m.pc, 0, m.pc->rows()))
+                << "pair member " << i;
+        }
+    }
+}
+
+TEST(Fused, AliveMaskRetiresFalsifiedMembersAndSkipsDeadOnes)
+{
+    Rng rng(0xa11fe);
+    Matrix m(rng, 513);
+    ASSERT_NE(m.pc, nullptr);
+    const size_t rows = m.pc->rows();
+
+    for (size_t round = 0; round < 60; ++round) {
+        size_t count = 1 + rng.below(30);
+        std::vector<CompiledInvariant> progs;
+        FusedProgram fp;
+        for (size_t i = 0; i < count; ++i) {
+            progs.push_back(
+                CompiledInvariant::compile(randomInvariant(rng)));
+            fp.add(progs.back());
+        }
+        fp.seal();
+
+        // Members dead on entry stay untouched; the rest behave as a
+        // full-range scan split at an arbitrary (unaligned) seam with
+        // the alive mask carried across.
+        std::vector<uint8_t> alive(count);
+        for (size_t i = 0; i < count; ++i)
+            alive[i] = rng.chance(0.8) ? 1 : 0;
+        std::vector<uint8_t> aliveIn = alive;
+        size_t seam = rng.below(rows + 1);
+        std::vector<size_t> first(count, FusedProgram::npos);
+        std::vector<size_t> part(count);
+        fp.sweepViolations(*m.pc, 0, seam, part.data(), alive.data());
+        for (size_t i = 0; i < count; ++i)
+            first[i] = part[i];
+        fp.sweepViolations(*m.pc, seam, rows, part.data(),
+                           alive.data());
+        for (size_t i = 0; i < count; ++i) {
+            if (first[i] == FusedProgram::npos)
+                first[i] = part[i];
+        }
+
+        for (size_t i = 0; i < count; ++i) {
+            if (!aliveIn[i]) {
+                EXPECT_EQ(first[i], FusedProgram::npos) << i;
+                EXPECT_EQ(alive[i], 0) << i;
+                continue;
+            }
+            size_t expect = progs[i].firstViolation(*m.pc, 0, rows);
+            EXPECT_EQ(first[i], expect) << "member " << i;
+            EXPECT_EQ(alive[i] != 0,
+                      expect == CompiledInvariant::npos)
+                << "member " << i;
+        }
+    }
+}
+
+TEST(Fused, StructuralDuplicatesCollapseToOneEvaluation)
+{
+    Rng rng(0xd0d0);
+    Matrix m(rng, 64);
+    ASSERT_NE(m.pc, nullptr);
+
+    Invariant inv = randomInvariant(rng);
+    CompiledInvariant prog = CompiledInvariant::compile(inv);
+    FusedProgram fp;
+    fp.add(prog);
+    fp.add(prog);  // structurally identical -> same root value
+    Invariant other = randomInvariant(rng);
+    fp.add(other);
+    fp.add(prog);
+    fp.seal();
+
+    ASSERT_EQ(fp.members(), 4u);
+    EXPECT_EQ(fp.dedupedMembers(), 2u);
+
+    // All duplicates still get their own (identical) verdicts.
+    std::vector<size_t> firstBad(4);
+    fp.sweepViolations(*m.pc, 0, m.pc->rows(), firstBad.data());
+    size_t expect = prog.firstViolation(*m.pc, 0, m.pc->rows());
+    EXPECT_EQ(firstBad[0], expect);
+    EXPECT_EQ(firstBad[1], expect);
+    EXPECT_EQ(firstBad[3], expect);
+    EXPECT_EQ(firstBad[2],
+              CompiledInvariant::compile(other).firstViolation(
+                  *m.pc, 0, m.pc->rows()));
+}
+
+TEST(Fused, RegisterAllocationSurvivesHundredsOfLiveValues)
+{
+    // Stress past the per-candidate uint8_t register file: hundreds
+    // of members with distinct immediates force well over 256 virtual
+    // values through the allocator in one program.
+    Rng rng(0xb16);
+    Matrix m(rng, 259);
+    ASSERT_NE(m.pc, nullptr);
+
+    FusedProgram fp;
+    std::vector<CompiledInvariant> progs;
+    for (uint32_t k = 0; k < 400; ++k) {
+        Invariant inv;
+        inv.point = fuzzPoint;
+        inv.op = CmpOp(k % 6);
+        inv.lhs = Operand::var(uint16_t(k % trace::numVars),
+                               (k / 7) % 2 == 0);
+        inv.lhs.addImm = k + 1;   // distinct node per member
+        inv.rhs = Operand::var(uint16_t((k + 3) % trace::numVars),
+                               (k / 3) % 2 == 0);
+        inv.rhs.mulImm = 1 + k % 5;
+        progs.push_back(CompiledInvariant::compile(inv));
+        fp.add(progs.back());
+    }
+    fp.seal();
+    ASSERT_GT(fp.valueCount(), 700u);
+    // Sinks pin member results right after their defining compare, so
+    // peak pressure tracks live columns, not the member count.
+    EXPECT_LT(fp.registerCount(), fp.valueCount());
+
+    std::vector<size_t> firstBad(fp.members());
+    fp.sweepViolations(*m.pc, 0, m.pc->rows(), firstBad.data());
+    for (size_t i = 0; i < progs.size(); ++i) {
+        ASSERT_EQ(firstBad[i],
+                  progs[i].firstViolation(*m.pc, 0, m.pc->rows()))
+            << "member " << i;
+    }
+}
+
+TEST(Fused, SlotsAreSortedAndDeduplicated)
+{
+    FusedProgram fp;
+    uint32_t hi = fp.loadCol(9);
+    uint32_t lo = fp.loadCol(2);
+    uint32_t mid = fp.loadCol(5);
+    uint32_t hi2 = fp.loadCol(9);  // interns onto hi
+    EXPECT_EQ(hi, hi2);
+    fp.addRoot(fp.compare(CmpOp::Ge, hi, lo));
+    fp.addRoot(fp.compare(CmpOp::Eq, mid, hi));
+    fp.seal();
+    EXPECT_EQ(fp.slots(), (std::vector<uint16_t>{2, 5, 9}));
+}
+
+TEST(Fused, IdentificationScansMatchPerInvariantKernels)
+{
+    // sci::findViolations through a fused CompiledModel vs the same
+    // model with fusion disabled: identical violated sets.
+    trace::TraceBuffer train =
+        workloads::run(workloads::byName("basicmath"));
+    std::vector<const trace::TraceBuffer *> ptrs = {&train};
+    invgen::InvariantSet model = invgen::generate(ptrs);
+    ASSERT_GT(model.size(), 100u);
+
+    auto validation = workloads::validationCorpus(3, 0xf0);
+    ASSERT_TRUE(expr::fusedEvalDefault());
+    sci::CompiledModel fused(model);
+    expr::setFusedEvalDefault(false);
+    sci::CompiledModel scalar(model);
+    expr::setFusedEvalDefault(true);
+
+    bool sawViolation = false;
+    for (const auto &trace : validation) {
+        auto a = sci::findViolations(fused, trace);
+        auto b = sci::findViolations(scalar, trace);
+        EXPECT_EQ(a, b);
+        sawViolation = sawViolation || !a.empty();
+    }
+    EXPECT_TRUE(sawViolation);
+}
+
+TEST(Fused, GenerationMatchesScalarFalsification)
+{
+    // The tentpole differential: the generator's fused falsification
+    // must infer the exact invariant set the hand-rolled per-template
+    // sweeps infer — same keys, same rendered text, same order.
+    std::vector<trace::TraceBuffer> buffers;
+    for (const char *name : {"vmlinux", "gzip"})
+        buffers.push_back(workloads::run(workloads::byName(name)));
+    std::vector<const trace::TraceBuffer *> ptrs;
+    for (const auto &b : buffers)
+        ptrs.push_back(&b);
+
+    invgen::Config fusedCfg;
+    fusedCfg.fusedEval = true;
+    invgen::GenStats fusedStats;
+    invgen::InvariantSet fused =
+        invgen::generate(ptrs, fusedCfg, &fusedStats);
+
+    invgen::Config scalarCfg;
+    scalarCfg.fusedEval = false;
+    invgen::GenStats scalarStats;
+    invgen::InvariantSet scalar =
+        invgen::generate(ptrs, scalarCfg, &scalarStats);
+
+    ASSERT_EQ(fused.size(), scalar.size());
+    for (size_t i = 0; i < fused.size(); ++i) {
+        ASSERT_EQ(fused.all()[i].key(), scalar.all()[i].key());
+        ASSERT_EQ(fused.all()[i].str(), scalar.all()[i].str());
+    }
+    // Dedup telemetry only exists on the fused path.
+    EXPECT_GT(fusedStats.candidatesDeduped, 0u);
+    EXPECT_EQ(scalarStats.candidatesDeduped, 0u);
+}
+
+} // namespace
+} // namespace scif::expr

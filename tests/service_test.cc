@@ -232,6 +232,50 @@ TEST(Service, TriggerTracesMatchSequential)
     }
 }
 
+TEST(Service, FusedBatchPathMatchesPerMemberKernels)
+{
+    // The columnar batch path evaluates a point's members through one
+    // fused program; with --no-fused-eval it runs one kernel per
+    // member. Reports must be byte-identical either way, for any
+    // shard count, with the scalar threshold forced to zero so every
+    // micro-batch takes the columnar path.
+    ASSERT_TRUE(expr::fusedEvalDefault());
+    auto fusedSet = paperScaleSet();
+    expr::setFusedEvalDefault(false);
+    auto scalarSet = paperScaleSet();
+    expr::setFusedEvalDefault(true);
+    for (uint16_t pid : fusedSet->points())
+        ASSERT_NE(fusedSet->fusedAt(pid), nullptr);
+    for (uint16_t pid : scalarSet->points())
+        ASSERT_EQ(scalarSet->fusedAt(pid), nullptr);
+
+    std::vector<trace::TraceBuffer> traces;
+    std::vector<std::string> names;
+    for (const auto &w : workloads::all()) {
+        names.push_back(w.name);
+        traces.push_back(workloads::run(w));
+    }
+    for (const bugs::Bug *bug : bugs::table1()) {
+        names.push_back(bug->id);
+        traces.push_back(bugs::runTrigger(*bug, true));
+    }
+
+    for (size_t shards : {size_t(1), size_t(3)}) {
+        ServiceConfig config;
+        config.shards = shards;
+        config.scalarBelow = 0;
+        CheckService fused(fusedSet, config);
+        CheckService scalar(scalarSet, config);
+        for (size_t i = 0; i < traces.size(); ++i) {
+            SessionReport a = fused.check(names[i], traces[i]);
+            SessionReport b = scalar.check(names[i], traces[i]);
+            EXPECT_EQ(a.render(fusedSet->assertions()),
+                      b.render(scalarSet->assertions()))
+                << names[i] << " with " << shards << " shards";
+        }
+    }
+}
+
 TEST(MpscQueue, BackpressureBoundsDepth)
 {
     support::BoundedMpscQueue<int> q(4);
